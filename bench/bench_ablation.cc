@@ -1,0 +1,49 @@
+// Ablation studies for the design choices called out in DESIGN.md §5:
+//  1. Theorem-8 budget allocation vs a uniform split.
+//  2. k-quantization partitioning vs singleton (per-cell) release.
+//  3. Level-anchored roll-out vs pure autoregressive roll-out.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace stpt;
+  std::printf("Ablations (CER, LA-like placement, detail scale; "
+              "MRE%%, lower is better).\n\n");
+  const bench::Instance inst = bench::MakeInstance(
+      datagen::CerSpec(), datagen::SpatialDistribution::kLosAngeles,
+      bench::Scale::kDetail, 9500);
+
+  TablePrinter table({"Variant", "Random MRE%", "Small MRE%", "Large MRE%"});
+  {
+    const core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
+    table.AddRow("STPT (full)", bench::RunStpt(inst, cfg, 9501), 2);
+  }
+  {
+    core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
+    cfg.allocation = core::BudgetAllocation::kUniform;
+    table.AddRow("uniform budget split", bench::RunStpt(inst, cfg, 9501), 2);
+  }
+  {
+    core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
+    cfg.use_quantization = false;
+    table.AddRow("no quantization (per-cell)", bench::RunStpt(inst, cfg, 9501), 2);
+  }
+  {
+    core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
+    cfg.rollout = core::RolloutMode::kAutoregressive;
+    table.AddRow("autoregressive roll-out", bench::RunStpt(inst, cfg, 9501), 2);
+  }
+  {
+    core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
+    cfg.partitioning = core::StptConfig::PartitionStrategy::kHtf;
+    table.AddRow("HTF box partitioning", bench::RunStpt(inst, cfg, 9501), 2);
+  }
+  table.Print(std::cout);
+  std::printf("\nExpected: the full configuration is at least as good as "
+              "every ablated variant on most workloads.\n");
+  return 0;
+}

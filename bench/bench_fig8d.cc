@@ -1,0 +1,65 @@
+// Reproduces Figure 8d: runtime of each publication algorithm (one standard
+// publication of the CER detail-scale matrix), via google-benchmark.
+//
+// Absolute times differ from the paper's GPU testbed; the figure's point —
+// every algorithm runs in seconds, STPT's overhead is the one-time training
+// phase — is preserved.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace stpt;
+
+const bench::Instance& SharedInstance() {
+  static const bench::Instance inst = bench::MakeInstance(
+      datagen::CerSpec(), datagen::SpatialDistribution::kUniform,
+      bench::Scale::kDetail, 8400);
+  return inst;
+}
+
+void BM_Stpt(benchmark::State& state) {
+  const bench::Instance& inst = SharedInstance();
+  const core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto res = core::Stpt(cfg).Publish(inst.cons, inst.unit_sensitivity, rng);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_Stpt)->Unit(benchmark::kMillisecond);
+
+void RunBaselineBenchmark(benchmark::State& state, int index) {
+  const bench::Instance& inst = SharedInstance();
+  auto suite = baselines::MakeStandardBaselines();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto out =
+        suite[index]->Publish(inst.truth_test, 30.0, inst.unit_sensitivity, rng);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_Identity(benchmark::State& s) { RunBaselineBenchmark(s, 0); }
+void BM_Fast(benchmark::State& s) { RunBaselineBenchmark(s, 1); }
+void BM_Fourier10(benchmark::State& s) { RunBaselineBenchmark(s, 2); }
+void BM_Fourier20(benchmark::State& s) { RunBaselineBenchmark(s, 3); }
+void BM_Wavelet10(benchmark::State& s) { RunBaselineBenchmark(s, 4); }
+void BM_Wavelet20(benchmark::State& s) { RunBaselineBenchmark(s, 5); }
+void BM_LganDp(benchmark::State& s) { RunBaselineBenchmark(s, 6); }
+
+BENCHMARK(BM_Identity)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fast)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fourier10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fourier20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Wavelet10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Wavelet20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LganDp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Reproduces Figures 8e/8f: pattern-recognition MAE and RMSE as a function
+// of the quadtree depth. Depth 0 is the flat (Identity-style) ablation of
+// the hierarchical training sanitization.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace stpt;
+  std::printf("Figures 8e/8f reproduction: pattern MAE/RMSE vs quadtree depth "
+              "(CER, Uniform, detail scale).\n\n");
+  const bench::Instance inst =
+      bench::MakeInstance(datagen::CerSpec(), datagen::SpatialDistribution::kUniform,
+                          bench::Scale::kDetail, 8500);
+  TablePrinter table({"Depth", "Pattern MAE", "Pattern RMSE", "Random MRE%"});
+  for (int depth : {0, 1, 2, 3, 4}) {
+    core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
+    cfg.quadtree_depth = depth;
+    core::StptResult res;
+    const std::vector<double> mres = bench::RunStpt(inst, cfg, 8501, &res);
+    table.AddRow(std::to_string(depth),
+                 {res.pattern_mae, res.pattern_rmse, mres[0]}, 4);
+  }
+  table.Print(std::cout);
+  std::printf("\nExpected shape: error improves with depth up to a medium "
+              "value, then degrades as per-level data thins out "
+              "(paper Figs. 8e/8f).\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Micro-benchmarks of the substrate layers: DP mechanisms, transforms,
+// prefix sums, quadtree construction, tensor ops, and model steps.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "common/rng.h"
+#include "dp/mechanisms.h"
+#include "grid/consumption_matrix.h"
+#include "grid/quadtree.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "signal/fft.h"
+#include "signal/wavelet.h"
+
+namespace {
+
+using namespace stpt;
+
+void BM_LaplaceSample(benchmark::State& state) {
+  Rng rng(1);
+  auto mech = dp::LaplaceMechanism::Create(1.0, 1.0);
+  double acc = 0.0;
+  for (auto _ : state) acc += mech->AddNoise(1.0, rng);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_LaplaceSample);
+
+void BM_FftPow2(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<std::complex<double>> data(state.range(0));
+  for (auto& v : data) v = {rng.NextDouble(), 0.0};
+  for (auto _ : state) {
+    auto copy = data;
+    auto status = signal::Fft(&copy, false);
+    benchmark::DoNotOptimize(status);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_FftPow2)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_BluesteinDft(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::complex<double>> data(220);  // the paper's series length
+  for (auto& v : data) v = {rng.NextDouble(), 0.0};
+  for (auto _ : state) {
+    auto out = signal::Dft(data, false);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BluesteinDft);
+
+void BM_HaarTransform(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> data(state.range(0));
+  for (auto& v : data) v = rng.NextDouble();
+  for (auto _ : state) {
+    auto out = signal::HaarForward(data);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_HaarTransform)->Arg(256)->Arg(4096);
+
+grid::ConsumptionMatrix RandomMatrix(grid::Dims dims, uint64_t seed) {
+  Rng rng(seed);
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  for (auto& v : m->mutable_data()) v = rng.NextDouble();
+  return std::move(m).value();
+}
+
+void BM_PrefixSumBuild(benchmark::State& state) {
+  const auto m = RandomMatrix({32, 32, 120}, 5);
+  for (auto _ : state) {
+    grid::PrefixSum3D ps(m);
+    benchmark::DoNotOptimize(ps);
+  }
+}
+BENCHMARK(BM_PrefixSumBuild)->Unit(benchmark::kMicrosecond);
+
+void BM_PrefixSumQuery(benchmark::State& state) {
+  const auto m = RandomMatrix({32, 32, 120}, 6);
+  const grid::PrefixSum3D ps(m);
+  Rng rng(7);
+  double acc = 0.0;
+  for (auto _ : state) {
+    const int x0 = static_cast<int>(rng.UniformInt(0, 15));
+    acc += ps.BoxSum(x0, x0 + 10, 3, 20, 10, 100);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_PrefixSumQuery);
+
+void BM_QuadtreeBuild(benchmark::State& state) {
+  const auto m = RandomMatrix({32, 32, 220}, 8);
+  for (auto _ : state) {
+    auto levels = grid::BuildQuadtreeLevels(m, 100, state.range(0));
+    benchmark::DoNotOptimize(levels);
+  }
+}
+BENCHMARK(BM_QuadtreeBuild)->Arg(2)->Arg(5)->Unit(benchmark::kMicrosecond);
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(9);
+  const int n = state.range(0);
+  const nn::Tensor a = nn::Tensor::Randn({n, n}, rng, 1.0);
+  const nn::Tensor b = nn::Tensor::Randn({n, n}, rng, 1.0);
+  for (auto _ : state) {
+    auto c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_GruCellForwardBackward(benchmark::State& state) {
+  Rng rng(10);
+  nn::GruCell cell(16, 16, rng);
+  const nn::Tensor x = nn::Tensor::Randn({32, 16}, rng, 1.0);
+  const nn::Tensor h = nn::Tensor::Randn({32, 16}, rng, 1.0);
+  const nn::Tensor target = nn::Tensor::Randn({32, 16}, rng, 1.0);
+  for (auto _ : state) {
+    cell.ZeroGrad();
+    nn::Tensor loss = nn::MseLoss(cell.Forward(x, h), target);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_GruCellForwardBackward)->Unit(benchmark::kMicrosecond);
+
+void BM_SelfAttention(benchmark::State& state) {
+  Rng rng(11);
+  nn::SelfAttention attn(16, rng);
+  const nn::Tensor x = nn::Tensor::Randn({32, 6, 16}, rng, 1.0);
+  for (auto _ : state) {
+    auto out = attn.Forward(x);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SelfAttention)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

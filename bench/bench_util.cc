@@ -1,0 +1,128 @@
+#include "bench_util.h"
+
+#include <cassert>
+
+#include "query/metrics.h"
+
+namespace stpt::bench {
+namespace {
+
+struct ScaleParams {
+  int grid = 32;
+  int days = 220;
+  int t_train = 100;
+  double household_fraction = 1.0;  ///< scales Table 2 counts
+};
+
+ScaleParams ParamsFor(Scale scale) {
+  if (scale == Scale::kPaper) return {32, 220, 100, 1.0};
+  return {16, 110, 50, 0.4};
+}
+
+}  // namespace
+
+core::StptConfig DefaultStptConfig(Scale scale) {
+  const ScaleParams p = ParamsFor(scale);
+  core::StptConfig cfg;
+  cfg.eps_pattern = 10.0;
+  cfg.eps_sanitize = 20.0;
+  cfg.t_train = p.t_train;
+  cfg.quadtree_depth = 3;  // medium depth is optimal (paper Fig. 8e/f)
+  cfg.quantization_levels = 8;
+  cfg.predictor.window_size = 6;
+  cfg.predictor.embedding_size = 16;
+  cfg.predictor.hidden_size = 16;
+  cfg.training.epochs = 20;
+  cfg.training.batch_size = 32;
+  cfg.training.learning_rate = 1e-3;
+  return cfg;
+}
+
+Instance MakeInstance(const datagen::DatasetSpec& spec,
+                      datagen::SpatialDistribution distribution, Scale scale,
+                      uint64_t seed) {
+  const ScaleParams p = ParamsFor(scale);
+  datagen::DatasetSpec scaled = spec;
+  scaled.num_households = std::max(
+      50, static_cast<int>(spec.num_households * p.household_fraction));
+  datagen::GenerateOptions opts;
+  opts.grid_x = p.grid;
+  opts.grid_y = p.grid;
+  opts.hours = p.days * 24;
+  Rng rng(seed);
+  auto ds = datagen::GenerateDataset(scaled, distribution, opts, rng);
+  assert(ds.ok());
+  auto cons = datagen::BuildConsumptionMatrix(*ds, /*hours_per_slice=*/24);
+  assert(cons.ok());
+  auto truth = core::TestRegion(*cons, p.t_train);
+  assert(truth.ok());
+  Instance inst{std::move(ds).value(), std::move(cons).value(),
+                std::move(truth).value(), datagen::UnitSensitivity(scaled, 24),
+                p.t_train};
+  return inst;
+}
+
+double EvalMre(const Instance& instance, const grid::ConsumptionMatrix& sanitized,
+               query::WorkloadKind kind, int count, uint64_t seed) {
+  Rng rng(seed);
+  const double mean_cell = instance.truth_test.TotalSum() /
+                           static_cast<double>(instance.truth_test.size());
+  const grid::PrefixSum3D truth_ps(instance.truth_test);
+  // Relative error is undefined for empty regions (paper Eq. 5 divides by
+  // the true answer). Following the sanity-bound convention of the DP
+  // histogram literature, queries whose true mass is below 10% of their
+  // expected mass (volume x mean cell) are re-drawn: they measure nothing
+  // but the emptiness of the region. See EXPERIMENTS.md.
+  query::Workload wl;
+  int attempts = 0;
+  while (static_cast<int>(wl.size()) < count && attempts < 100 * count) {
+    auto batch = query::MakeWorkload(kind, instance.truth_test.dims(), 1, rng);
+    assert(batch.ok());
+    const query::RangeQuery& q = (*batch)[0];
+    const double truth = truth_ps.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
+    ++attempts;
+    if (truth >= 0.1 * mean_cell * q.VolumeCells()) wl.push_back(q);
+  }
+  if (wl.empty()) return 0.0;
+  query::MreOptions opts;
+  opts.denominator_floor = mean_cell;
+  const grid::PrefixSum3D sanitized_ps(sanitized);
+  return query::MeanRelativeError(truth_ps, sanitized_ps, wl, opts);
+}
+
+const std::vector<query::WorkloadKind>& AllWorkloadKinds() {
+  static const std::vector<query::WorkloadKind> kKinds = {
+      query::WorkloadKind::kRandom, query::WorkloadKind::kSmall,
+      query::WorkloadKind::kLarge};
+  return kKinds;
+}
+
+std::vector<double> RunBaseline(const Instance& instance,
+                                baselines::Publisher& publisher, double eps_tot,
+                                uint64_t seed) {
+  Rng rng(seed);
+  auto out = publisher.Publish(instance.truth_test, eps_tot,
+                               instance.unit_sensitivity, rng);
+  assert(out.ok());
+  std::vector<double> mres;
+  for (auto kind : AllWorkloadKinds()) {
+    mres.push_back(EvalMre(instance, *out, kind, 300, seed + 1000));
+  }
+  return mres;
+}
+
+std::vector<double> RunStpt(const Instance& instance, const core::StptConfig& config,
+                            uint64_t seed, core::StptResult* out) {
+  Rng rng(seed);
+  core::Stpt algo(config);
+  auto res = algo.Publish(instance.cons, instance.unit_sensitivity, rng);
+  assert(res.ok());
+  std::vector<double> mres;
+  for (auto kind : AllWorkloadKinds()) {
+    mres.push_back(EvalMre(instance, res->sanitized, kind, 300, seed + 1000));
+  }
+  if (out != nullptr) *out = std::move(res).value();
+  return mres;
+}
+
+}  // namespace stpt::bench

@@ -1,0 +1,64 @@
+#ifndef STPT_BENCH_BENCH_UTIL_H_
+#define STPT_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/publisher.h"
+#include "common/rng.h"
+#include "core/stpt.h"
+#include "datagen/dataset.h"
+#include "grid/consumption_matrix.h"
+#include "query/range_query.h"
+
+namespace stpt::bench {
+
+/// Scale presets for experiment harnesses. kPaper mirrors Appendix C
+/// (32x32 grid, 220 daily slices, 100 training); kDetail is the reduced
+/// scale used by the Fig. 8 sweeps so that multi-point sweeps finish in
+/// seconds on a laptop-class CPU.
+enum class Scale { kPaper, kDetail };
+
+/// A prepared experiment instance: data, truth, and derived quantities.
+struct Instance {
+  datagen::SyntheticDataset dataset;
+  grid::ConsumptionMatrix cons;        ///< full matrix, day granularity
+  grid::ConsumptionMatrix truth_test;  ///< ground truth for the release region
+  double unit_sensitivity = 0.0;
+  int t_train = 0;
+};
+
+/// Default STPT configuration for the given scale (paper Appendix C
+/// hyper-parameters, with the model sized for CPU runs).
+core::StptConfig DefaultStptConfig(Scale scale);
+
+/// Generates a dataset + consumption matrix for a Table 2 spec at the given
+/// scale and spatial distribution. Deterministic in `seed`.
+Instance MakeInstance(const datagen::DatasetSpec& spec,
+                      datagen::SpatialDistribution distribution, Scale scale,
+                      uint64_t seed);
+
+/// MRE (percent) of `sanitized` against the instance truth over `count`
+/// queries of the given kind. The denominator floor is set to the truth's
+/// mean cell value so near-empty cells do not dominate (documented in
+/// EXPERIMENTS.md; applied identically to every algorithm).
+double EvalMre(const Instance& instance, const grid::ConsumptionMatrix& sanitized,
+               query::WorkloadKind kind, int count, uint64_t seed);
+
+/// Runs one baseline publisher on the truth region with eps_tot and returns
+/// per-kind MREs in the order {Random, Small, Large}.
+std::vector<double> RunBaseline(const Instance& instance,
+                                baselines::Publisher& publisher, double eps_tot,
+                                uint64_t seed);
+
+/// Runs STPT on the full matrix and returns {Random, Small, Large} MREs.
+/// Optionally returns the full result via `out`.
+std::vector<double> RunStpt(const Instance& instance, const core::StptConfig& config,
+                            uint64_t seed, core::StptResult* out = nullptr);
+
+/// All three workload kinds, in the order used by RunBaseline / RunStpt.
+const std::vector<query::WorkloadKind>& AllWorkloadKinds();
+
+}  // namespace stpt::bench
+
+#endif  // STPT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+// Custom pipeline: compose the library's substrate APIs directly — budget
+// accounting, quadtree aggregation, Laplace mechanism, and the query engine
+// — to build a bespoke DP publication scheme without the Stpt facade.
+//
+// The scheme here releases a two-resolution spatial histogram per week:
+// coarse 4x4 regions at high accuracy plus full-resolution cells at low
+// accuracy, composing budgets explicitly through the accountant.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "datagen/dataset.h"
+#include "dp/budget_accountant.h"
+#include "dp/mechanisms.h"
+#include "grid/quadtree.h"
+#include "query/metrics.h"
+
+int main() {
+  using namespace stpt;
+
+  Rng rng(21);
+  datagen::DatasetSpec spec = datagen::CerSpec();
+  spec.num_households = 1500;
+  datagen::GenerateOptions opts;
+  opts.grid_x = 16;
+  opts.grid_y = 16;
+  opts.hours = 8 * 7 * 24;  // eight weeks
+  auto ds = datagen::GenerateDataset(spec, datagen::SpatialDistribution::kNormal,
+                                     opts, rng);
+  if (!ds.ok()) return 1;
+  // Weekly slices: 7 * 24 hours each.
+  auto cons = datagen::BuildConsumptionMatrix(*ds, 7 * 24);
+  if (!cons.ok()) return 1;
+  const double unit = datagen::UnitSensitivity(spec, 7 * 24);
+  const grid::Dims dims = cons->dims();
+  std::printf("Weekly matrix: %dx%dx%d (unit sensitivity %.0f kWh/user/week)\n",
+              dims.cx, dims.cy, dims.ct, unit);
+
+  // Budget plan: eps_tot = 8, of which 0.75/week for the coarse release and
+  // 0.25/week for the fine one. Coarse and fine releases of one week are
+  // charged sequentially (both touch every user); weeks are sequential too.
+  auto accountant = dp::BudgetAccountant::Create(8.0);
+  if (!accountant.ok()) return 1;
+  const double eps_coarse = 0.75;
+  const double eps_fine = 0.25;
+
+  auto coarse_mech = dp::LaplaceMechanism::Create(eps_coarse, unit);
+  auto fine_mech = dp::LaplaceMechanism::Create(eps_fine, unit);
+  if (!coarse_mech.ok() || !fine_mech.ok()) return 1;
+
+  grid::ConsumptionMatrix fine_release = *cons;  // same dims, overwritten
+  double coarse_abs_err = 0.0;
+  int coarse_count = 0;
+  for (int t = 0; t < dims.ct; ++t) {
+    const std::string week = "week" + std::to_string(t);
+    if (!accountant->Charge(week + "/coarse", eps_coarse).ok() ||
+        !accountant->Charge(week + "/fine", eps_fine).ok()) {
+      std::fprintf(stderr, "budget exhausted at week %d\n", t);
+      return 1;
+    }
+    // Coarse: 4x4 regions (quadtree depth 2 over this week's slice).
+    for (int rx = 0; rx < 4; ++rx) {
+      for (int ry = 0; ry < 4; ++ry) {
+        const double truth =
+            cons->BoxSum(rx * 4, rx * 4 + 3, ry * 4, ry * 4 + 3, t, t);
+        const double noisy = coarse_mech->AddNoise(truth, rng);
+        coarse_abs_err += std::abs(noisy - truth);
+        ++coarse_count;
+      }
+    }
+    // Fine: every cell with the small per-week budget.
+    for (int x = 0; x < dims.cx; ++x) {
+      for (int y = 0; y < dims.cy; ++y) {
+        fine_release.set(x, y, t, fine_mech->AddNoise(cons->at(x, y, t), rng));
+      }
+    }
+  }
+  std::printf("Composed budget consumed: %.2f of %.2f\n",
+              accountant->ConsumedEpsilon(), accountant->total_epsilon());
+  std::printf("Coarse 4x4 regions: mean |error| %.0f kWh/region-week\n",
+              coarse_abs_err / coarse_count);
+
+  Rng qrng(22);
+  auto wl = query::MakeWorkload(query::WorkloadKind::kRandom, dims, 200, qrng);
+  if (!wl.ok()) return 1;
+  std::printf("Fine release: %.2f%% MRE over 200 random queries\n",
+              query::MeanRelativeError(*cons, fine_release, *wl,
+                                       {cons->TotalSum() / cons->size()}));
+  std::printf("\nEvery charge above was validated by the BudgetAccountant; "
+              "adding another release would be refused.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Grid planning (paper §3.2, Figure 3): use a DP release of the
+// consumption matrix to decide where to place a mobile battery.
+//
+// A planner compares candidate regions (minimum bounding rectangles around
+// consumer groups) by their estimated consumption over a planning horizon,
+// using only the sanitized matrix. The example verifies the DP-driven
+// decision against the ground-truth decision.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/stpt.h"
+#include "datagen/dataset.h"
+#include "query/range_query.h"
+
+namespace {
+
+struct CandidateRegion {
+  std::string name;
+  stpt::query::RangeQuery mbr;  // spatial MBR x planning horizon
+};
+
+}  // namespace
+
+int main() {
+  using namespace stpt;
+
+  // LA-like concentrated demand: the interesting case for placement.
+  Rng rng(7);
+  datagen::DatasetSpec spec = datagen::CerSpec();
+  spec.num_households = 2000;
+  datagen::GenerateOptions opts;
+  opts.grid_x = 16;
+  opts.grid_y = 16;
+  opts.hours = 110 * 24;
+  auto dataset = datagen::GenerateDataset(
+      spec, datagen::SpatialDistribution::kLosAngeles, opts, rng);
+  if (!dataset.ok()) return 1;
+  auto cons = datagen::BuildConsumptionMatrix(*dataset, 24);
+  if (!cons.ok()) return 1;
+
+  core::StptConfig cfg;
+  cfg.t_train = 50;
+  cfg.quadtree_depth = 3;
+  cfg.predictor.embedding_size = 16;
+  cfg.predictor.hidden_size = 16;
+  core::Stpt algo(cfg);
+  auto release = algo.Publish(*cons, datagen::UnitSensitivity(spec, 24), rng);
+  if (!release.ok()) {
+    std::fprintf(stderr, "stpt: %s\n", release.status().ToString().c_str());
+    return 1;
+  }
+
+  auto truth = core::TestRegion(*cons, cfg.t_train);
+  const grid::PrefixSum3D truth_ps(*truth);
+  const grid::PrefixSum3D dp_ps(release->sanitized);
+
+  // Candidate MBRs for battery B1 over a 2-week planning horizon
+  // (days 0..13 of the released period).
+  const std::vector<CandidateRegion> candidates = {
+      {"downtown core", {7, 9, 6, 8, 0, 13}},
+      {"west side", {3, 5, 8, 10, 0, 13}},
+      {"south east", {10, 12, 3, 5, 0, 13}},
+      {"north fringe", {0, 2, 12, 14, 0, 13}},
+  };
+
+  std::printf("Battery placement: estimated 2-week consumption per candidate "
+              "MBR (DP vs truth)\n\n");
+  std::printf("%-15s %15s %15s %10s\n", "region", "DP estimate", "ground truth",
+              "error %");
+  std::string best_dp, best_truth;
+  double best_dp_value = -1.0, best_truth_value = -1.0;
+  for (const auto& c : candidates) {
+    const auto& q = c.mbr;
+    const double dp = dp_ps.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
+    const double tr = truth_ps.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
+    std::printf("%-15s %12.0f kWh %12.0f kWh %9.1f%%\n", c.name.c_str(), dp, tr,
+                tr > 0 ? std::abs(dp - tr) / tr * 100.0 : 0.0);
+    if (dp > best_dp_value) {
+      best_dp_value = dp;
+      best_dp = c.name;
+    }
+    if (tr > best_truth_value) {
+      best_truth_value = tr;
+      best_truth = c.name;
+    }
+  }
+  std::printf("\nDP-driven placement:    %s\n", best_dp.c_str());
+  std::printf("Ground-truth placement: %s\n", best_truth.c_str());
+  std::printf("%s\n", best_dp == best_truth
+                          ? "The private release supports the same planning "
+                            "decision as the raw data."
+                          : "Decision differs: consider a larger budget or "
+                            "coarser candidate regions.");
+  return 0;
+}

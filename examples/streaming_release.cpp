@@ -1,0 +1,76 @@
+// Streaming release: publish daily consumption slices continuously under a
+// w-event DP guarantee (any w consecutive days together cost at most eps).
+// Demonstrates the StreamingPublisher extension on a live feed.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/streaming.h"
+#include "datagen/dataset.h"
+
+int main() {
+  using namespace stpt;
+
+  Rng rng(33);
+  datagen::DatasetSpec spec = datagen::CerSpec();
+  spec.num_households = 1500;
+  datagen::GenerateOptions opts;
+  opts.grid_x = 8;
+  opts.grid_y = 8;
+  opts.hours = 90 * 24;
+  auto ds = datagen::GenerateDataset(spec, datagen::SpatialDistribution::kUniform,
+                                     opts, rng);
+  if (!ds.ok()) return 1;
+  auto cons = datagen::BuildConsumptionMatrix(*ds, 24);
+  if (!cons.ok()) return 1;
+  const grid::Dims dims = cons->dims();
+  const int cells = dims.cx * dims.cy;
+
+  core::StreamingPublisher::Options sopts;
+  sopts.window = 7;    // weekly privacy window
+  sopts.epsilon = 3.0;  // any 7 consecutive days cost <= 3
+  auto publisher =
+      core::StreamingPublisher::Create(cells, datagen::UnitSensitivity(spec, 24),
+                                       sopts);
+  if (!publisher.ok()) {
+    std::fprintf(stderr, "%s\n", publisher.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Streaming %d days of 8x8 daily slices under (w=7, eps=3) "
+              "w-event DP\n\n", dims.ct);
+  std::printf("%5s %14s %14s %10s %13s\n", "day", "true total", "released",
+              "action", "window spend");
+  double total_abs_err = 0.0;
+  for (int t = 0; t < dims.ct; ++t) {
+    std::vector<double> slice(cells);
+    double truth = 0.0;
+    for (int c = 0; c < cells; ++c) {
+      slice[c] = cons->at(c / dims.cy, c % dims.cy, t);
+      truth += slice[c];
+    }
+    const int64_t republished_before = publisher->republish_count();
+    auto released = publisher->ProcessSlice(slice, rng);
+    if (!released.ok()) return 1;
+    double released_total = 0.0;
+    for (int c = 0; c < cells; ++c) {
+      released_total += (*released)[c];
+      total_abs_err += std::fabs((*released)[c] - slice[c]);
+    }
+    if (t < 10 || t % 30 == 0) {
+      std::printf("%5d %11.0f kWh %11.0f kWh %10s %13.2f\n", t, truth,
+                  released_total,
+                  publisher->republish_count() > republished_before ? "reuse"
+                                                                    : "publish",
+                  publisher->WindowSpend());
+    }
+  }
+  std::printf("\n%lld of %lld days re-used an earlier release; "
+              "mean per-cell |error| %.1f kWh/day\n",
+              static_cast<long long>(publisher->republish_count()),
+              static_cast<long long>(publisher->slices_processed()),
+              total_abs_err / (static_cast<double>(cells) * dims.ct));
+  std::printf("The window ledger never exceeded eps = %.1f.\n", sopts.epsilon);
+  return 0;
+}

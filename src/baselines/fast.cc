@@ -1,0 +1,69 @@
+#include "baselines/fast.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/mechanisms.h"
+#include "filter/kalman.h"
+
+namespace stpt::baselines {
+
+StatusOr<grid::ConsumptionMatrix> FastPublisher::Publish(
+    const grid::ConsumptionMatrix& cons, double epsilon, double unit_sensitivity,
+    Rng& rng) {
+  const grid::Dims& dims = cons.dims();
+  const int max_samples = std::max(
+      1, static_cast<int>(std::ceil(options_.sample_fraction * dims.ct)));
+  const double eps_per_sample = epsilon / static_cast<double>(max_samples);
+  auto mech_or = dp::LaplaceMechanism::Create(eps_per_sample, unit_sensitivity);
+  STPT_RETURN_IF_ERROR(mech_or.status());
+  const dp::LaplaceMechanism& mech = *mech_or;
+  const double measurement_variance = mech.NoiseVariance();
+
+  auto out_or = grid::ConsumptionMatrix::Create(dims);
+  STPT_RETURN_IF_ERROR(out_or.status());
+  grid::ConsumptionMatrix out = std::move(out_or).value();
+
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      const std::vector<double> series = cons.Pillar(x, y);
+      // First release is always sampled: it initialises the filter.
+      auto kf_or = filter::ScalarKalmanFilter::Create(
+          options_.process_variance, measurement_variance,
+          /*initial_estimate=*/mech.AddNoise(series[0], rng),
+          /*initial_variance=*/measurement_variance);
+      STPT_RETURN_IF_ERROR(kf_or.status());
+      filter::ScalarKalmanFilter kf = std::move(kf_or).value();
+      filter::PidController pid(options_.pid_kp, options_.pid_ki, options_.pid_kd);
+
+      std::vector<double> released(dims.ct);
+      released[0] = kf.estimate();
+      int samples_used = 1;
+      double interval = 1.0;  // current sampling interval (timestamps)
+      int next_sample = 1 + static_cast<int>(std::lround(interval));
+
+      for (int t = 1; t < dims.ct; ++t) {
+        const double prior = kf.Predict();
+        if (t >= next_sample && samples_used < max_samples) {
+          const double z = mech.AddNoise(series[t], rng);
+          const double posterior = kf.Correct(z);
+          released[t] = posterior;
+          ++samples_used;
+          // Feedback error: how far the prior drifted from the observation,
+          // relative to the noise floor. Large error -> sample sooner.
+          const double error =
+              std::fabs(z - prior) / std::max(1.0, std::sqrt(measurement_variance));
+          const double control = pid.Update(error - 1.0);
+          interval = std::clamp(interval * std::exp(-0.5 * control), 1.0, 16.0);
+          next_sample = t + std::max(1, static_cast<int>(std::lround(interval)));
+        } else {
+          released[t] = prior;
+        }
+      }
+      STPT_RETURN_IF_ERROR(out.SetPillar(x, y, released));
+    }
+  }
+  return out;
+}
+
+}  // namespace stpt::baselines

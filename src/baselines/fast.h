@@ -1,0 +1,42 @@
+#ifndef STPT_BASELINES_FAST_H_
+#define STPT_BASELINES_FAST_H_
+
+#include "baselines/publisher.h"
+
+namespace stpt::baselines {
+
+/// FAST (Fan & Xiong, 2013): adaptive sampling + Kalman-filter posterior
+/// estimation for DP time series, applied per spatial pillar (pillars are
+/// disjoint in space, so parallel composition applies across them; the
+/// sampled timestamps of one pillar compose sequentially).
+///
+/// Only a fraction of timestamps is sampled (perturbed with the Laplace
+/// mechanism at budget epsilon / max_samples); non-sampled timestamps are
+/// released from the filter's prediction. A PID controller widens or narrows
+/// the sampling interval based on the observed prediction error.
+class FastPublisher : public Publisher {
+ public:
+  struct Options {
+    double sample_fraction = 0.25;  ///< max sampled timestamps / Ct
+    double process_variance = 1.0;  ///< Kalman Q (in squared matrix units)
+    double pid_kp = 0.8;
+    double pid_ki = 0.1;
+    double pid_kd = 0.05;
+  };
+
+  FastPublisher() = default;
+  explicit FastPublisher(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "FAST"; }
+
+  StatusOr<grid::ConsumptionMatrix> Publish(const grid::ConsumptionMatrix& cons,
+                                            double epsilon, double unit_sensitivity,
+                                            Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace stpt::baselines
+
+#endif  // STPT_BASELINES_FAST_H_

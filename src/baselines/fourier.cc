@@ -1,0 +1,56 @@
+#include "baselines/fourier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "signal/fft.h"
+
+namespace stpt::baselines {
+
+StatusOr<grid::ConsumptionMatrix> FourierPublisher::Publish(
+    const grid::ConsumptionMatrix& cons, double epsilon, double unit_sensitivity,
+    Rng& rng) {
+  if (k_ <= 0) return Status::InvalidArgument("FourierPublisher: k must be positive");
+  const grid::Dims& dims = cons.dims();
+  const int n = dims.ct;
+  const int k = std::min(k_, n);
+
+  // FPA noise calibration (Rastogi & Nath 2010, with the sensitivity
+  // correction of Leukam Lako et al. 2021). Under user-level privacy one
+  // household can shift every slice of its pillar by unit_sensitivity, so
+  // the time-domain L2 sensitivity is sqrt(Ct) * unit. The *unnormalized*
+  // DFT used here scales L2 norms by sqrt(Ct), so the released coefficient
+  // vector (2k real coordinates: re/im of the k kept frequencies) has
+  //   Delta_2 = Ct * unit,  Delta_1 <= sqrt(2k) * Delta_2,
+  // and each coordinate is perturbed with Lap(Delta_1 / epsilon).
+  const double delta2 = static_cast<double>(n) * unit_sensitivity;
+  const double lambda = std::sqrt(2.0 * k) * delta2 / epsilon;
+
+  auto out_or = grid::ConsumptionMatrix::Create(dims);
+  STPT_RETURN_IF_ERROR(out_or.status());
+  grid::ConsumptionMatrix out = std::move(out_or).value();
+
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      std::vector<std::complex<double>> coeffs = signal::RealDft(cons.Pillar(x, y));
+      // Retain the k lowest frequencies (DC plus the slowest oscillations),
+      // perturb, zero the rest, and mirror for a real-valued inverse.
+      std::vector<std::complex<double>> kept(n, {0.0, 0.0});
+      const int half = n / 2;
+      const int keep = std::min(k, half + 1);
+      for (int j = 0; j < keep; ++j) {
+        const double re = coeffs[j].real() + rng.Laplace(lambda);
+        // Coefficient 0 (and n/2 for even n) are real-valued.
+        const bool self_conjugate = (j == 0) || (n % 2 == 0 && j == half);
+        const double im = self_conjugate ? 0.0 : coeffs[j].imag() + rng.Laplace(lambda);
+        kept[j] = {re, im};
+        if (!self_conjugate) kept[n - j] = std::conj(kept[j]);
+      }
+      STPT_RETURN_IF_ERROR(out.SetPillar(x, y, signal::InverseDftReal(kept)));
+    }
+  }
+  return out;
+}
+
+}  // namespace stpt::baselines

@@ -1,0 +1,39 @@
+#ifndef STPT_BASELINES_FOURIER_H_
+#define STPT_BASELINES_FOURIER_H_
+
+#include "baselines/publisher.h"
+
+namespace stpt::baselines {
+
+/// Fourier Perturbation Algorithm (Rastogi & Nath, 2010; sensitivity
+/// refinement per Leukam Lako et al., 2021), applied per spatial pillar.
+///
+/// Each pillar series is DFT-transformed; the k lowest-frequency
+/// coefficients are retained and perturbed with the Laplace mechanism at
+/// scale sqrt(k) * L2-sensitivity / epsilon (split over real/imaginary
+/// parts); the remaining coefficients are zeroed and the inverse transform
+/// (with Hermitian symmetry enforced) yields the DP series.
+///
+/// Under user-level privacy the L2 sensitivity of a pillar series is
+/// sqrt(Ct) * unit_sensitivity (one household changes every slice of its
+/// pillar by at most unit_sensitivity).
+class FourierPublisher : public Publisher {
+ public:
+  /// k = number of retained DFT coefficients (paper: 10 and 20).
+  explicit FourierPublisher(int k) : k_(k) {}
+
+  std::string name() const override { return "Fourier-" + std::to_string(k_); }
+
+  StatusOr<grid::ConsumptionMatrix> Publish(const grid::ConsumptionMatrix& cons,
+                                            double epsilon, double unit_sensitivity,
+                                            Rng& rng) override;
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+};
+
+}  // namespace stpt::baselines
+
+#endif  // STPT_BASELINES_FOURIER_H_

@@ -1,0 +1,29 @@
+#include "baselines/identity.h"
+
+#include "dp/mechanisms.h"
+
+namespace stpt::baselines {
+
+StatusOr<grid::ConsumptionMatrix> IdentityPublisher::Publish(
+    const grid::ConsumptionMatrix& cons, double epsilon, double unit_sensitivity,
+    Rng& rng) {
+  const grid::Dims& dims = cons.dims();
+  const double eps_per_slice = epsilon / static_cast<double>(dims.ct);
+  auto mech_or = dp::LaplaceMechanism::Create(eps_per_slice, unit_sensitivity);
+  STPT_RETURN_IF_ERROR(mech_or.status());
+  const dp::LaplaceMechanism& mech = *mech_or;
+
+  auto out_or = grid::ConsumptionMatrix::Create(dims);
+  STPT_RETURN_IF_ERROR(out_or.status());
+  grid::ConsumptionMatrix out = std::move(out_or).value();
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      for (int t = 0; t < dims.ct; ++t) {
+        out.set(x, y, t, mech.AddNoise(cons.at(x, y, t), rng));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stpt::baselines

@@ -1,0 +1,22 @@
+#ifndef STPT_BASELINES_IDENTITY_H_
+#define STPT_BASELINES_IDENTITY_H_
+
+#include "baselines/publisher.h"
+
+namespace stpt::baselines {
+
+/// The Identity algorithm (§3.3): splits the budget equally across the Ct
+/// time slices (sequential composition) and adds independent Laplace noise
+/// to every cell of each slice (parallel composition within a slice).
+class IdentityPublisher : public Publisher {
+ public:
+  std::string name() const override { return "Identity"; }
+
+  StatusOr<grid::ConsumptionMatrix> Publish(const grid::ConsumptionMatrix& cons,
+                                            double epsilon, double unit_sensitivity,
+                                            Rng& rng) override;
+};
+
+}  // namespace stpt::baselines
+
+#endif  // STPT_BASELINES_IDENTITY_H_

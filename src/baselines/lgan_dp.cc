@@ -1,0 +1,226 @@
+#include "baselines/lgan_dp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/ops.h"
+
+namespace stpt::baselines {
+namespace {
+
+using nn::Tensor;
+
+/// LSTM sequence scorer/regressor: runs an LstmCell over [b, s, 1] inputs
+/// and maps the last hidden state through a linear head to one output.
+class LstmHead {
+ public:
+  LstmHead(int hidden, Rng& rng) : cell_(1, hidden, rng), head_(hidden, 1, rng) {}
+
+  Tensor Forward(const Tensor& seq) {  // [b, s, 1] -> [b, 1]
+    const int batch = seq.shape()[0];
+    const int steps = seq.shape()[1];
+    nn::LstmState state = cell_.ZeroState(batch);
+    for (int t = 0; t < steps; ++t) {
+      state = cell_.Forward(nn::SliceSeq(seq, t), state);
+    }
+    return head_.Forward(state.h);
+  }
+
+  std::vector<Tensor> Parameters() {
+    std::vector<Tensor> params = cell_.Parameters();
+    for (const Tensor& p : head_.Parameters()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  nn::LstmCell cell_;
+  nn::Linear head_;
+};
+
+/// Clips the global gradient norm to `clip` then adds Laplace(noise_scale)
+/// to every gradient coordinate — the noisy-objective DP step of LGAN-DP.
+void ClipAndPerturbGradients(std::vector<Tensor>& params, double clip,
+                             double noise_scale, Rng& rng) {
+  double sq = 0.0;
+  for (Tensor& p : params) {
+    for (double g : p.grad()) sq += g * g;
+  }
+  const double norm = std::sqrt(sq);
+  const double scale = norm > clip && norm > 0.0 ? clip / norm : 1.0;
+  for (Tensor& p : params) {
+    for (double& g : p.grad()) g = g * scale + rng.Laplace(noise_scale);
+  }
+}
+
+Tensor BatchToTensor(const std::vector<std::vector<double>>& windows,
+                     const std::vector<size_t>& idx, Rng& rng, int batch, int len) {
+  std::vector<double> flat(static_cast<size_t>(batch) * len);
+  for (int b = 0; b < batch; ++b) {
+    const auto& w = windows[idx[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(idx.size()) - 1))]];
+    std::copy(w.begin(), w.end(), flat.begin() + static_cast<size_t>(b) * len);
+  }
+  return Tensor::FromVector({batch, len, 1}, flat);
+}
+
+}  // namespace
+
+StatusOr<grid::ConsumptionMatrix> LganDpPublisher::Publish(
+    const grid::ConsumptionMatrix& cons, double epsilon, double unit_sensitivity,
+    Rng& rng) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("LganDpPublisher: epsilon must be > 0");
+  }
+  const grid::Dims& dims = cons.dims();
+  const int ws = options_.window_size;
+  if (dims.ct <= ws) {
+    return Status::InvalidArgument("LganDpPublisher: ct must exceed window size");
+  }
+
+  // Work in globally normalised units (paper Eq. 6 convention).
+  const double lo = cons.MinValue();
+  const double hi = cons.MaxValue();
+  const double range = std::max(hi - lo, 1e-12);
+  const grid::ConsumptionMatrix norm = cons.Normalized();
+  const double sens_norm = unit_sensitivity / range;
+
+  const double eps_train = epsilon * options_.train_budget_fraction;
+  const double eps_seed = epsilon - eps_train;
+
+  // --- Collect (window ++ next) training sequences from all pillars. ---
+  std::vector<std::vector<double>> real_seqs;  // length ws + 1
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      const std::vector<double> pillar = norm.Pillar(x, y);
+      for (int t = 0; t + ws < dims.ct; ++t) {
+        real_seqs.emplace_back(pillar.begin() + t, pillar.begin() + t + ws + 1);
+      }
+    }
+  }
+  // Deterministic subsample for tractability.
+  if (real_seqs.size() > options_.max_training_windows) {
+    std::vector<std::vector<double>> sampled;
+    sampled.reserve(options_.max_training_windows);
+    const double stride =
+        static_cast<double>(real_seqs.size()) / options_.max_training_windows;
+    for (size_t i = 0; i < options_.max_training_windows; ++i) {
+      sampled.push_back(real_seqs[static_cast<size_t>(i * stride)]);
+    }
+    real_seqs = std::move(sampled);
+  }
+  std::vector<size_t> all_idx(real_seqs.size());
+  for (size_t i = 0; i < all_idx.size(); ++i) all_idx[i] = i;
+
+  // --- Adversarial training with a noisy objective. ---
+  // The training budget is split across iterations; each iteration's
+  // gradient perturbation is calibrated to clip / eps_iter (the clipped
+  // gradient plays the role of the bounded query).
+  LstmHead generator(options_.hidden_size, rng);
+  LstmHead discriminator(options_.hidden_size, rng);
+  nn::RmsProp g_opt(generator.Parameters(), options_.learning_rate);
+  nn::RmsProp d_opt(discriminator.Parameters(), options_.learning_rate);
+  const double eps_iter =
+      eps_train / static_cast<double>(std::max(1, options_.iterations));
+  const double noise_scale = options_.grad_clip / eps_iter /
+                             std::sqrt(static_cast<double>(options_.batch_size));
+
+  const int batch = options_.batch_size;
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    // Real and fake continuation sequences.
+    const Tensor real = BatchToTensor(real_seqs, all_idx, rng, batch, ws + 1);
+    // Fake: window from data, continuation from the generator.
+    const Tensor windows = BatchToTensor(real_seqs, all_idx, rng, batch, ws + 1);
+    std::vector<double> window_flat(static_cast<size_t>(batch) * ws);
+    for (int b = 0; b < batch; ++b) {
+      for (int t = 0; t < ws; ++t) {
+        window_flat[static_cast<size_t>(b) * ws + t] =
+            windows.data()[(static_cast<size_t>(b) * (ws + 1)) + t];
+      }
+    }
+    const Tensor window_only = Tensor::FromVector({batch, ws, 1}, window_flat);
+
+    // --- Discriminator step (LSGAN): D(real) -> 1, D(fake) -> 0. ---
+    {
+      const Tensor gen_next = generator.Forward(window_only);  // [b,1]
+      // Assemble fake sequence as constant data (detached from G).
+      std::vector<double> fake_flat = window_flat;
+      fake_flat.resize(static_cast<size_t>(batch) * (ws + 1));
+      for (int b = batch - 1; b >= 0; --b) {
+        for (int t = ws - 1; t >= 0; --t) {
+          fake_flat[static_cast<size_t>(b) * (ws + 1) + t] =
+              window_flat[static_cast<size_t>(b) * ws + t];
+        }
+        fake_flat[static_cast<size_t>(b) * (ws + 1) + ws] = gen_next.data()[b];
+      }
+      const Tensor fake = Tensor::FromVector({batch, ws + 1, 1}, fake_flat);
+      auto d_params = discriminator.Parameters();
+      for (Tensor& p : d_params) p.ZeroGrad();
+      const Tensor ones = Tensor::Full({batch, 1}, 1.0);
+      const Tensor zeros = Tensor::Zeros({batch, 1});
+      Tensor d_loss = nn::Add(nn::MseLoss(discriminator.Forward(real), ones),
+                              nn::MseLoss(discriminator.Forward(fake), zeros));
+      d_loss.Backward();
+      ClipAndPerturbGradients(d_params, options_.grad_clip, noise_scale, rng);
+      d_opt.Step();
+    }
+
+    // --- Generator step: make D score the fake continuation as real. ---
+    {
+      auto g_params = generator.Parameters();
+      for (Tensor& p : g_params) p.ZeroGrad();
+      const Tensor gen_next = generator.Forward(window_only);  // [b,1] on tape
+      // Build the fake sequence on-tape: stack window steps + generated step.
+      std::vector<Tensor> steps;
+      for (int t = 0; t < ws; ++t) steps.push_back(nn::SliceSeq(window_only, t));
+      steps.push_back(gen_next);
+      const Tensor fake = nn::StackSeq(steps);  // [b, ws+1, 1]
+      const Tensor ones = Tensor::Full({batch, 1}, 1.0);
+      Tensor g_loss = nn::MseLoss(discriminator.Forward(fake), ones);
+      g_loss.Backward();
+      ClipAndPerturbGradients(g_params, options_.grad_clip, noise_scale, rng);
+      g_opt.Step();
+    }
+  }
+
+  // --- Release: per-pillar seed (Laplace) + autoregressive roll-out. ---
+  // Seeds compose in parallel across pillars (disjoint space) and
+  // sequentially across the ws seed slices.
+  const double eps_per_seed_slice = eps_seed / static_cast<double>(ws);
+  auto out_or = grid::ConsumptionMatrix::Create(dims);
+  STPT_RETURN_IF_ERROR(out_or.status());
+  grid::ConsumptionMatrix out = std::move(out_or).value();
+
+  const int num_pillars = dims.cx * dims.cy;
+  std::vector<std::vector<double>> released(num_pillars,
+                                            std::vector<double>(dims.ct, 0.0));
+  for (int p = 0; p < num_pillars; ++p) {
+    const std::vector<double> pillar = norm.Pillar(p / dims.cy, p % dims.cy);
+    for (int t = 0; t < ws; ++t) {
+      released[p][t] = pillar[t] + rng.Laplace(sens_norm / eps_per_seed_slice);
+    }
+  }
+  // Roll all pillars forward in one batch per timestamp.
+  for (int t = ws; t < dims.ct; ++t) {
+    std::vector<double> flat(static_cast<size_t>(num_pillars) * ws);
+    for (int p = 0; p < num_pillars; ++p) {
+      std::copy(released[p].begin() + (t - ws), released[p].begin() + t,
+                flat.begin() + static_cast<size_t>(p) * ws);
+    }
+    const Tensor win = Tensor::FromVector({num_pillars, ws, 1}, flat);
+    const Tensor next = generator.Forward(win);  // [num_pillars, 1]
+    for (int p = 0; p < num_pillars; ++p) {
+      // Generated values estimate a min-max-normalised quantity; clamping to
+      // [0, 1] is post-processing and keeps the roll-out from diverging.
+      released[p][t] = std::clamp(next.data()[p], 0.0, 1.0);
+    }
+  }
+  for (int p = 0; p < num_pillars; ++p) {
+    for (double& v : released[p]) v = v * range + lo;  // de-normalise
+    STPT_RETURN_IF_ERROR(out.SetPillar(p / dims.cy, p % dims.cy, released[p]));
+  }
+  return out;
+}
+
+}  // namespace stpt::baselines

@@ -1,0 +1,43 @@
+#include "baselines/local_dp.h"
+
+#include <algorithm>
+
+#include "dp/mechanisms.h"
+
+namespace stpt::baselines {
+
+StatusOr<grid::ConsumptionMatrix> LocalDpPublisher::Publish(
+    const datagen::SyntheticDataset& dataset, int hours_per_slice, double epsilon,
+    Rng& rng) const {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("LocalDpPublisher: epsilon must be > 0");
+  }
+  if (hours_per_slice <= 0 || dataset.hours % hours_per_slice != 0) {
+    return Status::InvalidArgument("LocalDpPublisher: bad granularity");
+  }
+  const int ct = dataset.hours / hours_per_slice;
+  const double clip = dataset.spec.clip_factor;
+  // One household contributes at most clip * hours_per_slice per slice and
+  // reports ct slices: per-slice local budget epsilon / ct.
+  auto mech_or = dp::LaplaceMechanism::Create(epsilon / ct, clip * hours_per_slice);
+  STPT_RETURN_IF_ERROR(mech_or.status());
+  const dp::LaplaceMechanism& mech = *mech_or;
+
+  auto out_or =
+      grid::ConsumptionMatrix::Create({dataset.grid_x, dataset.grid_y, ct});
+  STPT_RETURN_IF_ERROR(out_or.status());
+  grid::ConsumptionMatrix out = std::move(out_or).value();
+  for (const auto& house : dataset.households) {
+    for (int slice = 0; slice < ct; ++slice) {
+      double v = 0.0;
+      for (int h = 0; h < hours_per_slice; ++h) {
+        v += std::min(house.series[slice * hours_per_slice + h], clip);
+      }
+      // Perturbed at the meter, before aggregation: this is the LDP step.
+      out.add(house.cell_x, house.cell_y, slice, mech.AddNoise(v, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace stpt::baselines

@@ -1,0 +1,35 @@
+#ifndef STPT_BASELINES_LOCAL_DP_H_
+#define STPT_BASELINES_LOCAL_DP_H_
+
+#include "baselines/publisher.h"
+#include "datagen/dataset.h"
+
+namespace stpt::baselines {
+
+/// Local differential privacy publisher — the decentralised model the paper
+/// names as future work (§7): households do not trust the aggregator, so
+/// each meter perturbs its own readings with the Laplace mechanism before
+/// reporting. The aggregator merely sums the noisy reports per cell.
+///
+/// Budget model: each household's whole series is protected at `epsilon`,
+/// split evenly across its Ct reported slices (sequential composition at the
+/// user). Per-slice local noise is Lap(clip * Ct / epsilon) *per household*,
+/// so cell noise grows with household count — the well-known utility cost of
+/// LDP, quantified against central DP in bench_extensions.
+///
+/// This operates on the raw dataset (it needs individual series), not on the
+/// aggregated matrix, so it does not implement the Publisher interface.
+class LocalDpPublisher {
+ public:
+  std::string name() const { return "LocalDP"; }
+
+  /// Publishes an epsilon-LDP consumption matrix at the given granularity.
+  /// Readings are clipped to spec.clip_factor per hour before perturbation.
+  StatusOr<grid::ConsumptionMatrix> Publish(const datagen::SyntheticDataset& dataset,
+                                            int hours_per_slice, double epsilon,
+                                            Rng& rng) const;
+};
+
+}  // namespace stpt::baselines
+
+#endif  // STPT_BASELINES_LOCAL_DP_H_

@@ -1,0 +1,23 @@
+#include "baselines/publisher.h"
+
+#include "baselines/fast.h"
+#include "baselines/fourier.h"
+#include "baselines/identity.h"
+#include "baselines/lgan_dp.h"
+#include "baselines/wavelet_pub.h"
+
+namespace stpt::baselines {
+
+std::vector<std::unique_ptr<Publisher>> MakeStandardBaselines() {
+  std::vector<std::unique_ptr<Publisher>> out;
+  out.push_back(std::make_unique<IdentityPublisher>());
+  out.push_back(std::make_unique<FastPublisher>());
+  out.push_back(std::make_unique<FourierPublisher>(10));
+  out.push_back(std::make_unique<FourierPublisher>(20));
+  out.push_back(std::make_unique<WaveletPublisher>(10));
+  out.push_back(std::make_unique<WaveletPublisher>(20));
+  out.push_back(std::make_unique<LganDpPublisher>());
+  return out;
+}
+
+}  // namespace stpt::baselines

@@ -1,0 +1,41 @@
+#ifndef STPT_BASELINES_PUBLISHER_H_
+#define STPT_BASELINES_PUBLISHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "grid/consumption_matrix.h"
+
+namespace stpt::baselines {
+
+/// Common interface for all DP time-series publication algorithms compared
+/// in §5 (Identity, FAST, Fourier-k, Wavelet-k, LGAN-DP, WPO) and for STPT
+/// itself (adapted in core/).
+///
+/// All publishers operate under *user-level* privacy: removing one household
+/// may change one cell in every time slice by at most `unit_sensitivity`
+/// (the clipping factor of Table 2), so budgets compose sequentially across
+/// time and in parallel across space (Theorem 5).
+class Publisher {
+ public:
+  virtual ~Publisher() = default;
+
+  /// Display name used in experiment tables (e.g. "Fourier-10").
+  virtual std::string name() const = 0;
+
+  /// Produces an epsilon-DP sanitized version of the consumption matrix.
+  virtual StatusOr<grid::ConsumptionMatrix> Publish(
+      const grid::ConsumptionMatrix& cons, double epsilon, double unit_sensitivity,
+      Rng& rng) = 0;
+};
+
+/// Builds the full benchmark suite of §5.2 (everything except STPT):
+/// Identity, FAST, Fourier-10, Fourier-20, Wavelet-10, Wavelet-20, LGAN-DP.
+std::vector<std::unique_ptr<Publisher>> MakeStandardBaselines();
+
+}  // namespace stpt::baselines
+
+#endif  // STPT_BASELINES_PUBLISHER_H_

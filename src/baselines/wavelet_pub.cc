@@ -1,0 +1,48 @@
+#include "baselines/wavelet_pub.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/wavelet.h"
+
+namespace stpt::baselines {
+
+StatusOr<grid::ConsumptionMatrix> WaveletPublisher::Publish(
+    const grid::ConsumptionMatrix& cons, double epsilon, double unit_sensitivity,
+    Rng& rng) {
+  if (k_ <= 0) return Status::InvalidArgument("WaveletPublisher: k must be positive");
+  const grid::Dims& dims = cons.dims();
+  const int n = dims.ct;
+
+  auto out_or = grid::ConsumptionMatrix::Create(dims);
+  STPT_RETURN_IF_ERROR(out_or.status());
+  grid::ConsumptionMatrix out = std::move(out_or).value();
+
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      const std::vector<double> padded = signal::PadToPowerOfTwo(cons.Pillar(x, y));
+      const int padded_n = static_cast<int>(padded.size());
+      const int k = std::min(k_, padded_n);
+      // The orthonormal Haar transform preserves the L2 norm, so the L2
+      // sensitivity in the wavelet domain equals the time-domain one:
+      // sqrt(Ct) * unit_sensitivity (user-level). Same calibration as FPA.
+      const double delta2 = std::sqrt(static_cast<double>(n)) * unit_sensitivity;
+      const double lambda = std::sqrt(static_cast<double>(k)) * delta2 / epsilon;
+
+      auto coeffs_or = signal::HaarForward(padded);
+      STPT_RETURN_IF_ERROR(coeffs_or.status());
+      std::vector<double> coeffs = std::move(coeffs_or).value();
+      for (int j = 0; j < padded_n; ++j) {
+        coeffs[j] = j < k ? coeffs[j] + rng.Laplace(lambda) : 0.0;
+      }
+      auto inv_or = signal::HaarInverse(coeffs);
+      STPT_RETURN_IF_ERROR(inv_or.status());
+      std::vector<double> series = std::move(inv_or).value();
+      series.resize(n);
+      STPT_RETURN_IF_ERROR(out.SetPillar(x, y, series));
+    }
+  }
+  return out;
+}
+
+}  // namespace stpt::baselines

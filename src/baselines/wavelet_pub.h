@@ -1,0 +1,32 @@
+#ifndef STPT_BASELINES_WAVELET_PUB_H_
+#define STPT_BASELINES_WAVELET_PUB_H_
+
+#include "baselines/publisher.h"
+
+namespace stpt::baselines {
+
+/// Wavelet Perturbation Algorithm (Lyu et al., 2017): like FPA but in the
+/// discrete Haar wavelet domain, applied per spatial pillar. The k coarsest
+/// coefficients (pyramid order: approximation first) are retained and
+/// perturbed; the rest are zeroed before inverting. The series is
+/// zero-padded to a power of two for the transform and truncated back.
+class WaveletPublisher : public Publisher {
+ public:
+  /// k = number of retained coefficients (paper: 10 and 20).
+  explicit WaveletPublisher(int k) : k_(k) {}
+
+  std::string name() const override { return "Wavelet-" + std::to_string(k_); }
+
+  StatusOr<grid::ConsumptionMatrix> Publish(const grid::ConsumptionMatrix& cons,
+                                            double epsilon, double unit_sensitivity,
+                                            Rng& rng) override;
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+};
+
+}  // namespace stpt::baselines
+
+#endif  // STPT_BASELINES_WAVELET_PUB_H_

@@ -1,0 +1,75 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace stpt {
+
+StatusOr<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    Option opt;
+    if (eq == std::string::npos) {
+      opt.key = body;
+    } else {
+      opt.key = body.substr(0, eq);
+      opt.value = body.substr(eq + 1);
+      opt.has_value = true;
+    }
+    if (opt.key.empty()) {
+      return Status::InvalidArgument("Flags: empty option name in '" + arg + "'");
+    }
+    flags.options_.push_back(std::move(opt));
+  }
+  return flags;
+}
+
+const Flags::Option* Flags::Find(const std::string& key) const {
+  for (const auto& o : options_) {
+    if (o.key == key) return &o;
+  }
+  return nullptr;
+}
+
+bool Flags::Has(const std::string& key) const { return Find(key) != nullptr; }
+
+std::string Flags::GetString(const std::string& key, const std::string& def) const {
+  const Option* o = Find(key);
+  return (o != nullptr && o->has_value) ? o->value : def;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t def) const {
+  const Option* o = Find(key);
+  if (o == nullptr || !o->has_value) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(o->value.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0' && !o->value.empty()) ? v : def;
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  const Option* o = Find(key);
+  if (o == nullptr || !o->has_value) return def;
+  char* end = nullptr;
+  const double v = std::strtod(o->value.c_str(), &end);
+  return (end != nullptr && *end == '\0' && !o->value.empty()) ? v : def;
+}
+
+bool Flags::GetBool(const std::string& key, bool def) const {
+  const Option* o = Find(key);
+  if (o == nullptr) return def;
+  if (!o->has_value) return true;
+  std::string v = o->value;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return def;
+}
+
+}  // namespace stpt

@@ -1,0 +1,52 @@
+#ifndef STPT_COMMON_FLAGS_H_
+#define STPT_COMMON_FLAGS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stpt {
+
+/// Minimal command-line parser for the CLI tools: positional arguments plus
+/// `--key=value` / `--flag` options. No registration step — callers query
+/// by name with a default.
+class Flags {
+ public:
+  /// Parses argv. Returns InvalidArgument on malformed options (`--=x`).
+  static StatusOr<Flags> Parse(int argc, const char* const* argv);
+
+  /// Positional arguments in order (argv[0] excluded).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& key) const;
+
+  /// String option or default.
+  std::string GetString(const std::string& key, const std::string& def) const;
+
+  /// Integer option or default; returns def on parse failure.
+  int64_t GetInt(const std::string& key, int64_t def) const;
+
+  /// Double option or default; returns def on parse failure.
+  double GetDouble(const std::string& key, double def) const;
+
+  /// True if `--key` present without value or with value in
+  /// {1, true, yes, on}; false for {0, false, no, off}; def otherwise.
+  bool GetBool(const std::string& key, bool def) const;
+
+ private:
+  struct Option {
+    std::string key;
+    std::string value;
+    bool has_value = false;
+  };
+
+  const Option* Find(const std::string& key) const;
+
+  std::vector<std::string> positional_;
+  std::vector<Option> options_;
+};
+
+}  // namespace stpt
+
+#endif  // STPT_COMMON_FLAGS_H_

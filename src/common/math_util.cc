@@ -1,0 +1,79 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace stpt {
+
+uint64_t NextPowerOfTwo(uint64_t x) {
+  assert(x >= 1);
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+int FloorLog2(uint64_t x) {
+  assert(x >= 1);
+  int l = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+double Clamp(double v, double lo, double hi) { return std::max(lo, std::min(hi, v)); }
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(v.size()));
+}
+
+double Max(const std::vector<double>& v) {
+  if (v.empty()) return -std::numeric_limits<double>::infinity();
+  return *std::max_element(v.begin(), v.end());
+}
+
+double Min(const std::vector<double>& v) {
+  if (v.empty()) return std::numeric_limits<double>::infinity();
+  return *std::min_element(v.begin(), v.end());
+}
+
+double MeanAbsoluteError(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return s / static_cast<double>(a.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double Quantile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  p = Clamp(p, 0.0, 1.0);
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace stpt

@@ -1,0 +1,50 @@
+#ifndef STPT_COMMON_MATH_UTIL_H_
+#define STPT_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stpt {
+
+/// Returns true if x is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Returns the smallest power of two >= x (x >= 1).
+uint64_t NextPowerOfTwo(uint64_t x);
+
+/// Returns floor(log2(x)) for x >= 1.
+int FloorLog2(uint64_t x);
+
+/// Returns ceil(a / b) for positive integers.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Clamps v to [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+/// Arithmetic mean of a vector; returns 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; returns 0 for size < 2.
+double StdDev(const std::vector<double>& v);
+
+/// Maximum element; returns -inf for empty input.
+double Max(const std::vector<double>& v);
+
+/// Minimum element; returns +inf for empty input.
+double Min(const std::vector<double>& v);
+
+/// Mean absolute error between two equally sized vectors.
+double MeanAbsoluteError(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Root mean squared error between two equally sized vectors.
+double RootMeanSquaredError(const std::vector<double>& a, const std::vector<double>& b);
+
+/// The p-quantile (0<=p<=1) of the values using linear interpolation.
+/// Copies and sorts internally; returns 0 for empty input.
+double Quantile(std::vector<double> v, double p);
+
+}  // namespace stpt
+
+#endif  // STPT_COMMON_MATH_UTIL_H_

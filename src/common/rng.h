@@ -1,0 +1,60 @@
+#ifndef STPT_COMMON_RNG_H_
+#define STPT_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace stpt {
+
+/// Deterministic pseudo-random number generator (xoshiro256++), seeded via
+/// splitmix64. Every stochastic component in the library takes an explicit
+/// Rng& so that all experiments and tests are reproducible from a seed.
+///
+/// Not cryptographically secure; a production DP deployment must swap the
+/// noise-sampling RNG for a CSPRNG. The sampling *logic* (inverse-CDF Laplace,
+/// etc.) is unchanged by that swap, which is why it is injected.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed (expanded via splitmix64).
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t NextUint64();
+
+  /// Returns a double uniform in [0, 1).
+  double NextDouble();
+
+  /// Returns a double uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Returns an integer uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a standard normal sample (Box–Muller, no caching).
+  double Gaussian();
+
+  /// Returns a N(mean, stddev^2) sample.
+  double Gaussian(double mean, double stddev);
+
+  /// Returns a zero-mean Laplace(b) sample via inverse CDF.
+  double Laplace(double scale);
+
+  /// Returns an Exp(rate) sample (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Returns a log-normal sample with the given underlying normal params.
+  double LogNormal(double mu, double sigma);
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p);
+
+  /// Forks an independent child generator; the child stream does not overlap
+  /// the parent's (different splitmix64 seed derived from parent state).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace stpt
+
+#endif  // STPT_COMMON_RNG_H_

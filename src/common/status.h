@@ -1,0 +1,132 @@
+#ifndef STPT_COMMON_STATUS_H_
+#define STPT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace stpt {
+
+/// Canonical error codes, a small subset of the gRPC/absl canonical space.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight status object used across library boundaries instead of
+/// exceptions (per the project style rules). Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory for an OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, analogous to absl::StatusOr<T>.
+///
+/// Accessing value() on a non-OK StatusOr aborts in debug builds and is
+/// undefined in release builds; callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK state).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status from an expression to the calling function.
+#define STPT_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::stpt::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluates a StatusOr expression, assigning the value on success and
+/// returning the error status otherwise.
+#define STPT_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto STPT_CONCAT_(_st_or_, __LINE__) = (expr);  \
+  if (!STPT_CONCAT_(_st_or_, __LINE__).ok())      \
+    return STPT_CONCAT_(_st_or_, __LINE__).status(); \
+  lhs = std::move(STPT_CONCAT_(_st_or_, __LINE__)).value()
+
+#define STPT_CONCAT_INNER_(a, b) a##b
+#define STPT_CONCAT_(a, b) STPT_CONCAT_INNER_(a, b)
+
+}  // namespace stpt
+
+#endif  // STPT_COMMON_STATUS_H_

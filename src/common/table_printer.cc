@@ -1,0 +1,64 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace stpt {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label, const std::vector<double>& values,
+                          int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::FormatDouble(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_sep = [&] {
+    os << '+';
+    for (size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream ss;
+  Print(ss);
+  return ss.str();
+}
+
+}  // namespace stpt

@@ -1,0 +1,40 @@
+#ifndef STPT_COMMON_TABLE_PRINTER_H_
+#define STPT_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stpt {
+
+/// Renders aligned ASCII tables for benchmark harness output, so every
+/// reproduced paper table/figure prints in a consistent, diffable format.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Writes the formatted table to the stream.
+  void Print(std::ostream& os) const;
+
+  /// Returns the formatted table as a string.
+  std::string ToString() const;
+
+  /// Formats a double with fixed precision.
+  static std::string FormatDouble(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stpt
+
+#endif  // STPT_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,68 @@
+#include "core/accuracy_model.h"
+
+#include <cmath>
+
+namespace stpt::core {
+
+double IdentityQueryNoiseVariance(int volume, int ct, double eps_tot,
+                                  double unit_sensitivity) {
+  const double b = unit_sensitivity * static_cast<double>(ct) / eps_tot;
+  return static_cast<double>(volume) * 2.0 * b * b;
+}
+
+StatusOr<double> StptQueryNoiseVariance(const std::vector<size_t>& covered,
+                                        const std::vector<size_t>& sizes,
+                                        const std::vector<double>& sens,
+                                        const std::vector<double>& eps) {
+  if (covered.size() != sizes.size() || sizes.size() != sens.size() ||
+      sens.size() != eps.size()) {
+    return Status::InvalidArgument("StptQueryNoiseVariance: size mismatch");
+  }
+  double variance = 0.0;
+  for (size_t i = 0; i < covered.size(); ++i) {
+    if (covered[i] == 0) continue;
+    if (sizes[i] == 0) {
+      return Status::InvalidArgument(
+          "StptQueryNoiseVariance: covered cells in an empty partition");
+    }
+    if (!(eps[i] > 0.0)) continue;  // unbudgeted partitions release exactly
+    const double fraction =
+        static_cast<double>(covered[i]) / static_cast<double>(sizes[i]);
+    const double b = sens[i] / eps[i];
+    variance += fraction * fraction * 2.0 * b * b;
+  }
+  return variance;
+}
+
+double ExpectedAbsError(double noise_variance) {
+  return std::sqrt(noise_variance / 2.0);
+}
+
+std::vector<size_t> PartitionCoverage(const Quantization& quantization,
+                                      const grid::Dims& dims,
+                                      const query::RangeQuery& q) {
+  std::vector<size_t> covered(quantization.levels, 0);
+  for (int x = q.x0; x <= q.x1; ++x) {
+    for (int y = q.y0; y <= q.y1; ++y) {
+      const size_t base = (static_cast<size_t>(x) * dims.cy + y) * dims.ct;
+      for (int t = q.t0; t <= q.t1; ++t) {
+        ++covered[quantization.bucket[base + t]];
+      }
+    }
+  }
+  return covered;
+}
+
+StatusOr<double> PredictStptQueryAbsNoise(const Quantization& quantization,
+                                          const grid::Dims& dims,
+                                          const std::vector<double>& sens,
+                                          const std::vector<double>& eps,
+                                          const query::RangeQuery& q) {
+  std::vector<size_t> sizes = quantization.bucket_sizes;
+  const std::vector<size_t> covered = PartitionCoverage(quantization, dims, q);
+  auto var = StptQueryNoiseVariance(covered, sizes, sens, eps);
+  STPT_RETURN_IF_ERROR(var.status());
+  return ExpectedAbsError(*var);
+}
+
+}  // namespace stpt::core

@@ -1,0 +1,55 @@
+#ifndef STPT_CORE_ACCURACY_MODEL_H_
+#define STPT_CORE_ACCURACY_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/quantization.h"
+#include "grid/consumption_matrix.h"
+#include "query/range_query.h"
+
+namespace stpt::core {
+
+/// Closed-form accuracy predictions for DP releases — the analytical model
+/// the paper's §7 lists as future work. All quantities are *noise*
+/// variances/errors (approximation error from partition spreading is
+/// data-dependent and measured empirically instead).
+
+/// Noise variance of a range query of `volume` cells answered from an
+/// Identity release: each cell carries Lap(unit * ct / eps_tot) noise, so
+/// the query variance is volume * 2 * (unit * ct / eps_tot)^2.
+double IdentityQueryNoiseVariance(int volume, int ct, double eps_tot,
+                                  double unit_sensitivity);
+
+/// Noise variance of a range query answered from an STPT release: a query
+/// covering `covered[i]` cells of partition i (of size `sizes[i]`, budget
+/// `eps[i]`, sensitivity `sens[i]`) inherits (covered/size)^2 of each
+/// partition's noise variance 2 (sens/eps)^2.
+StatusOr<double> StptQueryNoiseVariance(const std::vector<size_t>& covered,
+                                        const std::vector<size_t>& sizes,
+                                        const std::vector<double>& sens,
+                                        const std::vector<double>& eps);
+
+/// Expected absolute noise error of a Laplace sum: E|X| = b for Lap(b), so
+/// for a query with variance v = 2 b^2 (single mechanism) the expected
+/// absolute error is sqrt(v / 2). For sums of several independent Laplace
+/// contributions this is a sub-additive approximation.
+double ExpectedAbsError(double noise_variance);
+
+/// Per-partition coverage of a query under a quantization: covered[i] =
+/// number of cells of bucket i inside the query box.
+std::vector<size_t> PartitionCoverage(const Quantization& quantization,
+                                      const grid::Dims& dims,
+                                      const query::RangeQuery& q);
+
+/// Predicted expected |noise| of an STPT release for one query, combining
+/// PartitionCoverage and StptQueryNoiseVariance.
+StatusOr<double> PredictStptQueryAbsNoise(const Quantization& quantization,
+                                          const grid::Dims& dims,
+                                          const std::vector<double>& sens,
+                                          const std::vector<double>& eps,
+                                          const query::RangeQuery& q);
+
+}  // namespace stpt::core
+
+#endif  // STPT_CORE_ACCURACY_MODEL_H_

@@ -1,0 +1,56 @@
+#include "core/budget_allocation.h"
+
+#include <cmath>
+
+namespace stpt::core {
+
+StatusOr<std::vector<double>> AllocateBudget(const std::vector<double>& sensitivities,
+                                             double eps_total,
+                                             BudgetAllocation allocation) {
+  if (!(eps_total > 0.0)) {
+    return Status::InvalidArgument("AllocateBudget: eps_total must be > 0");
+  }
+  if (sensitivities.empty()) {
+    return Status::InvalidArgument("AllocateBudget: no partitions");
+  }
+  double weight_sum = 0.0;
+  size_t num_active = 0;
+  for (double s : sensitivities) {
+    if (s < 0.0) {
+      return Status::InvalidArgument("AllocateBudget: negative sensitivity");
+    }
+    if (s > 0.0) {
+      weight_sum += std::pow(s, 2.0 / 3.0);
+      ++num_active;
+    }
+  }
+  if (num_active == 0) {
+    return Status::InvalidArgument("AllocateBudget: all sensitivities are zero");
+  }
+  std::vector<double> eps(sensitivities.size(), 0.0);
+  for (size_t i = 0; i < sensitivities.size(); ++i) {
+    if (sensitivities[i] <= 0.0) continue;
+    switch (allocation) {
+      case BudgetAllocation::kOptimal:
+        eps[i] = eps_total * std::pow(sensitivities[i], 2.0 / 3.0) / weight_sum;
+        break;
+      case BudgetAllocation::kUniform:
+        eps[i] = eps_total / static_cast<double>(num_active);
+        break;
+    }
+  }
+  return eps;
+}
+
+double TotalNoiseVariance(const std::vector<double>& sensitivities,
+                          const std::vector<double>& epsilons) {
+  double total = 0.0;
+  for (size_t i = 0; i < sensitivities.size(); ++i) {
+    if (epsilons[i] <= 0.0) continue;
+    const double b = sensitivities[i] / epsilons[i];
+    total += 2.0 * b * b;
+  }
+  return total;
+}
+
+}  // namespace stpt::core

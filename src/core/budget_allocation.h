@@ -1,0 +1,32 @@
+#ifndef STPT_CORE_BUDGET_ALLOCATION_H_
+#define STPT_CORE_BUDGET_ALLOCATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/stpt_config.h"
+
+namespace stpt::core {
+
+/// Splits `eps_total` across partitions given their sensitivities.
+///
+/// kOptimal implements Theorem 8 (Eq. 11): eps_i = eps * s_i^{2/3} / Σ s_j^{2/3},
+/// the minimiser of total Laplace noise variance Σ 2 s_i^2 / eps_i^2 subject
+/// to Σ eps_i = eps (sequential composition across partitions).
+/// kUniform gives every partition eps / m (ablation).
+///
+/// Entries with sensitivity 0 (empty partitions) receive no budget and must
+/// be skipped by the caller. Returns InvalidArgument if eps_total <= 0, any
+/// sensitivity is negative, or all sensitivities are zero.
+StatusOr<std::vector<double>> AllocateBudget(const std::vector<double>& sensitivities,
+                                             double eps_total,
+                                             BudgetAllocation allocation);
+
+/// Total expected Laplace noise variance Σ 2 (s_i / eps_i)^2 for an
+/// allocation (used by tests and the ablation bench to verify optimality).
+double TotalNoiseVariance(const std::vector<double>& sensitivities,
+                          const std::vector<double>& epsilons);
+
+}  // namespace stpt::core
+
+#endif  // STPT_CORE_BUDGET_ALLOCATION_H_

@@ -1,0 +1,184 @@
+#include "core/htf_partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace stpt::core {
+namespace {
+
+/// An axis-aligned box of the index space (inclusive bounds).
+struct Box {
+  int x0, x1, y0, y1, t0, t1;
+
+  int64_t Volume() const {
+    return static_cast<int64_t>(x1 - x0 + 1) * (y1 - y0 + 1) * (t1 - t0 + 1);
+  }
+};
+
+struct BoxStats {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int64_t count = 0;
+
+  /// Total squared deviation from the box mean (impurity).
+  double Impurity() const {
+    if (count == 0) return 0.0;
+    return std::max(0.0, sum_sq - sum * sum / static_cast<double>(count));
+  }
+};
+
+BoxStats Accumulate(const grid::ConsumptionMatrix& m, const Box& b) {
+  BoxStats s;
+  for (int x = b.x0; x <= b.x1; ++x) {
+    for (int y = b.y0; y <= b.y1; ++y) {
+      for (int t = b.t0; t <= b.t1; ++t) {
+        const double v = m.at(x, y, t);
+        s.sum += v;
+        s.sum_sq += v * v;
+        ++s.count;
+      }
+    }
+  }
+  return s;
+}
+
+struct Split {
+  int axis = -1;      // 0 = x, 1 = y, 2 = t
+  int position = 0;   // last index of the low half
+  double impurity = 0.0;
+  bool valid = false;
+};
+
+/// Finds the impurity-minimising cut of `box` by scanning every position of
+/// every axis with per-position marginal statistics.
+Split BestSplit(const grid::ConsumptionMatrix& m, const Box& box) {
+  Split best;
+  for (int axis = 0; axis < 3; ++axis) {
+    const int lo = axis == 0 ? box.x0 : axis == 1 ? box.y0 : box.t0;
+    const int hi = axis == 0 ? box.x1 : axis == 1 ? box.y1 : box.t1;
+    if (lo == hi) continue;
+
+    // Marginal sums per slice along the axis.
+    const int n = hi - lo + 1;
+    std::vector<double> slice_sum(n, 0.0), slice_sq(n, 0.0);
+    std::vector<int64_t> slice_cnt(n, 0);
+    for (int x = box.x0; x <= box.x1; ++x) {
+      for (int y = box.y0; y <= box.y1; ++y) {
+        for (int t = box.t0; t <= box.t1; ++t) {
+          const int idx = (axis == 0 ? x : axis == 1 ? y : t) - lo;
+          const double v = m.at(x, y, t);
+          slice_sum[idx] += v;
+          slice_sq[idx] += v * v;
+          ++slice_cnt[idx];
+        }
+      }
+    }
+    BoxStats low;
+    BoxStats total;
+    for (int i = 0; i < n; ++i) {
+      total.sum += slice_sum[i];
+      total.sum_sq += slice_sq[i];
+      total.count += slice_cnt[i];
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      low.sum += slice_sum[i];
+      low.sum_sq += slice_sq[i];
+      low.count += slice_cnt[i];
+      const BoxStats high{total.sum - low.sum, total.sum_sq - low.sum_sq,
+                          total.count - low.count};
+      const double impurity = low.Impurity() + high.Impurity();
+      if (!best.valid || impurity < best.impurity) {
+        best = {axis, lo + i, impurity, true};
+      }
+    }
+  }
+  return best;
+}
+
+struct Leaf {
+  Box box;
+  double impurity;
+  bool operator<(const Leaf& other) const { return impurity < other.impurity; }
+};
+
+}  // namespace
+
+StatusOr<Quantization> HtfPartition(const grid::ConsumptionMatrix& pattern,
+                                    int max_partitions) {
+  if (max_partitions < 1) {
+    return Status::InvalidArgument("HtfPartition: max_partitions must be >= 1");
+  }
+  const grid::Dims& dims = pattern.dims();
+  const Box root{0, dims.cx - 1, 0, dims.cy - 1, 0, dims.ct - 1};
+
+  std::priority_queue<Leaf> frontier;
+  std::vector<Box> leaves;
+  frontier.push({root, Accumulate(pattern, root).Impurity()});
+
+  // Greedy best-first splitting: always refine the most heterogeneous leaf.
+  while (!frontier.empty() &&
+         static_cast<int>(leaves.size()) + static_cast<int>(frontier.size()) <
+             max_partitions) {
+    const Leaf leaf = frontier.top();
+    frontier.pop();
+    if (leaf.impurity <= 1e-12 || leaf.box.Volume() <= 1) {
+      leaves.push_back(leaf.box);  // homogeneous or atomic: final
+      continue;
+    }
+    const Split split = BestSplit(pattern, leaf.box);
+    if (!split.valid) {
+      leaves.push_back(leaf.box);
+      continue;
+    }
+    Box low = leaf.box, high = leaf.box;
+    switch (split.axis) {
+      case 0:
+        low.x1 = split.position;
+        high.x0 = split.position + 1;
+        break;
+      case 1:
+        low.y1 = split.position;
+        high.y0 = split.position + 1;
+        break;
+      default:
+        low.t1 = split.position;
+        high.t0 = split.position + 1;
+        break;
+    }
+    frontier.push({low, Accumulate(pattern, low).Impurity()});
+    frontier.push({high, Accumulate(pattern, high).Impurity()});
+  }
+  while (!frontier.empty()) {
+    leaves.push_back(frontier.top().box);
+    frontier.pop();
+  }
+
+  Quantization q;
+  q.levels = static_cast<int>(leaves.size());
+  q.min_value = pattern.MinValue();
+  q.max_value = pattern.MaxValue();
+  q.bucket.assign(pattern.size(), -1);
+  q.bucket_sizes.assign(leaves.size(), 0);
+  for (size_t b = 0; b < leaves.size(); ++b) {
+    const Box& box = leaves[b];
+    for (int x = box.x0; x <= box.x1; ++x) {
+      for (int y = box.y0; y <= box.y1; ++y) {
+        for (int t = box.t0; t <= box.t1; ++t) {
+          const size_t idx =
+              (static_cast<size_t>(x) * dims.cy + y) * dims.ct + t;
+          q.bucket[idx] = static_cast<int>(b);
+          ++q.bucket_sizes[b];
+        }
+      }
+    }
+  }
+  // Every cell must be covered exactly once (boxes tile the space).
+  for (int b : q.bucket) {
+    if (b < 0) return Status::Internal("HtfPartition: uncovered cell");
+  }
+  return q;
+}
+
+}  // namespace stpt::core

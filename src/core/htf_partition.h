@@ -1,0 +1,33 @@
+#ifndef STPT_CORE_HTF_PARTITION_H_
+#define STPT_CORE_HTF_PARTITION_H_
+
+#include "common/status.h"
+#include "core/quantization.h"
+#include "grid/consumption_matrix.h"
+
+namespace stpt::core {
+
+/// Homogeneity-driven spatial-temporal partitioning of the pattern matrix,
+/// inspired by the authors' HTF framework (Shaham et al., SIGSPATIAL 2021,
+/// cited in the paper's §6 as the histogram-homogeneity foundation).
+///
+/// Instead of bucketing cells by value (k-quantization, Definition 4), the
+/// 3-D index space is recursively split kd-tree style: at every step the
+/// leaf with the largest total squared deviation from its mean (impurity)
+/// is cut along the axis/position that minimises the impurity of the two
+/// halves. The result is a set of axis-aligned *boxes* — spatially coherent
+/// partitions, unlike quantization's scattered level sets.
+///
+/// Because the input is the (already private) pattern matrix, the
+/// partitioning is DP by post-processing, exactly like k-quantization.
+///
+/// Returns a Quantization whose bucket ids are leaf indices, so the rest of
+/// the STPT sanitization pipeline (pillar sensitivities, Theorem-8 budgets,
+/// spreading) applies unchanged. `max_partitions` >= 1 bounds the leaf
+/// count.
+StatusOr<Quantization> HtfPartition(const grid::ConsumptionMatrix& pattern,
+                                    int max_partitions);
+
+}  // namespace stpt::core
+
+#endif  // STPT_CORE_HTF_PARTITION_H_

@@ -1,0 +1,53 @@
+#ifndef STPT_CORE_PATTERN_RECOGNITION_H_
+#define STPT_CORE_PATTERN_RECOGNITION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/stpt_config.h"
+#include "grid/consumption_matrix.h"
+#include "grid/quadtree.h"
+
+namespace stpt::core {
+
+/// Output of the pattern-recognition step (paper §4.2).
+struct PatternResult {
+  /// Private estimates of the normalised consumption for the *test* region:
+  /// dims [Cx, Cy, Ct - t_train]. Safe to post-process (Theorem 3).
+  grid::ConsumptionMatrix pattern;
+  /// The sanitized quadtree levels used for training (already noisy).
+  std::vector<grid::QuadtreeLevel> sanitized_levels;
+  /// Trained predictor (kept for inspection / reuse).
+  std::unique_ptr<nn::SequencePredictor> predictor;
+  /// Per-epoch training losses.
+  nn::TrainStats train_stats;
+};
+
+/// Sanitizes the representative series of every quadtree level in place:
+/// each time point receives Laplace noise with per-point budget
+/// eps_pattern / t_train and per-level sensitivity
+/// cell_sensitivity_normalized / num_cells (Theorem 6; for square
+/// power-of-two grids this is 1 / 4^{log2(Cx) - depth} in normalised units).
+///
+/// `cell_sensitivity_normalized` is the largest change one household can
+/// induce on one normalised matrix cell (clip_factor / value range).
+Status SanitizeQuadtreeLevels(std::vector<grid::QuadtreeLevel>* levels,
+                              double eps_pattern, int t_train,
+                              double cell_sensitivity_normalized, Rng& rng);
+
+/// Runs the full pattern-recognition step on the *normalised* matrix:
+/// quadtree construction, hierarchical sanitization, model training, and
+/// autoregressive roll-out of C_pattern over [t_train, Ct).
+///
+/// All data consumed by the model is already sanitized, so the output is
+/// DP by post-processing immunity.
+StatusOr<PatternResult> RunPatternRecognition(const grid::ConsumptionMatrix& norm,
+                                              const StptConfig& config,
+                                              double cell_sensitivity_normalized,
+                                              Rng& rng);
+
+}  // namespace stpt::core
+
+#endif  // STPT_CORE_PATTERN_RECOGNITION_H_

@@ -1,0 +1,47 @@
+#include "core/quantization.h"
+
+#include <algorithm>
+
+namespace stpt::core {
+
+StatusOr<Quantization> KQuantize(const grid::ConsumptionMatrix& pattern, int k) {
+  if (k < 1) return Status::InvalidArgument("KQuantize: k must be >= 1");
+  Quantization q;
+  q.levels = k;
+  q.min_value = pattern.MinValue();
+  q.max_value = pattern.MaxValue();
+  q.bucket.resize(pattern.size());
+  q.bucket_sizes.assign(k, 0);
+  const double range = q.max_value - q.min_value;
+  const auto& data = pattern.data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    int b = 0;
+    if (range > 0.0) {
+      b = static_cast<int>((data[i] - q.min_value) / range * k);
+      b = std::clamp(b, 0, k - 1);  // max value falls into the last bucket
+    }
+    q.bucket[i] = b;
+    ++q.bucket_sizes[b];
+  }
+  return q;
+}
+
+std::vector<int> PartitionPillarCounts(const Quantization& quantization,
+                                       const grid::Dims& dims) {
+  std::vector<int> max_counts(quantization.levels, 0);
+  // Cells of one pillar are contiguous (time innermost), so scan per pillar.
+  std::vector<int> counts(quantization.levels);
+  size_t idx = 0;
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      std::fill(counts.begin(), counts.end(), 0);
+      for (int t = 0; t < dims.ct; ++t) ++counts[quantization.bucket[idx++]];
+      for (int b = 0; b < quantization.levels; ++b) {
+        max_counts[b] = std::max(max_counts[b], counts[b]);
+      }
+    }
+  }
+  return max_counts;
+}
+
+}  // namespace stpt::core

@@ -1,0 +1,37 @@
+#ifndef STPT_CORE_QUANTIZATION_H_
+#define STPT_CORE_QUANTIZATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "grid/consumption_matrix.h"
+
+namespace stpt::core {
+
+/// Result of k-quantizing a pattern matrix (Definition 4): every cell is
+/// assigned the index of the bucket its value falls into, yielding k
+/// non-overlapping (possibly discontiguous) partitions.
+struct Quantization {
+  int levels = 0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /// Bucket index per cell, same linear layout as the matrix data.
+  std::vector<int> bucket;
+
+  /// Number of cells in each bucket (size == levels; empty buckets allowed).
+  std::vector<size_t> bucket_sizes;
+};
+
+/// k-quantizes the matrix value range into k equal buckets. Returns
+/// InvalidArgument for k < 1. A constant matrix maps every cell to bucket 0.
+StatusOr<Quantization> KQuantize(const grid::ConsumptionMatrix& pattern, int k);
+
+/// Pillar sensitivity of each partition (Theorem 7): the maximum number of
+/// cells any single xy-pillar contributes to the partition, in *cell count*
+/// units (multiply by the per-reading clipping factor for kWh sensitivity).
+std::vector<int> PartitionPillarCounts(const Quantization& quantization,
+                                       const grid::Dims& dims);
+
+}  // namespace stpt::core
+
+#endif  // STPT_CORE_QUANTIZATION_H_

@@ -1,0 +1,131 @@
+#include "core/stpt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/budget_allocation.h"
+#include "core/htf_partition.h"
+#include "dp/mechanisms.h"
+#include "query/metrics.h"
+
+namespace stpt::core {
+
+StatusOr<grid::ConsumptionMatrix> TestRegion(const grid::ConsumptionMatrix& cons,
+                                             int t_train) {
+  const grid::Dims& dims = cons.dims();
+  if (t_train < 0 || t_train >= dims.ct) {
+    return Status::InvalidArgument("TestRegion: t_train out of range");
+  }
+  const int test_len = dims.ct - t_train;
+  auto out_or = grid::ConsumptionMatrix::Create({dims.cx, dims.cy, test_len});
+  STPT_RETURN_IF_ERROR(out_or.status());
+  grid::ConsumptionMatrix out = std::move(out_or).value();
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      for (int t = 0; t < test_len; ++t) {
+        out.set(x, y, t, cons.at(x, y, t_train + t));
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
+                                   double unit_sensitivity, Rng& rng) const {
+  if (!(unit_sensitivity > 0.0)) {
+    return Status::InvalidArgument("Stpt: unit_sensitivity must be > 0");
+  }
+  if (!(config_.eps_pattern > 0.0) || !(config_.eps_sanitize > 0.0)) {
+    return Status::InvalidArgument("Stpt: budgets must be > 0");
+  }
+  // --- Normalise (Eq. 6) and run pattern recognition on the prefix. ---
+  const grid::ConsumptionMatrix norm = cons.Normalized();
+  const double range = std::max(cons.MaxValue() - cons.MinValue(), 1e-12);
+  const double cell_sens_norm = std::min(1.0, unit_sensitivity / range);
+
+  auto pattern_or = RunPatternRecognition(norm, config_, cell_sens_norm, rng);
+  STPT_RETURN_IF_ERROR(pattern_or.status());
+  PatternResult pattern = std::move(pattern_or).value();
+
+  StptResult result;
+  result.train_stats = std::move(pattern.train_stats);
+
+  // Pattern quality diagnostics against the true normalised test region.
+  auto norm_test_or = TestRegion(norm, config_.t_train);
+  STPT_RETURN_IF_ERROR(norm_test_or.status());
+  result.pattern_mae = query::MatrixMae(*norm_test_or, pattern.pattern);
+  result.pattern_rmse = query::MatrixRmse(*norm_test_or, pattern.pattern);
+
+  // --- k-quantize C_pattern into partitions (Alg. 1 line 15). ---
+  const int k = config_.use_quantization
+                    ? config_.quantization_levels
+                    : static_cast<int>(pattern.pattern.size());
+  Quantization quant;
+  if (config_.use_quantization) {
+    auto quant_or =
+        config_.partitioning == StptConfig::PartitionStrategy::kHtf
+            ? HtfPartition(pattern.pattern, config_.htf_max_partitions)
+            : KQuantize(pattern.pattern, k);
+    STPT_RETURN_IF_ERROR(quant_or.status());
+    quant = std::move(quant_or).value();
+  } else {
+    // Ablation: singleton partitions (every cell on its own).
+    quant.levels = k;
+    quant.min_value = pattern.pattern.MinValue();
+    quant.max_value = pattern.pattern.MaxValue();
+    quant.bucket.resize(pattern.pattern.size());
+    quant.bucket_sizes.assign(k, 1);
+    for (size_t i = 0; i < quant.bucket.size(); ++i) {
+      quant.bucket[i] = static_cast<int>(i);
+    }
+  }
+  const grid::Dims test_dims = pattern.pattern.dims();
+
+  // --- Partition sensitivities (Theorem 7) and budgets (Eq. 11). ---
+  std::vector<double> sens(quant.levels, 0.0);
+  if (config_.use_quantization) {
+    const std::vector<int> pillar_counts = PartitionPillarCounts(quant, test_dims);
+    for (int b = 0; b < quant.levels; ++b) {
+      sens[b] = pillar_counts[b] * unit_sensitivity;
+    }
+  } else {
+    // Singleton partitions: each holds one cell of one pillar.
+    std::fill(sens.begin(), sens.end(), unit_sensitivity);
+  }
+  auto eps_or = AllocateBudget(sens, config_.eps_sanitize, config_.allocation);
+  STPT_RETURN_IF_ERROR(eps_or.status());
+  const std::vector<double> eps = std::move(eps_or).value();
+
+  // --- Aggregate, sanitize, and spread (Alg. 1 lines 16-21). ---
+  auto truth_test_or = TestRegion(cons, config_.t_train);
+  STPT_RETURN_IF_ERROR(truth_test_or.status());
+  const grid::ConsumptionMatrix& truth_test = *truth_test_or;
+
+  std::vector<double> partition_sums(quant.levels, 0.0);
+  for (size_t i = 0; i < quant.bucket.size(); ++i) {
+    partition_sums[quant.bucket[i]] += truth_test.data()[i];
+  }
+  std::vector<double> released_means(quant.levels, 0.0);
+  for (int b = 0; b < quant.levels; ++b) {
+    if (quant.bucket_sizes[b] == 0) continue;
+    const double noisy = eps[b] > 0.0
+                             ? partition_sums[b] + rng.Laplace(sens[b] / eps[b])
+                             : partition_sums[b];
+    released_means[b] = noisy / static_cast<double>(quant.bucket_sizes[b]);
+  }
+
+  auto sanitized_or = grid::ConsumptionMatrix::Create(test_dims);
+  STPT_RETURN_IF_ERROR(sanitized_or.status());
+  result.sanitized = std::move(sanitized_or).value();
+  for (size_t i = 0; i < quant.bucket.size(); ++i) {
+    result.sanitized.mutable_data()[i] = released_means[quant.bucket[i]];
+  }
+
+  result.pattern = std::move(pattern.pattern);
+  result.quantization = std::move(quant);
+  result.partition_epsilons = eps;
+  result.partition_sensitivities = std::move(sens);
+  return result;
+}
+
+}  // namespace stpt::core

@@ -1,0 +1,63 @@
+#ifndef STPT_CORE_STPT_H_
+#define STPT_CORE_STPT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/pattern_recognition.h"
+#include "core/quantization.h"
+#include "core/stpt_config.h"
+#include "grid/consumption_matrix.h"
+
+namespace stpt::core {
+
+/// Everything STPT produces for one publication run.
+struct StptResult {
+  /// The eps_tot-DP release: sanitized consumption over the test region,
+  /// dims [Cx, Cy, Ct - t_train] (paper publishes the post-training slices).
+  grid::ConsumptionMatrix sanitized;
+  /// The private normalised pattern estimates driving the partitioning.
+  grid::ConsumptionMatrix pattern;
+  /// The k-quantization used for partitioning.
+  Quantization quantization;
+  /// Per-partition privacy budgets (Eq. 11), index-aligned with buckets.
+  std::vector<double> partition_epsilons;
+  /// Per-partition kWh sensitivities (Theorem 7 x clip factor).
+  std::vector<double> partition_sensitivities;
+  /// Model-training diagnostics.
+  nn::TrainStats train_stats;
+  /// Pattern-estimate quality vs the true normalised test data (Figs 8a/8b).
+  double pattern_mae = 0.0;
+  double pattern_rmse = 0.0;
+};
+
+/// The STPT algorithm (paper Algorithm 1): hierarchical DP pattern
+/// recognition with a sequence model, k-quantization partitioning, and
+/// sensitivity-aware Laplace sanitization.
+class Stpt {
+ public:
+  explicit Stpt(const StptConfig& config) : config_(config) {}
+
+  /// Publishes an (eps_pattern + eps_sanitize)-DP sanitized matrix for the
+  /// test region of `cons`. `unit_sensitivity` is the per-reading clipping
+  /// factor (Table 2) bounding one household's contribution to one cell in
+  /// one slice.
+  StatusOr<StptResult> Publish(const grid::ConsumptionMatrix& cons,
+                               double unit_sensitivity, Rng& rng) const;
+
+  const StptConfig& config() const { return config_; }
+
+ private:
+  StptConfig config_;
+};
+
+/// Extracts the test-region sub-matrix [t_train, ct) of a consumption
+/// matrix (ground truth counterpart of StptResult::sanitized).
+StatusOr<grid::ConsumptionMatrix> TestRegion(const grid::ConsumptionMatrix& cons,
+                                             int t_train);
+
+}  // namespace stpt::core
+
+#endif  // STPT_CORE_STPT_H_

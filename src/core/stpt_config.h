@@ -1,0 +1,64 @@
+#ifndef STPT_CORE_STPT_CONFIG_H_
+#define STPT_CORE_STPT_CONFIG_H_
+
+#include "nn/predictor.h"
+
+namespace stpt::core {
+
+/// How the sanitization budget is split across partitions.
+enum class BudgetAllocation {
+  kOptimal,  ///< Theorem 8 / Eq. 11: eps_i ∝ s_i^{2/3}
+  kUniform,  ///< ablation: equal eps per partition
+};
+
+/// How C_pattern is rolled out over the test region from the trained model.
+enum class RolloutMode {
+  /// Each cell's window is seeded from its finest sanitized series and the
+  /// model feeds on its own predictions. Pure Algorithm-1 reading; in
+  /// practice MSE-trained models shrink noisy seeds toward the global mean,
+  /// washing out spatial (micro) structure over long horizons.
+  kAutoregressive,
+  /// The model rolls out the *macro* series (spatial average of the
+  /// sanitized quadtree levels) to capture the temporal pattern, and each
+  /// cell is anchored at its sanitized finest-level mean (micro pattern):
+  /// pattern(c, t) = clamp(level_c * macro(t) / mean(macro)). Both inputs
+  /// are sanitized, so the output stays DP by post-processing (Theorem 3).
+  /// Default; ablated against kAutoregressive in bench_ablation.
+  kLevelAnchored,
+};
+
+/// Full configuration of the STPT pipeline (paper Algorithm 1 inputs plus
+/// the Appendix C hyper-parameters).
+struct StptConfig {
+  // --- Privacy budgets (paper defaults: eps_tot = 30 split 10/20). ---
+  double eps_pattern = 10.0;
+  double eps_sanitize = 20.0;
+
+  // --- Pattern recognition. ---
+  int t_train = 100;        ///< training prefix length (time slices)
+  int quadtree_depth = -1;  ///< -1 => log2(min(Cx, Cy)) (paper default)
+  RolloutMode rollout = RolloutMode::kLevelAnchored;
+  nn::ModelKind model = nn::ModelKind::kGru;
+  nn::PredictorConfig predictor;
+  nn::TrainConfig training;
+
+  // --- Sanitization. ---
+  /// How C_pattern is partitioned before the Laplace release.
+  enum class PartitionStrategy {
+    kQuantize,  ///< value buckets (Definition 4; paper default)
+    kHtf,       ///< homogeneity-driven kd-tree boxes (HTF-inspired, §6)
+  };
+  PartitionStrategy partitioning = PartitionStrategy::kQuantize;
+  int quantization_levels = 8;   ///< k of Definition 4
+  int htf_max_partitions = 64;   ///< leaf budget for kHtf
+  BudgetAllocation allocation = BudgetAllocation::kOptimal;
+  /// Ablation: false bypasses partitioning and releases each cell
+  /// individually (partition of singletons).
+  bool use_quantization = true;
+
+  double TotalEpsilon() const { return eps_pattern + eps_sanitize; }
+};
+
+}  // namespace stpt::core
+
+#endif  // STPT_CORE_STPT_CONFIG_H_

@@ -1,0 +1,113 @@
+#include "core/streaming.h"
+
+#include <cmath>
+
+namespace stpt::core {
+
+StatusOr<StreamingPublisher> StreamingPublisher::Create(int cells,
+                                                        double unit_sensitivity,
+                                                        const Options& options) {
+  if (cells <= 0) {
+    return Status::InvalidArgument("StreamingPublisher: cells must be > 0");
+  }
+  if (!(unit_sensitivity > 0.0)) {
+    return Status::InvalidArgument("StreamingPublisher: sensitivity must be > 0");
+  }
+  if (options.window <= 0 || !(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("StreamingPublisher: bad window/epsilon");
+  }
+  if (!(options.dissimilarity_fraction > 0.0) ||
+      !(options.dissimilarity_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "StreamingPublisher: dissimilarity fraction must be in (0, 1)");
+  }
+  return StreamingPublisher(cells, unit_sensitivity, options);
+}
+
+void StreamingPublisher::EvictExpired() {
+  while (!ledger_.empty() && ledger_.front().time <= time_ - options_.window) {
+    ledger_.pop_front();
+  }
+}
+
+double StreamingPublisher::WindowSpend() const {
+  double s = 0.0;
+  for (const auto& entry : ledger_) s += entry.epsilon;
+  return s;
+}
+
+StatusOr<std::vector<double>> StreamingPublisher::ProcessSlice(
+    const std::vector<double>& slice, Rng& rng) {
+  if (static_cast<int>(slice.size()) != cells_) {
+    return Status::InvalidArgument("ProcessSlice: slice size mismatch");
+  }
+  EvictExpired();
+
+  const double eps_dis_total = options_.epsilon * options_.dissimilarity_fraction;
+  const double eps_dis = eps_dis_total / options_.window;  // per slice
+  const double eps_pub_budget = options_.epsilon - eps_dis_total;
+
+  // Publication budget still unspent inside the current window. Taking half
+  // of it for each publication guarantees the window total never exceeds
+  // eps_pub_budget regardless of how many publications the data forces.
+  double pub_spent = 0.0;
+  for (const auto& entry : ledger_) {
+    if (entry.is_publication) pub_spent += entry.epsilon;
+  }
+  const double eps_pub = (eps_pub_budget - pub_spent) / 2.0;
+
+  auto publish = [&]() -> std::vector<double>& {
+    last_published_.resize(cells_);
+    for (int c = 0; c < cells_; ++c) {
+      last_published_[c] = slice[c] + rng.Laplace(unit_ / eps_pub);
+    }
+    ledger_.push_back({time_, eps_pub, /*is_publication=*/true});
+    has_published_ = true;
+    return last_published_;
+  };
+
+  if (!has_published_) {
+    auto& out = publish();
+    ++time_;
+    return out;
+  }
+
+  // Dissimilarity test: noisy mean absolute deviation from the last
+  // release. One user changes one cell per slice by at most unit_, so the
+  // mean absolute deviation has sensitivity unit_ / cells.
+  double mad = 0.0;
+  for (int c = 0; c < cells_; ++c) mad += std::fabs(slice[c] - last_published_[c]);
+  mad /= static_cast<double>(cells_);
+  const double noisy_mad = mad + rng.Laplace(unit_ / cells_ / eps_dis);
+  ledger_.push_back({time_, eps_dis, /*is_publication=*/false});
+
+  // Budget-exhaustion guard: once the window's publication budget has been
+  // halved a few times, a fresh release would be noisier than any realistic
+  // drift — and, worse, its noise would inflate every later dissimilarity
+  // test (a publication death-spiral). Republish until charges expire.
+  if (eps_pub < eps_pub_budget / 16.0) {
+    ++republish_count_;
+    ++time_;
+    return last_published_;
+  }
+
+  // Publish only if the deviation clearly exceeds the combined noise floor:
+  // the dissimilarity test's own noise plus the per-cell noise a fresh
+  // release would carry. Below that, the old release is at least as
+  // accurate and republishing costs nothing.
+  // Two dissimilarity-noise scales keep the spurious-publication rate at
+  // P(|Lap(b)| > 2b) = e^-2 ~ 13%.
+  const double dis_noise_scale = unit_ / cells_ / eps_dis;
+  const double publication_noise_scale =
+      eps_pub > 1e-9 ? unit_ / eps_pub / cells_ : 1e300;
+  if (noisy_mad <= 2.0 * dis_noise_scale + publication_noise_scale) {
+    ++republish_count_;
+    ++time_;
+    return last_published_;
+  }
+  auto& out = publish();
+  ++time_;
+  return out;
+}
+
+}  // namespace stpt::core

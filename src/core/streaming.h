@@ -1,0 +1,79 @@
+#ifndef STPT_CORE_STREAMING_H_
+#define STPT_CORE_STREAMING_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace stpt::core {
+
+/// Sliding-window (w-event) DP release for streaming consumption slices —
+/// the continuous-publication extension the paper's §7 points toward.
+///
+/// Guarantee: the total privacy budget spent on any w consecutive slices is
+/// at most epsilon (w-event privacy, Kellaris et al., VLDB 2014). The
+/// implementation follows the budget-distribution pattern:
+///
+///  * a fixed fraction of the per-window budget pays, at every slice, for a
+///    noisy dissimilarity test between the incoming slice and the last
+///    published one;
+///  * if the test says "similar", the previous release is republished at
+///    zero additional cost;
+///  * otherwise the slice is published with half of the publication budget
+///    still unspent inside the current window (exponential back-off, so the
+///    window budget is never exceeded no matter how many changes occur).
+class StreamingPublisher {
+ public:
+  struct Options {
+    int window = 10;          ///< w of the w-event guarantee (slices)
+    double epsilon = 1.0;     ///< budget per window
+    double dissimilarity_fraction = 0.2;  ///< share reserved for the tests
+  };
+
+  /// Creates a publisher for slices of `cells` values whose per-user,
+  /// per-slice contribution is bounded by unit_sensitivity. Returns
+  /// InvalidArgument for non-positive parameters.
+  static StatusOr<StreamingPublisher> Create(int cells, double unit_sensitivity,
+                                             const Options& options);
+
+  /// Processes one incoming slice and returns the released slice.
+  StatusOr<std::vector<double>> ProcessSlice(const std::vector<double>& slice,
+                                             Rng& rng);
+
+  /// Budget spent inside the trailing window (must stay <= epsilon).
+  double WindowSpend() const;
+
+  /// Number of slices processed so far.
+  int64_t slices_processed() const { return time_; }
+
+  /// Number of slices that were re-published (skipped) so far.
+  int64_t republish_count() const { return republish_count_; }
+
+ private:
+  StreamingPublisher(int cells, double unit_sensitivity, const Options& options)
+      : cells_(cells), unit_(unit_sensitivity), options_(options) {}
+
+  /// Drops ledger entries that fell out of the window.
+  void EvictExpired();
+
+  int cells_;
+  double unit_;
+  Options options_;
+  int64_t time_ = 0;
+  int64_t republish_count_ = 0;
+  std::vector<double> last_published_;
+  bool has_published_ = false;
+  struct LedgerEntry {
+    int64_t time;
+    double epsilon;
+    bool is_publication;
+  };
+  /// Charges inside the sliding window (dissimilarity tests + publications).
+  std::deque<LedgerEntry> ledger_;
+};
+
+}  // namespace stpt::core
+
+#endif  // STPT_CORE_STREAMING_H_

@@ -1,0 +1,302 @@
+#include "datagen/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace stpt::datagen {
+namespace {
+
+/// Hour-of-day load shape: night valley, morning shoulder, evening peak.
+/// Mean over 24 hours is ~1 so it scales consumption without shifting it.
+double DailyProfile(int hour_of_day) {
+  const double h = static_cast<double>(hour_of_day);
+  const double morning = 0.55 * std::exp(-0.5 * std::pow((h - 8.0) / 2.5, 2.0));
+  const double evening = 1.05 * std::exp(-0.5 * std::pow((h - 19.0) / 2.8, 2.0));
+  return 0.55 + morning + evening;
+}
+
+/// Day-of-week factor: residential load is higher on weekends (Fig. 9).
+double WeekdayFactor(int day_of_week) {
+  // 0 = Monday ... 6 = Sunday.
+  switch (day_of_week) {
+    case 5:
+      return 1.12;
+    case 6:
+      return 1.18;
+    default:
+      return 0.97 + 0.01 * day_of_week;  // mild drift across workdays
+  }
+}
+
+/// Samples a household's grid cell according to the spatial distribution.
+void PlaceHousehold(SpatialDistribution dist, int gx, int gy, double center_x,
+                    double center_y, const std::vector<double>& la_cdf, Rng& rng,
+                    int* out_x, int* out_y) {
+  switch (dist) {
+    case SpatialDistribution::kUniform:
+      *out_x = static_cast<int>(rng.UniformInt(0, gx - 1));
+      *out_y = static_cast<int>(rng.UniformInt(0, gy - 1));
+      return;
+    case SpatialDistribution::kNormal: {
+      // Paper: sigma = one third of the grid size, centre random; samples
+      // falling off the map are clamped to the border cell.
+      const double sx = static_cast<double>(gx) / 3.0;
+      const double sy = static_cast<double>(gy) / 3.0;
+      const double x = rng.Gaussian(center_x, sx);
+      const double y = rng.Gaussian(center_y, sy);
+      *out_x = static_cast<int>(Clamp(std::floor(x), 0.0, gx - 1.0));
+      *out_y = static_cast<int>(Clamp(std::floor(y), 0.0, gy - 1.0));
+      return;
+    }
+    case SpatialDistribution::kLosAngeles: {
+      // Inverse-CDF sample from the precomputed density map.
+      const double u = rng.NextDouble();
+      const auto it = std::lower_bound(la_cdf.begin(), la_cdf.end(), u);
+      const size_t idx = std::min<size_t>(it - la_cdf.begin(), la_cdf.size() - 1);
+      *out_x = static_cast<int>(idx) / gy;
+      *out_y = static_cast<int>(idx) % gy;
+      return;
+    }
+  }
+}
+
+/// Builds an LA-like population density CDF: a dominant downtown core plus
+/// secondary centres and a diffuse background, substituting for the Veraset
+/// cell-phone histogram (see DESIGN.md, substitutions).
+std::vector<double> BuildLaCdf(int gx, int gy) {
+  struct Hotspot {
+    double x, y, sigma, weight;
+  };
+  const std::vector<Hotspot> hotspots = {
+      {0.52, 0.48, 0.06, 0.30},  // downtown core
+      {0.30, 0.62, 0.09, 0.15},  // secondary centre (e.g. west side)
+      {0.68, 0.30, 0.08, 0.12},  // secondary centre (e.g. south east)
+      {0.42, 0.25, 0.10, 0.10},  // corridor
+      {0.75, 0.70, 0.12, 0.08},  // valley sprawl
+  };
+  std::vector<double> density(static_cast<size_t>(gx) * gy, 0.0);
+  for (int x = 0; x < gx; ++x) {
+    for (int y = 0; y < gy; ++y) {
+      const double fx = (x + 0.5) / gx;
+      const double fy = (y + 0.5) / gy;
+      double d = 0.04;  // diffuse background
+      for (const auto& h : hotspots) {
+        const double dx = fx - h.x;
+        const double dy = fy - h.y;
+        d += h.weight * std::exp(-0.5 * (dx * dx + dy * dy) / (h.sigma * h.sigma));
+      }
+      density[static_cast<size_t>(x) * gy + y] = d;
+    }
+  }
+  double total = 0.0;
+  for (double d : density) total += d;
+  std::vector<double> cdf(density.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < density.size(); ++i) {
+    acc += density[i] / total;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;
+  return cdf;
+}
+
+DatasetSpec MakeSpec(const char* name, int households, double mean, double stddev,
+                     double max, double clip) {
+  DatasetSpec s;
+  s.name = name;
+  s.num_households = households;
+  s.mean_kwh = mean;
+  s.std_kwh = stddev;
+  s.max_kwh = max;
+  s.clip_factor = clip;
+  return s;
+}
+
+}  // namespace
+
+DatasetSpec CerSpec() { return MakeSpec("CER", 5000, 0.61, 1.24, 19.62, 1.85); }
+DatasetSpec CaSpec() { return MakeSpec("CA", 250, 0.38, 1.13, 33.54, 1.51); }
+DatasetSpec MiSpec() { return MakeSpec("MI", 250, 0.48, 1.22, 49.50, 1.70); }
+DatasetSpec TxSpec() { return MakeSpec("TX", 250, 0.55, 1.63, 68.86, 2.18); }
+
+std::vector<DatasetSpec> AllSpecs() {
+  return {CerSpec(), CaSpec(), MiSpec(), TxSpec()};
+}
+
+const char* SpatialDistributionToString(SpatialDistribution d) {
+  switch (d) {
+    case SpatialDistribution::kUniform:
+      return "Uniform";
+    case SpatialDistribution::kNormal:
+      return "Normal";
+    case SpatialDistribution::kLosAngeles:
+      return "LosAngeles";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<double> SyntheticDataset::AllReadings() const {
+  std::vector<double> out;
+  out.reserve(households.size() * static_cast<size_t>(hours));
+  for (const auto& h : households) {
+    out.insert(out.end(), h.series.begin(), h.series.end());
+  }
+  return out;
+}
+
+StatusOr<SyntheticDataset> GenerateDataset(const DatasetSpec& spec,
+                                           SpatialDistribution distribution,
+                                           const GenerateOptions& options, Rng& rng) {
+  if (options.grid_x <= 0 || options.grid_y <= 0 || options.hours <= 0) {
+    return Status::InvalidArgument("GenerateDataset: dimensions must be positive");
+  }
+  if (spec.num_households <= 0) {
+    return Status::InvalidArgument("GenerateDataset: households must be positive");
+  }
+
+  SyntheticDataset ds;
+  ds.spec = spec;
+  ds.distribution = distribution;
+  ds.grid_x = options.grid_x;
+  ds.grid_y = options.grid_y;
+  ds.hours = options.hours;
+  ds.households.resize(spec.num_households);
+
+  const double center_x = rng.Uniform(0.0, options.grid_x);
+  const double center_y = rng.Uniform(0.0, options.grid_y);
+  const std::vector<double> la_cdf =
+      distribution == SpatialDistribution::kLosAngeles
+          ? BuildLaCdf(options.grid_x, options.grid_y)
+          : std::vector<double>{};
+
+  // Day-to-day weather: a global AR(1) log-factor shared by everyone plus a
+  // per-quadrant regional deviation (cold snaps drive heating). Because the
+  // factor is shared within a region, it survives spatial aggregation and
+  // gives pillar series realistic high-frequency temporal content.
+  const int num_days = CeilDiv(options.hours, 24);
+  const double weather_rho = 0.7;
+  const double weather_sigma = 0.16;
+  const double regional_sigma = 0.07;
+  std::vector<double> weather_global(num_days);
+  std::vector<std::vector<double>> weather_region(4, std::vector<double>(num_days));
+  {
+    double g = rng.Gaussian(0.0, weather_sigma);
+    std::vector<double> r(4);
+    for (auto& v : r) v = rng.Gaussian(0.0, regional_sigma);
+    const double g_innov = weather_sigma * std::sqrt(1.0 - weather_rho * weather_rho);
+    const double r_innov = regional_sigma * std::sqrt(1.0 - weather_rho * weather_rho);
+    for (int d = 0; d < num_days; ++d) {
+      g = weather_rho * g + rng.Gaussian(0.0, g_innov);
+      weather_global[d] = g;
+      for (int q = 0; q < 4; ++q) {
+        r[q] = weather_rho * r[q] + rng.Gaussian(0.0, r_innov);
+        weather_region[q][d] = r[q];
+      }
+    }
+  }
+  auto quadrant = [&](int cx, int cy) {
+    return (cx >= options.grid_x / 2 ? 2 : 0) + (cy >= options.grid_y / 2 ? 1 : 0);
+  };
+  // Scale compensation so the weather factor is mean-one.
+  const double e_weather = std::exp((weather_sigma * weather_sigma +
+                                     regional_sigma * regional_sigma) /
+                                    2.0);
+
+  // Heavy-tail calibration. Readings are modelled as
+  //   x = scale * household_factor * daily * weekly * exp(ar1) * spike
+  // with lognormal household_factor and AR(1) lognormal noise; the spike
+  // term occasionally multiplies by a large draw (appliance bursts), which
+  // produces the paper's max >> mean + several std. `scale` is solved so the
+  // expected value matches spec.mean_kwh.
+  const double sigma_house = 0.55;
+  const double sigma_noise = 0.80;
+  const double ar1 = 0.7;
+  const double spike_prob = 0.012;
+  const double spike_mu = 1.6;     // lognormal location of spike multiplier
+  const double spike_sigma = 0.5;
+  // E[exp(N(0, s^2))] = exp(s^2 / 2); stationary AR(1) variance below.
+  const double stat_noise_var =
+      sigma_noise * sigma_noise / (1.0 - ar1 * ar1) * (1.0 - ar1 * ar1);
+  const double e_house = std::exp(sigma_house * sigma_house / 2.0);
+  const double e_noise = std::exp(stat_noise_var / 2.0);
+  const double e_spike =
+      1.0 - spike_prob + spike_prob * std::exp(spike_mu + spike_sigma * spike_sigma / 2.0);
+  const double scale = spec.mean_kwh / (e_house * e_noise * e_spike);
+
+  for (auto& house : ds.households) {
+    PlaceHousehold(distribution, options.grid_x, options.grid_y, center_x, center_y,
+                   la_cdf, rng, &house.cell_x, &house.cell_y);
+    const double house_factor = rng.LogNormal(0.0, sigma_house);
+    // Random phase so households do not all peak in the same hour.
+    const int phase = static_cast<int>(rng.UniformInt(0, 2)) - 1;
+    house.series.resize(options.hours);
+    double noise_state = rng.Gaussian(0.0, sigma_noise);
+    for (int t = 0; t < options.hours; ++t) {
+      const int hour_of_day = ((t + phase) % 24 + 24) % 24;
+      const int day_of_week = (t / 24) % 7;
+      noise_state = ar1 * noise_state +
+                    rng.Gaussian(0.0, sigma_noise * std::sqrt(1.0 - ar1 * ar1));
+      const int day = t / 24;
+      const double weather =
+          std::exp(weather_global[day] + weather_region[quadrant(house.cell_x,
+                                                                 house.cell_y)][day]) /
+          e_weather;
+      double x = scale * house_factor * DailyProfile(hour_of_day) *
+                 WeekdayFactor(day_of_week) * weather * std::exp(noise_state);
+      if (rng.Bernoulli(spike_prob)) x *= rng.LogNormal(spike_mu, spike_sigma);
+      house.series[t] = std::min(x, spec.max_kwh);
+    }
+  }
+  return ds;
+}
+
+StatusOr<grid::ConsumptionMatrix> BuildConsumptionMatrix(
+    const SyntheticDataset& dataset, int hours_per_slice) {
+  if (hours_per_slice <= 0) {
+    return Status::InvalidArgument("BuildConsumptionMatrix: granularity must be > 0");
+  }
+  if (dataset.hours % hours_per_slice != 0) {
+    return Status::InvalidArgument(
+        "BuildConsumptionMatrix: hours must be divisible by hours_per_slice");
+  }
+  const int ct = dataset.hours / hours_per_slice;
+  auto matrix_or =
+      grid::ConsumptionMatrix::Create({dataset.grid_x, dataset.grid_y, ct});
+  STPT_RETURN_IF_ERROR(matrix_or.status());
+  grid::ConsumptionMatrix matrix = std::move(matrix_or).value();
+  const double clip = dataset.spec.clip_factor;
+  for (const auto& house : dataset.households) {
+    for (int t = 0; t < dataset.hours; ++t) {
+      matrix.add(house.cell_x, house.cell_y, t / hours_per_slice,
+                 std::min(house.series[t], clip));
+    }
+  }
+  return matrix;
+}
+
+double UnitSensitivity(const DatasetSpec& spec, int hours_per_slice) {
+  return spec.clip_factor * static_cast<double>(hours_per_slice);
+}
+
+DatasetStats ComputeStats(const SyntheticDataset& dataset) {
+  const std::vector<double> all = dataset.AllReadings();
+  DatasetStats s;
+  s.mean = Mean(all);
+  s.stddev = StdDev(all);
+  s.max = Max(all);
+  return s;
+}
+
+std::vector<double> WeekdayTotals(const SyntheticDataset& dataset) {
+  std::vector<double> totals(7, 0.0);
+  for (const auto& house : dataset.households) {
+    for (int t = 0; t < dataset.hours; ++t) {
+      totals[(t / 24) % 7] += house.series[t];
+    }
+  }
+  return totals;
+}
+
+}  // namespace stpt::datagen

@@ -1,0 +1,106 @@
+#ifndef STPT_DATAGEN_DATASET_H_
+#define STPT_DATAGEN_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "grid/consumption_matrix.h"
+
+namespace stpt::datagen {
+
+/// Target statistics for a synthetic digital twin of one of the paper's four
+/// evaluation datasets (Table 2).
+struct DatasetSpec {
+  std::string name;
+  int num_households = 0;
+  double mean_kwh = 0.0;      ///< target average hourly consumption
+  double std_kwh = 0.0;       ///< target hourly standard deviation
+  double max_kwh = 0.0;       ///< hard cap on a single reading
+  double clip_factor = 0.0;   ///< sensitivity clipping factor used before DP
+};
+
+/// Table 2 presets.
+DatasetSpec CerSpec();
+DatasetSpec CaSpec();
+DatasetSpec MiSpec();
+DatasetSpec TxSpec();
+std::vector<DatasetSpec> AllSpecs();
+
+/// Household placement models from §5.1.
+enum class SpatialDistribution {
+  kUniform,     ///< uniform over grid cells
+  kNormal,      ///< Gaussian around a random centre, sigma = grid / 3
+  kLosAngeles,  ///< LA-population-like multi-modal density (Veraset substitute)
+};
+
+const char* SpatialDistributionToString(SpatialDistribution d);
+
+/// One smart-metered household: a fixed grid cell plus its hourly series.
+struct Household {
+  int cell_x = 0;
+  int cell_y = 0;
+  std::vector<double> series;  ///< hourly kWh readings, length = hours
+};
+
+/// A generated dataset: N households placed on a grid_x × grid_y map with
+/// `hours` hourly readings each.
+struct SyntheticDataset {
+  DatasetSpec spec;
+  SpatialDistribution distribution = SpatialDistribution::kUniform;
+  int grid_x = 32;
+  int grid_y = 32;
+  int hours = 0;
+  std::vector<Household> households;
+
+  /// Flattens all readings (for statistics).
+  std::vector<double> AllReadings() const;
+};
+
+/// Options for GenerateDataset.
+struct GenerateOptions {
+  int grid_x = 32;
+  int grid_y = 32;
+  int hours = 220;  ///< paper: 100 training + 120 test slices
+};
+
+/// Generates a synthetic dataset whose marginal statistics track the spec
+/// (heavy-tailed multiplicative model with daily/weekly cycles, clipped at
+/// spec.max_kwh) and whose households follow the given spatial distribution.
+/// Returns InvalidArgument for non-positive dimensions.
+StatusOr<SyntheticDataset> GenerateDataset(const DatasetSpec& spec,
+                                           SpatialDistribution distribution,
+                                           const GenerateOptions& options, Rng& rng);
+
+/// Aggregates a dataset into a consumption matrix, clipping every individual
+/// hourly reading at spec.clip_factor first so that one user's per-slice
+/// contribution to any cell is bounded (Theorem 4).
+///
+/// `hours_per_slice` sets the release granularity Delta (paper §3.1): 1 for
+/// hourly slices, 24 for the day granularity used throughout the paper's
+/// evaluation. dataset.hours must be divisible by hours_per_slice; the
+/// result has ct = hours / hours_per_slice.
+StatusOr<grid::ConsumptionMatrix> BuildConsumptionMatrix(
+    const SyntheticDataset& dataset, int hours_per_slice = 1);
+
+/// The L1 bound on one household's contribution to a single matrix cell in
+/// one slice at the given granularity: clip_factor * hours_per_slice. This
+/// is the `unit_sensitivity` to pass to every publisher.
+double UnitSensitivity(const DatasetSpec& spec, int hours_per_slice);
+
+/// Summary statistics of a dataset's readings (for the Table 2 harness).
+struct DatasetStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double max = 0.0;
+};
+DatasetStats ComputeStats(const SyntheticDataset& dataset);
+
+/// Total consumption per weekday (Mon..Sun indices 0..6) summed over all
+/// households — the series plotted in Figure 9. Hour 0 is a Monday 00:00.
+std::vector<double> WeekdayTotals(const SyntheticDataset& dataset);
+
+}  // namespace stpt::datagen
+
+#endif  // STPT_DATAGEN_DATASET_H_

@@ -1,0 +1,60 @@
+#include "dp/budget_accountant.h"
+
+#include <algorithm>
+
+namespace stpt::dp {
+
+StatusOr<BudgetAccountant> BudgetAccountant::Create(double total_epsilon) {
+  if (!(total_epsilon > 0.0)) {
+    return Status::InvalidArgument("BudgetAccountant: total epsilon must be > 0");
+  }
+  return BudgetAccountant(total_epsilon);
+}
+
+BudgetAccountant::Group* BudgetAccountant::FindGroup(const std::string& name) {
+  for (auto& g : groups_) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const BudgetAccountant::Group* BudgetAccountant::FindGroup(
+    const std::string& name) const {
+  for (const auto& g : groups_) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+Status BudgetAccountant::Charge(const std::string& group, double epsilon) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("BudgetAccountant: charge must be > 0");
+  }
+  const Group* existing = FindGroup(group);
+  const double current_group_max = existing != nullptr ? existing->max_epsilon : 0.0;
+  const double delta = std::max(0.0, epsilon - current_group_max);
+  // Allow a tiny tolerance for floating-point accumulation across many slices.
+  constexpr double kTolerance = 1e-9;
+  if (ConsumedEpsilon() + delta > total_epsilon_ * (1.0 + kTolerance) + kTolerance) {
+    return Status::FailedPrecondition(
+        "BudgetAccountant: charge would exceed total privacy budget");
+  }
+  if (existing != nullptr) {
+    FindGroup(group)->max_epsilon = std::max(current_group_max, epsilon);
+  } else {
+    groups_.push_back(Group{group, epsilon});
+  }
+  return Status::OK();
+}
+
+double BudgetAccountant::ConsumedEpsilon() const {
+  double total = 0.0;
+  for (const auto& g : groups_) total += g.max_epsilon;
+  return total;
+}
+
+double BudgetAccountant::RemainingEpsilon() const {
+  return std::max(0.0, total_epsilon_ - ConsumedEpsilon());
+}
+
+}  // namespace stpt::dp

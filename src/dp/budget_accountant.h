@@ -1,0 +1,65 @@
+#ifndef STPT_DP_BUDGET_ACCOUNTANT_H_
+#define STPT_DP_BUDGET_ACCOUNTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stpt::dp {
+
+/// Tracks privacy-budget consumption under the composition theorems used by
+/// the paper (Theorems 1–3):
+///
+///  * sequential composition — epsilons of charges against the same data
+///    (e.g. different time slices of a user's series) add up;
+///  * parallel composition — charges against disjoint partitions of the data
+///    (e.g. different spatial cells at one timestamp) count once, at the max.
+///
+/// The accountant exposes a two-level model that matches the consumption
+/// matrix (Theorem 5): charges are grouped by a caller-chosen *sequential
+/// group* key (a time slice, a pipeline stage, ...). Within one group,
+/// charges compose in parallel (max); across groups they compose
+/// sequentially (sum).
+class BudgetAccountant {
+ public:
+  /// Creates an accountant with a hard total budget. Returns InvalidArgument
+  /// if total_epsilon <= 0.
+  static StatusOr<BudgetAccountant> Create(double total_epsilon);
+
+  /// Records a charge of `epsilon` within the sequential group `group`.
+  /// Returns FailedPrecondition if the charge would push the composed total
+  /// over the configured budget (the charge is then NOT recorded).
+  Status Charge(const std::string& group, double epsilon);
+
+  /// The composed epsilon consumed so far: sum over groups of the max charge
+  /// per group.
+  double ConsumedEpsilon() const;
+
+  /// Remaining budget (total - consumed, floored at 0).
+  double RemainingEpsilon() const;
+
+  double total_epsilon() const { return total_epsilon_; }
+
+  /// Number of distinct sequential groups charged so far.
+  size_t NumGroups() const { return groups_.size(); }
+
+ private:
+  explicit BudgetAccountant(double total_epsilon) : total_epsilon_(total_epsilon) {}
+
+  struct Group {
+    std::string name;
+    double max_epsilon = 0.0;
+  };
+
+  // Linear scan is fine: group counts are small (hundreds of time slices).
+  Group* FindGroup(const std::string& name);
+  const Group* FindGroup(const std::string& name) const;
+
+  double total_epsilon_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace stpt::dp
+
+#endif  // STPT_DP_BUDGET_ACCOUNTANT_H_

@@ -1,0 +1,73 @@
+#include "dp/mechanisms.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace stpt::dp {
+
+StatusOr<LaplaceMechanism> LaplaceMechanism::Create(double epsilon, double sensitivity) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("LaplaceMechanism: epsilon must be > 0");
+  }
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument("LaplaceMechanism: sensitivity must be > 0");
+  }
+  return LaplaceMechanism(epsilon, sensitivity);
+}
+
+double LaplaceMechanism::AddNoise(double value, Rng& rng) const {
+  return value + rng.Laplace(scale_);
+}
+
+std::vector<double> LaplaceMechanism::AddNoise(const std::vector<double>& values,
+                                               Rng& rng) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(AddNoise(v, rng));
+  return out;
+}
+
+StatusOr<GeometricMechanism> GeometricMechanism::Create(double epsilon,
+                                                        double sensitivity) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("GeometricMechanism: epsilon must be > 0");
+  }
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument("GeometricMechanism: sensitivity must be > 0");
+  }
+  GeometricMechanism m(epsilon, sensitivity);
+  m.alpha_ = std::exp(-epsilon / sensitivity);
+  return m;
+}
+
+int64_t GeometricMechanism::AddNoise(int64_t value, Rng& rng) const {
+  // Two-sided geometric via difference of two geometric variables, sampled
+  // with inverse CDF: G = floor(log(u) / log(alpha)).
+  auto sample_geometric = [&]() -> int64_t {
+    double u;
+    do {
+      u = rng.NextDouble();
+    } while (u <= 0.0);
+    return static_cast<int64_t>(std::floor(std::log(u) / std::log(alpha_)));
+  };
+  return value + sample_geometric() - sample_geometric();
+}
+
+double ClipReading(double value, double bound) {
+  assert(bound > 0.0);
+  if (value < 0.0) return 0.0;
+  if (value > bound) return bound;
+  return value;
+}
+
+size_t ClipSeries(std::vector<double>* series, double bound) {
+  size_t clipped = 0;
+  for (double& v : *series) {
+    const double c = ClipReading(v, bound);
+    if (c != v) ++clipped;
+    v = c;
+  }
+  return clipped;
+}
+
+}  // namespace stpt::dp

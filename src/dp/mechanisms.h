@@ -1,0 +1,83 @@
+#ifndef STPT_DP_MECHANISMS_H_
+#define STPT_DP_MECHANISMS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace stpt::dp {
+
+/// The Laplace mechanism (Dwork et al., 2006).
+///
+/// Adds zero-mean Laplace noise with scale sensitivity/epsilon to a
+/// real-valued query answer, achieving epsilon-DP for queries with the given
+/// L1 sensitivity (paper Eq. 4).
+class LaplaceMechanism {
+ public:
+  /// Creates a mechanism. Returns InvalidArgument if epsilon or sensitivity
+  /// is non-positive.
+  static StatusOr<LaplaceMechanism> Create(double epsilon, double sensitivity);
+
+  /// Returns value + Lap(sensitivity/epsilon).
+  double AddNoise(double value, Rng& rng) const;
+
+  /// Sanitizes a vector element-wise, treating each element as an
+  /// independent query of the configured sensitivity under the *same*
+  /// epsilon (caller is responsible for composition accounting).
+  std::vector<double> AddNoise(const std::vector<double>& values, Rng& rng) const;
+
+  /// The Laplace scale b = sensitivity / epsilon.
+  double scale() const { return scale_; }
+  double epsilon() const { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+
+  /// Variance of the injected noise: 2 b^2.
+  double NoiseVariance() const { return 2.0 * scale_ * scale_; }
+
+ private:
+  LaplaceMechanism(double epsilon, double sensitivity)
+      : epsilon_(epsilon), sensitivity_(sensitivity), scale_(sensitivity / epsilon) {}
+
+  double epsilon_;
+  double sensitivity_;
+  double scale_;
+};
+
+/// The geometric mechanism: integer-valued analogue of Laplace, suitable for
+/// count queries. Adds two-sided geometric noise with parameter
+/// alpha = exp(-epsilon / sensitivity).
+class GeometricMechanism {
+ public:
+  /// Creates a mechanism. Returns InvalidArgument if epsilon or sensitivity
+  /// is non-positive.
+  static StatusOr<GeometricMechanism> Create(double epsilon, double sensitivity);
+
+  /// Returns value + two-sided-geometric noise.
+  int64_t AddNoise(int64_t value, Rng& rng) const;
+
+  double epsilon() const { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+
+ private:
+  GeometricMechanism(double epsilon, double sensitivity)
+      : epsilon_(epsilon), sensitivity_(sensitivity),
+        alpha_(0.0) {}
+
+  double epsilon_;
+  double sensitivity_;
+  double alpha_;
+
+  friend class GeometricMechanismTestPeer;
+};
+
+/// Clips a value into [0, bound]; used to enforce the per-reading
+/// sensitivity-clipping factor of Table 2 before any DP release.
+double ClipReading(double value, double bound);
+
+/// Clips a whole series in place and reports how many readings were clipped.
+size_t ClipSeries(std::vector<double>* series, double bound);
+
+}  // namespace stpt::dp
+
+#endif  // STPT_DP_MECHANISMS_H_

@@ -1,0 +1,60 @@
+#include "filter/kalman.h"
+
+#include <numeric>
+#include <vector>
+
+namespace stpt::filter {
+
+StatusOr<ScalarKalmanFilter> ScalarKalmanFilter::Create(double process_variance,
+                                                        double measurement_variance,
+                                                        double initial_estimate,
+                                                        double initial_variance) {
+  if (!(process_variance > 0.0)) {
+    return Status::InvalidArgument("KalmanFilter: process variance must be > 0");
+  }
+  if (!(measurement_variance > 0.0)) {
+    return Status::InvalidArgument("KalmanFilter: measurement variance must be > 0");
+  }
+  if (initial_variance < 0.0) {
+    return Status::InvalidArgument("KalmanFilter: initial variance must be >= 0");
+  }
+  return ScalarKalmanFilter(process_variance, measurement_variance, initial_estimate,
+                            initial_variance);
+}
+
+double ScalarKalmanFilter::Predict() {
+  variance_ += q_;
+  return estimate_;
+}
+
+double ScalarKalmanFilter::Correct(double z) {
+  gain_ = variance_ / (variance_ + r_);
+  estimate_ += gain_ * (z - estimate_);
+  variance_ *= (1.0 - gain_);
+  return estimate_;
+}
+
+PidController::PidController(double kp, double ki, double kd, int integral_window)
+    : kp_(kp), ki_(ki), kd_(kd), window_(integral_window) {}
+
+double PidController::Update(double error) {
+  recent_.push_back(error);
+  if (static_cast<int>(recent_.size()) > window_) {
+    recent_.erase(recent_.begin());
+  }
+  const double integral =
+      std::accumulate(recent_.begin(), recent_.end(), 0.0) /
+      static_cast<double>(recent_.size());
+  const double derivative = has_prev_ ? (error - prev_error_) : 0.0;
+  prev_error_ = error;
+  has_prev_ = true;
+  return kp_ * error + ki_ * integral + kd_ * derivative;
+}
+
+void PidController::Reset() {
+  recent_.clear();
+  prev_error_ = 0.0;
+  has_prev_ = false;
+}
+
+}  // namespace stpt::filter

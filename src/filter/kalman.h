@@ -1,0 +1,71 @@
+#ifndef STPT_FILTER_KALMAN_H_
+#define STPT_FILTER_KALMAN_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace stpt::filter {
+
+/// Scalar Kalman filter with a constant-state process model
+/// (x_t = x_{t-1} + w_t, z_t = x_t + v_t), the model used by FAST
+/// (Fan & Xiong, 2013) for DP time-series posterior estimation.
+class ScalarKalmanFilter {
+ public:
+  /// Creates a filter. `process_variance` (Q) models drift between steps;
+  /// `measurement_variance` (R) is the perturbation noise variance (for a
+  /// Laplace(b) mechanism, R = 2 b^2). Returns InvalidArgument for
+  /// non-positive variances.
+  static StatusOr<ScalarKalmanFilter> Create(double process_variance,
+                                             double measurement_variance,
+                                             double initial_estimate,
+                                             double initial_variance);
+
+  /// Time update: propagates the prior one step (adds Q to the variance).
+  /// Returns the prior estimate.
+  double Predict();
+
+  /// Measurement update with a (noisy) observation z. Returns the posterior
+  /// estimate.
+  double Correct(double z);
+
+  double estimate() const { return estimate_; }
+  double variance() const { return variance_; }
+  double gain() const { return gain_; }
+
+ private:
+  ScalarKalmanFilter(double q, double r, double x0, double p0)
+      : q_(q), r_(r), estimate_(x0), variance_(p0) {}
+
+  double q_;
+  double r_;
+  double estimate_;
+  double variance_;
+  double gain_ = 0.0;
+};
+
+/// Discrete PID controller used by FAST's adaptive-sampling loop to adjust
+/// the sampling interval from the observed feedback error.
+class PidController {
+ public:
+  /// Standard PID gains and an integral window; errors are accumulated over
+  /// at most `integral_window` most recent updates.
+  PidController(double kp, double ki, double kd, int integral_window = 5);
+
+  /// Feeds one error observation; returns the control signal.
+  double Update(double error);
+
+  void Reset();
+
+ private:
+  double kp_, ki_, kd_;
+  int window_;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+  // Ring buffer of recent errors for the windowed integral term.
+  std::vector<double> recent_;
+};
+
+}  // namespace stpt::filter
+
+#endif  // STPT_FILTER_KALMAN_H_

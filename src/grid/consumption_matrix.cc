@@ -1,0 +1,101 @@
+#include "grid/consumption_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace stpt::grid {
+
+StatusOr<ConsumptionMatrix> ConsumptionMatrix::Create(Dims dims) {
+  if (dims.cx <= 0 || dims.cy <= 0 || dims.ct <= 0) {
+    return Status::InvalidArgument("ConsumptionMatrix: dimensions must be positive");
+  }
+  return ConsumptionMatrix(dims);
+}
+
+std::vector<double> ConsumptionMatrix::Pillar(int x, int y) const {
+  assert(x >= 0 && x < dims_.cx && y >= 0 && y < dims_.cy);
+  const size_t base = Index(x, y, 0);
+  return std::vector<double>(data_.begin() + base, data_.begin() + base + dims_.ct);
+}
+
+Status ConsumptionMatrix::SetPillar(int x, int y, const std::vector<double>& series) {
+  if (x < 0 || x >= dims_.cx || y < 0 || y >= dims_.cy) {
+    return Status::OutOfRange("SetPillar: cell out of range");
+  }
+  if (static_cast<int>(series.size()) != dims_.ct) {
+    return Status::InvalidArgument("SetPillar: series length must equal ct");
+  }
+  std::copy(series.begin(), series.end(), data_.begin() + Index(x, y, 0));
+  return Status::OK();
+}
+
+double ConsumptionMatrix::MinValue() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double ConsumptionMatrix::MaxValue() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+ConsumptionMatrix ConsumptionMatrix::Normalized() const {
+  ConsumptionMatrix out(dims_);
+  const double lo = MinValue();
+  const double hi = MaxValue();
+  const double range = hi - lo;
+  if (range <= 0.0) return out;  // constant matrix -> all zeros
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = (data_[i] - lo) / range;
+  return out;
+}
+
+double ConsumptionMatrix::BoxSum(int x0, int x1, int y0, int y1, int t0, int t1) const {
+  assert(0 <= x0 && x0 <= x1 && x1 < dims_.cx);
+  assert(0 <= y0 && y0 <= y1 && y1 < dims_.cy);
+  assert(0 <= t0 && t0 <= t1 && t1 < dims_.ct);
+  double s = 0.0;
+  for (int x = x0; x <= x1; ++x) {
+    for (int y = y0; y <= y1; ++y) {
+      const size_t base = Index(x, y, 0);
+      for (int t = t0; t <= t1; ++t) s += data_[base + t];
+    }
+  }
+  return s;
+}
+
+double ConsumptionMatrix::TotalSum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+PrefixSum3D::PrefixSum3D(const ConsumptionMatrix& m)
+    : dims_(m.dims()), pre_(m.dims().NumCells(), 0.0) {
+  const auto& d = m.data();
+  auto idx = [&](int x, int y, int t) {
+    return (static_cast<size_t>(x) * dims_.cy + y) * dims_.ct + t;
+  };
+  for (int x = 0; x < dims_.cx; ++x) {
+    for (int y = 0; y < dims_.cy; ++y) {
+      for (int t = 0; t < dims_.ct; ++t) {
+        double v = d[idx(x, y, t)];
+        v += P(x - 1, y, t) + P(x, y - 1, t) + P(x, y, t - 1);
+        v -= P(x - 1, y - 1, t) + P(x - 1, y, t - 1) + P(x, y - 1, t - 1);
+        v += P(x - 1, y - 1, t - 1);
+        pre_[idx(x, y, t)] = v;
+      }
+    }
+  }
+}
+
+double PrefixSum3D::BoxSum(int x0, int x1, int y0, int y1, int t0, int t1) const {
+  assert(0 <= x0 && x0 <= x1 && x1 < dims_.cx);
+  assert(0 <= y0 && y0 <= y1 && y1 < dims_.cy);
+  assert(0 <= t0 && t0 <= t1 && t1 < dims_.ct);
+  double s = P(x1, y1, t1);
+  s -= P(x0 - 1, y1, t1) + P(x1, y0 - 1, t1) + P(x1, y1, t0 - 1);
+  s += P(x0 - 1, y0 - 1, t1) + P(x0 - 1, y1, t0 - 1) + P(x1, y0 - 1, t0 - 1);
+  s -= P(x0 - 1, y0 - 1, t0 - 1);
+  return s;
+}
+
+}  // namespace stpt::grid

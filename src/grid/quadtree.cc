@@ -1,0 +1,86 @@
+#include "grid/quadtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace stpt::grid {
+namespace {
+
+/// Splits [0, n) into `parts` contiguous ranges as evenly as possible and
+/// returns the boundary starts (parts+1 entries, last == n).
+std::vector<int> SplitAxis(int n, int parts) {
+  std::vector<int> bounds;
+  bounds.reserve(parts + 1);
+  for (int p = 0; p <= parts; ++p) {
+    bounds.push_back(static_cast<int>(static_cast<int64_t>(p) * n / parts));
+  }
+  return bounds;
+}
+
+}  // namespace
+
+int DefaultQuadtreeDepth(const Dims& dims) {
+  const int m = std::min(dims.cx, dims.cy);
+  return FloorLog2(static_cast<uint64_t>(std::max(1, m)));
+}
+
+StatusOr<std::vector<QuadtreeLevel>> BuildQuadtreeLevels(
+    const ConsumptionMatrix& matrix, int t_train, int max_depth) {
+  const Dims& dims = matrix.dims();
+  if (t_train < 1 || t_train > dims.ct) {
+    return Status::InvalidArgument("BuildQuadtreeLevels: t_train out of range");
+  }
+  if (max_depth < 0) {
+    return Status::InvalidArgument("BuildQuadtreeLevels: max_depth must be >= 0");
+  }
+  const int64_t parts = int64_t{1} << max_depth;
+  if (parts > dims.cx || parts > dims.cy) {
+    return Status::InvalidArgument(
+        "BuildQuadtreeLevels: 2^max_depth exceeds spatial dimension");
+  }
+
+  const int num_levels = max_depth + 1;
+  const int seg_len = static_cast<int>(CeilDiv(t_train, num_levels));  // Eq. 8
+
+  std::vector<QuadtreeLevel> levels;
+  for (int d = 0; d < num_levels; ++d) {
+    const int t0 = d * seg_len;
+    if (t0 >= t_train) break;
+    const int t1 = std::min(t_train, (d + 1) * seg_len);
+
+    QuadtreeLevel level;
+    level.depth = d;
+    level.t_begin = t0;
+    level.t_end = t1;
+
+    const int axis_parts = 1 << d;
+    const std::vector<int> xb = SplitAxis(dims.cx, axis_parts);
+    const std::vector<int> yb = SplitAxis(dims.cy, axis_parts);
+
+    for (int xi = 0; xi < axis_parts; ++xi) {
+      for (int yi = 0; yi < axis_parts; ++yi) {
+        Neighborhood nb;
+        nb.x0 = xb[xi];
+        nb.x1 = xb[xi + 1] - 1;
+        nb.y0 = yb[yi];
+        nb.y1 = yb[yi + 1] - 1;
+        nb.num_cells = (nb.x1 - nb.x0 + 1) * (nb.y1 - nb.y0 + 1);
+        nb.sensitivity = 1.0 / static_cast<double>(nb.num_cells);
+        nb.series.resize(t1 - t0, 0.0);
+        for (int x = nb.x0; x <= nb.x1; ++x) {
+          for (int y = nb.y0; y <= nb.y1; ++y) {
+            for (int t = t0; t < t1; ++t) nb.series[t - t0] += matrix.at(x, y, t);
+          }
+        }
+        for (double& v : nb.series) v /= static_cast<double>(nb.num_cells);
+        level.neighborhoods.push_back(std::move(nb));
+      }
+    }
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+}  // namespace stpt::grid

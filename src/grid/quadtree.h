@@ -1,0 +1,57 @@
+#ifndef STPT_GRID_QUADTREE_H_
+#define STPT_GRID_QUADTREE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "grid/consumption_matrix.h"
+
+namespace stpt::grid {
+
+/// One spatial neighborhood at some quadtree depth, together with its
+/// representative time series over the depth's time segment (paper Eq. 9:
+/// element-wise average of all per-cell series in the neighborhood).
+struct Neighborhood {
+  /// Inclusive spatial extent.
+  int x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+  /// Representative series over [t_begin, t_end) of the owning level.
+  std::vector<double> series;
+  /// Number of matrix cells covered (= (x1-x0+1) * (y1-y0+1)).
+  int num_cells = 0;
+  /// L1 sensitivity of one point of the representative series under
+  /// user-level changes of a single normalised cell value: 1 / num_cells.
+  /// For square power-of-two grids this equals the paper's
+  /// 1 / 4^(log2(Cx) - depth) (Theorem 6).
+  double sensitivity = 0.0;
+};
+
+/// One level of the spatio-temporal quadtree: a disjoint time segment of the
+/// training prefix, with space divided into 2^depth × 2^depth neighborhoods.
+struct QuadtreeLevel {
+  int depth = 0;
+  /// Half-open time range [t_begin, t_end) within the training prefix.
+  int t_begin = 0;
+  int t_end = 0;
+  std::vector<Neighborhood> neighborhoods;
+};
+
+/// Builds the spatio-temporal quadtree of Algorithm 1 (lines 5–12) over the
+/// first `t_train` slices of the (normalised) matrix.
+///
+/// Time is split into max_depth+1 equal segments of length
+/// ceil(t_train / (max_depth+1)) (paper Eq. 8); level d covers segment d and
+/// divides each spatial axis into 2^d parts. Levels whose time segment would
+/// start at or beyond t_train are omitted (can happen when t_train <
+/// max_depth+1).
+///
+/// Returns InvalidArgument if t_train is not in [1, ct], or max_depth < 0,
+/// or 2^max_depth exceeds a spatial dimension.
+StatusOr<std::vector<QuadtreeLevel>> BuildQuadtreeLevels(
+    const ConsumptionMatrix& matrix, int t_train, int max_depth);
+
+/// Returns the default quadtree depth used by the paper: log2(min(Cx, Cy)).
+int DefaultQuadtreeDepth(const Dims& dims);
+
+}  // namespace stpt::grid
+
+#endif  // STPT_GRID_QUADTREE_H_

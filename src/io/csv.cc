@@ -1,0 +1,191 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace stpt::io {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  if (!line.empty() && line.back() == ',') out.push_back("");
+  return out;
+}
+
+Status WriteMatrixCsv(const grid::ConsumptionMatrix& matrix,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("WriteMatrixCsv: cannot open " + path);
+  out << std::setprecision(17);
+  out << "x,y,t,value\n";
+  const grid::Dims& dims = matrix.dims();
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      for (int t = 0; t < dims.ct; ++t) {
+        out << x << ',' << y << ',' << t << ',' << matrix.at(x, y, t) << '\n';
+      }
+    }
+  }
+  if (!out) return Status::Internal("WriteMatrixCsv: write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<grid::ConsumptionMatrix> ReadMatrixCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("ReadMatrixCsv: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || SplitCsvLine(line).size() != 4) {
+    return Status::InvalidArgument("ReadMatrixCsv: missing x,y,t,value header");
+  }
+  struct Cell {
+    int x, y, t;
+    double v;
+  };
+  std::vector<Cell> cells;
+  int max_x = -1, max_y = -1, max_t = -1;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 4) {
+      return Status::InvalidArgument("ReadMatrixCsv: bad field count at line " +
+                                     std::to_string(line_no));
+    }
+    try {
+      Cell c{std::stoi(fields[0]), std::stoi(fields[1]), std::stoi(fields[2]),
+             std::stod(fields[3])};
+      if (c.x < 0 || c.y < 0 || c.t < 0) {
+        return Status::InvalidArgument("ReadMatrixCsv: negative index at line " +
+                                       std::to_string(line_no));
+      }
+      max_x = std::max(max_x, c.x);
+      max_y = std::max(max_y, c.y);
+      max_t = std::max(max_t, c.t);
+      cells.push_back(c);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("ReadMatrixCsv: parse error at line " +
+                                     std::to_string(line_no));
+    }
+  }
+  if (cells.empty()) return Status::InvalidArgument("ReadMatrixCsv: no data rows");
+  auto matrix_or = grid::ConsumptionMatrix::Create({max_x + 1, max_y + 1, max_t + 1});
+  STPT_RETURN_IF_ERROR(matrix_or.status());
+  grid::ConsumptionMatrix matrix = std::move(matrix_or).value();
+  if (cells.size() != matrix.size()) {
+    return Status::InvalidArgument("ReadMatrixCsv: cell count does not fill matrix");
+  }
+  for (const Cell& c : cells) matrix.set(c.x, c.y, c.t, c.v);
+  return matrix;
+}
+
+Status WriteDatasetCsv(const datagen::SyntheticDataset& dataset,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("WriteDatasetCsv: cannot open " + path);
+  out << std::setprecision(17);
+  const auto& s = dataset.spec;
+  out << "# " << s.name << ',' << s.num_households << ',' << s.mean_kwh << ','
+      << s.std_kwh << ',' << s.max_kwh << ',' << s.clip_factor << ','
+      << dataset.grid_x << ',' << dataset.grid_y << ',' << dataset.hours << '\n';
+  out << "household,cell_x,cell_y,hour,kwh\n";
+  for (size_t h = 0; h < dataset.households.size(); ++h) {
+    const auto& house = dataset.households[h];
+    for (int t = 0; t < dataset.hours; ++t) {
+      out << h << ',' << house.cell_x << ',' << house.cell_y << ',' << t << ','
+          << house.series[t] << '\n';
+    }
+  }
+  if (!out) return Status::Internal("WriteDatasetCsv: write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<datagen::SyntheticDataset> ReadDatasetCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("ReadDatasetCsv: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line.size() < 3 || line[0] != '#') {
+    return Status::InvalidArgument("ReadDatasetCsv: missing spec comment line");
+  }
+  const auto meta = SplitCsvLine(line.substr(2));
+  if (meta.size() != 9) {
+    return Status::InvalidArgument("ReadDatasetCsv: bad spec line");
+  }
+  datagen::SyntheticDataset ds;
+  try {
+    ds.spec.name = meta[0];
+    ds.spec.num_households = std::stoi(meta[1]);
+    ds.spec.mean_kwh = std::stod(meta[2]);
+    ds.spec.std_kwh = std::stod(meta[3]);
+    ds.spec.max_kwh = std::stod(meta[4]);
+    ds.spec.clip_factor = std::stod(meta[5]);
+    ds.grid_x = std::stoi(meta[6]);
+    ds.grid_y = std::stoi(meta[7]);
+    ds.hours = std::stoi(meta[8]);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("ReadDatasetCsv: spec parse error");
+  }
+  if (ds.spec.num_households <= 0 || ds.hours <= 0) {
+    return Status::InvalidArgument("ReadDatasetCsv: non-positive spec values");
+  }
+  ds.households.resize(ds.spec.num_households);
+  for (auto& h : ds.households) h.series.assign(ds.hours, 0.0);
+
+  if (!std::getline(in, line) || SplitCsvLine(line).size() != 5) {
+    return Status::InvalidArgument("ReadDatasetCsv: missing data header");
+  }
+  size_t line_no = 2;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("ReadDatasetCsv: bad field count at line " +
+                                     std::to_string(line_no));
+    }
+    try {
+      const int h = std::stoi(fields[0]);
+      const int t = std::stoi(fields[3]);
+      if (h < 0 || h >= ds.spec.num_households || t < 0 || t >= ds.hours) {
+        return Status::OutOfRange("ReadDatasetCsv: index out of range at line " +
+                                  std::to_string(line_no));
+      }
+      ds.households[h].cell_x = std::stoi(fields[1]);
+      ds.households[h].cell_y = std::stoi(fields[2]);
+      ds.households[h].series[t] = std::stod(fields[4]);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("ReadDatasetCsv: parse error at line " +
+                                     std::to_string(line_no));
+    }
+  }
+  return ds;
+}
+
+Status WriteTableCsv(const std::vector<std::string>& headers,
+                     const std::vector<std::vector<double>>& rows,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("WriteTableCsv: cannot open " + path);
+  out << std::setprecision(17);
+  for (size_t i = 0; i < headers.size(); ++i) {
+    out << headers[i] << (i + 1 < headers.size() ? "," : "");
+  }
+  out << '\n';
+  for (const auto& row : rows) {
+    if (row.size() != headers.size()) {
+      return Status::InvalidArgument("WriteTableCsv: row width mismatch");
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i] << (i + 1 < row.size() ? "," : "");
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("WriteTableCsv: write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace stpt::io

@@ -1,0 +1,42 @@
+#ifndef STPT_IO_CSV_H_
+#define STPT_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/dataset.h"
+#include "grid/consumption_matrix.h"
+
+namespace stpt::io {
+
+/// Writes a consumption matrix as CSV with header `x,y,t,value`, one row per
+/// cell, in (x, y, t) order.
+Status WriteMatrixCsv(const grid::ConsumptionMatrix& matrix,
+                      const std::string& path);
+
+/// Reads a matrix written by WriteMatrixCsv. Dimensions are inferred from
+/// the maximum indices; every cell must be present exactly once.
+StatusOr<grid::ConsumptionMatrix> ReadMatrixCsv(const std::string& path);
+
+/// Writes a dataset as CSV with header `household,cell_x,cell_y,hour,kwh`.
+/// Spec metadata goes into a leading comment line
+/// `# name,num_households,mean,std,max,clip,grid_x,grid_y,hours`.
+Status WriteDatasetCsv(const datagen::SyntheticDataset& dataset,
+                       const std::string& path);
+
+/// Reads a dataset written by WriteDatasetCsv.
+StatusOr<datagen::SyntheticDataset> ReadDatasetCsv(const std::string& path);
+
+/// Writes rows of doubles with the given column headers.
+Status WriteTableCsv(const std::vector<std::string>& headers,
+                     const std::vector<std::vector<double>>& rows,
+                     const std::string& path);
+
+/// Splits one CSV line on commas (no quoting support; the writers above
+/// never emit quoted fields).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace stpt::io
+
+#endif  // STPT_IO_CSV_H_

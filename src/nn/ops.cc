@@ -1,0 +1,562 @@
+#include "nn/ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace stpt::nn {
+namespace {
+
+using Impl = std::shared_ptr<TensorImpl>;
+
+Impl MakeNode(const std::vector<int>& shape, std::vector<Impl> parents) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(ShapeNumel(shape), 0.0);
+  impl->requires_grad = false;
+  for (const auto& p : parents) impl->requires_grad |= p->requires_grad;
+  impl->parents = std::move(parents);
+  return impl;
+}
+
+/// True if `suffix` equals the trailing dims of `shape`.
+[[maybe_unused]] bool IsSuffix(const std::vector<int>& shape,
+                               const std::vector<int>& suffix) {
+  if (suffix.size() > shape.size()) return false;
+  const size_t off = shape.size() - suffix.size();
+  for (size_t i = 0; i < suffix.size(); ++i) {
+    if (shape[off + i] != suffix[i]) return false;
+  }
+  return true;
+}
+
+void AccumulateBroadcastGrad(TensorImpl& node, TensorImpl* parent,
+                             const std::vector<double>& factor_or_empty) {
+  // node.grad has node size; parent may be a suffix-broadcast operand.
+  const size_t pn = parent->data.size();
+  const size_t nn = node.data.size();
+  assert(nn % pn == 0);
+  for (size_t i = 0; i < nn; ++i) {
+    const double g =
+        factor_or_empty.empty() ? node.grad[i] : node.grad[i] * factor_or_empty[i];
+    parent->grad[i % pn] += g;
+  }
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  assert(IsSuffix(a.shape(), b.shape()) && "Add: b must equal or suffix-broadcast a");
+  auto node = MakeNode(a.shape(), {a.impl(), b.impl()});
+  const size_t bn = b.numel();
+  for (size_t i = 0; i < node->data.size(); ++i) {
+    node->data[i] = a.data()[i] + b.data()[i % bn];
+  }
+  if (node->requires_grad) {
+    Impl ai = a.impl(), bi = b.impl();
+    node->backward_fn = [ai, bi](TensorImpl& n) {
+      for (size_t i = 0; i < n.data.size(); ++i) ai->grad[i] += n.grad[i];
+      AccumulateBroadcastGrad(n, bi.get(), {});
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  assert(a.shape() == b.shape());
+  auto node = MakeNode(a.shape(), {a.impl(), b.impl()});
+  for (size_t i = 0; i < node->data.size(); ++i) {
+    node->data[i] = a.data()[i] - b.data()[i];
+  }
+  if (node->requires_grad) {
+    Impl ai = a.impl(), bi = b.impl();
+    node->backward_fn = [ai, bi](TensorImpl& n) {
+      for (size_t i = 0; i < n.data.size(); ++i) {
+        ai->grad[i] += n.grad[i];
+        bi->grad[i] -= n.grad[i];
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  assert(IsSuffix(a.shape(), b.shape()) && "Mul: b must equal or suffix-broadcast a");
+  auto node = MakeNode(a.shape(), {a.impl(), b.impl()});
+  const size_t bn = b.numel();
+  for (size_t i = 0; i < node->data.size(); ++i) {
+    node->data[i] = a.data()[i] * b.data()[i % bn];
+  }
+  if (node->requires_grad) {
+    Impl ai = a.impl(), bi = b.impl();
+    node->backward_fn = [ai, bi, bn](TensorImpl& n) {
+      for (size_t i = 0; i < n.data.size(); ++i) {
+        ai->grad[i] += n.grad[i] * bi->data[i % bn];
+        bi->grad[i % bn] += n.grad[i] * ai->data[i];
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor Scale(const Tensor& a, double scalar) {
+  auto node = MakeNode(a.shape(), {a.impl()});
+  for (size_t i = 0; i < node->data.size(); ++i) node->data[i] = a.data()[i] * scalar;
+  if (node->requires_grad) {
+    Impl ai = a.impl();
+    node->backward_fn = [ai, scalar](TensorImpl& n) {
+      for (size_t i = 0; i < n.data.size(); ++i) ai->grad[i] += n.grad[i] * scalar;
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor AddScalar(const Tensor& a, double scalar) {
+  auto node = MakeNode(a.shape(), {a.impl()});
+  for (size_t i = 0; i < node->data.size(); ++i) node->data[i] = a.data()[i] + scalar;
+  if (node->requires_grad) {
+    Impl ai = a.impl();
+    node->backward_fn = [ai](TensorImpl& n) {
+      for (size_t i = 0; i < n.data.size(); ++i) ai->grad[i] += n.grad[i];
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_b) {
+  const auto& as = a.shape();
+  const auto& bs = b.shape();
+  assert((a.rank() == 2 || a.rank() == 3) && "MatMul: a must be rank 2 or 3");
+  assert((b.rank() == 2 || b.rank() == 3) && "MatMul: b must be rank 2 or 3");
+  assert(!(a.rank() == 2 && b.rank() == 3) && "MatMul: 2D x 3D unsupported");
+
+  const int batch = a.rank() == 3 ? as[0] : 1;
+  const int m = a.rank() == 3 ? as[1] : as[0];
+  const int k = a.rank() == 3 ? as[2] : as[1];
+  const bool b_batched = (b.rank() == 3);
+  if (b_batched) assert(bs[0] == batch && "MatMul: batch mismatch");
+  const int bk = b_batched ? (transpose_b ? bs[2] : bs[1])
+                           : (transpose_b ? bs[1] : bs[0]);
+  const int n = b_batched ? (transpose_b ? bs[1] : bs[2])
+                          : (transpose_b ? bs[0] : bs[1]);
+  assert(bk == k && "MatMul: inner dimension mismatch");
+  (void)bk;
+
+  std::vector<int> out_shape =
+      a.rank() == 3 ? std::vector<int>{batch, m, n} : std::vector<int>{m, n};
+  auto node = MakeNode(out_shape, {a.impl(), b.impl()});
+
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  auto& cd = node->data;
+  const size_t a_stride = static_cast<size_t>(m) * k;
+  const size_t b_stride = b_batched ? static_cast<size_t>(k) * n : 0;
+  const size_t c_stride = static_cast<size_t>(m) * n;
+
+  for (int bt = 0; bt < batch; ++bt) {
+    const double* A = ad.data() + bt * a_stride;
+    const double* B = bd.data() + bt * b_stride;
+    double* C = cd.data() + bt * c_stride;
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double s = 0.0;
+        if (!transpose_b) {
+          for (int kk = 0; kk < k; ++kk) s += A[i * k + kk] * B[kk * n + j];
+        } else {
+          for (int kk = 0; kk < k; ++kk) s += A[i * k + kk] * B[j * k + kk];
+        }
+        C[i * n + j] = s;
+      }
+    }
+  }
+
+  if (node->requires_grad) {
+    Impl ai = a.impl(), bi = b.impl();
+    node->backward_fn = [ai, bi, batch, m, n, k, b_batched, transpose_b, a_stride,
+                         b_stride, c_stride](TensorImpl& node_ref) {
+      const auto& gd = node_ref.grad;
+      for (int bt = 0; bt < batch; ++bt) {
+        const double* G = gd.data() + bt * c_stride;
+        const double* A = ai->data.data() + bt * a_stride;
+        const double* B = bi->data.data() + bt * b_stride;
+        double* GA = ai->grad.data() + bt * a_stride;
+        double* GB = bi->grad.data() + bt * b_stride;
+        // dA[i,kk] += sum_j G[i,j] * B(kk,j)
+        for (int i = 0; i < m; ++i) {
+          for (int kk = 0; kk < k; ++kk) {
+            double s = 0.0;
+            if (!transpose_b) {
+              for (int j = 0; j < n; ++j) s += G[i * n + j] * B[kk * n + j];
+            } else {
+              for (int j = 0; j < n; ++j) s += G[i * n + j] * B[j * k + kk];
+            }
+            GA[i * k + kk] += s;
+          }
+        }
+        // dB: shared (non-batched) B accumulates across the batch because
+        // GB points at the same buffer for every bt (b_stride == 0).
+        if (!transpose_b) {
+          for (int kk = 0; kk < k; ++kk) {
+            for (int j = 0; j < n; ++j) {
+              double s = 0.0;
+              for (int i = 0; i < m; ++i) s += A[i * k + kk] * G[i * n + j];
+              GB[kk * n + j] += s;
+            }
+          }
+        } else {
+          for (int j = 0; j < n; ++j) {
+            for (int kk = 0; kk < k; ++kk) {
+              double s = 0.0;
+              for (int i = 0; i < m; ++i) s += A[i * k + kk] * G[i * n + j];
+              GB[j * k + kk] += s;
+            }
+          }
+        }
+      }
+      (void)b_batched;
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  auto node = MakeNode(a.shape(), {a.impl()});
+  for (size_t i = 0; i < node->data.size(); ++i) {
+    node->data[i] = 1.0 / (1.0 + std::exp(-a.data()[i]));
+  }
+  if (node->requires_grad) {
+    Impl ai = a.impl();
+    node->backward_fn = [ai](TensorImpl& n) {
+      for (size_t i = 0; i < n.data.size(); ++i) {
+        ai->grad[i] += n.grad[i] * n.data[i] * (1.0 - n.data[i]);
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor Tanh(const Tensor& a) {
+  auto node = MakeNode(a.shape(), {a.impl()});
+  for (size_t i = 0; i < node->data.size(); ++i) node->data[i] = std::tanh(a.data()[i]);
+  if (node->requires_grad) {
+    Impl ai = a.impl();
+    node->backward_fn = [ai](TensorImpl& n) {
+      for (size_t i = 0; i < n.data.size(); ++i) {
+        ai->grad[i] += n.grad[i] * (1.0 - n.data[i] * n.data[i]);
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor Relu(const Tensor& a) {
+  auto node = MakeNode(a.shape(), {a.impl()});
+  for (size_t i = 0; i < node->data.size(); ++i) {
+    node->data[i] = a.data()[i] > 0.0 ? a.data()[i] : 0.0;
+  }
+  if (node->requires_grad) {
+    Impl ai = a.impl();
+    node->backward_fn = [ai](TensorImpl& n) {
+      for (size_t i = 0; i < n.data.size(); ++i) {
+        if (ai->data[i] > 0.0) ai->grad[i] += n.grad[i];
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor Softmax(const Tensor& a) {
+  const int last = a.shape().back();
+  auto node = MakeNode(a.shape(), {a.impl()});
+  const size_t rows = a.numel() / last;
+  for (size_t r = 0; r < rows; ++r) {
+    const double* in = a.data().data() + r * last;
+    double* out = node->data.data() + r * last;
+    double mx = in[0];
+    for (int i = 1; i < last; ++i) mx = std::max(mx, in[i]);
+    double sum = 0.0;
+    for (int i = 0; i < last; ++i) {
+      out[i] = std::exp(in[i] - mx);
+      sum += out[i];
+    }
+    for (int i = 0; i < last; ++i) out[i] /= sum;
+  }
+  if (node->requires_grad) {
+    Impl ai = a.impl();
+    node->backward_fn = [ai, last, rows](TensorImpl& n) {
+      for (size_t r = 0; r < rows; ++r) {
+        const double* y = n.data.data() + r * last;
+        const double* gy = n.grad.data() + r * last;
+        double dot = 0.0;
+        for (int i = 0; i < last; ++i) dot += y[i] * gy[i];
+        double* ga = ai->grad.data() + r * last;
+        for (int i = 0; i < last; ++i) ga[i] += y[i] * (gy[i] - dot);
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                 double eps) {
+  const int d = a.shape().back();
+  assert(gamma.rank() == 1 && gamma.shape()[0] == d);
+  assert(beta.rank() == 1 && beta.shape()[0] == d);
+  auto node = MakeNode(a.shape(), {a.impl(), gamma.impl(), beta.impl()});
+  const size_t rows = a.numel() / d;
+  // Cache per-row statistics for the backward pass.
+  auto mean = std::make_shared<std::vector<double>>(rows);
+  auto inv_std = std::make_shared<std::vector<double>>(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const double* in = a.data().data() + r * d;
+    double m = 0.0;
+    for (int i = 0; i < d; ++i) m += in[i];
+    m /= d;
+    double var = 0.0;
+    for (int i = 0; i < d; ++i) var += (in[i] - m) * (in[i] - m);
+    var /= d;
+    const double is = 1.0 / std::sqrt(var + eps);
+    (*mean)[r] = m;
+    (*inv_std)[r] = is;
+    double* out = node->data.data() + r * d;
+    for (int i = 0; i < d; ++i) {
+      out[i] = gamma.data()[i] * (in[i] - m) * is + beta.data()[i];
+    }
+  }
+  if (node->requires_grad) {
+    Impl ai = a.impl(), gi = gamma.impl(), bi = beta.impl();
+    node->backward_fn = [ai, gi, bi, d, rows, mean, inv_std](TensorImpl& n) {
+      for (size_t r = 0; r < rows; ++r) {
+        const double* x = ai->data.data() + r * d;
+        const double* gy = n.grad.data() + r * d;
+        const double m = (*mean)[r];
+        const double is = (*inv_std)[r];
+        // xhat_i = (x_i - m) * is
+        double sum_gy_g = 0.0;     // sum_i gy_i * gamma_i
+        double sum_gy_g_xh = 0.0;  // sum_i gy_i * gamma_i * xhat_i
+        for (int i = 0; i < d; ++i) {
+          const double xh = (x[i] - m) * is;
+          const double gg = gy[i] * gi->data[i];
+          sum_gy_g += gg;
+          sum_gy_g_xh += gg * xh;
+          gi->grad[i] += gy[i] * xh;
+          bi->grad[i] += gy[i];
+        }
+        double* ga = ai->grad.data() + r * d;
+        for (int i = 0; i < d; ++i) {
+          const double xh = (x[i] - m) * is;
+          ga[i] += is * (gy[i] * gi->data[i] - sum_gy_g / d - xh * sum_gy_g_xh / d);
+        }
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor StackSeq(const std::vector<Tensor>& steps) {
+  assert(!steps.empty());
+  const auto& s0 = steps[0].shape();
+  assert(s0.size() == 2);
+  const int b = s0[0];
+  const int d = s0[1];
+  const int s = static_cast<int>(steps.size());
+  std::vector<Impl> parents;
+  for (const auto& t : steps) {
+    assert(t.shape() == s0);
+    parents.push_back(t.impl());
+  }
+  auto node = MakeNode({b, s, d}, std::move(parents));
+  for (int bt = 0; bt < b; ++bt) {
+    for (int st = 0; st < s; ++st) {
+      for (int i = 0; i < d; ++i) {
+        node->data[(static_cast<size_t>(bt) * s + st) * d + i] =
+            steps[st].data()[static_cast<size_t>(bt) * d + i];
+      }
+    }
+  }
+  if (node->requires_grad) {
+    std::vector<Impl> ps;
+    for (const auto& t : steps) ps.push_back(t.impl());
+    node->backward_fn = [ps, b, s, d](TensorImpl& n) {
+      for (int bt = 0; bt < b; ++bt) {
+        for (int st = 0; st < s; ++st) {
+          for (int i = 0; i < d; ++i) {
+            ps[st]->grad[static_cast<size_t>(bt) * d + i] +=
+                n.grad[(static_cast<size_t>(bt) * s + st) * d + i];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
+  assert(!parts.empty());
+  const auto& s0 = parts[0].shape();
+  std::vector<int> lead(s0.begin(), s0.end() - 1);
+  int total_last = 0;
+  std::vector<Impl> parents;
+  std::vector<int> lasts;
+  for (const auto& p : parts) {
+    assert(std::vector<int>(p.shape().begin(), p.shape().end() - 1) == lead &&
+           "ConcatLastDim: leading dims must match");
+    lasts.push_back(p.shape().back());
+    total_last += p.shape().back();
+    parents.push_back(p.impl());
+  }
+  std::vector<int> out_shape = lead;
+  out_shape.push_back(total_last);
+  const size_t rows = ShapeNumel(lead);
+  auto node = MakeNode(out_shape, parents);
+  for (size_t r = 0; r < rows; ++r) {
+    size_t off = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      const int d = lasts[p];
+      for (int i = 0; i < d; ++i) {
+        node->data[r * total_last + off + i] =
+            parts[p].data()[r * static_cast<size_t>(d) + i];
+      }
+      off += d;
+    }
+  }
+  if (node->requires_grad) {
+    std::vector<Impl> ps;
+    for (const auto& p : parts) ps.push_back(p.impl());
+    node->backward_fn = [ps, lasts, rows, total_last](TensorImpl& n) {
+      for (size_t r = 0; r < rows; ++r) {
+        size_t off = 0;
+        for (size_t p = 0; p < ps.size(); ++p) {
+          const int d = lasts[p];
+          for (int i = 0; i < d; ++i) {
+            ps[p]->grad[r * static_cast<size_t>(d) + i] +=
+                n.grad[r * total_last + off + i];
+          }
+          off += d;
+        }
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor SliceSeq(const Tensor& a, int t) {
+  assert(a.rank() == 3);
+  const int b = a.shape()[0];
+  const int s = a.shape()[1];
+  const int d = a.shape()[2];
+  assert(t >= 0 && t < s);
+  auto node = MakeNode({b, d}, {a.impl()});
+  for (int bt = 0; bt < b; ++bt) {
+    for (int i = 0; i < d; ++i) {
+      node->data[static_cast<size_t>(bt) * d + i] =
+          a.data()[(static_cast<size_t>(bt) * s + t) * d + i];
+    }
+  }
+  if (node->requires_grad) {
+    Impl ai = a.impl();
+    node->backward_fn = [ai, b, s, d, t](TensorImpl& n) {
+      for (int bt = 0; bt < b; ++bt) {
+        for (int i = 0; i < d; ++i) {
+          ai->grad[(static_cast<size_t>(bt) * s + t) * d + i] +=
+              n.grad[static_cast<size_t>(bt) * d + i];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor SumAll(const Tensor& a) {
+  auto node = MakeNode({1}, {a.impl()});
+  double s = 0.0;
+  for (double v : a.data()) s += v;
+  node->data[0] = s;
+  if (node->requires_grad) {
+    Impl ai = a.impl();
+    node->backward_fn = [ai](TensorImpl& n) {
+      for (double& g : ai->grad) g += n.grad[0];
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  const double inv = 1.0 / static_cast<double>(a.numel());
+  return Scale(SumAll(a), inv);
+}
+
+Tensor MeanSeq(const Tensor& a) {
+  assert(a.rank() == 3);
+  const int b = a.shape()[0];
+  const int s = a.shape()[1];
+  const int d = a.shape()[2];
+  auto node = MakeNode({b, d}, {a.impl()});
+  for (int bt = 0; bt < b; ++bt) {
+    for (int st = 0; st < s; ++st) {
+      for (int i = 0; i < d; ++i) {
+        node->data[static_cast<size_t>(bt) * d + i] +=
+            a.data()[(static_cast<size_t>(bt) * s + st) * d + i];
+      }
+    }
+  }
+  for (double& v : node->data) v /= s;
+  if (node->requires_grad) {
+    Impl ai = a.impl();
+    node->backward_fn = [ai, b, s, d](TensorImpl& n) {
+      const double inv = 1.0 / s;
+      for (int bt = 0; bt < b; ++bt) {
+        for (int st = 0; st < s; ++st) {
+          for (int i = 0; i < d; ++i) {
+            ai->grad[(static_cast<size_t>(bt) * s + st) * d + i] +=
+                n.grad[static_cast<size_t>(bt) * d + i] * inv;
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor Reshape(const Tensor& a, const std::vector<int>& shape) {
+  assert(ShapeNumel(shape) == a.numel());
+  auto node = MakeNode(shape, {a.impl()});
+  node->data = a.data();
+  if (node->requires_grad) {
+    Impl ai = a.impl();
+    node->backward_fn = [ai](TensorImpl& n) {
+      for (size_t i = 0; i < n.data.size(); ++i) ai->grad[i] += n.grad[i];
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  assert(pred.shape() == target.shape());
+  const Tensor diff = Sub(pred, target);
+  return MeanAll(Mul(diff, diff));
+}
+
+Tensor MaeLoss(const Tensor& pred, const Tensor& target) {
+  assert(pred.shape() == target.shape());
+  auto node = MakeNode({1}, {pred.impl(), target.impl()});
+  double s = 0.0;
+  for (size_t i = 0; i < pred.numel(); ++i) {
+    s += std::fabs(pred.data()[i] - target.data()[i]);
+  }
+  node->data[0] = s / static_cast<double>(pred.numel());
+  if (node->requires_grad) {
+    Impl pi = pred.impl(), ti = target.impl();
+    node->backward_fn = [pi, ti](TensorImpl& n) {
+      const double inv = 1.0 / static_cast<double>(pi->data.size());
+      for (size_t i = 0; i < pi->data.size(); ++i) {
+        const double diff = pi->data[i] - ti->data[i];
+        const double sgn = diff > 0.0 ? 1.0 : (diff < 0.0 ? -1.0 : 0.0);
+        pi->grad[i] += n.grad[0] * sgn * inv;
+        ti->grad[i] -= n.grad[0] * sgn * inv;
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+}  // namespace stpt::nn

@@ -1,0 +1,90 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace stpt::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double sq = 0.0;
+  for (Tensor& p : params_) {
+    for (double g : p.grad()) sq += g * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Tensor& p : params_) {
+      for (double& g : p.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (Tensor& p : params_) velocity_.emplace_back(p.numel(), 0.0);
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    const auto& grad = params_[i].grad();
+    auto& vel = velocity_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      vel[j] = momentum_ * vel[j] - lr_ * grad[j];
+      data[j] += vel[j];
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<Tensor> params, double lr, double decay, double eps)
+    : Optimizer(std::move(params)), lr_(lr), decay_(decay), eps_(eps) {
+  mean_square_.reserve(params_.size());
+  for (Tensor& p : params_) mean_square_.emplace_back(p.numel(), 0.0);
+}
+
+void RmsProp::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    const auto& grad = params_[i].grad();
+    auto& ms = mean_square_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      ms[j] = decay_ * ms[j] + (1.0 - decay_) * grad[j] * grad[j];
+      data[j] -= lr_ * grad[j] / (std::sqrt(ms[j]) + eps_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Tensor& p : params_) {
+    m_.emplace_back(p.numel(), 0.0);
+    v_.emplace_back(p.numel(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    const auto& grad = params_[i].grad();
+    for (size_t j = 0; j < data.size(); ++j) {
+      m_[i][j] = beta1_ * m_[i][j] + (1.0 - beta1_) * grad[j];
+      v_[i][j] = beta2_ * v_[i][j] + (1.0 - beta2_) * grad[j] * grad[j];
+      const double mhat = m_[i][j] / bc1;
+      const double vhat = v_[i][j] / bc2;
+      data[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace stpt::nn

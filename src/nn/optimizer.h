@@ -1,0 +1,68 @@
+#ifndef STPT_NN_OPTIMIZER_H_
+#define STPT_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace stpt::nn {
+
+/// Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Clips the global L2 norm of all gradients to max_norm (no-op if under).
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr, double momentum = 0.0);
+  void Step() override;
+
+ private:
+  double lr_, momentum_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// RMSProp (the optimizer used in the paper's Appendix C, lr 1e-3).
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(std::vector<Tensor> params, double lr, double decay = 0.9,
+          double eps = 1e-8);
+  void Step() override;
+
+ private:
+  double lr_, decay_, eps_;
+  std::vector<std::vector<double>> mean_square_;
+};
+
+/// Adam (Kingma & Ba, 2015).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void Step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+}  // namespace stpt::nn
+
+#endif  // STPT_NN_OPTIMIZER_H_

@@ -1,0 +1,246 @@
+#include "nn/predictor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace stpt::nn {
+namespace {
+
+/// Shared "embed -> self-attention -> recurrent core -> linear head"
+/// predictor, with a vanilla RNN or GRU core (paper §4 base design and
+/// Appendix C unit).
+class RecurrentPredictor : public SequencePredictor {
+ public:
+  RecurrentPredictor(ModelKind kind, const PredictorConfig& config, Rng& rng)
+      : SequencePredictor(config),
+        kind_(kind),
+        embed_(1, config.embedding_size, rng),
+        attn_(config.embedding_size, rng),
+        head_(config.hidden_size, 1, rng) {
+    switch (kind) {
+      case ModelKind::kGru:
+        gru_ = std::make_unique<GruCell>(config.embedding_size, config.hidden_size,
+                                         rng);
+        break;
+      case ModelKind::kLstm:
+        lstm_ = std::make_unique<LstmCell>(config.embedding_size, config.hidden_size,
+                                           rng);
+        break;
+      default:
+        rnn_ = std::make_unique<RnnCell>(config.embedding_size, config.hidden_size,
+                                         rng);
+        break;
+    }
+  }
+
+  Tensor Forward(const Tensor& windows) override {
+    assert(windows.rank() == 3 && windows.shape()[2] == 1);
+    const int batch = windows.shape()[0];
+    const int seq = windows.shape()[1];
+    const Tensor embedded = embed_.Forward(windows);   // [b, s, emb]
+    const Tensor attended = attn_.Forward(embedded);   // [b, s, emb]
+    Tensor h = Tensor::Zeros({batch, config_.hidden_size});
+    LstmState state;
+    if (lstm_) state = lstm_->ZeroState(batch);
+    for (int t = 0; t < seq; ++t) {
+      const Tensor xt = SliceSeq(attended, t);
+      if (gru_) {
+        h = gru_->Forward(xt, h);
+      } else if (lstm_) {
+        state = lstm_->Forward(xt, state);
+        h = state.h;
+      } else {
+        h = rnn_->Forward(xt, h);
+      }
+    }
+    return head_.Forward(h);  // [b, 1]
+  }
+
+  std::vector<Tensor> Parameters() override {
+    std::vector<Tensor> params = embed_.Parameters();
+    for (const Tensor& p : attn_.Parameters()) params.push_back(p);
+    const std::vector<Tensor> core = gru_    ? gru_->Parameters()
+                                     : lstm_ ? lstm_->Parameters()
+                                             : rnn_->Parameters();
+    for (const Tensor& p : core) params.push_back(p);
+    for (const Tensor& p : head_.Parameters()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  ModelKind kind_;
+  Linear embed_;
+  SelfAttention attn_;
+  std::unique_ptr<GruCell> gru_;
+  std::unique_ptr<LstmCell> lstm_;
+  std::unique_ptr<RnnCell> rnn_;
+  Linear head_;
+};
+
+/// Transformer-encoder variant (Fig. 8i): embed + sinusoidal positions ->
+/// encoder layer -> mean pool -> linear head.
+class TransformerPredictor : public SequencePredictor {
+ public:
+  TransformerPredictor(const PredictorConfig& config, Rng& rng)
+      : SequencePredictor(config),
+        embed_(1, config.embedding_size, rng),
+        encoder_(config.embedding_size, config.ff_size, rng),
+        head_(config.embedding_size, 1, rng),
+        pos_enc_(MakePositionalEncoding(config.window_size, config.embedding_size)) {}
+
+  Tensor Forward(const Tensor& windows) override {
+    assert(windows.rank() == 3 && windows.shape()[2] == 1);
+    const Tensor embedded = Add(embed_.Forward(windows), pos_enc_);  // [b, s, emb]
+    const Tensor encoded = encoder_.Forward(embedded);
+    return head_.Forward(MeanSeq(encoded));
+  }
+
+  std::vector<Tensor> Parameters() override {
+    std::vector<Tensor> params = embed_.Parameters();
+    for (const Tensor& p : encoder_.Parameters()) params.push_back(p);
+    for (const Tensor& p : head_.Parameters()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  static Tensor MakePositionalEncoding(int seq, int dim) {
+    std::vector<double> values(static_cast<size_t>(seq) * dim);
+    for (int p = 0; p < seq; ++p) {
+      for (int i = 0; i < dim; ++i) {
+        const double rate = std::pow(10000.0, -2.0 * (i / 2) / static_cast<double>(dim));
+        values[static_cast<size_t>(p) * dim + i] =
+            (i % 2 == 0) ? std::sin(p * rate) : std::cos(p * rate);
+      }
+    }
+    return Tensor::FromVector({seq, dim}, values);
+  }
+
+  Linear embed_;
+  TransformerEncoderLayer encoder_;
+  Linear head_;
+  Tensor pos_enc_;  // constant [seq, dim], broadcast over batch
+};
+
+Tensor WindowsToTensor(const std::vector<std::vector<double>>& windows,
+                       const std::vector<size_t>& indices, size_t begin, size_t end,
+                       int window_size) {
+  const int batch = static_cast<int>(end - begin);
+  std::vector<double> flat(static_cast<size_t>(batch) * window_size);
+  for (size_t i = begin; i < end; ++i) {
+    const auto& w = windows[indices[i]];
+    assert(static_cast<int>(w.size()) == window_size);
+    std::copy(w.begin(), w.end(), flat.begin() + (i - begin) * window_size);
+  }
+  return Tensor::FromVector({batch, window_size, 1}, flat);
+}
+
+}  // namespace
+
+const char* ModelKindToString(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kRnn:
+      return "RNN";
+    case ModelKind::kGru:
+      return "GRU";
+    case ModelKind::kLstm:
+      return "LSTM";
+    case ModelKind::kTransformer:
+      return "Transformer";
+  }
+  return "UNKNOWN";
+}
+
+std::unique_ptr<SequencePredictor> SequencePredictor::Create(
+    ModelKind kind, const PredictorConfig& config, Rng& rng) {
+  if (kind == ModelKind::kTransformer) {
+    return std::make_unique<TransformerPredictor>(config, rng);
+  }
+  return std::make_unique<RecurrentPredictor>(kind, config, rng);
+}
+
+WindowDataset MakeWindows(const std::vector<std::vector<double>>& series,
+                          int window_size) {
+  WindowDataset ds;
+  for (const auto& s : series) {
+    if (static_cast<int>(s.size()) < window_size + 1) continue;
+    for (size_t i = 0; i + window_size < s.size(); ++i) {
+      ds.inputs.emplace_back(s.begin() + i, s.begin() + i + window_size);
+      ds.targets.push_back(s[i + window_size]);
+    }
+  }
+  return ds;
+}
+
+StatusOr<TrainStats> TrainPredictor(SequencePredictor* predictor,
+                                    const WindowDataset& dataset,
+                                    const TrainConfig& config, Rng& rng) {
+  if (dataset.size() == 0) {
+    return Status::InvalidArgument("TrainPredictor: empty dataset");
+  }
+  const int ws = predictor->window_size();
+  for (const auto& w : dataset.inputs) {
+    if (static_cast<int>(w.size()) != ws) {
+      return Status::InvalidArgument("TrainPredictor: window size mismatch");
+    }
+  }
+  RmsProp optimizer(predictor->Parameters(), config.learning_rate);
+  std::vector<size_t> order(dataset.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  TrainStats stats;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher–Yates shuffle with the injected RNG for reproducibility.
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+    }
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t begin = 0; begin < dataset.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      const size_t end =
+          std::min(dataset.size(), begin + static_cast<size_t>(config.batch_size));
+      const Tensor x = WindowsToTensor(dataset.inputs, order, begin, end, ws);
+      std::vector<double> yv;
+      yv.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) yv.push_back(dataset.targets[order[i]]);
+      const Tensor y =
+          Tensor::FromVector({static_cast<int>(end - begin), 1}, yv);
+
+      optimizer.ZeroGrad();
+      const Tensor pred = predictor->Forward(x);
+      Tensor loss = MseLoss(pred, y);
+      loss.Backward();
+      optimizer.ClipGradNorm(config.grad_clip);
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    stats.epoch_losses.push_back(epoch_loss / static_cast<double>(batches));
+  }
+  return stats;
+}
+
+std::vector<double> PredictBatch(SequencePredictor* predictor,
+                                 const std::vector<std::vector<double>>& windows) {
+  if (windows.empty()) return {};
+  std::vector<size_t> identity(windows.size());
+  for (size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  std::vector<double> out;
+  out.reserve(windows.size());
+  // Chunk to bound tape memory.
+  constexpr size_t kChunk = 256;
+  for (size_t begin = 0; begin < windows.size(); begin += kChunk) {
+    const size_t end = std::min(windows.size(), begin + kChunk);
+    const Tensor x = WindowsToTensor(windows, identity, begin, end,
+                                     predictor->window_size());
+    const Tensor pred = predictor->Forward(x);
+    for (size_t i = 0; i < end - begin; ++i) out.push_back(pred.data()[i]);
+  }
+  return out;
+}
+
+}  // namespace stpt::nn

@@ -1,0 +1,98 @@
+#ifndef STPT_NN_PREDICTOR_H_
+#define STPT_NN_PREDICTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/layers.h"
+
+namespace stpt::nn {
+
+/// Model families evaluated by the paper (base design + Fig. 8i variants)
+/// plus an LSTM extension.
+enum class ModelKind {
+  kRnn,          // embed -> self-attention -> vanilla RNN -> linear
+  kGru,          // embed -> self-attention -> GRU -> linear (paper App. C unit)
+  kLstm,         // embed -> self-attention -> LSTM -> linear (extension)
+  kTransformer,  // embed (+pos enc) -> encoder layer -> mean pool -> linear
+};
+
+const char* ModelKindToString(ModelKind kind);
+
+/// Hyper-parameters of the sequence predictor (paper Appendix C defaults).
+struct PredictorConfig {
+  int window_size = 6;     ///< input time steps per prediction
+  int embedding_size = 32; ///< paper uses 128; default scaled for CPU runs
+  int hidden_size = 32;    ///< paper uses 64; default scaled for CPU runs
+  int ff_size = 64;        ///< transformer feed-forward width
+};
+
+/// One-step-ahead time-series predictor over fixed-length windows: maps a
+/// batch of windows [batch, window, 1] to next-value predictions [batch, 1].
+class SequencePredictor {
+ public:
+  virtual ~SequencePredictor() = default;
+
+  /// Builds a predictor of the given family.
+  static std::unique_ptr<SequencePredictor> Create(ModelKind kind,
+                                                   const PredictorConfig& config,
+                                                   Rng& rng);
+
+  /// Forward pass; builds the autograd tape when any parameter requires grad.
+  virtual Tensor Forward(const Tensor& windows) = 0;
+
+  virtual std::vector<Tensor> Parameters() = 0;
+
+  int window_size() const { return config_.window_size; }
+  const PredictorConfig& config() const { return config_; }
+
+ protected:
+  explicit SequencePredictor(const PredictorConfig& config) : config_(config) {}
+  PredictorConfig config_;
+};
+
+/// Supervised windowed dataset: each sample is `window_size` consecutive
+/// values of one series and the value that follows them.
+struct WindowDataset {
+  std::vector<std::vector<double>> inputs;  // each of length window_size
+  std::vector<double> targets;
+
+  size_t size() const { return inputs.size(); }
+};
+
+/// Sweeps a window of length `window_size` across every series (paper §4.2:
+/// series are *stacked, not sequential* — windows never straddle two series).
+/// Series shorter than window_size + 1 contribute no samples.
+WindowDataset MakeWindows(const std::vector<std::vector<double>>& series,
+                          int window_size);
+
+/// Training hyper-parameters (paper Appendix C: 20 epochs, batch 32,
+/// RMSProp lr 1e-3).
+struct TrainConfig {
+  int epochs = 20;
+  int batch_size = 32;
+  double learning_rate = 1e-3;
+  double grad_clip = 5.0;
+};
+
+/// Per-epoch mean training losses.
+struct TrainStats {
+  std::vector<double> epoch_losses;
+};
+
+/// Trains the predictor in place with RMSProp on MSE loss; samples are
+/// reshuffled every epoch. Returns InvalidArgument for an empty dataset or
+/// window-size mismatch.
+StatusOr<TrainStats> TrainPredictor(SequencePredictor* predictor,
+                                    const WindowDataset& dataset,
+                                    const TrainConfig& config, Rng& rng);
+
+/// Batched inference: one prediction per window (no tape).
+std::vector<double> PredictBatch(SequencePredictor* predictor,
+                                 const std::vector<std::vector<double>>& windows);
+
+}  // namespace stpt::nn
+
+#endif  // STPT_NN_PREDICTOR_H_

@@ -1,0 +1,100 @@
+#include "nn/tensor.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace stpt::nn {
+
+size_t ShapeNumel(const std::vector<int>& shape) {
+  size_t n = 1;
+  for (int d : shape) {
+    assert(d > 0);
+    n *= static_cast<size_t>(d);
+  }
+  return n;
+}
+
+namespace {
+
+std::shared_ptr<TensorImpl> MakeImpl(const std::vector<int>& shape,
+                                     bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(ShapeNumel(shape), 0.0);
+  impl->requires_grad = requires_grad;
+  if (requires_grad) impl->grad.assign(impl->data.size(), 0.0);
+  return impl;
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(const std::vector<int>& shape, bool requires_grad) {
+  return Tensor(MakeImpl(shape, requires_grad));
+}
+
+Tensor Tensor::Full(const std::vector<int>& shape, double value, bool requires_grad) {
+  auto impl = MakeImpl(shape, requires_grad);
+  for (double& v : impl->data) v = value;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(const std::vector<int>& shape,
+                          const std::vector<double>& values, bool requires_grad) {
+  assert(values.size() == ShapeNumel(shape));
+  auto impl = MakeImpl(shape, requires_grad);
+  impl->data = values;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Randn(const std::vector<int>& shape, Rng& rng, double stddev,
+                     bool requires_grad) {
+  auto impl = MakeImpl(shape, requires_grad);
+  for (double& v : impl->data) v = rng.Gaussian(0.0, stddev);
+  return Tensor(std::move(impl));
+}
+
+double Tensor::item() const {
+  assert(numel() == 1);
+  return impl_->data[0];
+}
+
+void Tensor::ZeroGrad() {
+  if (!impl_->requires_grad) return;
+  impl_->grad.assign(impl_->data.size(), 0.0);
+}
+
+void Tensor::Backward() {
+  assert(numel() == 1 && "Backward requires a scalar tensor");
+  // Topological order via iterative DFS over parent edges.
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      TensorImpl* p = f.node->parents[f.next_parent++].get();
+      if (visited.insert(p).second) stack.push_back({p, 0});
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // Seed: d(out)/d(out) = 1. Ensure grad buffers exist for interior nodes.
+  for (TensorImpl* n : topo) {
+    if (n->grad.size() != n->data.size()) n->grad.assign(n->data.size(), 0.0);
+  }
+  impl_->grad[0] = 1.0;
+  // topo is child-after-parents; walk in reverse so each node's grad is
+  // complete before it pushes into its parents.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn(**it);
+  }
+}
+
+}  // namespace stpt::nn

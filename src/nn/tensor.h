@@ -1,0 +1,88 @@
+#ifndef STPT_NN_TENSOR_H_
+#define STPT_NN_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace stpt::nn {
+
+/// Shared storage + autograd node behind a Tensor handle.
+struct TensorImpl {
+  std::vector<int> shape;
+  std::vector<double> data;
+  std::vector<double> grad;  // same size as data when requires_grad
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  /// Accumulates this node's gradient into its parents' gradients.
+  std::function<void(TensorImpl&)> backward_fn;
+};
+
+/// Dense row-major tensor of doubles with dynamic-tape reverse-mode
+/// autodiff. Handles share storage (shallow copies), mirroring the usual
+/// NN-framework semantics. Supported ranks are 1–3, which covers the
+/// sequence models used by STPT's pattern-recognition step.
+///
+/// The tape is built implicitly by the free functions in ops.h; calling
+/// Backward() on a scalar result propagates gradients to every reachable
+/// tensor with requires_grad == true.
+class Tensor {
+ public:
+  /// Empty (null) tensor handle.
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  static Tensor Zeros(const std::vector<int>& shape, bool requires_grad = false);
+
+  /// Constant-filled tensor.
+  static Tensor Full(const std::vector<int>& shape, double value,
+                     bool requires_grad = false);
+
+  /// Tensor wrapping the given values (copied). The value count must match
+  /// the shape volume.
+  static Tensor FromVector(const std::vector<int>& shape,
+                           const std::vector<double>& values,
+                           bool requires_grad = false);
+
+  /// Gaussian-initialised tensor, N(0, stddev^2).
+  static Tensor Randn(const std::vector<int>& shape, Rng& rng, double stddev,
+                      bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int>& shape() const { return impl_->shape; }
+  int rank() const { return static_cast<int>(impl_->shape.size()); }
+  size_t numel() const { return impl_->data.size(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  std::vector<double>& data() { return impl_->data; }
+  const std::vector<double>& data() const { return impl_->data; }
+  std::vector<double>& grad() { return impl_->grad; }
+  const std::vector<double>& grad() const { return impl_->grad; }
+
+  /// Value of a single-element tensor.
+  double item() const;
+
+  /// Zeroes the gradient buffer (no-op if !requires_grad).
+  void ZeroGrad();
+
+  /// Reverse-mode backprop from this (scalar) tensor. Gradients accumulate
+  /// into every reachable requires_grad tensor. The tape is not freed;
+  /// dropping the handles frees it.
+  void Backward();
+
+  /// Internal: wraps an impl (used by ops).
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Computes the volume of a shape.
+size_t ShapeNumel(const std::vector<int>& shape);
+
+}  // namespace stpt::nn
+
+#endif  // STPT_NN_TENSOR_H_

@@ -1,0 +1,54 @@
+#include "query/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace stpt::query {
+
+double RelativeErrorPercent(double truth, double noisy, const MreOptions& options) {
+  const double denom = std::max(truth, options.denominator_floor);
+  return std::fabs(truth - noisy) / denom * 100.0;
+}
+
+double MeanRelativeError(const grid::ConsumptionMatrix& truth,
+                         const grid::ConsumptionMatrix& sanitized,
+                         const Workload& workload, const MreOptions& options) {
+  const grid::PrefixSum3D pt(truth);
+  const grid::PrefixSum3D ps(sanitized);
+  return MeanRelativeError(pt, ps, workload, options);
+}
+
+double MeanRelativeError(const grid::PrefixSum3D& truth,
+                         const grid::PrefixSum3D& sanitized,
+                         const Workload& workload, const MreOptions& options) {
+  assert(truth.dims() == sanitized.dims());
+  if (workload.empty()) return 0.0;
+  double total = 0.0;
+  for (const RangeQuery& q : workload) {
+    const double p = truth.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
+    const double pn = sanitized.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
+    total += RelativeErrorPercent(p, pn, options);
+  }
+  return total / static_cast<double>(workload.size());
+}
+
+double MatrixMae(const grid::ConsumptionMatrix& a, const grid::ConsumptionMatrix& b) {
+  assert(a.dims() == b.dims());
+  double s = 0.0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    s += std::fabs(a.data()[i] - b.data()[i]);
+  }
+  return s / static_cast<double>(a.data().size());
+}
+
+double MatrixRmse(const grid::ConsumptionMatrix& a, const grid::ConsumptionMatrix& b) {
+  assert(a.dims() == b.dims());
+  double s = 0.0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.data().size()));
+}
+
+}  // namespace stpt::query

@@ -1,0 +1,39 @@
+#ifndef STPT_QUERY_METRICS_H_
+#define STPT_QUERY_METRICS_H_
+
+#include "grid/consumption_matrix.h"
+#include "query/range_query.h"
+
+namespace stpt::query {
+
+/// Options for MRE evaluation. The paper's MRE (Eq. 5) divides by the true
+/// answer; queries whose true answer is near zero would blow up the metric,
+/// so — following standard practice in the DP-histogram literature — the
+/// denominator is floored at `denominator_floor` (in the matrix's units).
+struct MreOptions {
+  double denominator_floor = 1.0;
+};
+
+/// Mean relative error (percent) of the sanitized matrix against the truth
+/// over one query: |p - p̄| / max(p, floor) * 100.
+double RelativeErrorPercent(double truth, double noisy, const MreOptions& options);
+
+/// Average MRE (percent) over a workload, evaluated with prefix sums.
+double MeanRelativeError(const grid::ConsumptionMatrix& truth,
+                         const grid::ConsumptionMatrix& sanitized,
+                         const Workload& workload, const MreOptions& options = {});
+
+/// Same, reusing prebuilt prefix sums (preferred inside experiment loops).
+double MeanRelativeError(const grid::PrefixSum3D& truth,
+                         const grid::PrefixSum3D& sanitized,
+                         const Workload& workload, const MreOptions& options = {});
+
+/// Mean absolute error between two matrices, element-wise.
+double MatrixMae(const grid::ConsumptionMatrix& a, const grid::ConsumptionMatrix& b);
+
+/// Root mean squared error between two matrices, element-wise.
+double MatrixRmse(const grid::ConsumptionMatrix& a, const grid::ConsumptionMatrix& b);
+
+}  // namespace stpt::query
+
+#endif  // STPT_QUERY_METRICS_H_

@@ -1,0 +1,74 @@
+#include "query/range_query.h"
+
+#include <algorithm>
+
+namespace stpt::query {
+namespace {
+
+/// Samples an inclusive interval of the given length inside [0, n).
+void PlaceInterval(int n, int length, Rng& rng, int* lo, int* hi) {
+  length = std::min(length, n);
+  const int start = static_cast<int>(rng.UniformInt(0, n - length));
+  *lo = start;
+  *hi = start + length - 1;
+}
+
+}  // namespace
+
+Status ValidateQuery(const RangeQuery& q, const grid::Dims& dims) {
+  if (q.x0 < 0 || q.x0 > q.x1 || q.x1 >= dims.cx ||
+      q.y0 < 0 || q.y0 > q.y1 || q.y1 >= dims.cy ||
+      q.t0 < 0 || q.t0 > q.t1 || q.t1 >= dims.ct) {
+    return Status::InvalidArgument("RangeQuery: bounds out of range or unordered");
+  }
+  return Status::OK();
+}
+
+const char* WorkloadKindToString(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kRandom:
+      return "Random";
+    case WorkloadKind::kSmall:
+      return "Small";
+    case WorkloadKind::kLarge:
+      return "Large";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<Workload> MakeWorkload(WorkloadKind kind, const grid::Dims& dims, int count,
+                                Rng& rng) {
+  if (count <= 0) {
+    return Status::InvalidArgument("MakeWorkload: count must be positive");
+  }
+  if (dims.cx <= 0 || dims.cy <= 0 || dims.ct <= 0) {
+    return Status::InvalidArgument("MakeWorkload: invalid dims");
+  }
+  Workload wl;
+  wl.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    RangeQuery q;
+    int lx = 1, ly = 1, lt = 1;
+    switch (kind) {
+      case WorkloadKind::kSmall:
+        break;  // 1 x 1 x 1
+      case WorkloadKind::kLarge:
+        lx = 10;
+        ly = 10;
+        lt = 10;
+        break;
+      case WorkloadKind::kRandom:
+        lx = static_cast<int>(rng.UniformInt(1, dims.cx));
+        ly = static_cast<int>(rng.UniformInt(1, dims.cy));
+        lt = static_cast<int>(rng.UniformInt(1, dims.ct));
+        break;
+    }
+    PlaceInterval(dims.cx, lx, rng, &q.x0, &q.x1);
+    PlaceInterval(dims.cy, ly, rng, &q.y0, &q.y1);
+    PlaceInterval(dims.ct, lt, rng, &q.t0, &q.t1);
+    wl.push_back(q);
+  }
+  return wl;
+}
+
+}  // namespace stpt::query

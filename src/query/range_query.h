@@ -1,0 +1,46 @@
+#ifndef STPT_QUERY_RANGE_QUERY_H_
+#define STPT_QUERY_RANGE_QUERY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "grid/consumption_matrix.h"
+
+namespace stpt::query {
+
+/// A 3-orthotope range query over the consumption matrix (Definition 3):
+/// inclusive bounds in x, y and t.
+struct RangeQuery {
+  int x0 = 0, x1 = 0;
+  int y0 = 0, y1 = 0;
+  int t0 = 0, t1 = 0;
+
+  int VolumeCells() const {
+    return (x1 - x0 + 1) * (y1 - y0 + 1) * (t1 - t0 + 1);
+  }
+};
+
+/// Validates that a query lies inside the given dims with ordered bounds.
+Status ValidateQuery(const RangeQuery& q, const grid::Dims& dims);
+
+/// The three workload categories of §5.1.
+enum class WorkloadKind {
+  kRandom,  ///< random shape & size
+  kSmall,   ///< 1 x 1 x 1
+  kLarge,   ///< 10 x 10 x 10 (clamped to the matrix if smaller)
+};
+
+const char* WorkloadKindToString(WorkloadKind k);
+
+/// A batch of range queries.
+using Workload = std::vector<RangeQuery>;
+
+/// Generates `count` queries of the given kind, uniformly placed.
+/// Random-kind extents are uniform over each full axis.
+StatusOr<Workload> MakeWorkload(WorkloadKind kind, const grid::Dims& dims, int count,
+                                Rng& rng);
+
+}  // namespace stpt::query
+
+#endif  // STPT_QUERY_RANGE_QUERY_H_

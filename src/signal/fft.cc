@@ -1,0 +1,97 @@
+#include "signal/fft.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace stpt::signal {
+namespace {
+
+using Complex = std::complex<double>;
+
+void FftPow2(std::vector<Complex>& a, bool inverse) {
+  const size_t n = a.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (Complex& x : a) x /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+Status Fft(std::vector<Complex>* data, bool inverse) {
+  if (data->empty() || !IsPowerOfTwo(data->size())) {
+    return Status::InvalidArgument("Fft: size must be a nonzero power of two");
+  }
+  FftPow2(*data, inverse);
+  return Status::OK();
+}
+
+std::vector<Complex> Dft(const std::vector<Complex>& input, bool inverse) {
+  const size_t n = input.size();
+  if (n == 0) return {};
+  if (IsPowerOfTwo(n)) {
+    std::vector<Complex> a = input;
+    FftPow2(a, inverse);
+    return a;
+  }
+  // Bluestein: X[k] = b*[k] (a·b convolved)[k], with chirp b[n] = e^{iπn²/N}.
+  const double dir = inverse ? 1.0 : -1.0;
+  const size_t m = NextPowerOfTwo(2 * n + 1);
+  std::vector<Complex> chirp(n);
+  for (size_t i = 0; i < n; ++i) {
+    // i*i may overflow for huge n; mod 2n keeps the angle exact.
+    const uint64_t sq = (static_cast<uint64_t>(i) * i) % (2 * n);
+    const double ang = M_PI * static_cast<double>(sq) / static_cast<double>(n) * dir;
+    chirp[i] = Complex(std::cos(ang), std::sin(ang));
+  }
+  std::vector<Complex> a(m, Complex(0, 0)), b(m, Complex(0, 0));
+  for (size_t i = 0; i < n; ++i) a[i] = input[i] * chirp[i];
+  b[0] = std::conj(chirp[0]);
+  for (size_t i = 1; i < n; ++i) b[i] = b[m - i] = std::conj(chirp[i]);
+  FftPow2(a, false);
+  FftPow2(b, false);
+  for (size_t i = 0; i < m; ++i) a[i] *= b[i];
+  FftPow2(a, true);
+  std::vector<Complex> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * chirp[i];
+  if (inverse) {
+    for (Complex& x : out) x /= static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<Complex> RealDft(const std::vector<double>& input) {
+  std::vector<Complex> c(input.size());
+  for (size_t i = 0; i < input.size(); ++i) c[i] = Complex(input[i], 0.0);
+  return Dft(c, /*inverse=*/false);
+}
+
+std::vector<double> InverseDftReal(const std::vector<Complex>& input) {
+  const std::vector<Complex> c = Dft(input, /*inverse=*/true);
+  std::vector<double> out(c.size());
+  for (size_t i = 0; i < c.size(); ++i) out[i] = c[i].real();
+  return out;
+}
+
+}  // namespace stpt::signal

@@ -1,0 +1,29 @@
+#ifndef STPT_SIGNAL_FFT_H_
+#define STPT_SIGNAL_FFT_H_
+
+#include <complex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stpt::signal {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. Size must be a power of two.
+/// `inverse` applies the conjugate transform and divides by N.
+Status Fft(std::vector<std::complex<double>>* data, bool inverse);
+
+/// DFT of arbitrary length via Bluestein's chirp-z algorithm (internally uses
+/// the radix-2 FFT on padded buffers). Returns the transformed sequence.
+std::vector<std::complex<double>> Dft(const std::vector<std::complex<double>>& input,
+                                      bool inverse);
+
+/// Forward real-input DFT convenience wrapper: X[k] = sum_n x[n] e^{-2πi kn/N}.
+std::vector<std::complex<double>> RealDft(const std::vector<double>& input);
+
+/// Inverse DFT returning only the real parts (imaginary residue from numeric
+/// error is dropped).
+std::vector<double> InverseDftReal(const std::vector<std::complex<double>>& input);
+
+}  // namespace stpt::signal
+
+#endif  // STPT_SIGNAL_FFT_H_

@@ -1,0 +1,245 @@
+// Second-layer baseline tests: algorithm-specific behavioural properties
+// beyond the smoke/determinism coverage of baselines_test.cc.
+
+#include <cmath>
+
+#include "baselines/fast.h"
+#include "baselines/fourier.h"
+#include "baselines/identity.h"
+#include "baselines/wavelet_pub.h"
+#include "baselines/wpo.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "signal/fft.h"
+
+namespace stpt::baselines {
+namespace {
+
+grid::ConsumptionMatrix SineMatrix(grid::Dims dims, double period, double level) {
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  EXPECT_TRUE(m.ok());
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      for (int t = 0; t < dims.ct; ++t) {
+        m->set(x, y, t, level * (1.0 + 0.5 * std::sin(2.0 * M_PI * t / period)));
+      }
+    }
+  }
+  return std::move(m).value();
+}
+
+double PillarMae(const grid::ConsumptionMatrix& a, const grid::ConsumptionMatrix& b,
+                 int x, int y) {
+  const auto pa = a.Pillar(x, y);
+  const auto pb = b.Pillar(x, y);
+  double s = 0.0;
+  for (size_t i = 0; i < pa.size(); ++i) s += std::fabs(pa[i] - pb[i]);
+  return s / static_cast<double>(pa.size());
+}
+
+// --------------------------- Fourier behaviour ---------------------------
+
+TEST(FourierBehaviorTest, LowFrequencySignalSurvivesBetterThanHighFrequency) {
+  // FPA keeps the k lowest frequencies: a slow sine must reconstruct far
+  // better than a fast one under the same budget.
+  const grid::Dims dims{2, 2, 64};
+  const auto slow = SineMatrix(dims, 64.0, 100.0);
+  const auto fast = SineMatrix(dims, 3.0, 100.0);
+  FourierPublisher pub(4);
+  Rng rng(1);
+  auto out_slow = pub.Publish(slow, 1e8, 1.0, rng);
+  auto out_fast = pub.Publish(fast, 1e8, 1.0, rng);
+  ASSERT_TRUE(out_slow.ok());
+  ASSERT_TRUE(out_fast.ok());
+  EXPECT_LT(PillarMae(slow, *out_slow, 0, 0), 0.01);
+  EXPECT_GT(PillarMae(fast, *out_fast, 0, 0), 1.0);  // truncated away
+}
+
+TEST(FourierBehaviorTest, NoiseScalesWithK) {
+  // On a constant signal, reconstruction error is purely coefficient noise,
+  // which grows with k (more coefficients, each noisier).
+  const grid::Dims dims{2, 2, 64};
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = 50.0;
+  Rng rng(2);
+  double err_small = 0.0, err_large = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    auto small = FourierPublisher(5).Publish(*m, 30.0, 1.0, rng);
+    auto large = FourierPublisher(20).Publish(*m, 30.0, 1.0, rng);
+    ASSERT_TRUE(small.ok());
+    ASSERT_TRUE(large.ok());
+    err_small += PillarMae(*m, *small, 0, 0);
+    err_large += PillarMae(*m, *large, 0, 0);
+  }
+  EXPECT_LT(err_small, err_large);
+}
+
+TEST(FourierBehaviorTest, OutputHasNoImaginaryLeakage) {
+  // The Hermitian mirroring must make the inverse exactly real: the output
+  // of two runs with the same seed equals its own real part (trivially) and
+  // the DFT of the released pillar must be Hermitian.
+  const grid::Dims dims{1, 1, 33};
+  const auto m = SineMatrix(dims, 11.0, 10.0);
+  FourierPublisher pub(6);
+  Rng rng(3);
+  auto out = pub.Publish(m, 5.0, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  const auto coeffs = signal::RealDft(out->Pillar(0, 0));
+  for (size_t j = 1; j < coeffs.size(); ++j) {
+    EXPECT_NEAR(coeffs[j].imag(), -coeffs[coeffs.size() - j].imag(), 1e-6);
+  }
+}
+
+// --------------------------- Wavelet behaviour ---------------------------
+
+TEST(WaveletBehaviorTest, PiecewiseConstantSignalIsWaveletFriendly) {
+  // Haar represents step functions compactly; a two-level step should be
+  // reconstructed nearly exactly from few coefficients.
+  const grid::Dims dims{1, 1, 32};
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  ASSERT_TRUE(m.ok());
+  std::vector<double> step(32, 10.0);
+  for (int t = 16; t < 32; ++t) step[t] = 90.0;
+  ASSERT_TRUE(m->SetPillar(0, 0, step).ok());
+  WaveletPublisher pub(2);  // approximation + first detail
+  Rng rng(4);
+  auto out = pub.Publish(*m, 1e8, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(PillarMae(*m, *out, 0, 0), 0.01);
+}
+
+TEST(WaveletBehaviorTest, PaddingDoesNotShiftTheSeries) {
+  // Non-power-of-two lengths go through zero padding; with huge budget and
+  // all coefficients kept, the original prefix must come back untouched.
+  const grid::Dims dims{1, 1, 24};
+  const auto m = SineMatrix(dims, 8.0, 20.0);
+  WaveletPublisher pub(32);
+  Rng rng(5);
+  auto out = pub.Publish(m, 1e8, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(PillarMae(m, *out, 0, 0), 1e-3);
+}
+
+// --------------------------- FAST behaviour ---------------------------
+
+TEST(FastBehaviorTest, SamplingBudgetIsRespectedPerPillar) {
+  // With sample_fraction f, at most ceil(f * ct) timestamps are perturbed;
+  // we can't observe samples directly, but accuracy must degrade gracefully
+  // as f shrinks on a *volatile* series (fewer corrections).
+  const grid::Dims dims{2, 2, 64};
+  Rng data_rng(6);
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = data_rng.Uniform(0.0, 200.0);
+  Rng rng(7);
+  double err_many = 0.0, err_few = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    FastPublisher::Options many;
+    many.sample_fraction = 0.5;
+    FastPublisher::Options few;
+    few.sample_fraction = 0.05;
+    auto out_many = FastPublisher(many).Publish(*m, 20.0, 1.0, rng);
+    auto out_few = FastPublisher(few).Publish(*m, 20.0, 1.0, rng);
+    ASSERT_TRUE(out_many.ok());
+    ASSERT_TRUE(out_few.ok());
+    err_many += PillarMae(*m, *out_many, 0, 0);
+    err_few += PillarMae(*m, *out_few, 0, 0);
+  }
+  EXPECT_LT(err_many, err_few);
+}
+
+TEST(FastBehaviorTest, FirstReleaseInitialisesFromData) {
+  const grid::Dims dims{1, 1, 8};
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->SetPillar(0, 0, {500, 500, 500, 500, 500, 500, 500, 500}).ok());
+  FastPublisher pub;
+  Rng rng(8);
+  auto out = pub.Publish(*m, 50.0, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  // Generous budget: the first released value must be near 500, not near 0.
+  EXPECT_NEAR(out->at(0, 0, 0), 500.0, 20.0);
+}
+
+// --------------------------- WPO behaviour ---------------------------
+
+TEST(WpoBehaviorTest, SmoothsOutHighFrequencyNoise) {
+  // The ridge regression onto few harmonics must track the slow component
+  // and reject per-slice jitter.
+  const grid::Dims dims{2, 2, 48};
+  Rng data_rng(9);
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  ASSERT_TRUE(m.ok());
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int t = 0; t < 48; ++t) {
+        m->set(x, y, t, 100.0 * (1.0 + 0.4 * std::sin(2.0 * M_PI * t / 48.0)) +
+                            data_rng.Uniform(-5, 5));
+      }
+    }
+  }
+  WpoPublisher::Options opts;
+  opts.basis_order = 2;
+  WpoPublisher pub(opts);
+  Rng rng(10);
+  auto out = pub.Publish(*m, 1e8, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  // Released global series: check it tracks the sine within jitter scale.
+  for (int t = 0; t < 48; ++t) {
+    double truth = 0.0, released = 0.0;
+    for (int x = 0; x < 2; ++x) {
+      for (int y = 0; y < 2; ++y) {
+        truth += m->at(x, y, t);
+        released += out->at(x, y, t);
+      }
+    }
+    EXPECT_NEAR(released, truth, 40.0) << "t=" << t;
+  }
+}
+
+TEST(WpoBehaviorTest, HigherBasisOrderFitsSharperShapes) {
+  const grid::Dims dims{1, 1, 48};
+  const auto m = SineMatrix(dims, 12.0, 100.0);  // 4 cycles: needs order >= 4
+  Rng rng(11);
+  WpoPublisher::Options low;
+  low.basis_order = 1;
+  WpoPublisher::Options high;
+  high.basis_order = 8;
+  auto out_low = WpoPublisher(low).Publish(m, 1e8, 1.0, rng);
+  auto out_high = WpoPublisher(high).Publish(m, 1e8, 1.0, rng);
+  ASSERT_TRUE(out_low.ok());
+  ASSERT_TRUE(out_high.ok());
+  EXPECT_LT(PillarMae(m, *out_high, 0, 0), PillarMae(m, *out_low, 0, 0));
+}
+
+// --------------------------- Identity behaviour ---------------------------
+
+TEST(IdentityBehaviorTest, NoiseIsIndependentAcrossCells) {
+  // Correlation between two cells' noise must vanish over repetitions.
+  const grid::Dims dims{2, 1, 1};
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  ASSERT_TRUE(m.ok());
+  IdentityPublisher pub;
+  Rng rng(12);
+  double sum_ab = 0.0, sum_a = 0.0, sum_b = 0.0, sum_a2 = 0.0, sum_b2 = 0.0;
+  const int reps = 20000;
+  for (int r = 0; r < reps; ++r) {
+    auto out = pub.Publish(*m, 1.0, 1.0, rng);
+    ASSERT_TRUE(out.ok());
+    const double a = out->at(0, 0, 0);
+    const double b = out->at(1, 0, 0);
+    sum_ab += a * b;
+    sum_a += a;
+    sum_b += b;
+    sum_a2 += a * a;
+    sum_b2 += b * b;
+  }
+  const double cov = sum_ab / reps - (sum_a / reps) * (sum_b / reps);
+  const double var_a = sum_a2 / reps - (sum_a / reps) * (sum_a / reps);
+  const double var_b = sum_b2 / reps - (sum_b / reps) * (sum_b / reps);
+  EXPECT_LT(std::fabs(cov / std::sqrt(var_a * var_b)), 0.05);
+}
+
+}  // namespace
+}  // namespace stpt::baselines

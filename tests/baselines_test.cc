@@ -1,0 +1,372 @@
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "baselines/fast.h"
+#include "baselines/fourier.h"
+#include "baselines/identity.h"
+#include "baselines/lgan_dp.h"
+#include "baselines/publisher.h"
+#include "baselines/wavelet_pub.h"
+#include "baselines/wpo.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "query/metrics.h"
+#include "query/range_query.h"
+
+namespace stpt::baselines {
+namespace {
+
+/// Smooth synthetic matrix: a daily-like cycle per pillar with a spatial ramp.
+grid::ConsumptionMatrix SmoothMatrix(grid::Dims dims, double level = 50.0) {
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  EXPECT_TRUE(m.ok());
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      const double amp = level * (1.0 + 0.05 * (x + y));
+      for (int t = 0; t < dims.ct; ++t) {
+        m->set(x, y, t, amp * (1.0 + 0.3 * std::sin(2.0 * M_PI * t / 24.0)));
+      }
+    }
+  }
+  return std::move(m).value();
+}
+
+double AverageAbsDeviation(const grid::ConsumptionMatrix& a,
+                           const grid::ConsumptionMatrix& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    s += std::fabs(a.data()[i] - b.data()[i]);
+  }
+  return s / static_cast<double>(a.data().size());
+}
+
+// --------------------------- Identity ---------------------------
+
+TEST(IdentityTest, PreservesDims) {
+  const auto m = SmoothMatrix({4, 4, 16});
+  IdentityPublisher pub;
+  Rng rng(1);
+  auto out = pub.Publish(m, 10.0, 2.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dims(), m.dims());
+}
+
+TEST(IdentityTest, RejectsNonPositiveEpsilon) {
+  const auto m = SmoothMatrix({2, 2, 4});
+  IdentityPublisher pub;
+  Rng rng(2);
+  EXPECT_FALSE(pub.Publish(m, 0.0, 1.0, rng).ok());
+}
+
+TEST(IdentityTest, IsUnbiasedOverRepetitions) {
+  const auto m = SmoothMatrix({2, 2, 4}, 100.0);
+  IdentityPublisher pub;
+  Rng rng(3);
+  double mean_cell = 0.0;
+  const int reps = 400;
+  for (int r = 0; r < reps; ++r) {
+    auto out = pub.Publish(m, 20.0, 1.0, rng);
+    ASSERT_TRUE(out.ok());
+    mean_cell += out->at(0, 0, 0);
+  }
+  mean_cell /= reps;
+  EXPECT_NEAR(mean_cell, m.at(0, 0, 0), m.at(0, 0, 0) * 0.02);
+}
+
+TEST(IdentityTest, NoiseScalesWithSliceCount) {
+  // Doubling Ct halves the per-slice budget -> roughly doubles deviation.
+  IdentityPublisher pub;
+  Rng rng(4);
+  const auto short_m = SmoothMatrix({4, 4, 8});
+  const auto long_m = SmoothMatrix({4, 4, 64});
+  auto s = pub.Publish(short_m, 10.0, 1.0, rng);
+  auto l = pub.Publish(long_m, 10.0, 1.0, rng);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(l.ok());
+  EXPECT_GT(AverageAbsDeviation(long_m, *l), 2.0 * AverageAbsDeviation(short_m, *s));
+}
+
+TEST(IdentityTest, MoreBudgetLessNoise) {
+  const auto m = SmoothMatrix({4, 4, 16});
+  IdentityPublisher pub;
+  Rng rng(5);
+  auto low = pub.Publish(m, 2.0, 1.0, rng);
+  auto high = pub.Publish(m, 50.0, 1.0, rng);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_LT(AverageAbsDeviation(m, *high), AverageAbsDeviation(m, *low));
+}
+
+// --------------------------- FAST ---------------------------
+
+TEST(FastTest, PreservesDims) {
+  const auto m = SmoothMatrix({4, 4, 32});
+  FastPublisher pub;
+  Rng rng(6);
+  auto out = pub.Publish(m, 10.0, 2.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dims(), m.dims());
+}
+
+TEST(FastTest, BeatsIdentityOnSmoothSeries) {
+  // FAST's whole point: on temporally smooth data, sampling + filtering
+  // beats per-slice Laplace under the same total budget.
+  const auto m = SmoothMatrix({4, 4, 64}, 30.0);
+  FastPublisher fast;
+  IdentityPublisher identity;
+  Rng rng(7);
+  double fast_err = 0.0, id_err = 0.0;
+  for (int r = 0; r < 5; ++r) {
+    auto f = fast.Publish(m, 5.0, 1.0, rng);
+    auto i = identity.Publish(m, 5.0, 1.0, rng);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(i.ok());
+    fast_err += AverageAbsDeviation(m, *f);
+    id_err += AverageAbsDeviation(m, *i);
+  }
+  EXPECT_LT(fast_err, id_err);
+}
+
+TEST(FastTest, SampleFractionOneDegeneratesGracefully) {
+  FastPublisher::Options opts;
+  opts.sample_fraction = 1.0;
+  FastPublisher pub(opts);
+  const auto m = SmoothMatrix({2, 2, 16});
+  Rng rng(8);
+  EXPECT_TRUE(pub.Publish(m, 10.0, 1.0, rng).ok());
+}
+
+// --------------------------- Fourier ---------------------------
+
+TEST(FourierTest, PreservesDims) {
+  const auto m = SmoothMatrix({4, 4, 30});
+  FourierPublisher pub(10);
+  Rng rng(9);
+  auto out = pub.Publish(m, 30.0, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dims(), m.dims());
+}
+
+TEST(FourierTest, RejectsNonPositiveK) {
+  const auto m = SmoothMatrix({2, 2, 8});
+  FourierPublisher pub(0);
+  Rng rng(10);
+  EXPECT_FALSE(pub.Publish(m, 10.0, 1.0, rng).ok());
+}
+
+TEST(FourierTest, OutputIsRealAndFollowsShape) {
+  // With a huge budget the reconstruction of a low-frequency signal from
+  // its low-frequency coefficients should be near-exact.
+  const auto m = SmoothMatrix({2, 2, 48}, 10.0);
+  FourierPublisher pub(10);
+  Rng rng(11);
+  auto out = pub.Publish(m, 1e7, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(AverageAbsDeviation(m, *out), 0.05);
+}
+
+TEST(FourierTest, NameIncludesK) {
+  EXPECT_EQ(FourierPublisher(10).name(), "Fourier-10");
+  EXPECT_EQ(FourierPublisher(20).name(), "Fourier-20");
+}
+
+TEST(FourierTest, BeatsIdentityOnSmoothLongSeries) {
+  const auto m = SmoothMatrix({4, 4, 128}, 30.0);
+  FourierPublisher fourier(10);
+  IdentityPublisher identity;
+  Rng rng(12);
+  double f_err = 0.0, i_err = 0.0;
+  for (int r = 0; r < 5; ++r) {
+    auto f = fourier.Publish(m, 5.0, 1.0, rng);
+    auto i = identity.Publish(m, 5.0, 1.0, rng);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(i.ok());
+    f_err += AverageAbsDeviation(m, *f);
+    i_err += AverageAbsDeviation(m, *i);
+  }
+  EXPECT_LT(f_err, i_err);
+}
+
+// --------------------------- Wavelet ---------------------------
+
+TEST(WaveletTest, PreservesDimsIncludingNonPowerOfTwo) {
+  const auto m = SmoothMatrix({4, 4, 30});  // 30 -> padded to 32 internally
+  WaveletPublisher pub(10);
+  Rng rng(13);
+  auto out = pub.Publish(m, 30.0, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dims(), m.dims());
+}
+
+TEST(WaveletTest, RejectsNonPositiveK) {
+  const auto m = SmoothMatrix({2, 2, 8});
+  WaveletPublisher pub(-1);
+  Rng rng(14);
+  EXPECT_FALSE(pub.Publish(m, 10.0, 1.0, rng).ok());
+}
+
+TEST(WaveletTest, HighBudgetReconstructsCoarseShape) {
+  const auto m = SmoothMatrix({2, 2, 32}, 10.0);
+  WaveletPublisher pub(32);  // all coefficients of the padded length
+  Rng rng(15);
+  auto out = pub.Publish(m, 1e7, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(AverageAbsDeviation(m, *out), 0.05);
+}
+
+TEST(WaveletTest, NameIncludesK) {
+  EXPECT_EQ(WaveletPublisher(20).name(), "Wavelet-20");
+}
+
+// --------------------------- LGAN-DP ---------------------------
+
+LganDpPublisher::Options TinyLganOptions() {
+  LganDpPublisher::Options o;
+  o.iterations = 6;
+  o.batch_size = 8;
+  o.hidden_size = 6;
+  o.max_training_windows = 256;
+  return o;
+}
+
+TEST(LganDpTest, PreservesDims) {
+  const auto m = SmoothMatrix({4, 4, 24});
+  LganDpPublisher pub(TinyLganOptions());
+  Rng rng(16);
+  auto out = pub.Publish(m, 30.0, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dims(), m.dims());
+}
+
+TEST(LganDpTest, RejectsBadInputs) {
+  LganDpPublisher pub(TinyLganOptions());
+  Rng rng(17);
+  const auto short_m = SmoothMatrix({2, 2, 4});  // ct <= window size
+  EXPECT_FALSE(pub.Publish(short_m, 10.0, 1.0, rng).ok());
+  const auto m = SmoothMatrix({2, 2, 24});
+  EXPECT_FALSE(pub.Publish(m, 0.0, 1.0, rng).ok());
+}
+
+TEST(LganDpTest, OutputsWithinPlausibleRange) {
+  const auto m = SmoothMatrix({4, 4, 24}, 20.0);
+  LganDpPublisher pub(TinyLganOptions());
+  Rng rng(18);
+  auto out = pub.Publish(m, 30.0, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  // De-normalised generator output must stay within an order of magnitude
+  // of the data range (LSTM outputs are clamped by saturation, not noise).
+  const double hi = m.MaxValue();
+  const double lo = m.MinValue();
+  const double slack = 2.0 * (hi - lo);
+  for (double v : out->data()) {
+    EXPECT_GT(v, lo - slack);
+    EXPECT_LT(v, hi + slack);
+  }
+}
+
+// --------------------------- WPO ---------------------------
+
+TEST(WpoTest, PreservesDims) {
+  const auto m = SmoothMatrix({4, 4, 24});
+  WpoPublisher pub;
+  Rng rng(19);
+  auto out = pub.Publish(m, 30.0, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dims(), m.dims());
+}
+
+TEST(WpoTest, OutputIsSpatiallyUniformPerSlice) {
+  const auto m = SmoothMatrix({4, 4, 24});
+  WpoPublisher pub;
+  Rng rng(20);
+  auto out = pub.Publish(m, 30.0, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  for (int t = 0; t < 24; ++t) {
+    const double ref = out->at(0, 0, t);
+    for (int x = 0; x < 4; ++x) {
+      for (int y = 0; y < 4; ++y) EXPECT_DOUBLE_EQ(out->at(x, y, t), ref);
+    }
+  }
+}
+
+TEST(WpoTest, OutputIsNonNegative) {
+  const auto m = SmoothMatrix({4, 4, 24}, 0.5);
+  WpoPublisher pub;
+  Rng rng(21);
+  auto out = pub.Publish(m, 1.0, 5.0, rng);  // heavy noise
+  ASSERT_TRUE(out.ok());
+  for (double v : out->data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(SolveRidgeTest, RecoversExactCoefficientsAtLowLambda) {
+  // y = 2*b0 + 3*b1 with orthogonal basis columns.
+  const std::vector<std::vector<double>> basis = {
+      {1.0, 1.0, 1.0, 1.0},
+      {1.0, -1.0, 1.0, -1.0},
+  };
+  std::vector<double> y(4);
+  for (int i = 0; i < 4; ++i) y[i] = 2.0 * basis[0][i] + 3.0 * basis[1][i];
+  auto w = SolveRidge(basis, y, 1e-10);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 2.0, 1e-6);
+  EXPECT_NEAR((*w)[1], 3.0, 1e-6);
+}
+
+TEST(SolveRidgeTest, RejectsBadInputs) {
+  EXPECT_FALSE(SolveRidge({}, {1.0}, 1.0).ok());
+  EXPECT_FALSE(SolveRidge({{1.0, 2.0}}, {1.0}, 1.0).ok());
+  EXPECT_FALSE(SolveRidge({{1.0}}, {1.0}, 0.0).ok());
+}
+
+TEST(SolveRidgeTest, LargeLambdaShrinksTowardZero) {
+  const std::vector<std::vector<double>> basis = {{1.0, 1.0, 1.0, 1.0}};
+  const std::vector<double> y = {4.0, 4.0, 4.0, 4.0};
+  auto small = SolveRidge(basis, y, 1e-8);
+  auto big = SolveRidge(basis, y, 1e6);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_NEAR((*small)[0], 4.0, 1e-4);
+  EXPECT_LT(std::fabs((*big)[0]), 0.1);
+}
+
+// --------------------------- Suite factory ---------------------------
+
+TEST(SuiteTest, StandardBaselinesHaveUniqueNames) {
+  const auto suite = MakeStandardBaselines();
+  ASSERT_EQ(suite.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& p : suite) names.insert(p->name());
+  EXPECT_EQ(names.size(), suite.size());
+  EXPECT_TRUE(names.count("Identity"));
+  EXPECT_TRUE(names.count("FAST"));
+  EXPECT_TRUE(names.count("Fourier-10"));
+  EXPECT_TRUE(names.count("Wavelet-20"));
+  EXPECT_TRUE(names.count("LGAN-DP"));
+}
+
+/// Determinism sweep: every publisher yields identical output for the same
+/// seed and different output for a different seed.
+class DeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismTest, SeedReproducibility) {
+  const auto suite = MakeStandardBaselines();
+  Publisher& pub = *suite[GetParam()];
+  grid::Dims dims{4, 4, 16};
+  const auto m = SmoothMatrix(dims);
+  Rng r1(42), r2(42), r3(43);
+  auto a = pub.Publish(m, 20.0, 1.0, r1);
+  auto b = pub.Publish(m, 20.0, 1.0, r2);
+  auto c = pub.Publish(m, 20.0, 1.0, r3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->data(), b->data());
+  EXPECT_NE(a->data(), c->data());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, DeterminismTest,
+                         ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace stpt::baselines

@@ -1,0 +1,272 @@
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "gtest/gtest.h"
+
+namespace stpt {
+namespace {
+
+// --------------------------- Status ---------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("oob").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("fp").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("i").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("u").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("x").ToString(), "INVALID_ARGUMENT: x");
+  EXPECT_EQ(Status::Internal("boom").ToString(), "INTERNAL: boom");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  STPT_ASSIGN_OR_RETURN(const int h, Half(x));
+  STPT_RETURN_IF_ERROR(Status::OK());
+  *out = h;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, MacrosPropagateAndAssign) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseMacros(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------- Rng ---------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of 3..7 hit in 1000 draws
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, LaplaceMomentsMatch) {
+  Rng rng(19);
+  const double b = 2.5;
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Laplace(b);
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  // Var(Laplace(b)) = 2 b^2 = 12.5.
+  EXPECT_NEAR(sumsq / n, 2.0 * b * b, 0.5);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(23);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequencyMatches) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent.NextUint64() == child.NextUint64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+}
+
+// --------------------------- MathUtil ---------------------------
+
+TEST(MathUtilTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+}
+
+TEST(MathUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(MathUtilTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(32), 5);
+  EXPECT_EQ(FloorLog2(33), 5);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(1, 5), 1);
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtilTest, MeanAndStdDev) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(StdDev(v), std::sqrt(1.25), 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(MathUtilTest, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 7.0};
+  EXPECT_EQ(Max(v), 7.0);
+  EXPECT_EQ(Min(v), -1.0);
+  EXPECT_TRUE(std::isinf(Max({})));
+}
+
+TEST(MathUtilTest, ErrorMetrics) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(a, b), 1.0);
+  EXPECT_NEAR(RootMeanSquaredError(a, b), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+TEST(MathUtilTest, QuantileInterpolates) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+}
+
+// --------------------------- TablePrinter ---------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"name", "value"});
+  tp.AddRow({"a", "1"});
+  tp.AddRow({"longer", "2.5"});
+  const std::string s = tp.ToString();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 2.5   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 3), "2.000");
+}
+
+TEST(TablePrinterTest, DoubleRowHelper) {
+  TablePrinter tp({"label", "x", "y"});
+  tp.AddRow("row", {1.5, 2.25}, 2);
+  EXPECT_NE(tp.ToString().find("| row   | 1.50 | 2.25 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stpt

@@ -1,0 +1,407 @@
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/budget_allocation.h"
+#include "core/pattern_recognition.h"
+#include "core/quantization.h"
+#include "core/stpt.h"
+#include "gtest/gtest.h"
+
+namespace stpt::core {
+namespace {
+
+grid::ConsumptionMatrix RampMatrix(grid::Dims dims) {
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  EXPECT_TRUE(m.ok());
+  for (int x = 0; x < dims.cx; ++x) {
+    for (int y = 0; y < dims.cy; ++y) {
+      for (int t = 0; t < dims.ct; ++t) {
+        m->set(x, y, t, (x + y) * 2.0 + std::sin(2.0 * M_PI * t / 12.0) + 2.0);
+      }
+    }
+  }
+  return std::move(m).value();
+}
+
+/// A fast STPT configuration for unit tests (tiny model, few epochs).
+StptConfig TestConfig() {
+  StptConfig cfg;
+  cfg.eps_pattern = 10.0;
+  cfg.eps_sanitize = 20.0;
+  cfg.t_train = 16;
+  cfg.quadtree_depth = 2;
+  cfg.quantization_levels = 4;
+  cfg.predictor.window_size = 3;
+  cfg.predictor.embedding_size = 6;
+  cfg.predictor.hidden_size = 6;
+  cfg.training.epochs = 3;
+  cfg.training.batch_size = 8;
+  return cfg;
+}
+
+// --------------------------- KQuantize ---------------------------
+
+TEST(KQuantizeTest, RejectsBadK) {
+  const auto m = RampMatrix({2, 2, 4});
+  EXPECT_FALSE(KQuantize(m, 0).ok());
+  EXPECT_TRUE(KQuantize(m, 1).ok());
+}
+
+TEST(KQuantizeTest, SingleLevelPutsAllInBucketZero) {
+  const auto m = RampMatrix({2, 2, 4});
+  auto q = KQuantize(m, 1);
+  ASSERT_TRUE(q.ok());
+  for (int b : q->bucket) EXPECT_EQ(b, 0);
+  EXPECT_EQ(q->bucket_sizes[0], m.size());
+}
+
+TEST(KQuantizeTest, ConstantMatrixMapsToBucketZero) {
+  auto m = grid::ConsumptionMatrix::Create({2, 2, 2});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = 7.0;
+  auto q = KQuantize(*m, 5);
+  ASSERT_TRUE(q.ok());
+  for (int b : q->bucket) EXPECT_EQ(b, 0);
+}
+
+TEST(KQuantizeTest, EqualWidthBucketsByValue) {
+  auto m = grid::ConsumptionMatrix::Create({1, 1, 4});
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->SetPillar(0, 0, {0.0, 0.3, 0.6, 1.0}).ok());
+  auto q = KQuantize(*m, 4);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->bucket[0], 0);  // 0.0 -> [0, .25)
+  EXPECT_EQ(q->bucket[1], 1);  // 0.3 -> [.25, .5)
+  EXPECT_EQ(q->bucket[2], 2);  // 0.6 -> [.5, .75)
+  EXPECT_EQ(q->bucket[3], 3);  // max -> last bucket
+}
+
+TEST(KQuantizeTest, BucketSizesSumToCellCount) {
+  Rng rng(1);
+  auto m = grid::ConsumptionMatrix::Create({4, 4, 8});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = rng.Uniform(0, 1);
+  auto q = KQuantize(*m, 6);
+  ASSERT_TRUE(q.ok());
+  const size_t total =
+      std::accumulate(q->bucket_sizes.begin(), q->bucket_sizes.end(), size_t{0});
+  EXPECT_EQ(total, m->size());
+}
+
+// --------------------------- PartitionPillarCounts ---------------------------
+
+TEST(PillarCountsTest, MatchesHandComputedExample) {
+  // 1 pillar of length 4: values put 2 cells in bucket 0, 2 in bucket 1.
+  auto m = grid::ConsumptionMatrix::Create({1, 1, 4});
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->SetPillar(0, 0, {0.0, 0.1, 0.9, 1.0}).ok());
+  auto q = KQuantize(*m, 2);
+  ASSERT_TRUE(q.ok());
+  const auto counts = PartitionPillarCounts(*q, m->dims());
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+}
+
+TEST(PillarCountsTest, TakesMaxAcrossPillars) {
+  auto m = grid::ConsumptionMatrix::Create({2, 1, 3});
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->SetPillar(0, 0, {0.0, 0.0, 0.0}).ok());  // 3 cells bucket 0
+  ASSERT_TRUE(m->SetPillar(1, 0, {0.0, 1.0, 1.0}).ok());  // 1 + 2 split
+  auto q = KQuantize(*m, 2);
+  ASSERT_TRUE(q.ok());
+  const auto counts = PartitionPillarCounts(*q, m->dims());
+  EXPECT_EQ(counts[0], 3);  // pillar (0,0) dominates bucket 0
+  EXPECT_EQ(counts[1], 2);  // pillar (1,0) dominates bucket 1
+}
+
+TEST(PillarCountsTest, SensitivityNeverExceedsCt) {
+  Rng rng(2);
+  auto m = grid::ConsumptionMatrix::Create({3, 3, 7});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = rng.Uniform(0, 1);
+  auto q = KQuantize(*m, 4);
+  ASSERT_TRUE(q.ok());
+  for (int c : PartitionPillarCounts(*q, m->dims())) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 7);
+  }
+}
+
+// --------------------------- AllocateBudget ---------------------------
+
+TEST(AllocateBudgetTest, RejectsBadInputs) {
+  EXPECT_FALSE(AllocateBudget({1.0}, 0.0, BudgetAllocation::kOptimal).ok());
+  EXPECT_FALSE(AllocateBudget({}, 1.0, BudgetAllocation::kOptimal).ok());
+  EXPECT_FALSE(AllocateBudget({-1.0}, 1.0, BudgetAllocation::kOptimal).ok());
+  EXPECT_FALSE(AllocateBudget({0.0, 0.0}, 1.0, BudgetAllocation::kOptimal).ok());
+}
+
+TEST(AllocateBudgetTest, SumsToTotal) {
+  auto eps = AllocateBudget({1.0, 8.0, 27.0}, 6.0, BudgetAllocation::kOptimal);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_NEAR(std::accumulate(eps->begin(), eps->end(), 0.0), 6.0, 1e-9);
+}
+
+TEST(AllocateBudgetTest, MatchesEquation11) {
+  // s = {1, 8}: weights 1 and 4 -> eps = {total/5, 4*total/5}.
+  auto eps = AllocateBudget({1.0, 8.0}, 10.0, BudgetAllocation::kOptimal);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_NEAR((*eps)[0], 2.0, 1e-9);
+  EXPECT_NEAR((*eps)[1], 8.0, 1e-9);
+}
+
+TEST(AllocateBudgetTest, UniformSplitsEqually) {
+  auto eps = AllocateBudget({1.0, 8.0, 27.0}, 6.0, BudgetAllocation::kUniform);
+  ASSERT_TRUE(eps.ok());
+  for (double e : *eps) EXPECT_NEAR(e, 2.0, 1e-9);
+}
+
+TEST(AllocateBudgetTest, ZeroSensitivityGetsNoBudget) {
+  auto eps = AllocateBudget({0.0, 4.0}, 5.0, BudgetAllocation::kOptimal);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_EQ((*eps)[0], 0.0);
+  EXPECT_NEAR((*eps)[1], 5.0, 1e-9);
+}
+
+TEST(AllocateBudgetTest, OptimalBeatsUniformInTotalVariance) {
+  // Theorem 8 optimality: noise variance under Eq. 11 <= uniform split,
+  // for any heterogeneous sensitivity profile.
+  const std::vector<double> sens = {1.0, 2.0, 5.0, 40.0, 100.0};
+  auto opt = AllocateBudget(sens, 20.0, BudgetAllocation::kOptimal);
+  auto uni = AllocateBudget(sens, 20.0, BudgetAllocation::kUniform);
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(uni.ok());
+  EXPECT_LT(TotalNoiseVariance(sens, *opt), TotalNoiseVariance(sens, *uni));
+}
+
+TEST(AllocateBudgetTest, OptimalIsStationaryPoint) {
+  // Perturbing the optimal allocation (keeping the sum fixed) must not
+  // decrease the total variance — a direct check of KKT optimality.
+  const std::vector<double> sens = {3.0, 7.0, 11.0};
+  auto opt = AllocateBudget(sens, 9.0, BudgetAllocation::kOptimal);
+  ASSERT_TRUE(opt.ok());
+  const double base = TotalNoiseVariance(sens, *opt);
+  for (size_t i = 0; i < sens.size(); ++i) {
+    for (size_t j = 0; j < sens.size(); ++j) {
+      if (i == j) continue;
+      std::vector<double> perturbed = *opt;
+      perturbed[i] += 0.01;
+      perturbed[j] -= 0.01;
+      EXPECT_GE(TotalNoiseVariance(sens, perturbed), base - 1e-9);
+    }
+  }
+}
+
+TEST(AllocateBudgetTest, EqualSensitivitiesGiveEqualSplitEitherWay) {
+  const std::vector<double> sens = {2.0, 2.0, 2.0, 2.0};
+  auto opt = AllocateBudget(sens, 8.0, BudgetAllocation::kOptimal);
+  ASSERT_TRUE(opt.ok());
+  for (double e : *opt) EXPECT_NEAR(e, 2.0, 1e-9);
+}
+
+// --------------------------- SanitizeQuadtreeLevels ---------------------------
+
+TEST(SanitizeLevelsTest, RejectsBadArgs) {
+  std::vector<grid::QuadtreeLevel> levels;
+  Rng rng(3);
+  EXPECT_FALSE(SanitizeQuadtreeLevels(&levels, 0.0, 10, 0.5, rng).ok());
+  EXPECT_FALSE(SanitizeQuadtreeLevels(&levels, 1.0, 0, 0.5, rng).ok());
+  EXPECT_FALSE(SanitizeQuadtreeLevels(&levels, 1.0, 10, 0.0, rng).ok());
+}
+
+TEST(SanitizeLevelsTest, AddsLessNoiseAtCoarserLevels) {
+  // Noise magnitude at the root (many cells averaged) must be far smaller
+  // than at the leaves — the heart of Theorem 6.
+  const auto m = RampMatrix({8, 8, 12});
+  const auto norm = m.Normalized();
+  auto levels = grid::BuildQuadtreeLevels(norm, 12, 3);
+  ASSERT_TRUE(levels.ok());
+  auto noisy = *levels;
+  Rng rng(4);
+  ASSERT_TRUE(SanitizeQuadtreeLevels(&noisy, 5.0, 12, 1.0, rng).ok());
+  auto avg_abs_noise = [&](int level_idx) {
+    double s = 0.0;
+    size_t n = 0;
+    for (size_t nb = 0; nb < noisy[level_idx].neighborhoods.size(); ++nb) {
+      const auto& a = (*levels)[level_idx].neighborhoods[nb].series;
+      const auto& b = noisy[level_idx].neighborhoods[nb].series;
+      for (size_t t = 0; t < a.size(); ++t) {
+        s += std::fabs(a[t] - b[t]);
+        ++n;
+      }
+    }
+    return s / static_cast<double>(n);
+  };
+  EXPECT_LT(avg_abs_noise(0) * 4.0, avg_abs_noise(3));
+}
+
+TEST(SanitizeLevelsTest, MoreBudgetLessNoise) {
+  const auto m = RampMatrix({4, 4, 8});
+  const auto norm = m.Normalized();
+  auto clean = grid::BuildQuadtreeLevels(norm, 8, 2);
+  ASSERT_TRUE(clean.ok());
+  auto total_noise = [&](double eps, uint64_t seed) {
+    auto noisy = *clean;
+    Rng rng(seed);
+    EXPECT_TRUE(SanitizeQuadtreeLevels(&noisy, eps, 8, 1.0, rng).ok());
+    double s = 0.0;
+    for (size_t l = 0; l < noisy.size(); ++l) {
+      for (size_t nb = 0; nb < noisy[l].neighborhoods.size(); ++nb) {
+        const auto& a = (*clean)[l].neighborhoods[nb].series;
+        const auto& b = noisy[l].neighborhoods[nb].series;
+        for (size_t t = 0; t < a.size(); ++t) s += std::fabs(a[t] - b[t]);
+      }
+    }
+    return s;
+  };
+  // Average over seeds to avoid flakiness.
+  double low = 0.0, high = 0.0;
+  for (uint64_t s = 0; s < 5; ++s) {
+    low += total_noise(1.0, 100 + s);
+    high += total_noise(50.0, 200 + s);
+  }
+  EXPECT_LT(high, low);
+}
+
+// --------------------------- RunPatternRecognition ---------------------------
+
+TEST(PatternRecognitionTest, RejectsBadTrainPrefix) {
+  const auto m = RampMatrix({4, 4, 20});
+  const auto norm = m.Normalized();
+  Rng rng(5);
+  StptConfig cfg = TestConfig();
+  cfg.t_train = 0;
+  EXPECT_FALSE(RunPatternRecognition(norm, cfg, 0.5, rng).ok());
+  cfg.t_train = 20;  // no test region left
+  EXPECT_FALSE(RunPatternRecognition(norm, cfg, 0.5, rng).ok());
+}
+
+TEST(PatternRecognitionTest, OutputCoversTestRegionInUnitRange) {
+  const auto m = RampMatrix({4, 4, 24});
+  const auto norm = m.Normalized();
+  Rng rng(6);
+  auto res = RunPatternRecognition(norm, TestConfig(), 0.5, rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->pattern.dims(), (grid::Dims{4, 4, 8}));
+  for (double v : res->pattern.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_EQ(res->train_stats.epoch_losses.size(), 3u);
+  EXPECT_FALSE(res->sanitized_levels.empty());
+}
+
+TEST(PatternRecognitionTest, WindowTooLargeForSegmentsFails) {
+  const auto m = RampMatrix({4, 4, 24});
+  const auto norm = m.Normalized();
+  Rng rng(7);
+  StptConfig cfg = TestConfig();
+  cfg.predictor.window_size = 10;  // segments are ceil(16/3) = 6 long
+  EXPECT_FALSE(RunPatternRecognition(norm, cfg, 0.5, rng).ok());
+}
+
+// --------------------------- Stpt end-to-end ---------------------------
+
+TEST(StptTest, RejectsBadArguments) {
+  const auto m = RampMatrix({4, 4, 24});
+  Rng rng(8);
+  StptConfig cfg = TestConfig();
+  Stpt algo(cfg);
+  EXPECT_FALSE(algo.Publish(m, 0.0, rng).ok());
+  cfg.eps_pattern = 0.0;
+  EXPECT_FALSE(Stpt(cfg).Publish(m, 1.0, rng).ok());
+}
+
+TEST(StptTest, PublishesTestRegionWithExpectedDims) {
+  const auto m = RampMatrix({4, 4, 24});
+  Rng rng(9);
+  Stpt algo(TestConfig());
+  auto res = algo.Publish(m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->sanitized.dims(), (grid::Dims{4, 4, 8}));
+  EXPECT_EQ(res->pattern.dims(), (grid::Dims{4, 4, 8}));
+  EXPECT_EQ(res->partition_epsilons.size(),
+            static_cast<size_t>(TestConfig().quantization_levels));
+}
+
+TEST(StptTest, PartitionBudgetsRespectSanitizeTotal) {
+  const auto m = RampMatrix({4, 4, 24});
+  Rng rng(10);
+  Stpt algo(TestConfig());
+  auto res = algo.Publish(m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  const double sum = std::accumulate(res->partition_epsilons.begin(),
+                                     res->partition_epsilons.end(), 0.0);
+  EXPECT_LE(sum, TestConfig().eps_sanitize + 1e-9);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(StptTest, CellsInSamePartitionShareReleasedValue) {
+  const auto m = RampMatrix({4, 4, 24});
+  Rng rng(11);
+  Stpt algo(TestConfig());
+  auto res = algo.Publish(m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  for (size_t i = 0; i < res->quantization.bucket.size(); ++i) {
+    for (size_t j = i + 1; j < res->quantization.bucket.size(); ++j) {
+      if (res->quantization.bucket[i] == res->quantization.bucket[j]) {
+        EXPECT_DOUBLE_EQ(res->sanitized.data()[i], res->sanitized.data()[j]);
+      }
+    }
+    if (i > 200) break;  // spot-check prefix to bound runtime
+  }
+}
+
+TEST(StptTest, DeterministicForSeed) {
+  const auto m = RampMatrix({4, 4, 24});
+  Rng r1(12), r2(12);
+  Stpt algo(TestConfig());
+  auto a = algo.Publish(m, 1.0, r1);
+  auto b = algo.Publish(m, 1.0, r2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sanitized.data(), b->sanitized.data());
+}
+
+TEST(StptTest, SingletonAblationRuns) {
+  const auto m = RampMatrix({4, 4, 20});
+  Rng rng(13);
+  StptConfig cfg = TestConfig();
+  cfg.t_train = 12;
+  cfg.use_quantization = false;
+  auto res = Stpt(cfg).Publish(m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->quantization.bucket_sizes.size(), res->sanitized.size());
+}
+
+TEST(StptTest, PreservesPartitionSumsApproximately) {
+  // With a generous budget the released partition totals should track the
+  // true totals closely.
+  const auto m = RampMatrix({4, 4, 24});
+  Rng rng(14);
+  StptConfig cfg = TestConfig();
+  cfg.eps_sanitize = 1e6;
+  Stpt algo(cfg);
+  auto res = algo.Publish(m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  auto truth = TestRegion(m, cfg.t_train);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_NEAR(res->sanitized.TotalSum(), truth->TotalSum(),
+              truth->TotalSum() * 0.01);
+}
+
+TEST(TestRegionTest, ExtractsSuffixSlices) {
+  const auto m = RampMatrix({2, 2, 6});
+  auto tr = TestRegion(m, 4);
+  ASSERT_TRUE(tr.ok());
+  EXPECT_EQ(tr->dims(), (grid::Dims{2, 2, 2}));
+  EXPECT_EQ(tr->at(1, 1, 0), m.at(1, 1, 4));
+  EXPECT_EQ(tr->at(1, 1, 1), m.at(1, 1, 5));
+  EXPECT_FALSE(TestRegion(m, 6).ok());
+  EXPECT_FALSE(TestRegion(m, -1).ok());
+}
+
+}  // namespace
+}  // namespace stpt::core

@@ -1,0 +1,341 @@
+// Tests for the extension components: w-event streaming release, local DP,
+// the analytical accuracy model, multi-head attention, and the LSTM
+// predictor variant.
+
+#include <cmath>
+
+#include "baselines/local_dp.h"
+#include "common/rng.h"
+#include "core/accuracy_model.h"
+#include "core/streaming.h"
+#include "gtest/gtest.h"
+#include "nn/layers.h"
+#include "nn/predictor.h"
+
+namespace stpt {
+namespace {
+
+// --------------------------- StreamingPublisher ---------------------------
+
+TEST(StreamingTest, RejectsBadParameters) {
+  core::StreamingPublisher::Options opts;
+  EXPECT_FALSE(core::StreamingPublisher::Create(0, 1.0, opts).ok());
+  EXPECT_FALSE(core::StreamingPublisher::Create(4, 0.0, opts).ok());
+  opts.window = 0;
+  EXPECT_FALSE(core::StreamingPublisher::Create(4, 1.0, opts).ok());
+  opts.window = 5;
+  opts.dissimilarity_fraction = 1.0;
+  EXPECT_FALSE(core::StreamingPublisher::Create(4, 1.0, opts).ok());
+}
+
+TEST(StreamingTest, RejectsWrongSliceSize) {
+  auto pub = core::StreamingPublisher::Create(4, 1.0, {});
+  ASSERT_TRUE(pub.ok());
+  Rng rng(1);
+  EXPECT_FALSE(pub->ProcessSlice({1.0, 2.0}, rng).ok());
+}
+
+TEST(StreamingTest, WindowSpendNeverExceedsEpsilon) {
+  // The w-event invariant, checked against the internal ledger on a stream
+  // with frequent level shifts (forcing many publications).
+  core::StreamingPublisher::Options opts;
+  opts.window = 8;
+  opts.epsilon = 2.0;
+  auto pub = core::StreamingPublisher::Create(16, 1.0, opts);
+  ASSERT_TRUE(pub.ok());
+  Rng rng(2);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<double> slice(16, (t % 3) * 50.0 + rng.Uniform(0, 5));
+    ASSERT_TRUE(pub->ProcessSlice(slice, rng).ok());
+    EXPECT_LE(pub->WindowSpend(), opts.epsilon + 1e-9) << "t=" << t;
+  }
+  EXPECT_EQ(pub->slices_processed(), 200);
+}
+
+TEST(StreamingTest, StableStreamMostlyRepublishes) {
+  core::StreamingPublisher::Options opts;
+  opts.window = 10;
+  opts.epsilon = 5.0;
+  auto pub = core::StreamingPublisher::Create(8, 1.0, opts);
+  ASSERT_TRUE(pub.ok());
+  Rng rng(3);
+  const std::vector<double> constant(8, 100.0);
+  for (int t = 0; t < 100; ++t) {
+    ASSERT_TRUE(pub->ProcessSlice(constant, rng).ok());
+  }
+  // A constant stream should be re-published almost always after the first.
+  EXPECT_GT(pub->republish_count(), 80);
+}
+
+TEST(StreamingTest, LargeShiftsTriggerPublication) {
+  core::StreamingPublisher::Options opts;
+  opts.window = 10;
+  opts.epsilon = 10.0;
+  auto pub = core::StreamingPublisher::Create(8, 1.0, opts);
+  ASSERT_TRUE(pub.ok());
+  Rng rng(4);
+  auto first = pub->ProcessSlice(std::vector<double>(8, 10.0), rng);
+  ASSERT_TRUE(first.ok());
+  // A massive level shift must produce a different release.
+  auto second = pub->ProcessSlice(std::vector<double>(8, 10000.0), rng);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT((*second)[0], (*first)[0] + 100.0);
+  EXPECT_EQ(pub->republish_count(), 0);
+}
+
+TEST(StreamingTest, ReleasedValuesTrackInput) {
+  core::StreamingPublisher::Options opts;
+  opts.window = 5;
+  opts.epsilon = 50.0;  // generous budget -> small noise
+  auto pub = core::StreamingPublisher::Create(4, 1.0, opts);
+  ASSERT_TRUE(pub.ok());
+  Rng rng(5);
+  auto out = pub->ProcessSlice({100.0, 200.0, 300.0, 400.0}, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR((*out)[0], 100.0, 10.0);
+  EXPECT_NEAR((*out)[3], 400.0, 10.0);
+}
+
+// --------------------------- LocalDpPublisher ---------------------------
+
+datagen::SyntheticDataset SmallDataset(uint64_t seed, int households = 50) {
+  Rng rng(seed);
+  datagen::DatasetSpec spec = datagen::CaSpec();
+  spec.num_households = households;
+  datagen::GenerateOptions opts;
+  opts.grid_x = 4;
+  opts.grid_y = 4;
+  opts.hours = 24 * 5;
+  auto ds = datagen::GenerateDataset(spec, datagen::SpatialDistribution::kUniform,
+                                     opts, rng);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(LocalDpTest, RejectsBadArguments) {
+  const auto ds = SmallDataset(10);
+  baselines::LocalDpPublisher pub;
+  Rng rng(11);
+  EXPECT_FALSE(pub.Publish(ds, 24, 0.0, rng).ok());
+  EXPECT_FALSE(pub.Publish(ds, 7, 1.0, rng).ok());  // 120 % 7 != 0
+  EXPECT_FALSE(pub.Publish(ds, 0, 1.0, rng).ok());
+}
+
+TEST(LocalDpTest, OutputDimsMatchGranularity) {
+  const auto ds = SmallDataset(12);
+  baselines::LocalDpPublisher pub;
+  Rng rng(13);
+  auto day = pub.Publish(ds, 24, 10.0, rng);
+  ASSERT_TRUE(day.ok());
+  EXPECT_EQ(day->dims(), (grid::Dims{4, 4, 5}));
+  auto hour = pub.Publish(ds, 1, 10.0, rng);
+  ASSERT_TRUE(hour.ok());
+  EXPECT_EQ(hour->dims(), (grid::Dims{4, 4, 120}));
+}
+
+TEST(LocalDpTest, UnbiasedAggregates) {
+  const auto ds = SmallDataset(14);
+  auto truth = datagen::BuildConsumptionMatrix(ds, 24);
+  ASSERT_TRUE(truth.ok());
+  baselines::LocalDpPublisher pub;
+  Rng rng(15);
+  double total = 0.0;
+  const int reps = 30;
+  for (int r = 0; r < reps; ++r) {
+    auto out = pub.Publish(ds, 24, 20.0, rng);
+    ASSERT_TRUE(out.ok());
+    total += out->TotalSum();
+  }
+  EXPECT_NEAR(total / reps, truth->TotalSum(), truth->TotalSum() * 0.2);
+}
+
+TEST(LocalDpTest, NoiseGrowsWithHouseholdCountUnlikeCentralDp) {
+  // The LDP utility penalty: cell noise scales with the number of reporting
+  // households (each adds its own noise), while central DP noise does not.
+  baselines::LocalDpPublisher pub;
+  auto noise_for = [&](int households, uint64_t seed) {
+    const auto ds = SmallDataset(seed, households);
+    auto truth = datagen::BuildConsumptionMatrix(ds, 24);
+    EXPECT_TRUE(truth.ok());
+    Rng rng(seed + 1);
+    auto out = pub.Publish(ds, 24, 10.0, rng);
+    EXPECT_TRUE(out.ok());
+    double err = 0.0;
+    for (size_t i = 0; i < out->data().size(); ++i) {
+      err += std::fabs(out->data()[i] - truth->data()[i]);
+    }
+    return err / static_cast<double>(out->data().size());
+  };
+  EXPECT_GT(noise_for(400, 20), 1.5 * noise_for(50, 30));
+}
+
+// --------------------------- Accuracy model ---------------------------
+
+TEST(AccuracyModelTest, IdentityVarianceFormula) {
+  // volume * 2 * (unit * ct / eps)^2
+  EXPECT_DOUBLE_EQ(core::IdentityQueryNoiseVariance(10, 100, 20.0, 2.0),
+                   10.0 * 2.0 * 100.0);
+}
+
+TEST(AccuracyModelTest, StptVarianceValidatesInputs) {
+  EXPECT_FALSE(core::StptQueryNoiseVariance({1}, {}, {1.0}, {1.0}).ok());
+  EXPECT_FALSE(core::StptQueryNoiseVariance({1}, {0}, {1.0}, {1.0}).ok());
+  auto ok = core::StptQueryNoiseVariance({0}, {0}, {1.0}, {1.0});
+  ASSERT_TRUE(ok.ok());  // zero coverage of an empty partition is fine
+  EXPECT_EQ(*ok, 0.0);
+}
+
+TEST(AccuracyModelTest, StptVarianceWeightsByCoverageFraction) {
+  // Full coverage of one partition with sens 3, eps 1: variance 2*9 = 18.
+  auto full = core::StptQueryNoiseVariance({4}, {4}, {3.0}, {1.0});
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(*full, 18.0);
+  // Half coverage: (1/2)^2 * 18 = 4.5.
+  auto half = core::StptQueryNoiseVariance({2}, {4}, {3.0}, {1.0});
+  ASSERT_TRUE(half.ok());
+  EXPECT_DOUBLE_EQ(*half, 4.5);
+}
+
+TEST(AccuracyModelTest, ExpectedAbsErrorOfLaplace) {
+  // For Lap(b): var = 2 b^2 and E|X| = b.
+  EXPECT_DOUBLE_EQ(core::ExpectedAbsError(2.0 * 9.0), 3.0);
+}
+
+TEST(AccuracyModelTest, CoverageCountsCellsPerBucket) {
+  auto m = grid::ConsumptionMatrix::Create({2, 1, 4});
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->SetPillar(0, 0, {0.0, 0.0, 1.0, 1.0}).ok());
+  ASSERT_TRUE(m->SetPillar(1, 0, {1.0, 1.0, 1.0, 1.0}).ok());
+  auto q = core::KQuantize(*m, 2);
+  ASSERT_TRUE(q.ok());
+  const auto covered = core::PartitionCoverage(*q, m->dims(), {0, 0, 0, 0, 0, 3});
+  ASSERT_EQ(covered.size(), 2u);
+  EXPECT_EQ(covered[0], 2u);  // the two zero cells of pillar (0,0)
+  EXPECT_EQ(covered[1], 2u);
+}
+
+TEST(AccuracyModelTest, PredictionMatchesMonteCarlo) {
+  // Monte-Carlo check of the analytical query-noise model on a synthetic
+  // partitioning.
+  auto m = grid::ConsumptionMatrix::Create({4, 4, 8});
+  ASSERT_TRUE(m.ok());
+  Rng data_rng(16);
+  for (auto& v : m->mutable_data()) v = data_rng.Uniform(0, 1);
+  auto quant = core::KQuantize(*m, 4);
+  ASSERT_TRUE(quant.ok());
+  const std::vector<double> sens = {4.0, 4.0, 4.0, 4.0};
+  const std::vector<double> eps = {1.0, 2.0, 0.5, 1.5};
+  const query::RangeQuery q{0, 3, 0, 3, 0, 3};
+  auto predicted = core::PredictStptQueryAbsNoise(*quant, m->dims(), sens, eps, q);
+  ASSERT_TRUE(predicted.ok());
+
+  // Simulate: noise on each partition sum spread uniformly, summed over the
+  // covered cells.
+  Rng rng(17);
+  const auto covered = core::PartitionCoverage(*quant, m->dims(), q);
+  double mean_abs = 0.0;
+  const int reps = 40000;
+  for (int r = 0; r < reps; ++r) {
+    double err = 0.0;
+    for (int b = 0; b < quant->levels; ++b) {
+      if (covered[b] == 0 || quant->bucket_sizes[b] == 0) continue;
+      const double noise = rng.Laplace(sens[b] / eps[b]);
+      err += noise * static_cast<double>(covered[b]) /
+             static_cast<double>(quant->bucket_sizes[b]);
+    }
+    mean_abs += std::fabs(err);
+  }
+  mean_abs /= reps;
+  // The analytical value uses a Gaussian-style |sum| approximation; allow
+  // 20% tolerance.
+  EXPECT_NEAR(mean_abs, *predicted, 0.2 * *predicted);
+}
+
+// --------------------------- New NN components ---------------------------
+
+TEST(MultiHeadAttentionTest, PreservesShape) {
+  Rng rng(18);
+  nn::MultiHeadAttention mha(8, 2, rng);
+  const nn::Tensor x = nn::Tensor::Randn({2, 5, 8}, rng, 1.0);
+  EXPECT_EQ(mha.Forward(x).shape(), x.shape());
+  EXPECT_EQ(mha.heads(), 2);
+}
+
+TEST(MultiHeadAttentionTest, ParameterCount) {
+  Rng rng(19);
+  nn::MultiHeadAttention mha(8, 4, rng);
+  // 4 heads x 3 projections + 1 output projection.
+  EXPECT_EQ(mha.Parameters().size(), 13u);
+}
+
+TEST(MultiHeadAttentionTest, GradientsMatchFiniteDifference) {
+  Rng rng(20);
+  nn::MultiHeadAttention mha(4, 2, rng);
+  const nn::Tensor x = nn::Tensor::Randn({1, 3, 4}, rng, 1.0);
+  const nn::Tensor y = nn::Tensor::Randn({1, 3, 4}, rng, 1.0);
+  auto params = mha.Parameters();
+  for (auto& p : params) p.ZeroGrad();
+  nn::Tensor loss = nn::MseLoss(mha.Forward(x), y);
+  loss.Backward();
+  std::vector<std::vector<double>> analytic;
+  for (auto& p : params) analytic.push_back(p.grad());
+  const double h = 1e-5;
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (size_t j = 0; j < params[i].numel(); j += 5) {
+      const double orig = params[i].data()[j];
+      params[i].data()[j] = orig + h;
+      const double fp = nn::MseLoss(mha.Forward(x), y).item();
+      params[i].data()[j] = orig - h;
+      const double fm = nn::MseLoss(mha.Forward(x), y).item();
+      params[i].data()[j] = orig;
+      EXPECT_NEAR(analytic[i][j], (fp - fm) / (2 * h), 1e-4)
+          << "param " << i << " coord " << j;
+    }
+  }
+}
+
+TEST(ConcatLastDimTest, ForwardLayout) {
+  const nn::Tensor a = nn::Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  const nn::Tensor b = nn::Tensor::FromVector({2, 1}, {9, 8});
+  const nn::Tensor c = nn::ConcatLastDim({a, b});
+  EXPECT_EQ(c.shape(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(c.data(), (std::vector<double>{1, 2, 9, 3, 4, 8}));
+}
+
+TEST(ConcatLastDimTest, GradientRouting) {
+  nn::Tensor a = nn::Tensor::FromVector({1, 2}, {1, 2}, true);
+  nn::Tensor b = nn::Tensor::FromVector({1, 1}, {3}, true);
+  const nn::Tensor w = nn::Tensor::FromVector({1, 3}, {10, 20, 30});
+  nn::Tensor loss = nn::SumAll(nn::Mul(nn::ConcatLastDim({a, b}), w));
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(a.grad()[0], 10.0);
+  EXPECT_DOUBLE_EQ(a.grad()[1], 20.0);
+  EXPECT_DOUBLE_EQ(b.grad()[0], 30.0);
+}
+
+TEST(LstmPredictorTest, CreatesAndLearns) {
+  Rng rng(21);
+  nn::PredictorConfig cfg;
+  cfg.window_size = 4;
+  cfg.embedding_size = 8;
+  cfg.hidden_size = 8;
+  auto pred = nn::SequencePredictor::Create(nn::ModelKind::kLstm, cfg, rng);
+  const nn::Tensor out = pred->Forward(nn::Tensor::Zeros({3, 4, 1}));
+  EXPECT_EQ(out.shape(), (std::vector<int>{3, 1}));
+  const nn::WindowDataset ds = nn::MakeWindows({std::vector<double>(30, 0.4)}, 4);
+  nn::TrainConfig tc;
+  tc.epochs = 60;
+  tc.learning_rate = 5e-3;
+  tc.batch_size = 8;
+  auto stats = nn::TrainPredictor(pred.get(), ds, tc, rng);
+  ASSERT_TRUE(stats.ok());
+  const auto preds = nn::PredictBatch(pred.get(), {std::vector<double>(4, 0.4)});
+  EXPECT_NEAR(preds[0], 0.4, 0.1);
+}
+
+TEST(LstmPredictorTest, NameIsLstm) {
+  EXPECT_STREQ(nn::ModelKindToString(nn::ModelKind::kLstm), "LSTM");
+}
+
+}  // namespace
+}  // namespace stpt

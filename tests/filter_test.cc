@@ -1,0 +1,104 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "filter/kalman.h"
+#include "gtest/gtest.h"
+
+namespace stpt::filter {
+namespace {
+
+TEST(KalmanTest, RejectsInvalidVariances) {
+  EXPECT_FALSE(ScalarKalmanFilter::Create(0.0, 1.0, 0.0, 1.0).ok());
+  EXPECT_FALSE(ScalarKalmanFilter::Create(1.0, 0.0, 0.0, 1.0).ok());
+  EXPECT_FALSE(ScalarKalmanFilter::Create(1.0, 1.0, 0.0, -1.0).ok());
+  EXPECT_TRUE(ScalarKalmanFilter::Create(1.0, 1.0, 0.0, 0.0).ok());
+}
+
+TEST(KalmanTest, PredictGrowsVariance) {
+  auto kf = ScalarKalmanFilter::Create(0.5, 1.0, 0.0, 1.0);
+  ASSERT_TRUE(kf.ok());
+  const double v0 = kf->variance();
+  kf->Predict();
+  EXPECT_DOUBLE_EQ(kf->variance(), v0 + 0.5);
+}
+
+TEST(KalmanTest, CorrectShrinksVariance) {
+  auto kf = ScalarKalmanFilter::Create(0.5, 1.0, 0.0, 2.0);
+  ASSERT_TRUE(kf.ok());
+  const double v0 = kf->variance();
+  kf->Correct(1.0);
+  EXPECT_LT(kf->variance(), v0);
+}
+
+TEST(KalmanTest, GainBalancesPriorAndMeasurement) {
+  // With prior variance == measurement variance the gain is 0.5 and the
+  // posterior is the midpoint.
+  auto kf = ScalarKalmanFilter::Create(1e-9, 4.0, 0.0, 4.0);
+  ASSERT_TRUE(kf.ok());
+  const double post = kf->Correct(10.0);
+  EXPECT_NEAR(kf->gain(), 0.5, 1e-9);
+  EXPECT_NEAR(post, 5.0, 1e-6);
+}
+
+TEST(KalmanTest, ConvergesToConstantSignal) {
+  Rng rng(77);
+  auto kf = ScalarKalmanFilter::Create(1e-4, 1.0, 0.0, 1.0);
+  ASSERT_TRUE(kf.ok());
+  const double truth = 3.0;
+  double estimate = 0.0;
+  for (int t = 0; t < 500; ++t) {
+    kf->Predict();
+    estimate = kf->Correct(truth + rng.Gaussian(0.0, 1.0));
+  }
+  EXPECT_NEAR(estimate, truth, 0.25);
+}
+
+TEST(KalmanTest, FiltersNoiseBelowRawVariance) {
+  // The posterior should track a slow ramp with lower MSE than raw
+  // observations.
+  Rng rng(78);
+  auto kf = ScalarKalmanFilter::Create(0.05, 4.0, 0.0, 4.0);
+  ASSERT_TRUE(kf.ok());
+  double mse_filter = 0.0, mse_raw = 0.0;
+  const int n = 2000;
+  for (int t = 0; t < n; ++t) {
+    const double truth = 0.01 * t;
+    const double z = truth + rng.Gaussian(0.0, 2.0);
+    kf->Predict();
+    const double est = kf->Correct(z);
+    mse_filter += (est - truth) * (est - truth);
+    mse_raw += (z - truth) * (z - truth);
+  }
+  EXPECT_LT(mse_filter, 0.5 * mse_raw);
+}
+
+TEST(PidTest, ProportionalOnlyScalesError) {
+  PidController pid(2.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(pid.Update(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(pid.Update(-1.0), -2.0);
+}
+
+TEST(PidTest, IntegralAveragesWindow) {
+  PidController pid(0.0, 1.0, 0.0, /*integral_window=*/2);
+  EXPECT_DOUBLE_EQ(pid.Update(2.0), 2.0);        // window {2}
+  EXPECT_DOUBLE_EQ(pid.Update(4.0), 3.0);        // window {2,4}
+  EXPECT_DOUBLE_EQ(pid.Update(0.0), 2.0);        // window {4,0}
+}
+
+TEST(PidTest, DerivativeRespondsToChange) {
+  PidController pid(0.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(pid.Update(1.0), 0.0);  // no previous error
+  EXPECT_DOUBLE_EQ(pid.Update(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(pid.Update(2.0), -1.0);
+}
+
+TEST(PidTest, ResetClearsState) {
+  PidController pid(0.0, 0.0, 1.0);
+  pid.Update(1.0);
+  pid.Update(2.0);
+  pid.Reset();
+  EXPECT_DOUBLE_EQ(pid.Update(5.0), 0.0);  // derivative has no history again
+}
+
+}  // namespace
+}  // namespace stpt::filter

@@ -1,0 +1,150 @@
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/htf_partition.h"
+#include "core/stpt.h"
+#include "gtest/gtest.h"
+
+namespace stpt::core {
+namespace {
+
+grid::ConsumptionMatrix StepMatrix() {
+  // Two homogeneous halves along x: values 1.0 and 9.0.
+  auto m = grid::ConsumptionMatrix::Create({4, 4, 4});
+  EXPECT_TRUE(m.ok());
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      for (int t = 0; t < 4; ++t) m->set(x, y, t, x < 2 ? 1.0 : 9.0);
+    }
+  }
+  return std::move(m).value();
+}
+
+TEST(HtfPartitionTest, RejectsBadLeafCount) {
+  const auto m = StepMatrix();
+  EXPECT_FALSE(HtfPartition(m, 0).ok());
+  EXPECT_TRUE(HtfPartition(m, 1).ok());
+}
+
+TEST(HtfPartitionTest, SingleLeafIsWholeMatrix) {
+  const auto m = StepMatrix();
+  auto q = HtfPartition(m, 1);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->levels, 1);
+  EXPECT_EQ(q->bucket_sizes[0], m.size());
+}
+
+TEST(HtfPartitionTest, FindsTheNaturalStepSplit) {
+  // With 2 leaves the impurity-minimising cut is exactly the step at x = 1|2.
+  const auto m = StepMatrix();
+  auto q = HtfPartition(m, 2);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->levels, 2);
+  // All cells with x < 2 share a bucket; all with x >= 2 share the other.
+  const int low_bucket = q->bucket[0];
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      for (int t = 0; t < 4; ++t) {
+        const size_t idx = (static_cast<size_t>(x) * 4 + y) * 4 + t;
+        if (x < 2) {
+          EXPECT_EQ(q->bucket[idx], low_bucket);
+        } else {
+          EXPECT_NE(q->bucket[idx], low_bucket);
+        }
+      }
+    }
+  }
+}
+
+TEST(HtfPartitionTest, PartitionsTileTheMatrix) {
+  Rng rng(1);
+  auto m = grid::ConsumptionMatrix::Create({5, 6, 7});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = rng.Uniform(0, 1);
+  for (int leaves : {1, 3, 8, 20, 64}) {
+    auto q = HtfPartition(*m, leaves);
+    ASSERT_TRUE(q.ok()) << leaves;
+    EXPECT_LE(q->levels, leaves);
+    const size_t total = std::accumulate(q->bucket_sizes.begin(),
+                                         q->bucket_sizes.end(), size_t{0});
+    EXPECT_EQ(total, m->size());
+    for (int b : q->bucket) {
+      EXPECT_GE(b, 0);
+      EXPECT_LT(b, q->levels);
+    }
+  }
+}
+
+TEST(HtfPartitionTest, HomogeneousMatrixStopsEarly) {
+  auto m = grid::ConsumptionMatrix::Create({4, 4, 4});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = 2.5;
+  auto q = HtfPartition(*m, 16);
+  ASSERT_TRUE(q.ok());
+  // A perfectly homogeneous matrix needs exactly one leaf.
+  EXPECT_EQ(q->levels, 1);
+}
+
+TEST(HtfPartitionTest, MoreLeavesNeverIncreaseTotalImpurity) {
+  Rng rng(2);
+  auto m = grid::ConsumptionMatrix::Create({6, 6, 6});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = rng.Uniform(0, 10);
+  auto impurity_of = [&](const Quantization& q) {
+    std::vector<double> sum(q.levels, 0.0), sq(q.levels, 0.0);
+    for (size_t i = 0; i < q.bucket.size(); ++i) {
+      sum[q.bucket[i]] += m->data()[i];
+      sq[q.bucket[i]] += m->data()[i] * m->data()[i];
+    }
+    double total = 0.0;
+    for (int b = 0; b < q.levels; ++b) {
+      if (q.bucket_sizes[b] == 0) continue;
+      total += sq[b] - sum[b] * sum[b] / static_cast<double>(q.bucket_sizes[b]);
+    }
+    return total;
+  };
+  double prev = 1e300;
+  for (int leaves : {1, 2, 4, 8, 16, 32}) {
+    auto q = HtfPartition(*m, leaves);
+    ASSERT_TRUE(q.ok());
+    const double imp = impurity_of(*q);
+    EXPECT_LE(imp, prev + 1e-9) << leaves;
+    prev = imp;
+  }
+}
+
+TEST(HtfPartitionTest, AtomicCellsTerminate) {
+  // max_partitions larger than the matrix: recursion must stop at single
+  // cells without spinning.
+  Rng rng(3);
+  auto m = grid::ConsumptionMatrix::Create({2, 2, 2});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = rng.Uniform(0, 1);
+  auto q = HtfPartition(*m, 1000);
+  ASSERT_TRUE(q.ok());
+  EXPECT_LE(q->levels, 8);
+}
+
+TEST(HtfStptTest, StptRunsWithHtfPartitioning) {
+  auto m = grid::ConsumptionMatrix::Create({4, 4, 20});
+  ASSERT_TRUE(m.ok());
+  Rng data_rng(4);
+  for (auto& v : m->mutable_data()) v = data_rng.Uniform(0, 10);
+  core::StptConfig cfg;
+  cfg.t_train = 14;
+  cfg.quadtree_depth = 1;
+  cfg.partitioning = StptConfig::PartitionStrategy::kHtf;
+  cfg.htf_max_partitions = 12;
+  cfg.predictor.window_size = 3;
+  cfg.predictor.embedding_size = 4;
+  cfg.predictor.hidden_size = 4;
+  cfg.training.epochs = 2;
+  Rng rng(5);
+  auto res = Stpt(cfg).Publish(*m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res->quantization.levels, 12);
+  EXPECT_EQ(res->sanitized.dims(), (grid::Dims{4, 4, 6}));
+}
+
+}  // namespace
+}  // namespace stpt::core

@@ -1,0 +1,196 @@
+// End-to-end integration tests: synthetic dataset -> consumption matrix ->
+// publication (STPT and baselines) -> range-query accuracy, mirroring the
+// experiment pipeline of §5 at a reduced scale.
+
+#include <numeric>
+
+#include "baselines/identity.h"
+#include "baselines/publisher.h"
+#include "baselines/wpo.h"
+#include "common/rng.h"
+#include "core/budget_allocation.h"
+#include "core/stpt.h"
+#include "datagen/dataset.h"
+#include "dp/budget_accountant.h"
+#include "gtest/gtest.h"
+#include "query/metrics.h"
+#include "query/range_query.h"
+
+namespace stpt {
+namespace {
+
+struct Pipeline {
+  datagen::SyntheticDataset dataset;
+  grid::ConsumptionMatrix cons;
+  grid::ConsumptionMatrix truth_test;  // test region ground truth
+  double unit_sensitivity = 0.0;
+};
+
+core::StptConfig SmallStptConfig() {
+  core::StptConfig cfg;
+  cfg.eps_pattern = 10.0;
+  cfg.eps_sanitize = 20.0;
+  cfg.t_train = 50;
+  cfg.quadtree_depth = 3;  // medium depth, per the paper's Fig. 8e/f finding
+  cfg.quantization_levels = 6;
+  cfg.predictor.window_size = 6;
+  cfg.predictor.embedding_size = 8;
+  cfg.predictor.hidden_size = 8;
+  cfg.training.epochs = 10;
+  return cfg;
+}
+
+Pipeline MakePipeline(datagen::SpatialDistribution dist, uint64_t seed) {
+  Rng rng(seed);
+  datagen::DatasetSpec spec = datagen::CerSpec();
+  spec.num_households = 800;
+  datagen::GenerateOptions opts;
+  opts.grid_x = 16;
+  opts.grid_y = 16;
+  opts.hours = 110 * 24;  // 110 days, released at day granularity
+  auto ds = datagen::GenerateDataset(spec, dist, opts, rng);
+  EXPECT_TRUE(ds.ok());
+  auto cons = datagen::BuildConsumptionMatrix(*ds, /*hours_per_slice=*/24);
+  EXPECT_TRUE(cons.ok());
+  auto truth = core::TestRegion(*cons, SmallStptConfig().t_train);
+  EXPECT_TRUE(truth.ok());
+  return {std::move(ds).value(), std::move(cons).value(), std::move(truth).value(),
+          datagen::UnitSensitivity(spec, 24)};
+}
+
+double EvalMre(const grid::ConsumptionMatrix& truth,
+               const grid::ConsumptionMatrix& sanitized,
+               query::WorkloadKind kind, uint64_t seed) {
+  Rng rng(seed);
+  auto wl = query::MakeWorkload(kind, truth.dims(), 150, rng);
+  EXPECT_TRUE(wl.ok());
+  return query::MeanRelativeError(truth, sanitized, *wl);
+}
+
+TEST(IntegrationTest, FullPipelineProducesFiniteErrors) {
+  const Pipeline p = MakePipeline(datagen::SpatialDistribution::kUniform, 1);
+  Rng rng(2);
+  core::Stpt algo(SmallStptConfig());
+  auto res = algo.Publish(p.cons, p.unit_sensitivity, rng);
+  ASSERT_TRUE(res.ok());
+  for (auto kind : {query::WorkloadKind::kRandom, query::WorkloadKind::kSmall,
+                    query::WorkloadKind::kLarge}) {
+    const double mre = EvalMre(p.truth_test, res->sanitized, kind, 3);
+    EXPECT_GE(mre, 0.0);
+    EXPECT_LT(mre, 1e6);
+  }
+}
+
+TEST(IntegrationTest, StptBeatsIdentityOnRandomQueries) {
+  // The headline claim of Fig. 6, at reduced scale, averaged over seeds.
+  double stpt_total = 0.0, identity_total = 0.0;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const Pipeline p = MakePipeline(datagen::SpatialDistribution::kUniform, 10 + seed);
+    Rng rng(20 + seed);
+    core::Stpt algo(SmallStptConfig());
+    auto stpt_res = algo.Publish(p.cons, p.unit_sensitivity, rng);
+    ASSERT_TRUE(stpt_res.ok());
+    baselines::IdentityPublisher identity;
+    auto id_res =
+        identity.Publish(p.truth_test, 30.0, p.unit_sensitivity, rng);
+    ASSERT_TRUE(id_res.ok());
+    stpt_total +=
+        EvalMre(p.truth_test, stpt_res->sanitized, query::WorkloadKind::kRandom, 30);
+    identity_total +=
+        EvalMre(p.truth_test, *id_res, query::WorkloadKind::kRandom, 30);
+  }
+  EXPECT_LT(stpt_total, identity_total);
+}
+
+TEST(IntegrationTest, WpoIsFarWorseThanStpt) {
+  // Fig. 7 shape: geospatially blind, event-level WPO loses badly to STPT
+  // on non-uniform (LA-like) data.
+  const Pipeline p = MakePipeline(datagen::SpatialDistribution::kLosAngeles, 40);
+  Rng rng(41);
+  baselines::WpoPublisher wpo;
+  auto wpo_res = wpo.Publish(p.truth_test, 30.0, p.unit_sensitivity, rng);
+  ASSERT_TRUE(wpo_res.ok());
+  core::Stpt algo(SmallStptConfig());
+  auto stpt_res = algo.Publish(p.cons, p.unit_sensitivity, rng);
+  ASSERT_TRUE(stpt_res.ok());
+  const double wpo_mre =
+      EvalMre(p.truth_test, *wpo_res, query::WorkloadKind::kLarge, 42);
+  const double stpt_mre =
+      EvalMre(p.truth_test, stpt_res->sanitized, query::WorkloadKind::kLarge, 42);
+  EXPECT_GT(wpo_mre, 2.0 * stpt_mre);
+}
+
+TEST(IntegrationTest, BudgetAccountingMatchesStptSplit) {
+  // Model the STPT budget flow in the accountant: t_train pattern slices
+  // plus the sequential partition charges must fit exactly in eps_tot.
+  const core::StptConfig cfg = SmallStptConfig();
+  auto acc = dp::BudgetAccountant::Create(cfg.TotalEpsilon());
+  ASSERT_TRUE(acc.ok());
+  // Pattern step: eps_pattern / t_train per training slice (sequential
+  // across slices; parallel across neighborhoods within a slice).
+  for (int t = 0; t < cfg.t_train; ++t) {
+    ASSERT_TRUE(
+        acc->Charge("pattern_slice_" + std::to_string(t), cfg.eps_pattern / cfg.t_train)
+            .ok());
+  }
+  // Sanitization: partitions compose sequentially.
+  const std::vector<double> sens = {2.0, 6.0, 10.0, 14.0};
+  auto eps = core::AllocateBudget(sens, cfg.eps_sanitize,
+                                  core::BudgetAllocation::kOptimal);
+  ASSERT_TRUE(eps.ok());
+  for (size_t i = 0; i < eps->size(); ++i) {
+    ASSERT_TRUE(acc->Charge("partition_" + std::to_string(i), (*eps)[i]).ok());
+  }
+  EXPECT_NEAR(acc->ConsumedEpsilon(), cfg.TotalEpsilon(), 1e-6);
+  EXPECT_FALSE(acc->Charge("extra", 0.1).ok());
+}
+
+TEST(IntegrationTest, HigherTotalBudgetImprovesStptAccuracy) {
+  // Fig. 8h shape at reduced scale, averaged over repetitions.
+  const Pipeline p = MakePipeline(datagen::SpatialDistribution::kUniform, 50);
+  auto run = [&](double eps_tot, uint64_t seed) {
+    core::StptConfig cfg = SmallStptConfig();
+    cfg.eps_pattern = eps_tot / 3.0;
+    cfg.eps_sanitize = eps_tot * 2.0 / 3.0;
+    Rng rng(seed);
+    auto res = core::Stpt(cfg).Publish(p.cons, p.unit_sensitivity, rng);
+    EXPECT_TRUE(res.ok());
+    return EvalMre(p.truth_test, res->sanitized, query::WorkloadKind::kRandom, 51);
+  };
+  double tiny = 0.0, large = 0.0;
+  for (uint64_t s = 0; s < 3; ++s) {
+    tiny += run(0.05, 60 + s);
+    large += run(100.0, 70 + s);
+  }
+  EXPECT_LT(large, tiny);
+}
+
+TEST(IntegrationTest, AllStandardBaselinesRunOnRealisticData) {
+  const Pipeline p = MakePipeline(datagen::SpatialDistribution::kNormal, 80);
+  const auto suite = baselines::MakeStandardBaselines();
+  Rng rng(81);
+  for (const auto& pub : suite) {
+    auto out = pub->Publish(p.truth_test, 30.0, p.unit_sensitivity, rng);
+    ASSERT_TRUE(out.ok()) << pub->name();
+    EXPECT_EQ(out->dims(), p.truth_test.dims()) << pub->name();
+    const double mre =
+        EvalMre(p.truth_test, *out, query::WorkloadKind::kRandom, 82);
+    EXPECT_LT(mre, 1e7) << pub->name();
+  }
+}
+
+TEST(IntegrationTest, ModelVariantsAllPublish) {
+  const Pipeline p = MakePipeline(datagen::SpatialDistribution::kUniform, 90);
+  for (auto kind : {nn::ModelKind::kRnn, nn::ModelKind::kGru,
+                    nn::ModelKind::kTransformer}) {
+    core::StptConfig cfg = SmallStptConfig();
+    cfg.model = kind;
+    Rng rng(91);
+    auto res = core::Stpt(cfg).Publish(p.cons, p.unit_sensitivity, rng);
+    ASSERT_TRUE(res.ok()) << nn::ModelKindToString(kind);
+    EXPECT_EQ(res->sanitized.dims(), p.truth_test.dims());
+  }
+}
+
+}  // namespace
+}  // namespace stpt

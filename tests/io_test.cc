@@ -1,0 +1,223 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "datagen/dataset.h"
+#include "gtest/gtest.h"
+#include "io/csv.h"
+
+namespace stpt {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("stpt_io_test_" + name))
+      .string();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  std::string Make(const std::string& name) {
+    const std::string p = TempPath(name);
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+// --------------------------- Matrix CSV ---------------------------
+
+TEST_F(CsvTest, MatrixRoundTrip) {
+  Rng rng(1);
+  auto m = grid::ConsumptionMatrix::Create({3, 4, 5});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = rng.Uniform(0, 100);
+  const std::string path = Make("matrix.csv");
+  ASSERT_TRUE(io::WriteMatrixCsv(*m, path).ok());
+  auto back = io::ReadMatrixCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->dims(), m->dims());
+  for (size_t i = 0; i < m->data().size(); ++i) {
+    EXPECT_NEAR(back->data()[i], m->data()[i], 1e-9);
+  }
+}
+
+TEST_F(CsvTest, ReadMatrixRejectsMissingFile) {
+  EXPECT_EQ(io::ReadMatrixCsv(TempPath("nonexistent.csv")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CsvTest, ReadMatrixRejectsBadHeader) {
+  const std::string path = Make("badheader.csv");
+  std::ofstream(path) << "a,b\n0,0,0,1\n";
+  EXPECT_FALSE(io::ReadMatrixCsv(path).ok());
+}
+
+TEST_F(CsvTest, ReadMatrixRejectsIncompleteGrid) {
+  const std::string path = Make("incomplete.csv");
+  // Max indices imply 2x1x1 but only one row present.
+  std::ofstream(path) << "x,y,t,value\n1,0,0,3.5\n";
+  EXPECT_FALSE(io::ReadMatrixCsv(path).ok());
+}
+
+TEST_F(CsvTest, ReadMatrixRejectsGarbageValues) {
+  const std::string path = Make("garbage.csv");
+  std::ofstream(path) << "x,y,t,value\n0,0,0,notanumber\n";
+  EXPECT_FALSE(io::ReadMatrixCsv(path).ok());
+}
+
+TEST_F(CsvTest, ReadMatrixRejectsNegativeIndex) {
+  const std::string path = Make("negative.csv");
+  std::ofstream(path) << "x,y,t,value\n-1,0,0,1.0\n";
+  EXPECT_FALSE(io::ReadMatrixCsv(path).ok());
+}
+
+// --------------------------- Dataset CSV ---------------------------
+
+TEST_F(CsvTest, DatasetRoundTrip) {
+  Rng rng(2);
+  datagen::DatasetSpec spec = datagen::CaSpec();
+  spec.num_households = 12;
+  datagen::GenerateOptions opts;
+  opts.grid_x = 4;
+  opts.grid_y = 4;
+  opts.hours = 48;
+  auto ds = datagen::GenerateDataset(spec, datagen::SpatialDistribution::kUniform,
+                                     opts, rng);
+  ASSERT_TRUE(ds.ok());
+  const std::string path = Make("dataset.csv");
+  ASSERT_TRUE(io::WriteDatasetCsv(*ds, path).ok());
+  auto back = io::ReadDatasetCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->spec.name, "CA");
+  EXPECT_EQ(back->spec.num_households, 12);
+  EXPECT_EQ(back->hours, 48);
+  EXPECT_EQ(back->grid_x, 4);
+  ASSERT_EQ(back->households.size(), ds->households.size());
+  for (size_t i = 0; i < ds->households.size(); ++i) {
+    EXPECT_EQ(back->households[i].cell_x, ds->households[i].cell_x);
+    ASSERT_EQ(back->households[i].series.size(), ds->households[i].series.size());
+    for (size_t t = 0; t < ds->households[i].series.size(); ++t) {
+      EXPECT_NEAR(back->households[i].series[t], ds->households[i].series[t], 1e-12);
+    }
+  }
+}
+
+TEST_F(CsvTest, DatasetRoundTripPreservesMatrix) {
+  // The consumption matrix built from the round-tripped dataset must match.
+  Rng rng(3);
+  datagen::DatasetSpec spec = datagen::MiSpec();
+  spec.num_households = 20;
+  datagen::GenerateOptions opts;
+  opts.grid_x = 4;
+  opts.grid_y = 4;
+  opts.hours = 24 * 4;
+  auto ds = datagen::GenerateDataset(spec, datagen::SpatialDistribution::kNormal,
+                                     opts, rng);
+  ASSERT_TRUE(ds.ok());
+  const std::string path = Make("dataset2.csv");
+  ASSERT_TRUE(io::WriteDatasetCsv(*ds, path).ok());
+  auto back = io::ReadDatasetCsv(path);
+  ASSERT_TRUE(back.ok());
+  auto m1 = datagen::BuildConsumptionMatrix(*ds, 24);
+  auto m2 = datagen::BuildConsumptionMatrix(*back, 24);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  for (size_t i = 0; i < m1->data().size(); ++i) {
+    EXPECT_NEAR(m1->data()[i], m2->data()[i], 1e-4);
+  }
+}
+
+TEST_F(CsvTest, ReadDatasetRejectsMissingSpecLine) {
+  const std::string path = Make("nospec.csv");
+  std::ofstream(path) << "household,cell_x,cell_y,hour,kwh\n0,0,0,0,1.0\n";
+  EXPECT_FALSE(io::ReadDatasetCsv(path).ok());
+}
+
+TEST_F(CsvTest, ReadDatasetRejectsOutOfRangeIndices) {
+  const std::string path = Make("oob.csv");
+  std::ofstream(path) << "# X,1,0.5,1.0,10.0,2.0,4,4,2\n"
+                      << "household,cell_x,cell_y,hour,kwh\n"
+                      << "5,0,0,0,1.0\n";  // household 5 of 1
+  EXPECT_EQ(io::ReadDatasetCsv(path).status().code(), StatusCode::kOutOfRange);
+}
+
+// --------------------------- Table CSV ---------------------------
+
+TEST_F(CsvTest, TableCsvWritesHeaderAndRows) {
+  const std::string path = Make("table.csv");
+  ASSERT_TRUE(io::WriteTableCsv({"a", "b"}, {{1.0, 2.0}, {3.5, 4.5}}, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+TEST_F(CsvTest, TableCsvRejectsRowWidthMismatch) {
+  const std::string path = Make("badtable.csv");
+  EXPECT_FALSE(io::WriteTableCsv({"a", "b"}, {{1.0}}, path).ok());
+}
+
+TEST(SplitCsvTest, SplitsAndKeepsEmptyTrailingField) {
+  EXPECT_EQ(io::SplitCsvLine("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(io::SplitCsvLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(io::SplitCsvLine("a,"), (std::vector<std::string>{"a", ""}));
+  EXPECT_TRUE(io::SplitCsvLine("").empty());
+}
+
+// --------------------------- Flags ---------------------------
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto f = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(f.ok());
+  return std::move(f).value();
+}
+
+TEST(FlagsTest, PositionalAndOptions) {
+  const Flags f = MustParse({"generate", "--grid=16", "--verbose"});
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "generate");
+  EXPECT_TRUE(f.Has("grid"));
+  EXPECT_TRUE(f.Has("verbose"));
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, TypedGettersWithDefaults) {
+  const Flags f = MustParse({"--n=42", "--x=2.5", "--name=abc"});
+  EXPECT_EQ(f.GetInt("n", 0), 42);
+  EXPECT_EQ(f.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0.0), 2.5);
+  EXPECT_EQ(f.GetString("name", ""), "abc");
+  EXPECT_EQ(f.GetString("missing", "dft"), "dft");
+}
+
+TEST(FlagsTest, MalformedNumbersFallBackToDefault) {
+  const Flags f = MustParse({"--n=abc", "--x=12x"});
+  EXPECT_EQ(f.GetInt("n", -1), -1);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", -2.0), -2.0);
+}
+
+TEST(FlagsTest, BoolSemantics) {
+  const Flags f = MustParse({"--a", "--b=true", "--c=0", "--d=off", "--e=maybe"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_TRUE(f.GetBool("b", false));
+  EXPECT_FALSE(f.GetBool("c", true));
+  EXPECT_FALSE(f.GetBool("d", true));
+  EXPECT_TRUE(f.GetBool("e", true));  // unparseable -> default
+  EXPECT_FALSE(f.GetBool("missing", false));
+}
+
+TEST(FlagsTest, RejectsEmptyOptionName) {
+  const char* argv[] = {"prog", "--=x"};
+  EXPECT_FALSE(Flags::Parse(2, argv).ok());
+}
+
+}  // namespace
+}  // namespace stpt

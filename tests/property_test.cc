@@ -1,0 +1,311 @@
+// Cross-module property tests: randomized invariants that must hold for any
+// seed. Each TEST_P runs over several seeds to probe the input space.
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/identity.h"
+#include "common/rng.h"
+#include "core/budget_allocation.h"
+#include "core/quantization.h"
+#include "core/streaming.h"
+#include "dp/budget_accountant.h"
+#include "grid/consumption_matrix.h"
+#include "grid/quadtree.h"
+#include "gtest/gtest.h"
+#include "nn/ops.h"
+#include "query/metrics.h"
+#include "query/range_query.h"
+#include "signal/fft.h"
+#include "signal/wavelet.h"
+
+namespace stpt {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+grid::ConsumptionMatrix RandomMatrix(grid::Dims dims, Rng& rng, double lo = 0.0,
+                                     double hi = 10.0) {
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  EXPECT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = rng.Uniform(lo, hi);
+  return std::move(m).value();
+}
+
+// --------------------------- Grid invariants ---------------------------
+
+TEST_P(SeededTest, BoxSumIsAdditiveOverDisjointSplits) {
+  Rng rng(GetParam());
+  const auto m = RandomMatrix({6, 6, 10}, rng);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Split a random box at a random t boundary; parts must sum to whole.
+    const int t0 = static_cast<int>(rng.UniformInt(0, 8));
+    const int t1 = static_cast<int>(rng.UniformInt(t0 + 1, 9));
+    const int tm = static_cast<int>(rng.UniformInt(t0, t1 - 1));
+    const double whole = m.BoxSum(1, 4, 0, 5, t0, t1);
+    const double left = m.BoxSum(1, 4, 0, 5, t0, tm);
+    const double right = m.BoxSum(1, 4, 0, 5, tm + 1, t1);
+    EXPECT_NEAR(whole, left + right, 1e-9);
+  }
+}
+
+TEST_P(SeededTest, NormalizationIsIdempotent) {
+  Rng rng(GetParam());
+  const auto m = RandomMatrix({4, 4, 6}, rng, -3.0, 7.0);
+  const auto n1 = m.Normalized();
+  const auto n2 = n1.Normalized();
+  for (size_t i = 0; i < n1.data().size(); ++i) {
+    EXPECT_NEAR(n1.data()[i], n2.data()[i], 1e-12);
+  }
+}
+
+TEST_P(SeededTest, QuadtreeTotalMassConservedPerLevel) {
+  // Sum over neighborhoods of (representative * num_cells) equals the
+  // spatial total at each covered time.
+  Rng rng(GetParam());
+  const auto m = RandomMatrix({8, 8, 12}, rng);
+  auto levels = grid::BuildQuadtreeLevels(m, 12, 2);
+  ASSERT_TRUE(levels.ok());
+  for (const auto& level : *levels) {
+    for (int t = level.t_begin; t < level.t_end; ++t) {
+      double mass = 0.0;
+      for (const auto& nb : level.neighborhoods) {
+        mass += nb.series[t - level.t_begin] * nb.num_cells;
+      }
+      double truth = 0.0;
+      for (int x = 0; x < 8; ++x) {
+        for (int y = 0; y < 8; ++y) truth += m.at(x, y, t);
+      }
+      EXPECT_NEAR(mass, truth, 1e-9);
+    }
+  }
+}
+
+// --------------------------- Signal invariants ---------------------------
+
+TEST_P(SeededTest, DftIsLinear) {
+  Rng rng(GetParam());
+  const int n = 21;
+  std::vector<std::complex<double>> a(n), b(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    b[i] = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+  }
+  const double alpha = rng.Uniform(-2, 2);
+  std::vector<std::complex<double>> combo(n);
+  for (int i = 0; i < n; ++i) combo[i] = a[i] + alpha * b[i];
+  const auto fa = signal::Dft(a, false);
+  const auto fb = signal::Dft(b, false);
+  const auto fc = signal::Dft(combo, false);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(fc[i] - (fa[i] + alpha * fb[i])), 0.0, 1e-8);
+  }
+}
+
+TEST_P(SeededTest, HaarOfImpulseHasUnitEnergy) {
+  Rng rng(GetParam());
+  std::vector<double> impulse(16, 0.0);
+  impulse[rng.UniformInt(0, 15)] = 1.0;
+  auto coeffs = signal::HaarForward(impulse);
+  ASSERT_TRUE(coeffs.ok());
+  double energy = 0.0;
+  for (double c : *coeffs) energy += c * c;
+  EXPECT_NEAR(energy, 1.0, 1e-10);
+}
+
+// --------------------------- DP invariants ---------------------------
+
+TEST_P(SeededTest, AccountantNeverExceedsBudgetUnderRandomCharges) {
+  Rng rng(GetParam());
+  auto acc = dp::BudgetAccountant::Create(10.0);
+  ASSERT_TRUE(acc.ok());
+  for (int i = 0; i < 200; ++i) {
+    const std::string group = "g" + std::to_string(rng.UniformInt(0, 9));
+    const double eps = rng.Uniform(0.01, 2.0);
+    (void)acc->Charge(group, eps);  // may fail; that's fine
+    EXPECT_LE(acc->ConsumedEpsilon(), 10.0 + 1e-6);
+  }
+}
+
+TEST_P(SeededTest, IdentityOutputSumsAreUnbiasedStatistically) {
+  Rng rng(GetParam());
+  auto m = RandomMatrix({3, 3, 6}, rng, 10.0, 20.0);
+  baselines::IdentityPublisher pub;
+  double total = 0.0;
+  const int reps = 100;
+  for (int r = 0; r < reps; ++r) {
+    auto out = pub.Publish(m, 30.0, 1.0, rng);
+    ASSERT_TRUE(out.ok());
+    total += out->TotalSum();
+  }
+  EXPECT_NEAR(total / reps, m.TotalSum(), m.TotalSum() * 0.05);
+}
+
+// --------------------------- Quantization invariants ---------------------------
+
+TEST_P(SeededTest, QuantizationIsMonotoneInValue) {
+  Rng rng(GetParam());
+  const auto m = RandomMatrix({4, 4, 6}, rng);
+  auto q = core::KQuantize(m, 7);
+  ASSERT_TRUE(q.ok());
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t i = rng.UniformInt(0, static_cast<int64_t>(m.size()) - 1);
+    const size_t j = rng.UniformInt(0, static_cast<int64_t>(m.size()) - 1);
+    if (m.data()[i] < m.data()[j]) {
+      EXPECT_LE(q->bucket[i], q->bucket[j]);
+    }
+  }
+}
+
+TEST_P(SeededTest, QuantizationPartitionsCoverEveryCellOnce) {
+  Rng rng(GetParam());
+  const auto m = RandomMatrix({4, 4, 6}, rng);
+  auto q = core::KQuantize(m, 5);
+  ASSERT_TRUE(q.ok());
+  const size_t total =
+      std::accumulate(q->bucket_sizes.begin(), q->bucket_sizes.end(), size_t{0});
+  EXPECT_EQ(total, m.size());
+  for (int b : q->bucket) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 5);
+  }
+}
+
+// --------------------------- Budget allocation invariants ---------------------------
+
+TEST_P(SeededTest, AllocationScalesLinearlyWithTotal) {
+  Rng rng(GetParam());
+  std::vector<double> sens(6);
+  for (auto& s : sens) s = rng.Uniform(0.5, 20.0);
+  auto e1 = core::AllocateBudget(sens, 5.0, core::BudgetAllocation::kOptimal);
+  auto e2 = core::AllocateBudget(sens, 10.0, core::BudgetAllocation::kOptimal);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  for (size_t i = 0; i < sens.size(); ++i) {
+    EXPECT_NEAR((*e2)[i], 2.0 * (*e1)[i], 1e-9);
+  }
+}
+
+TEST_P(SeededTest, AllocationIsPermutationEquivariant) {
+  Rng rng(GetParam());
+  std::vector<double> sens(5);
+  for (auto& s : sens) s = rng.Uniform(0.5, 20.0);
+  auto eps = core::AllocateBudget(sens, 7.0, core::BudgetAllocation::kOptimal);
+  ASSERT_TRUE(eps.ok());
+  std::vector<double> reversed(sens.rbegin(), sens.rend());
+  auto eps_rev = core::AllocateBudget(reversed, 7.0, core::BudgetAllocation::kOptimal);
+  ASSERT_TRUE(eps_rev.ok());
+  for (size_t i = 0; i < sens.size(); ++i) {
+    EXPECT_NEAR((*eps)[i], (*eps_rev)[sens.size() - 1 - i], 1e-9);
+  }
+}
+
+TEST_P(SeededTest, OptimalAllocationNeverWorseThanUniform) {
+  Rng rng(GetParam());
+  std::vector<double> sens(8);
+  for (auto& s : sens) s = rng.Uniform(0.1, 50.0);
+  auto opt = core::AllocateBudget(sens, 12.0, core::BudgetAllocation::kOptimal);
+  auto uni = core::AllocateBudget(sens, 12.0, core::BudgetAllocation::kUniform);
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(uni.ok());
+  EXPECT_LE(core::TotalNoiseVariance(sens, *opt),
+            core::TotalNoiseVariance(sens, *uni) + 1e-9);
+}
+
+// --------------------------- Query invariants ---------------------------
+
+TEST_P(SeededTest, MreIsZeroIffMatricesAgreeOnQueries) {
+  Rng rng(GetParam());
+  const auto m = RandomMatrix({5, 5, 8}, rng, 1.0, 5.0);
+  auto wl = query::MakeWorkload(query::WorkloadKind::kRandom, m.dims(), 50, rng);
+  ASSERT_TRUE(wl.ok());
+  EXPECT_DOUBLE_EQ(query::MeanRelativeError(m, m, *wl), 0.0);
+  auto shifted = m;
+  for (auto& v : shifted.mutable_data()) v += 1.0;
+  EXPECT_GT(query::MeanRelativeError(m, shifted, *wl), 0.0);
+}
+
+TEST_P(SeededTest, MreScalesWithUniformError) {
+  // Doubling the multiplicative error doubles the MRE (denominators fixed).
+  Rng rng(GetParam());
+  const auto m = RandomMatrix({5, 5, 8}, rng, 1.0, 5.0);
+  auto wl = query::MakeWorkload(query::WorkloadKind::kLarge, m.dims(), 50, rng);
+  ASSERT_TRUE(wl.ok());
+  auto off_small = m;
+  auto off_big = m;
+  for (auto& v : off_small.mutable_data()) v *= 1.1;
+  for (auto& v : off_big.mutable_data()) v *= 1.2;
+  EXPECT_NEAR(2.0 * query::MeanRelativeError(m, off_small, *wl),
+              query::MeanRelativeError(m, off_big, *wl), 1e-6);
+}
+
+// --------------------------- Streaming invariants ---------------------------
+
+TEST_P(SeededTest, StreamingWindowInvariantUnderRandomStreams) {
+  Rng rng(GetParam());
+  core::StreamingPublisher::Options opts;
+  opts.window = 1 + static_cast<int>(rng.UniformInt(1, 12));
+  opts.epsilon = rng.Uniform(0.5, 4.0);
+  auto pub = core::StreamingPublisher::Create(8, 1.0, opts);
+  ASSERT_TRUE(pub.ok());
+  for (int t = 0; t < 120; ++t) {
+    std::vector<double> slice(8);
+    for (auto& v : slice) v = rng.Uniform(0, 100) * (rng.Bernoulli(0.1) ? 10 : 1);
+    ASSERT_TRUE(pub->ProcessSlice(slice, rng).ok());
+    EXPECT_LE(pub->WindowSpend(), opts.epsilon + 1e-9);
+  }
+  EXPECT_EQ(pub->slices_processed(), 120);
+}
+
+// --------------------------- Autograd invariants ---------------------------
+
+TEST_P(SeededTest, RandomCompositeGradientsMatchFiniteDifference) {
+  // A random composition of ops must still have exact gradients.
+  Rng rng(GetParam());
+  nn::Tensor x = nn::Tensor::Randn({2, 3}, rng, 0.7, true);
+  nn::Tensor w = nn::Tensor::Randn({3, 3}, rng, 0.7, true);
+  auto forward = [&]() {
+    nn::Tensor h = nn::MatMul(x, w);
+    h = nn::Tanh(h);
+    h = nn::Add(h, x);
+    h = nn::Mul(h, nn::Sigmoid(h));
+    return nn::MeanAll(h);
+  };
+  x.ZeroGrad();
+  w.ZeroGrad();
+  nn::Tensor loss = forward();
+  loss.Backward();
+  const std::vector<double> gx = x.grad();
+  const double h = 1e-5;
+  for (size_t j = 0; j < x.numel(); ++j) {
+    const double orig = x.data()[j];
+    x.data()[j] = orig + h;
+    const double fp = forward().item();
+    x.data()[j] = orig - h;
+    const double fm = forward().item();
+    x.data()[j] = orig;
+    EXPECT_NEAR(gx[j], (fp - fm) / (2 * h), 1e-6) << "coord " << j;
+  }
+}
+
+TEST_P(SeededTest, SoftmaxOutputIsAValidDistribution) {
+  Rng rng(GetParam());
+  const nn::Tensor x = nn::Tensor::Randn({4, 7}, rng, 3.0);
+  const nn::Tensor s = nn::Softmax(x);
+  for (int r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 7; ++c) {
+      const double v = s.data()[r * 7 + c];
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace stpt

@@ -1,0 +1,166 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "query/metrics.h"
+#include "query/range_query.h"
+
+namespace stpt::query {
+namespace {
+
+grid::ConsumptionMatrix OnesMatrix(grid::Dims dims) {
+  auto m = grid::ConsumptionMatrix::Create(dims);
+  EXPECT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = 1.0;
+  return std::move(m).value();
+}
+
+TEST(ValidateQueryTest, AcceptsInBounds) {
+  const grid::Dims dims{4, 4, 4};
+  EXPECT_TRUE(ValidateQuery({0, 3, 0, 3, 0, 3}, dims).ok());
+  EXPECT_TRUE(ValidateQuery({1, 1, 2, 2, 3, 3}, dims).ok());
+}
+
+TEST(ValidateQueryTest, RejectsOutOfBoundsOrUnordered) {
+  const grid::Dims dims{4, 4, 4};
+  EXPECT_FALSE(ValidateQuery({0, 4, 0, 3, 0, 3}, dims).ok());
+  EXPECT_FALSE(ValidateQuery({-1, 0, 0, 3, 0, 3}, dims).ok());
+  EXPECT_FALSE(ValidateQuery({2, 1, 0, 3, 0, 3}, dims).ok());
+  EXPECT_FALSE(ValidateQuery({0, 3, 0, 3, 3, 2}, dims).ok());
+}
+
+TEST(RangeQueryTest, VolumeCells) {
+  EXPECT_EQ((RangeQuery{0, 0, 0, 0, 0, 0}).VolumeCells(), 1);
+  EXPECT_EQ((RangeQuery{0, 1, 0, 2, 0, 3}).VolumeCells(), 24);
+}
+
+TEST(MakeWorkloadTest, RejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_FALSE(MakeWorkload(WorkloadKind::kSmall, {4, 4, 4}, 0, rng).ok());
+  EXPECT_FALSE(MakeWorkload(WorkloadKind::kSmall, {0, 4, 4}, 5, rng).ok());
+}
+
+TEST(MakeWorkloadTest, SmallQueriesAreUnitCubes) {
+  Rng rng(2);
+  auto wl = MakeWorkload(WorkloadKind::kSmall, {8, 8, 20}, 100, rng);
+  ASSERT_TRUE(wl.ok());
+  ASSERT_EQ(wl->size(), 100u);
+  for (const auto& q : *wl) {
+    EXPECT_EQ(q.VolumeCells(), 1);
+    EXPECT_TRUE(ValidateQuery(q, {8, 8, 20}).ok());
+  }
+}
+
+TEST(MakeWorkloadTest, LargeQueriesAreTenCubedClamped) {
+  Rng rng(3);
+  auto wl = MakeWorkload(WorkloadKind::kLarge, {32, 32, 120}, 50, rng);
+  ASSERT_TRUE(wl.ok());
+  for (const auto& q : *wl) {
+    EXPECT_EQ(q.x1 - q.x0 + 1, 10);
+    EXPECT_EQ(q.y1 - q.y0 + 1, 10);
+    EXPECT_EQ(q.t1 - q.t0 + 1, 10);
+    EXPECT_TRUE(ValidateQuery(q, {32, 32, 120}).ok());
+  }
+  // Clamping: a matrix smaller than 10 in one axis still works.
+  auto wl2 = MakeWorkload(WorkloadKind::kLarge, {4, 32, 120}, 20, rng);
+  ASSERT_TRUE(wl2.ok());
+  for (const auto& q : *wl2) {
+    EXPECT_EQ(q.x1 - q.x0 + 1, 4);
+    EXPECT_TRUE(ValidateQuery(q, {4, 32, 120}).ok());
+  }
+}
+
+TEST(MakeWorkloadTest, RandomQueriesVaryAndStayInBounds) {
+  Rng rng(4);
+  const grid::Dims dims{16, 16, 40};
+  auto wl = MakeWorkload(WorkloadKind::kRandom, dims, 300, rng);
+  ASSERT_TRUE(wl.ok());
+  int distinct_volumes = 0;
+  int prev = -1;
+  for (const auto& q : *wl) {
+    EXPECT_TRUE(ValidateQuery(q, dims).ok());
+    if (q.VolumeCells() != prev) ++distinct_volumes;
+    prev = q.VolumeCells();
+  }
+  EXPECT_GT(distinct_volumes, 50);
+}
+
+TEST(WorkloadKindTest, Names) {
+  EXPECT_STREQ(WorkloadKindToString(WorkloadKind::kRandom), "Random");
+  EXPECT_STREQ(WorkloadKindToString(WorkloadKind::kSmall), "Small");
+  EXPECT_STREQ(WorkloadKindToString(WorkloadKind::kLarge), "Large");
+}
+
+// --------------------------- Metrics ---------------------------
+
+TEST(RelativeErrorTest, BasicPercent) {
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(100.0, 110.0, {}), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(100.0, 90.0, {}), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(50.0, 50.0, {}), 0.0);
+}
+
+TEST(RelativeErrorTest, FloorGuardsNearZeroTruth) {
+  MreOptions opts;
+  opts.denominator_floor = 2.0;
+  // Truth 0.001 would explode; the floor caps the denominator.
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(0.001, 1.001, opts), 50.0);
+}
+
+TEST(MreTest, ZeroForIdenticalMatrices) {
+  const auto m = OnesMatrix({4, 4, 8});
+  Rng rng(5);
+  auto wl = MakeWorkload(WorkloadKind::kRandom, m.dims(), 50, rng);
+  ASSERT_TRUE(wl.ok());
+  EXPECT_DOUBLE_EQ(MeanRelativeError(m, m, *wl), 0.0);
+}
+
+TEST(MreTest, UniformScalingGivesExactPercentage) {
+  const auto truth = OnesMatrix({4, 4, 8});
+  auto noisy = OnesMatrix({4, 4, 8});
+  for (auto& v : noisy.mutable_data()) v = 1.2;
+  Rng rng(6);
+  auto wl = MakeWorkload(WorkloadKind::kLarge, truth.dims(), 30, rng);
+  ASSERT_TRUE(wl.ok());
+  // Every query is off by exactly 20%.
+  EXPECT_NEAR(MeanRelativeError(truth, noisy, *wl), 20.0, 1e-9);
+}
+
+TEST(MreTest, PrefixSumOverloadMatchesMatrixOverload) {
+  Rng rng(7);
+  auto truth = grid::ConsumptionMatrix::Create({6, 6, 10});
+  auto noisy = grid::ConsumptionMatrix::Create({6, 6, 10});
+  ASSERT_TRUE(truth.ok());
+  ASSERT_TRUE(noisy.ok());
+  for (auto& v : truth->mutable_data()) v = rng.Uniform(0, 5);
+  for (auto& v : noisy->mutable_data()) v = rng.Uniform(0, 5);
+  auto wl = MakeWorkload(WorkloadKind::kRandom, truth->dims(), 100, rng);
+  ASSERT_TRUE(wl.ok());
+  const grid::PrefixSum3D pt(*truth), pn(*noisy);
+  EXPECT_NEAR(MeanRelativeError(*truth, *noisy, *wl),
+              MeanRelativeError(pt, pn, *wl), 1e-9);
+}
+
+TEST(MreTest, EmptyWorkloadIsZero) {
+  const auto m = OnesMatrix({2, 2, 2});
+  EXPECT_EQ(MeanRelativeError(m, m, {}), 0.0);
+}
+
+TEST(MatrixMetricsTest, MaeAndRmse) {
+  auto a = grid::ConsumptionMatrix::Create({1, 1, 3});
+  auto b = grid::ConsumptionMatrix::Create({1, 1, 3});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->SetPillar(0, 0, {1.0, 2.0, 3.0}).ok());
+  ASSERT_TRUE(b->SetPillar(0, 0, {2.0, 2.0, 1.0}).ok());
+  EXPECT_DOUBLE_EQ(MatrixMae(*a, *b), 1.0);
+  EXPECT_NEAR(MatrixRmse(*a, *b), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(MatrixMetricsTest, ZeroForIdentical) {
+  const auto m = OnesMatrix({3, 3, 3});
+  EXPECT_EQ(MatrixMae(m, m), 0.0);
+  EXPECT_EQ(MatrixRmse(m, m), 0.0);
+}
+
+}  // namespace
+}  // namespace stpt::query

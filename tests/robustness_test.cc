@@ -1,0 +1,224 @@
+// Robustness and edge-case tests: degenerate shapes, constant and negative
+// data, exhausted budgets — the failure-injection layer of the suite.
+
+#include <cmath>
+
+#include "baselines/publisher.h"
+#include "common/rng.h"
+#include "core/stpt.h"
+#include "datagen/dataset.h"
+#include "gtest/gtest.h"
+#include "query/metrics.h"
+#include "query/range_query.h"
+
+namespace stpt {
+namespace {
+
+core::StptConfig TinyConfig() {
+  core::StptConfig cfg;
+  cfg.t_train = 14;
+  cfg.quadtree_depth = 1;
+  cfg.quantization_levels = 3;
+  cfg.predictor.window_size = 3;
+  cfg.predictor.embedding_size = 4;
+  cfg.predictor.hidden_size = 4;
+  cfg.training.epochs = 2;
+  return cfg;
+}
+
+// --------------------------- Degenerate matrices ---------------------------
+
+TEST(RobustnessTest, StptOnConstantMatrix) {
+  // A constant matrix normalises to all-zeros; STPT must survive and the
+  // release must preserve the (noisy) total.
+  auto m = grid::ConsumptionMatrix::Create({4, 4, 20});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = 5.0;
+  Rng rng(1);
+  auto res = core::Stpt(TinyConfig()).Publish(*m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->sanitized.dims(), (grid::Dims{4, 4, 6}));
+  for (double v : res->sanitized.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustnessTest, StptOnAllZeroMatrix) {
+  auto m = grid::ConsumptionMatrix::Create({4, 4, 20});
+  ASSERT_TRUE(m.ok());
+  Rng rng(2);
+  auto res = core::Stpt(TinyConfig()).Publish(*m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  for (double v : res->sanitized.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustnessTest, StptOnSingleCellGrid) {
+  auto m = grid::ConsumptionMatrix::Create({1, 1, 20});
+  ASSERT_TRUE(m.ok());
+  for (int t = 0; t < 20; ++t) m->set(0, 0, t, 3.0 + std::sin(t * 0.5));
+  Rng rng(3);
+  core::StptConfig cfg = TinyConfig();
+  cfg.quadtree_depth = 0;  // 2^d must not exceed the 1-cell axis
+  auto res = core::Stpt(cfg).Publish(*m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->sanitized.dims(), (grid::Dims{1, 1, 6}));
+}
+
+TEST(RobustnessTest, StptRejectsDepthExceedingGrid) {
+  auto m = grid::ConsumptionMatrix::Create({2, 2, 20});
+  ASSERT_TRUE(m.ok());
+  Rng rng(4);
+  core::StptConfig cfg = TinyConfig();
+  cfg.quadtree_depth = 4;  // 16 > 2
+  EXPECT_FALSE(core::Stpt(cfg).Publish(*m, 1.0, rng).ok());
+}
+
+TEST(RobustnessTest, BaselinesHandleNegativeValues) {
+  // DP noise can make released matrices negative; feeding such a matrix to
+  // another publisher (e.g. re-publication pipelines) must not crash.
+  auto m = grid::ConsumptionMatrix::Create({3, 3, 16});
+  ASSERT_TRUE(m.ok());
+  Rng data_rng(5);
+  for (auto& v : m->mutable_data()) v = data_rng.Uniform(-4.0, 4.0);
+  Rng rng(6);
+  for (const auto& pub : baselines::MakeStandardBaselines()) {
+    auto out = pub->Publish(*m, 10.0, 1.0, rng);
+    ASSERT_TRUE(out.ok()) << pub->name();
+    for (double v : out->data()) EXPECT_TRUE(std::isfinite(v)) << pub->name();
+  }
+}
+
+TEST(RobustnessTest, TinyEpsilonStillFiniteEverywhere) {
+  auto m = grid::ConsumptionMatrix::Create({3, 3, 16});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = 2.0;
+  Rng rng(7);
+  for (const auto& pub : baselines::MakeStandardBaselines()) {
+    auto out = pub->Publish(*m, 1e-4, 1.0, rng);
+    ASSERT_TRUE(out.ok()) << pub->name();
+    for (double v : out->data()) EXPECT_TRUE(std::isfinite(v)) << pub->name();
+  }
+}
+
+TEST(RobustnessTest, HugeEpsilonApproachesTruth) {
+  auto m = grid::ConsumptionMatrix::Create({3, 3, 16});
+  ASSERT_TRUE(m.ok());
+  Rng data_rng(8);
+  for (auto& v : m->mutable_data()) v = data_rng.Uniform(50.0, 100.0);
+  Rng rng(9);
+  // Identity with essentially no privacy must reproduce the data.
+  auto out = baselines::MakeStandardBaselines()[0]->Publish(*m, 1e9, 1.0, rng);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < m->size(); ++i) {
+    EXPECT_NEAR(out->data()[i], m->data()[i], 1e-3);
+  }
+}
+
+// --------------------------- Dataset edge cases ---------------------------
+
+TEST(RobustnessTest, GranularityMustDivideHours) {
+  Rng rng(10);
+  datagen::DatasetSpec spec = datagen::CaSpec();
+  spec.num_households = 5;
+  datagen::GenerateOptions opts;
+  opts.grid_x = 2;
+  opts.grid_y = 2;
+  opts.hours = 25;  // not divisible by 24
+  auto ds = datagen::GenerateDataset(spec, datagen::SpatialDistribution::kUniform,
+                                     opts, rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(datagen::BuildConsumptionMatrix(*ds, 24).ok());
+  EXPECT_TRUE(datagen::BuildConsumptionMatrix(*ds, 5).ok());
+  EXPECT_FALSE(datagen::BuildConsumptionMatrix(*ds, 0).ok());
+}
+
+TEST(RobustnessTest, UnitSensitivityScalesWithGranularity) {
+  const datagen::DatasetSpec spec = datagen::CerSpec();
+  EXPECT_DOUBLE_EQ(datagen::UnitSensitivity(spec, 1), spec.clip_factor);
+  EXPECT_DOUBLE_EQ(datagen::UnitSensitivity(spec, 24), 24.0 * spec.clip_factor);
+}
+
+TEST(RobustnessTest, SingleHouseholdDataset) {
+  Rng rng(11);
+  datagen::DatasetSpec spec = datagen::CerSpec();
+  spec.num_households = 1;
+  datagen::GenerateOptions opts;
+  opts.grid_x = 2;
+  opts.grid_y = 2;
+  opts.hours = 48;
+  auto ds = datagen::GenerateDataset(spec, datagen::SpatialDistribution::kNormal,
+                                     opts, rng);
+  ASSERT_TRUE(ds.ok());
+  auto m = datagen::BuildConsumptionMatrix(*ds, 24);
+  ASSERT_TRUE(m.ok());
+  // Exactly one pillar carries all the mass.
+  int nonzero_pillars = 0;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      double s = 0.0;
+      for (double v : m->Pillar(x, y)) s += v;
+      nonzero_pillars += (s > 0.0);
+    }
+  }
+  EXPECT_EQ(nonzero_pillars, 1);
+}
+
+// --------------------------- Workload edge cases ---------------------------
+
+TEST(RobustnessTest, WorkloadOnMinimalMatrix) {
+  Rng rng(12);
+  const grid::Dims dims{1, 1, 1};
+  for (auto kind : {query::WorkloadKind::kRandom, query::WorkloadKind::kSmall,
+                    query::WorkloadKind::kLarge}) {
+    auto wl = query::MakeWorkload(kind, dims, 10, rng);
+    ASSERT_TRUE(wl.ok());
+    for (const auto& q : *wl) {
+      EXPECT_EQ(q.VolumeCells(), 1);
+      EXPECT_TRUE(query::ValidateQuery(q, dims).ok());
+    }
+  }
+}
+
+TEST(RobustnessTest, MreWithZeroTruthUsesFloor) {
+  auto truth = grid::ConsumptionMatrix::Create({2, 2, 2});
+  auto noisy = grid::ConsumptionMatrix::Create({2, 2, 2});
+  ASSERT_TRUE(truth.ok());
+  ASSERT_TRUE(noisy.ok());
+  for (auto& v : noisy->mutable_data()) v = 3.0;
+  query::MreOptions opts;
+  opts.denominator_floor = 1.0;
+  const query::Workload wl = {{0, 0, 0, 0, 0, 0}};
+  // |0 - 3| / max(0, 1) = 300%.
+  EXPECT_DOUBLE_EQ(query::MeanRelativeError(*truth, *noisy, wl, opts), 300.0);
+}
+
+// --------------------------- Budget edge cases ---------------------------
+
+TEST(RobustnessTest, StptWithMicroscopicBudgetRemainsFinite) {
+  auto m = grid::ConsumptionMatrix::Create({4, 4, 20});
+  ASSERT_TRUE(m.ok());
+  Rng data_rng(13);
+  for (auto& v : m->mutable_data()) v = data_rng.Uniform(0.0, 10.0);
+  Rng rng(14);
+  core::StptConfig cfg = TinyConfig();
+  cfg.eps_pattern = 1e-6;
+  cfg.eps_sanitize = 1e-6;
+  auto res = core::Stpt(cfg).Publish(*m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  for (double v : res->sanitized.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustnessTest, StptTrainWindowBoundary) {
+  // t_train = ct - 1 leaves a single released slice.
+  auto m = grid::ConsumptionMatrix::Create({4, 4, 16});
+  ASSERT_TRUE(m.ok());
+  Rng data_rng(15);
+  for (auto& v : m->mutable_data()) v = data_rng.Uniform(0.0, 10.0);
+  Rng rng(16);
+  core::StptConfig cfg = TinyConfig();
+  cfg.t_train = 15;
+  auto res = core::Stpt(cfg).Publish(*m, 1.0, rng);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->sanitized.dims().ct, 1);
+}
+
+}  // namespace
+}  // namespace stpt

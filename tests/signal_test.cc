@@ -1,0 +1,201 @@
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "signal/fft.h"
+#include "signal/wavelet.h"
+
+namespace stpt::signal {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> NaiveDft(const std::vector<Complex>& x, bool inverse) {
+  const size_t n = x.size();
+  std::vector<Complex> out(n);
+  const double dir = inverse ? 1.0 : -1.0;
+  for (size_t k = 0; k < n; ++k) {
+    Complex s(0, 0);
+    for (size_t j = 0; j < n; ++j) {
+      const double ang = dir * 2.0 * M_PI * k * j / static_cast<double>(n);
+      s += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? s / static_cast<double>(n) : s;
+  }
+  return out;
+}
+
+// --------------------------- FFT ---------------------------
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<Complex> a(3, {1.0, 0.0});
+  EXPECT_FALSE(Fft(&a, false).ok());
+  std::vector<Complex> empty;
+  EXPECT_FALSE(Fft(&empty, false).ok());
+}
+
+TEST(FftTest, MatchesNaiveDftPow2) {
+  Rng rng(1);
+  std::vector<Complex> x(16);
+  for (auto& v : x) v = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+  std::vector<Complex> a = x;
+  ASSERT_TRUE(Fft(&a, false).ok());
+  const std::vector<Complex> expected = NaiveDft(x, false);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), expected[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), expected[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Rng rng(2);
+  std::vector<Complex> x(64);
+  for (auto& v : x) v = {rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+  std::vector<Complex> a = x;
+  ASSERT_TRUE(Fft(&a, false).ok());
+  ASSERT_TRUE(Fft(&a, true).ok());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), x[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), x[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, DcComponentIsSum) {
+  std::vector<Complex> a = {{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  ASSERT_TRUE(Fft(&a, false).ok());
+  EXPECT_NEAR(a[0].real(), 10.0, 1e-12);
+  EXPECT_NEAR(a[0].imag(), 0.0, 1e-12);
+}
+
+// --------------------------- Bluestein DFT ---------------------------
+
+class DftSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DftSizeTest, MatchesNaiveDftAnySize) {
+  const int n = GetParam();
+  Rng rng(100 + n);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+  const std::vector<Complex> got = Dft(x, false);
+  const std::vector<Complex> expected = NaiveDft(x, false);
+  ASSERT_EQ(got.size(), x.size());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[i].real(), expected[i].real(), 1e-8) << "i=" << i;
+    EXPECT_NEAR(got[i].imag(), expected[i].imag(), 1e-8) << "i=" << i;
+  }
+}
+
+TEST_P(DftSizeTest, RoundTripAnySize) {
+  const int n = GetParam();
+  Rng rng(200 + n);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = {rng.Uniform(-3, 3), rng.Uniform(-3, 3)};
+  const std::vector<Complex> back = Dft(Dft(x, false), true);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-8);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DftSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 12, 17, 31, 64, 100,
+                                           220, 256));
+
+TEST(DftTest, EmptyInputReturnsEmpty) { EXPECT_TRUE(Dft({}, false).empty()); }
+
+TEST(RealDftTest, HermitianSymmetryOfRealInput) {
+  Rng rng(3);
+  std::vector<double> x(20);
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  const auto coeffs = RealDft(x);
+  for (size_t j = 1; j < x.size(); ++j) {
+    EXPECT_NEAR(coeffs[j].real(), coeffs[x.size() - j].real(), 1e-9);
+    EXPECT_NEAR(coeffs[j].imag(), -coeffs[x.size() - j].imag(), 1e-9);
+  }
+}
+
+TEST(RealDftTest, InverseRecoversRealSeries) {
+  Rng rng(4);
+  std::vector<double> x(50);
+  for (auto& v : x) v = rng.Uniform(0, 10);
+  const std::vector<double> back = InverseDftReal(RealDft(x));
+  ASSERT_EQ(back.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-8);
+}
+
+TEST(DftTest, ParsevalEnergyConservation) {
+  Rng rng(5);
+  std::vector<double> x(33);
+  for (auto& v : x) v = rng.Uniform(-2, 2);
+  const auto coeffs = RealDft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (double v : x) time_energy += v * v;
+  for (const auto& c : coeffs) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy, 1e-8);
+}
+
+// --------------------------- Haar wavelet ---------------------------
+
+TEST(HaarTest, RejectsNonPowerOfTwo) {
+  EXPECT_FALSE(HaarForward({1.0, 2.0, 3.0}).ok());
+  EXPECT_FALSE(HaarForward({}).ok());
+  EXPECT_FALSE(HaarInverse({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(HaarTest, KnownTransformOfSizeTwo) {
+  auto c = HaarForward({3.0, 1.0});
+  ASSERT_TRUE(c.ok());
+  const double s2 = std::sqrt(2.0);
+  EXPECT_NEAR((*c)[0], 4.0 / s2, 1e-12);
+  EXPECT_NEAR((*c)[1], 2.0 / s2, 1e-12);
+}
+
+TEST(HaarTest, ConstantSignalHasOnlyApproximation) {
+  auto c = HaarForward(std::vector<double>(8, 5.0));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR((*c)[0], 5.0 * std::sqrt(8.0), 1e-12);
+  for (size_t i = 1; i < 8; ++i) EXPECT_NEAR((*c)[i], 0.0, 1e-12);
+}
+
+class HaarRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaarRoundTripTest, ForwardInverseIsIdentity) {
+  const int n = GetParam();
+  Rng rng(300 + n);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.Uniform(-4, 4);
+  auto c = HaarForward(x);
+  ASSERT_TRUE(c.ok());
+  auto back = HaarInverse(*c);
+  ASSERT_TRUE(back.ok());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR((*back)[i], x[i], 1e-9);
+}
+
+TEST_P(HaarRoundTripTest, OrthonormalityPreservesEnergy) {
+  const int n = GetParam();
+  Rng rng(400 + n);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.Uniform(-4, 4);
+  auto c = HaarForward(x);
+  ASSERT_TRUE(c.ok());
+  double ex = 0.0, ec = 0.0;
+  for (double v : x) ex += v * v;
+  for (double v : *c) ec += v * v;
+  EXPECT_NEAR(ex, ec, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HaarRoundTripTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256));
+
+TEST(PadTest, PadsToNextPowerOfTwo) {
+  EXPECT_EQ(PadToPowerOfTwo({1, 2, 3}).size(), 4u);
+  EXPECT_EQ(PadToPowerOfTwo({1, 2, 3, 4}).size(), 4u);
+  EXPECT_EQ(PadToPowerOfTwo({}).size(), 1u);
+  const auto padded = PadToPowerOfTwo({1, 2, 3});
+  EXPECT_EQ(padded[3], 0.0);
+}
+
+}  // namespace
+}  // namespace stpt::signal

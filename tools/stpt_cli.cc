@@ -1,0 +1,174 @@
+// stpt_cli — command-line front end for the library.
+//
+//   stpt_cli generate --dataset=CER --distribution=uniform --grid=32
+//            --days=220 --seed=1 --out=data.csv
+//   stpt_cli publish  --in=data.csv --algorithm=stpt --eps=30
+//            --t-train=100 --out=sanitized.csv [--truth-out=truth.csv]
+//   stpt_cli evaluate --truth=truth.csv --sanitized=sanitized.csv
+//            --kind=random --queries=300 [--seed=7]
+//
+// `publish` aggregates to day granularity, runs the chosen algorithm
+// (stpt, identity, fast, fourier10, fourier20, wavelet10, wavelet20,
+// lgan, wpo), and writes the sanitized test region.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/fast.h"
+#include "baselines/fourier.h"
+#include "baselines/identity.h"
+#include "baselines/lgan_dp.h"
+#include "baselines/wavelet_pub.h"
+#include "baselines/wpo.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/stpt.h"
+#include "datagen/dataset.h"
+#include "io/csv.h"
+#include "query/metrics.h"
+
+namespace {
+
+using namespace stpt;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: stpt_cli <generate|publish|evaluate> [--options]\n"
+               "see the header of tools/stpt_cli.cc for details\n");
+  return 2;
+}
+
+StatusOr<datagen::DatasetSpec> SpecByName(const std::string& name) {
+  for (const auto& spec : datagen::AllSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("unknown dataset '" + name + "' (CER, CA, MI, TX)");
+}
+
+StatusOr<datagen::SpatialDistribution> DistributionByName(const std::string& name) {
+  if (name == "uniform") return datagen::SpatialDistribution::kUniform;
+  if (name == "normal") return datagen::SpatialDistribution::kNormal;
+  if (name == "la") return datagen::SpatialDistribution::kLosAngeles;
+  return Status::NotFound("unknown distribution '" + name +
+                          "' (uniform, normal, la)");
+}
+
+int RunGenerate(const Flags& flags) {
+  auto spec = SpecByName(flags.GetString("dataset", "CER"));
+  if (!spec.ok()) return Fail(spec.status());
+  auto dist = DistributionByName(flags.GetString("distribution", "uniform"));
+  if (!dist.ok()) return Fail(dist.status());
+  if (flags.Has("households")) {
+    spec->num_households = static_cast<int>(flags.GetInt("households", 0));
+  }
+  datagen::GenerateOptions opts;
+  opts.grid_x = opts.grid_y = static_cast<int>(flags.GetInt("grid", 32));
+  opts.hours = static_cast<int>(flags.GetInt("days", 220)) * 24;
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  auto ds = datagen::GenerateDataset(*spec, *dist, opts, rng);
+  if (!ds.ok()) return Fail(ds.status());
+  const std::string out = flags.GetString("out", "data.csv");
+  const Status st = io::WriteDatasetCsv(*ds, out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %d households x %d hours to %s\n", spec->num_households,
+              opts.hours, out.c_str());
+  return 0;
+}
+
+int RunPublish(const Flags& flags) {
+  auto ds = io::ReadDatasetCsv(flags.GetString("in", "data.csv"));
+  if (!ds.ok()) return Fail(ds.status());
+  auto cons = datagen::BuildConsumptionMatrix(*ds, /*hours_per_slice=*/24);
+  if (!cons.ok()) return Fail(cons.status());
+  const double unit = datagen::UnitSensitivity(ds->spec, 24);
+  const double eps = flags.GetDouble("eps", 30.0);
+  const int t_train = static_cast<int>(flags.GetInt("t-train", cons->dims().ct / 2));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+
+  auto truth = core::TestRegion(*cons, t_train);
+  if (!truth.ok()) return Fail(truth.status());
+  if (flags.Has("truth-out")) {
+    const Status st = io::WriteMatrixCsv(*truth, flags.GetString("truth-out", ""));
+    if (!st.ok()) return Fail(st);
+  }
+
+  const std::string algorithm = flags.GetString("algorithm", "stpt");
+  StatusOr<grid::ConsumptionMatrix> sanitized =
+      Status::Internal("not run");
+  if (algorithm == "stpt") {
+    core::StptConfig cfg;
+    cfg.eps_pattern = eps / 3.0;
+    cfg.eps_sanitize = eps - cfg.eps_pattern;
+    cfg.t_train = t_train;
+    cfg.quadtree_depth = static_cast<int>(flags.GetInt("depth", 3));
+    cfg.quantization_levels = static_cast<int>(flags.GetInt("k", 8));
+    auto res = core::Stpt(cfg).Publish(*cons, unit, rng);
+    if (!res.ok()) return Fail(res.status());
+    sanitized = std::move(res->sanitized);
+  } else {
+    std::unique_ptr<baselines::Publisher> pub;
+    if (algorithm == "identity") pub = std::make_unique<baselines::IdentityPublisher>();
+    if (algorithm == "fast") pub = std::make_unique<baselines::FastPublisher>();
+    if (algorithm == "fourier10") pub = std::make_unique<baselines::FourierPublisher>(10);
+    if (algorithm == "fourier20") pub = std::make_unique<baselines::FourierPublisher>(20);
+    if (algorithm == "wavelet10") pub = std::make_unique<baselines::WaveletPublisher>(10);
+    if (algorithm == "wavelet20") pub = std::make_unique<baselines::WaveletPublisher>(20);
+    if (algorithm == "lgan") pub = std::make_unique<baselines::LganDpPublisher>();
+    if (algorithm == "wpo") pub = std::make_unique<baselines::WpoPublisher>();
+    if (pub == nullptr) {
+      return Fail(Status::NotFound("unknown algorithm '" + algorithm + "'"));
+    }
+    sanitized = pub->Publish(*truth, eps, unit, rng);
+  }
+  if (!sanitized.ok()) return Fail(sanitized.status());
+  const std::string out = flags.GetString("out", "sanitized.csv");
+  const Status st = io::WriteMatrixCsv(*sanitized, out);
+  if (!st.ok()) return Fail(st);
+  std::printf("published %s release (%dx%dx%d, eps=%.1f) to %s\n",
+              algorithm.c_str(), sanitized->dims().cx, sanitized->dims().cy,
+              sanitized->dims().ct, eps, out.c_str());
+  return 0;
+}
+
+int RunEvaluate(const Flags& flags) {
+  auto truth = io::ReadMatrixCsv(flags.GetString("truth", "truth.csv"));
+  if (!truth.ok()) return Fail(truth.status());
+  auto sanitized = io::ReadMatrixCsv(flags.GetString("sanitized", "sanitized.csv"));
+  if (!sanitized.ok()) return Fail(sanitized.status());
+  if (!(truth->dims() == sanitized->dims())) {
+    return Fail(Status::InvalidArgument("matrix dimensions differ"));
+  }
+  const std::string kind_name = flags.GetString("kind", "random");
+  query::WorkloadKind kind = query::WorkloadKind::kRandom;
+  if (kind_name == "small") kind = query::WorkloadKind::kSmall;
+  if (kind_name == "large") kind = query::WorkloadKind::kLarge;
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  auto wl = query::MakeWorkload(kind, truth->dims(),
+                                static_cast<int>(flags.GetInt("queries", 300)), rng);
+  if (!wl.ok()) return Fail(wl.status());
+  query::MreOptions opts;
+  opts.denominator_floor =
+      truth->TotalSum() / static_cast<double>(truth->size());
+  std::printf("MRE (%s, %zu queries): %.2f%%\n", kind_name.c_str(), wl->size(),
+              query::MeanRelativeError(*truth, *sanitized, *wl, opts));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = stpt::Flags::Parse(argc, argv);
+  if (!flags.ok()) return Fail(flags.status());
+  if (flags->positional().empty()) return Usage();
+  const std::string command = flags->positional()[0];
+  if (command == "generate") return RunGenerate(*flags);
+  if (command == "publish") return RunPublish(*flags);
+  if (command == "evaluate") return RunEvaluate(*flags);
+  return Usage();
+}
