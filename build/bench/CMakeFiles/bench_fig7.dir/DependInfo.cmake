@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7.cc" "bench/CMakeFiles/bench_fig7.dir/bench_fig7.cc.o" "gcc" "bench/CMakeFiles/bench_fig7.dir/bench_fig7.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/stpt_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/stpt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/stpt_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/stpt_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/stpt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/stpt_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/stpt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/stpt_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/stpt_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

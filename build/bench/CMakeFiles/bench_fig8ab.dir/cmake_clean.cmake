@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8ab.dir/bench_fig8ab.cc.o"
+  "CMakeFiles/bench_fig8ab.dir/bench_fig8ab.cc.o.d"
+  "bench_fig8ab"
+  "bench_fig8ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

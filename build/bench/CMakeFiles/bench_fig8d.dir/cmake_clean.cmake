@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8d.dir/bench_fig8d.cc.o"
+  "CMakeFiles/bench_fig8d.dir/bench_fig8d.cc.o.d"
+  "bench_fig8d"
+  "bench_fig8d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

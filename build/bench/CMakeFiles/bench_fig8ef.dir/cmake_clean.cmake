@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8ef.dir/bench_fig8ef.cc.o"
+  "CMakeFiles/bench_fig8ef.dir/bench_fig8ef.cc.o.d"
+  "bench_fig8ef"
+  "bench_fig8ef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8ef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

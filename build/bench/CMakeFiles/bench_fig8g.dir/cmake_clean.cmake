@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8g.dir/bench_fig8g.cc.o"
+  "CMakeFiles/bench_fig8g.dir/bench_fig8g.cc.o.d"
+  "bench_fig8g"
+  "bench_fig8g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8h.dir/bench_fig8h.cc.o"
+  "CMakeFiles/bench_fig8h.dir/bench_fig8h.cc.o.d"
+  "bench_fig8h"
+  "bench_fig8h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8i.dir/bench_fig8i.cc.o"
+  "CMakeFiles/bench_fig8i.dir/bench_fig8i.cc.o.d"
+  "bench_fig8i"
+  "bench_fig8i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/stpt_bench_util.dir/bench_util.cc.o.d"
+  "libstpt_bench_util.a"
+  "libstpt_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

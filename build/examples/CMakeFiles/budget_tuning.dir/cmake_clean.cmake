@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_tuning.dir/budget_tuning.cpp.o"
+  "CMakeFiles/budget_tuning.dir/budget_tuning.cpp.o.d"
+  "budget_tuning"
+  "budget_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

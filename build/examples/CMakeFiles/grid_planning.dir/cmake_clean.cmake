@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_planning.dir/grid_planning.cpp.o"
+  "CMakeFiles/grid_planning.dir/grid_planning.cpp.o.d"
+  "grid_planning"
+  "grid_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

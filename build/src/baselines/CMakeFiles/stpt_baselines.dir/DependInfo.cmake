@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fast.cc" "src/baselines/CMakeFiles/stpt_baselines.dir/fast.cc.o" "gcc" "src/baselines/CMakeFiles/stpt_baselines.dir/fast.cc.o.d"
+  "/root/repo/src/baselines/fourier.cc" "src/baselines/CMakeFiles/stpt_baselines.dir/fourier.cc.o" "gcc" "src/baselines/CMakeFiles/stpt_baselines.dir/fourier.cc.o.d"
+  "/root/repo/src/baselines/identity.cc" "src/baselines/CMakeFiles/stpt_baselines.dir/identity.cc.o" "gcc" "src/baselines/CMakeFiles/stpt_baselines.dir/identity.cc.o.d"
+  "/root/repo/src/baselines/lgan_dp.cc" "src/baselines/CMakeFiles/stpt_baselines.dir/lgan_dp.cc.o" "gcc" "src/baselines/CMakeFiles/stpt_baselines.dir/lgan_dp.cc.o.d"
+  "/root/repo/src/baselines/local_dp.cc" "src/baselines/CMakeFiles/stpt_baselines.dir/local_dp.cc.o" "gcc" "src/baselines/CMakeFiles/stpt_baselines.dir/local_dp.cc.o.d"
+  "/root/repo/src/baselines/publisher.cc" "src/baselines/CMakeFiles/stpt_baselines.dir/publisher.cc.o" "gcc" "src/baselines/CMakeFiles/stpt_baselines.dir/publisher.cc.o.d"
+  "/root/repo/src/baselines/wavelet_pub.cc" "src/baselines/CMakeFiles/stpt_baselines.dir/wavelet_pub.cc.o" "gcc" "src/baselines/CMakeFiles/stpt_baselines.dir/wavelet_pub.cc.o.d"
+  "/root/repo/src/baselines/wpo.cc" "src/baselines/CMakeFiles/stpt_baselines.dir/wpo.cc.o" "gcc" "src/baselines/CMakeFiles/stpt_baselines.dir/wpo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/stpt_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/stpt_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/stpt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/stpt_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/stpt_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_baselines.dir/fast.cc.o"
+  "CMakeFiles/stpt_baselines.dir/fast.cc.o.d"
+  "CMakeFiles/stpt_baselines.dir/fourier.cc.o"
+  "CMakeFiles/stpt_baselines.dir/fourier.cc.o.d"
+  "CMakeFiles/stpt_baselines.dir/identity.cc.o"
+  "CMakeFiles/stpt_baselines.dir/identity.cc.o.d"
+  "CMakeFiles/stpt_baselines.dir/lgan_dp.cc.o"
+  "CMakeFiles/stpt_baselines.dir/lgan_dp.cc.o.d"
+  "CMakeFiles/stpt_baselines.dir/local_dp.cc.o"
+  "CMakeFiles/stpt_baselines.dir/local_dp.cc.o.d"
+  "CMakeFiles/stpt_baselines.dir/publisher.cc.o"
+  "CMakeFiles/stpt_baselines.dir/publisher.cc.o.d"
+  "CMakeFiles/stpt_baselines.dir/wavelet_pub.cc.o"
+  "CMakeFiles/stpt_baselines.dir/wavelet_pub.cc.o.d"
+  "CMakeFiles/stpt_baselines.dir/wpo.cc.o"
+  "CMakeFiles/stpt_baselines.dir/wpo.cc.o.d"
+  "libstpt_baselines.a"
+  "libstpt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

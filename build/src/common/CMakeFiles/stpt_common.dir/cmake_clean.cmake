@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_common.dir/flags.cc.o"
+  "CMakeFiles/stpt_common.dir/flags.cc.o.d"
+  "CMakeFiles/stpt_common.dir/math_util.cc.o"
+  "CMakeFiles/stpt_common.dir/math_util.cc.o.d"
+  "CMakeFiles/stpt_common.dir/rng.cc.o"
+  "CMakeFiles/stpt_common.dir/rng.cc.o.d"
+  "CMakeFiles/stpt_common.dir/status.cc.o"
+  "CMakeFiles/stpt_common.dir/status.cc.o.d"
+  "CMakeFiles/stpt_common.dir/table_printer.cc.o"
+  "CMakeFiles/stpt_common.dir/table_printer.cc.o.d"
+  "libstpt_common.a"
+  "libstpt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy_model.cc" "src/core/CMakeFiles/stpt_core.dir/accuracy_model.cc.o" "gcc" "src/core/CMakeFiles/stpt_core.dir/accuracy_model.cc.o.d"
+  "/root/repo/src/core/budget_allocation.cc" "src/core/CMakeFiles/stpt_core.dir/budget_allocation.cc.o" "gcc" "src/core/CMakeFiles/stpt_core.dir/budget_allocation.cc.o.d"
+  "/root/repo/src/core/htf_partition.cc" "src/core/CMakeFiles/stpt_core.dir/htf_partition.cc.o" "gcc" "src/core/CMakeFiles/stpt_core.dir/htf_partition.cc.o.d"
+  "/root/repo/src/core/pattern_recognition.cc" "src/core/CMakeFiles/stpt_core.dir/pattern_recognition.cc.o" "gcc" "src/core/CMakeFiles/stpt_core.dir/pattern_recognition.cc.o.d"
+  "/root/repo/src/core/quantization.cc" "src/core/CMakeFiles/stpt_core.dir/quantization.cc.o" "gcc" "src/core/CMakeFiles/stpt_core.dir/quantization.cc.o.d"
+  "/root/repo/src/core/stpt.cc" "src/core/CMakeFiles/stpt_core.dir/stpt.cc.o" "gcc" "src/core/CMakeFiles/stpt_core.dir/stpt.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/stpt_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/stpt_core.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stpt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/stpt_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/stpt_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/stpt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/stpt_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

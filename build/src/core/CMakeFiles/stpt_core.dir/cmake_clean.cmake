@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_core.dir/accuracy_model.cc.o"
+  "CMakeFiles/stpt_core.dir/accuracy_model.cc.o.d"
+  "CMakeFiles/stpt_core.dir/budget_allocation.cc.o"
+  "CMakeFiles/stpt_core.dir/budget_allocation.cc.o.d"
+  "CMakeFiles/stpt_core.dir/htf_partition.cc.o"
+  "CMakeFiles/stpt_core.dir/htf_partition.cc.o.d"
+  "CMakeFiles/stpt_core.dir/pattern_recognition.cc.o"
+  "CMakeFiles/stpt_core.dir/pattern_recognition.cc.o.d"
+  "CMakeFiles/stpt_core.dir/quantization.cc.o"
+  "CMakeFiles/stpt_core.dir/quantization.cc.o.d"
+  "CMakeFiles/stpt_core.dir/stpt.cc.o"
+  "CMakeFiles/stpt_core.dir/stpt.cc.o.d"
+  "CMakeFiles/stpt_core.dir/streaming.cc.o"
+  "CMakeFiles/stpt_core.dir/streaming.cc.o.d"
+  "libstpt_core.a"
+  "libstpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

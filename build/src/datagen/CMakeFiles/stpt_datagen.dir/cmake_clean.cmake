@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_datagen.dir/dataset.cc.o"
+  "CMakeFiles/stpt_datagen.dir/dataset.cc.o.d"
+  "libstpt_datagen.a"
+  "libstpt_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

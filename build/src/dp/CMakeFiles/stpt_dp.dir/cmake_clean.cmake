@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_dp.dir/budget_accountant.cc.o"
+  "CMakeFiles/stpt_dp.dir/budget_accountant.cc.o.d"
+  "CMakeFiles/stpt_dp.dir/mechanisms.cc.o"
+  "CMakeFiles/stpt_dp.dir/mechanisms.cc.o.d"
+  "libstpt_dp.a"
+  "libstpt_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

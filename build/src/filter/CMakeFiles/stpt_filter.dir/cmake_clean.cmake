@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_filter.dir/kalman.cc.o"
+  "CMakeFiles/stpt_filter.dir/kalman.cc.o.d"
+  "libstpt_filter.a"
+  "libstpt_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

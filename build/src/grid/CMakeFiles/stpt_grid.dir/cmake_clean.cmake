@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_grid.dir/consumption_matrix.cc.o"
+  "CMakeFiles/stpt_grid.dir/consumption_matrix.cc.o.d"
+  "CMakeFiles/stpt_grid.dir/quadtree.cc.o"
+  "CMakeFiles/stpt_grid.dir/quadtree.cc.o.d"
+  "libstpt_grid.a"
+  "libstpt_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstpt_grid.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_io.dir/csv.cc.o"
+  "CMakeFiles/stpt_io.dir/csv.cc.o.d"
+  "libstpt_io.a"
+  "libstpt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

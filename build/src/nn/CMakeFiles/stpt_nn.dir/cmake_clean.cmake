@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_nn.dir/layers.cc.o"
+  "CMakeFiles/stpt_nn.dir/layers.cc.o.d"
+  "CMakeFiles/stpt_nn.dir/ops.cc.o"
+  "CMakeFiles/stpt_nn.dir/ops.cc.o.d"
+  "CMakeFiles/stpt_nn.dir/optimizer.cc.o"
+  "CMakeFiles/stpt_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/stpt_nn.dir/predictor.cc.o"
+  "CMakeFiles/stpt_nn.dir/predictor.cc.o.d"
+  "CMakeFiles/stpt_nn.dir/tensor.cc.o"
+  "CMakeFiles/stpt_nn.dir/tensor.cc.o.d"
+  "libstpt_nn.a"
+  "libstpt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_query.dir/metrics.cc.o"
+  "CMakeFiles/stpt_query.dir/metrics.cc.o.d"
+  "CMakeFiles/stpt_query.dir/range_query.cc.o"
+  "CMakeFiles/stpt_query.dir/range_query.cc.o.d"
+  "libstpt_query.a"
+  "libstpt_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_signal.dir/fft.cc.o"
+  "CMakeFiles/stpt_signal.dir/fft.cc.o.d"
+  "CMakeFiles/stpt_signal.dir/wavelet.cc.o"
+  "CMakeFiles/stpt_signal.dir/wavelet.cc.o.d"
+  "libstpt_signal.a"
+  "libstpt_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htf_test.dir/htf_test.cc.o"
+  "CMakeFiles/htf_test.dir/htf_test.cc.o.d"
+  "htf_test"
+  "htf_test.pdb"
+  "htf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpt_cli.dir/stpt_cli.cc.o"
+  "CMakeFiles/stpt_cli.dir/stpt_cli.cc.o.d"
+  "stpt_cli"
+  "stpt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
