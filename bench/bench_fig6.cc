@@ -4,9 +4,13 @@
 //
 // Paper parameters: eps_tot = 30 (10 pattern + 20 sanitize), 32x32 grid,
 // 100 training + 120 released daily slices, 300 queries per workload.
+//
+// The eight (dataset, placement) panels are independent — every panel
+// derives all randomness from its own seed — so they run concurrently on
+// the exec runtime (--threads=N / STPT_THREADS) and print in order.
 
 #include <cstdio>
-#include <iostream>
+#include <sstream>
 
 #include "bench_util.h"
 #include "common/table_printer.h"
@@ -14,8 +18,8 @@
 namespace stpt::bench {
 namespace {
 
-void RunPanel(const datagen::DatasetSpec& spec,
-              datagen::SpatialDistribution distribution, uint64_t seed) {
+std::string RunPanel(const datagen::DatasetSpec& spec,
+                     datagen::SpatialDistribution distribution, uint64_t seed) {
   const Instance inst = MakeInstance(spec, distribution, Scale::kPaper, seed);
   const core::StptConfig cfg = DefaultStptConfig(Scale::kPaper);
 
@@ -25,25 +29,32 @@ void RunPanel(const datagen::DatasetSpec& spec,
     table.AddRow(pub->name(), RunBaseline(inst, *pub, cfg.TotalEpsilon(), seed + 2),
                  2);
   }
-  std::printf("--- Figure 6: %s, %s placement ---\n", spec.name.c_str(),
-              datagen::SpatialDistributionToString(distribution));
-  table.Print(std::cout);
-  std::printf("\n");
+  std::ostringstream os;
+  os << "--- Figure 6: " << spec.name << ", "
+     << datagen::SpatialDistributionToString(distribution) << " placement ---\n";
+  table.Print(os);
+  os << "\n";
+  return os.str();
 }
 
 }  // namespace
 }  // namespace stpt::bench
 
-int main() {
+int main(int argc, char** argv) {
+  stpt::bench::InitBenchRuntime(argc, argv);
   std::printf("Figure 6 reproduction: MRE (lower is better), eps_tot = 30.\n");
   std::printf("One run per panel (paper averages 10; shapes are stable).\n\n");
+  std::vector<std::function<std::string()>> panels;
   uint64_t seed = 1000;
   for (const auto& spec : stpt::datagen::AllSpecs()) {
     for (auto dist : {stpt::datagen::SpatialDistribution::kUniform,
                       stpt::datagen::SpatialDistribution::kNormal}) {
-      stpt::bench::RunPanel(spec, dist, seed);
+      panels.push_back([spec, dist, seed] {
+        return stpt::bench::RunPanel(spec, dist, seed);
+      });
       seed += 100;
     }
   }
+  stpt::bench::RunPanelsParallel(panels);
   return 0;
 }

@@ -1,28 +1,38 @@
 // Reproduces Figures 8a/8b: pattern-recognition MAE and RMSE as a function
 // of the privacy budget per RNN training datapoint. The sanitization budget
 // is held constant while eps_pattern = budget_per_point * t_train varies.
+//
+// The five sweep points are independent (each RunStpt derives all
+// randomness from its seed) and run concurrently on the exec runtime
+// (--threads=N / STPT_THREADS).
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpt;
+  bench::InitBenchRuntime(argc, argv);
   std::printf("Figures 8a/8b reproduction: pattern MAE/RMSE vs per-datapoint "
               "budget (CER, Uniform, detail scale).\n\n");
   const bench::Instance inst =
       bench::MakeInstance(datagen::CerSpec(), datagen::SpatialDistribution::kUniform,
                           bench::Scale::kDetail, 8100);
+  const std::vector<double> budgets = {0.01, 0.05, 0.1, 0.2, 0.5};
+  const auto rows =
+      bench::RunSweepParallel(static_cast<int>(budgets.size()), [&](int i) {
+        core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
+        cfg.eps_pattern = budgets[i] * cfg.t_train;
+        core::StptResult res;
+        bench::RunStpt(inst, cfg, 8101, &res);
+        return std::vector<double>{res.pattern_mae, res.pattern_rmse};
+      });
   TablePrinter table({"Budget/point", "Pattern MAE", "Pattern RMSE"});
-  for (double per_point : {0.01, 0.05, 0.1, 0.2, 0.5}) {
-    core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
-    cfg.eps_pattern = per_point * cfg.t_train;
-    core::StptResult res;
-    bench::RunStpt(inst, cfg, 8101, &res);
-    table.AddRow(TablePrinter::FormatDouble(per_point, 2),
-                 {res.pattern_mae, res.pattern_rmse}, 4);
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    table.AddRow(TablePrinter::FormatDouble(budgets[i], 2), rows[i], 4);
   }
   table.Print(std::cout);
   std::printf("\nExpected shape: error drops sharply between 0.01 and 0.05, "

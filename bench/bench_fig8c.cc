@@ -1,24 +1,33 @@
 // Reproduces Figure 8c: impact of the number of quantization levels k on
 // STPT's MRE for the three query workloads.
+//
+// The six sweep points are independent and run concurrently on the exec
+// runtime (--threads=N / STPT_THREADS).
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpt;
+  bench::InitBenchRuntime(argc, argv);
   std::printf("Figure 8c reproduction: MRE vs quantization levels "
               "(CER, Uniform, detail scale).\n\n");
   const bench::Instance inst =
       bench::MakeInstance(datagen::CerSpec(), datagen::SpatialDistribution::kUniform,
                           bench::Scale::kDetail, 8300);
-  TablePrinter table({"k", "Random MRE%", "Small MRE%", "Large MRE%"});
-  for (int k : {2, 4, 8, 16, 32, 64}) {
+  const std::vector<int> ks = {2, 4, 8, 16, 32, 64};
+  const auto rows = bench::RunSweepParallel(static_cast<int>(ks.size()), [&](int i) {
     core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
-    cfg.quantization_levels = k;
-    table.AddRow(std::to_string(k), bench::RunStpt(inst, cfg, 8301), 2);
+    cfg.quantization_levels = ks[i];
+    return bench::RunStpt(inst, cfg, 8301);
+  });
+  TablePrinter table({"k", "Random MRE%", "Small MRE%", "Large MRE%"});
+  for (size_t i = 0; i < ks.size(); ++i) {
+    table.AddRow(std::to_string(ks[i]), rows[i], 2);
   }
   table.Print(std::cout);
   std::printf("\nExpected shape: mild fluctuations; very large k degrades "

@@ -1,6 +1,9 @@
 // Reproduces Figure 9: total weekly consumption per weekday for each of the
 // four (synthetic digital-twin) datasets — validates the generators'
 // temporal shape (weekend uplift).
+//
+// The four dataset generations are independent and run concurrently on the
+// exec runtime (--threads=N / STPT_THREADS).
 
 #include <cstdio>
 #include <iostream>
@@ -8,25 +11,33 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stpt;
+  bench::InitBenchRuntime(argc, argv);
   std::printf("Figure 9 reproduction: total consumption per weekday (kWh), "
               "4 weeks of generated data.\n\n");
+  const auto& specs = datagen::AllSpecs();
+  const auto rows =
+      bench::RunSweepParallel(static_cast<int>(specs.size()), [&](int i) {
+        const auto& spec = specs[i];
+        Rng rng(9000 + spec.num_households);
+        datagen::GenerateOptions opts;
+        opts.grid_x = 32;
+        opts.grid_y = 32;
+        opts.hours = 24 * 7 * 4;
+        auto ds = datagen::GenerateDataset(
+            spec, datagen::SpatialDistribution::kUniform, opts, rng);
+        if (!ds.ok()) {
+          std::fprintf(stderr, "generation failed: %s\n",
+                       ds.status().ToString().c_str());
+          std::exit(1);
+        }
+        return datagen::WeekdayTotals(*ds);
+      });
   TablePrinter table(
       {"Dataset", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"});
-  for (const auto& spec : datagen::AllSpecs()) {
-    Rng rng(9000 + spec.num_households);
-    datagen::GenerateOptions opts;
-    opts.grid_x = 32;
-    opts.grid_y = 32;
-    opts.hours = 24 * 7 * 4;
-    auto ds = datagen::GenerateDataset(spec, datagen::SpatialDistribution::kUniform,
-                                       opts, rng);
-    if (!ds.ok()) {
-      std::printf("generation failed: %s\n", ds.status().ToString().c_str());
-      return 1;
-    }
-    table.AddRow(spec.name, datagen::WeekdayTotals(*ds), 0);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    table.AddRow(specs[i].name, rows[i], 0);
   }
   table.Print(std::cout);
   std::printf("\nExpected shape: weekend totals exceed weekday totals "

@@ -1,12 +1,23 @@
 // Micro-benchmarks of the substrate layers: DP mechanisms, transforms,
-// prefix sums, quadtree construction, tensor ops, and model steps.
+// prefix sums, quadtree construction, tensor ops, model steps, and the
+// end-to-end STPT pipeline at 1 vs N exec threads.
+//
+// Results are written to BENCH_micro.json (google-benchmark JSON format,
+// with the exec thread count in the context) unless --benchmark_out= is
+// given, so the perf trajectory is machine-readable across PRs.
 
 #include <benchmark/benchmark.h>
 
 #include <complex>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "dp/mechanisms.h"
+#include "exec/thread_pool.h"
 #include "grid/consumption_matrix.h"
 #include "grid/quadtree.h"
 #include "nn/layers.h"
@@ -112,6 +123,48 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
 
+// MatMul wall clock vs exec worker count; args are {matrix size, threads}.
+// The 1-thread rows are the serial baseline for the speedup trajectory.
+void BM_MatMulThreads(benchmark::State& state) {
+  exec::SetThreads(static_cast<int>(state.range(1)));
+  Rng rng(9);
+  const int n = static_cast<int>(state.range(0));
+  const nn::Tensor a = nn::Tensor::Randn({n, n}, rng, 1.0);
+  const nn::Tensor b = nn::Tensor::Randn({n, n}, rng, 1.0);
+  for (auto _ : state) {
+    auto c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  exec::SetThreads(0);  // restore env/hardware default
+}
+BENCHMARK(BM_MatMulThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+// End-to-end STPT publish (detail scale, shortened training) at 1 vs 4
+// exec threads — the headline wall-clock number for the pipeline.
+void BM_StptPublish(benchmark::State& state) {
+  exec::SetThreads(static_cast<int>(state.range(0)));
+  static const bench::Instance* inst = new bench::Instance(bench::MakeInstance(
+      datagen::CerSpec(), datagen::SpatialDistribution::kUniform,
+      bench::Scale::kDetail, 4242));
+  core::StptConfig cfg = bench::DefaultStptConfig(bench::Scale::kDetail);
+  cfg.training.epochs = 4;
+  for (auto _ : state) {
+    Rng rng(1234);
+    auto res = core::Stpt(cfg).Publish(inst->cons, inst->unit_sensitivity, rng);
+    benchmark::DoNotOptimize(res);
+  }
+  exec::SetThreads(0);
+}
+BENCHMARK(BM_StptPublish)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 void BM_GruCellForwardBackward(benchmark::State& state) {
   Rng rng(10);
   nn::GruCell cell(16, 16, rng);
@@ -140,4 +193,30 @@ BENCHMARK(BM_SelfAttention)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Accept --threads=N ourselves (google-benchmark rejects unknown flags)
+  // and default the JSON report to BENCH_micro.json.
+  std::vector<char*> args;
+  bool has_out = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      exec::SetThreads(std::atoi(argv[i] + 10));
+      continue;
+    }
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    args.push_back(argv[i]);
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_micro.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  benchmark::AddCustomContext("stpt_threads", std::to_string(exec::Threads()));
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

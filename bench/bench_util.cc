@@ -1,7 +1,14 @@
 #include "bench_util.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
 
+#include "common/flags.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "exec/timing.h"
 #include "query/metrics.h"
 
 namespace stpt::bench {
@@ -123,6 +130,34 @@ std::vector<double> RunStpt(const Instance& instance, const core::StptConfig& co
   }
   if (out != nullptr) *out = std::move(res).value();
   return mres;
+}
+
+void InitBenchRuntime(int argc, const char* const* argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    std::exit(2);
+  }
+  if (flags->Has("threads")) {
+    exec::SetThreads(static_cast<int>(flags->GetInt("threads", 0)));
+  }
+  if (flags->GetBool("profile", false)) {
+    std::atexit([] { exec::PrintTimings(std::cerr); });
+  }
+}
+
+std::vector<std::vector<double>> RunSweepParallel(
+    int n, const std::function<std::vector<double>(int)>& task) {
+  std::vector<std::vector<double>> results(n);
+  exec::ParallelFor(n, [&](int64_t i) { results[i] = task(static_cast<int>(i)); });
+  return results;
+}
+
+void RunPanelsParallel(const std::vector<std::function<std::string()>>& panels) {
+  std::vector<std::string> outputs(panels.size());
+  exec::ParallelFor(static_cast<int64_t>(panels.size()),
+                    [&](int64_t i) { outputs[i] = panels[i](); });
+  for (const auto& text : outputs) std::fputs(text.c_str(), stdout);
 }
 
 }  // namespace stpt::bench

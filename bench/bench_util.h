@@ -1,6 +1,7 @@
 #ifndef STPT_BENCH_BENCH_UTIL_H_
 #define STPT_BENCH_BENCH_UTIL_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,25 @@ std::vector<double> RunStpt(const Instance& instance, const core::StptConfig& co
 
 /// All three workload kinds, in the order used by RunBaseline / RunStpt.
 const std::vector<query::WorkloadKind>& AllWorkloadKinds();
+
+/// Configures the exec runtime for a bench main: applies `--threads=N`
+/// (overriding the STPT_THREADS env default) and, with `--profile`,
+/// registers an atexit hook that prints the exec timing profile. Call at
+/// the top of main before any work.
+void InitBenchRuntime(int argc, const char* const* argv);
+
+/// Evaluates `n` independent sweep points concurrently on the exec runtime
+/// and returns the per-point results in index order. Task i receives only
+/// its index and must derive all randomness from its own seed (the harness
+/// entry points RunStpt / RunBaseline / MakeInstance already do), so the
+/// numbers are identical at any thread count.
+std::vector<std::vector<double>> RunSweepParallel(
+    int n, const std::function<std::vector<double>(int)>& task);
+
+/// Runs independent panel tasks concurrently and prints each panel's
+/// returned text to stdout in task order. Panels must not print directly —
+/// they format into the returned string.
+void RunPanelsParallel(const std::vector<std::function<std::string()>>& panels);
 
 }  // namespace stpt::bench
 

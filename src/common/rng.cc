@@ -91,4 +91,15 @@ Rng Rng::Fork() {
   return Rng(child_seed);
 }
 
+Rng Rng::Fork(uint64_t stream) const {
+  // Hash the full 256-bit state down to 64 bits, then mix the stream index
+  // through a second splitmix round so adjacent indices decorrelate. The
+  // Rng constructor expands the combined seed through splitmix again.
+  uint64_t h = s_[0] ^ Rotl(s_[1], 13) ^ Rotl(s_[2], 29) ^ Rotl(s_[3], 43);
+  const uint64_t state_hash = SplitMix64(&h);
+  uint64_t t = stream ^ 0xD1B54A32D192ED03ULL;
+  const uint64_t stream_hash = SplitMix64(&t);
+  return Rng(state_hash ^ stream_hash);
+}
+
 }  // namespace stpt

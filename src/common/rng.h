@@ -49,7 +49,19 @@ class Rng {
 
   /// Forks an independent child generator; the child stream does not overlap
   /// the parent's (different splitmix64 seed derived from parent state).
+  /// Advances the parent, so successive calls yield distinct children.
   Rng Fork();
+
+  /// Derives the `stream`-th child generator from the current state
+  /// *without* advancing it: the same (state, stream) pair always yields
+  /// the same child, and distinct streams yield independent children.
+  ///
+  /// This is the primitive behind order-independent noise generation: a
+  /// loop that draws noise per item must give item i the substream
+  /// `base.Fork(i)` instead of sharing one sequential Rng, so the result
+  /// is identical whether items run serially, out of order, or on any
+  /// number of threads (see exec/parallel.h and DESIGN.md).
+  Rng Fork(uint64_t stream) const;
 
  private:
   uint64_t s_[4];

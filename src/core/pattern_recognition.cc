@@ -5,6 +5,8 @@
 
 #include "common/math_util.h"
 #include "dp/mechanisms.h"
+#include "exec/parallel.h"
+#include "exec/timing.h"
 #include "nn/predictor.h"
 
 namespace stpt::core {
@@ -23,14 +25,27 @@ Status SanitizeQuadtreeLevels(std::vector<grid::QuadtreeLevel>* levels,
         "SanitizeQuadtreeLevels: cell sensitivity must be > 0");
   }
   const double eps_per_point = eps_pattern / static_cast<double>(t_train);
+  // Each neighborhood draws its noise from the substream Fork(i) of a
+  // single base fork, where i is the neighborhood's position in (level,
+  // neighborhood) enumeration order. The release is therefore independent
+  // of traversal order and bit-identical at any thread count.
+  struct NoiseTask {
+    std::vector<double>* series;
+    double scale;
+  };
+  std::vector<NoiseTask> tasks;
   for (auto& level : *levels) {
     for (auto& nb : level.neighborhoods) {
       // Theorem 6: averaging over num_cells cells divides the sensitivity.
       const double sens = cell_sensitivity_normalized / nb.num_cells;
-      const double scale = sens / eps_per_point;
-      for (double& v : nb.series) v += rng.Laplace(scale);
+      tasks.push_back({&nb.series, sens / eps_per_point});
     }
   }
+  const Rng base = rng.Fork();
+  exec::ParallelFor(static_cast<int64_t>(tasks.size()), [&](int64_t i) {
+    Rng sub = base.Fork(static_cast<uint64_t>(i));
+    for (double& v : *tasks[i].series) v += sub.Laplace(tasks[i].scale);
+  });
   return Status::OK();
 }
 
@@ -69,8 +84,10 @@ StatusOr<PatternResult> RunPatternRecognition(const grid::ConsumptionMatrix& nor
   }
   PatternResult result;
   result.predictor = nn::SequencePredictor::Create(config.model, config.predictor, rng);
-  auto stats_or =
-      nn::TrainPredictor(result.predictor.get(), dataset, config.training, rng);
+  auto stats_or = [&] {
+    exec::ScopedTimer timer("stpt/train_predictor");
+    return nn::TrainPredictor(result.predictor.get(), dataset, config.training, rng);
+  }();
   STPT_RETURN_IF_ERROR(stats_or.status());
   result.train_stats = std::move(stats_or).value();
 
@@ -82,6 +99,7 @@ StatusOr<PatternResult> RunPatternRecognition(const grid::ConsumptionMatrix& nor
   STPT_RETURN_IF_ERROR(pattern_or.status());
   result.pattern = std::move(pattern_or).value();
 
+  exec::ScopedTimer rollout_timer("stpt/rollout");
   const int num_cells = dims.cx * dims.cy;
   if (config.rollout == RolloutMode::kAutoregressive) {
     // Seed each cell's window with the tail of the finest sanitized series

@@ -6,6 +6,8 @@
 #include "core/budget_allocation.h"
 #include "core/htf_partition.h"
 #include "dp/mechanisms.h"
+#include "exec/parallel.h"
+#include "exec/timing.h"
 #include "query/metrics.h"
 
 namespace stpt::core {
@@ -43,7 +45,10 @@ StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
   const double range = std::max(cons.MaxValue() - cons.MinValue(), 1e-12);
   const double cell_sens_norm = std::min(1.0, unit_sensitivity / range);
 
-  auto pattern_or = RunPatternRecognition(norm, config_, cell_sens_norm, rng);
+  auto pattern_or = [&] {
+    exec::ScopedTimer timer("stpt/pattern_recognition");
+    return RunPatternRecognition(norm, config_, cell_sens_norm, rng);
+  }();
   STPT_RETURN_IF_ERROR(pattern_or.status());
   PatternResult pattern = std::move(pattern_or).value();
 
@@ -101,25 +106,34 @@ StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
   STPT_RETURN_IF_ERROR(truth_test_or.status());
   const grid::ConsumptionMatrix& truth_test = *truth_test_or;
 
+  exec::ScopedTimer sanitize_timer("stpt/sanitize");
   std::vector<double> partition_sums(quant.levels, 0.0);
   for (size_t i = 0; i < quant.bucket.size(); ++i) {
     partition_sums[quant.bucket[i]] += truth_test.data()[i];
   }
+  // Partition b draws its Laplace noise from the substream Fork(b), not
+  // from one shared sequential stream, so the release is independent of
+  // sanitization order and bit-identical at any thread count.
+  const Rng noise_base = rng.Fork();
   std::vector<double> released_means(quant.levels, 0.0);
-  for (int b = 0; b < quant.levels; ++b) {
-    if (quant.bucket_sizes[b] == 0) continue;
+  exec::ParallelFor(quant.levels, [&](int64_t b) {
+    if (quant.bucket_sizes[b] == 0) return;
+    Rng sub = noise_base.Fork(static_cast<uint64_t>(b));
     const double noisy = eps[b] > 0.0
-                             ? partition_sums[b] + rng.Laplace(sens[b] / eps[b])
+                             ? partition_sums[b] + sub.Laplace(sens[b] / eps[b])
                              : partition_sums[b];
     released_means[b] = noisy / static_cast<double>(quant.bucket_sizes[b]);
-  }
+  });
 
   auto sanitized_or = grid::ConsumptionMatrix::Create(test_dims);
   STPT_RETURN_IF_ERROR(sanitized_or.status());
   result.sanitized = std::move(sanitized_or).value();
-  for (size_t i = 0; i < quant.bucket.size(); ++i) {
-    result.sanitized.mutable_data()[i] = released_means[quant.bucket[i]];
-  }
+  exec::ParallelForRange(
+      static_cast<int64_t>(quant.bucket.size()), [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          result.sanitized.mutable_data()[i] = released_means[quant.bucket[i]];
+        }
+      });
 
   result.pattern = std::move(pattern.pattern);
   result.quantization = std::move(quant);

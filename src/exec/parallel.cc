@@ -1,0 +1,73 @@
+#include "exec/parallel.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "exec/thread_pool.h"
+
+namespace stpt::exec {
+namespace {
+
+/// Synchronisation state for one blocking parallel region.
+struct Region {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int pending = 0;
+  std::exception_ptr first_error;
+
+  void Finish(std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (err && !first_error) first_error = err;
+    if (--pending == 0) done_cv.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [this] { return pending == 0; });
+    if (first_error) std::rethrow_exception(first_error);
+  }
+};
+
+}  // namespace
+
+void ParallelForRange(int64_t n,
+                      const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int threads = Threads();
+  if (threads <= 1 || n < kParallelForMinWork || ThreadPool::InWorker()) {
+    fn(0, n);
+    return;
+  }
+  const int64_t num_chunks = n < threads ? n : threads;
+  const int64_t base = n / num_chunks;
+  const int64_t rem = n % num_chunks;
+
+  ThreadPool& pool = GlobalPool();
+  Region region;
+  region.pending = static_cast<int>(num_chunks);
+  int64_t begin = 0;
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t len = base + (c < rem ? 1 : 0);
+    const int64_t end = begin + len;
+    pool.Submit([&fn, &region, begin, end] {
+      std::exception_ptr err;
+      try {
+        fn(begin, end);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      region.Finish(err);
+    });
+    begin = end;
+  }
+  region.Wait();
+}
+
+void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  ParallelForRange(n, [&fn](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace stpt::exec

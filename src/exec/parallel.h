@@ -1,0 +1,40 @@
+#ifndef STPT_EXEC_PARALLEL_H_
+#define STPT_EXEC_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace stpt::exec {
+
+/// Blocking parallel loop over [0, n) with *static* chunking: the index
+/// range is split into at most Threads() contiguous chunks, fixed up front.
+/// Each index is visited exactly once, by exactly one task.
+///
+/// Determinism contract: the partition depends only on n and the worker
+/// count, and ParallelFor guarantees that per-index work observes no
+/// cross-index state, so any computation whose per-index body is a pure
+/// function of (shared inputs, index) produces bit-identical results at
+/// every thread count — including 1. Never share an Rng across indices;
+/// fork one per index (Rng::Fork(stream) const) instead.
+///
+/// Runs inline (serially) when Threads() == 1, when n is too small to be
+/// worth dispatching, or when called from inside another parallel region
+/// (nested regions do not deadlock; they serialise).
+///
+/// If any invocation throws, the first exception is rethrown on the caller
+/// after all chunks finish; remaining chunks still run (indices are never
+/// silently skipped mid-chunk on *other* tasks).
+void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+/// Chunk-granular variant: fn(begin, end) is called once per contiguous
+/// chunk. Prefer this for tight loops where a per-index std::function call
+/// would dominate (e.g. matrix kernels).
+void ParallelForRange(int64_t n,
+                      const std::function<void(int64_t, int64_t)>& fn);
+
+/// Minimum n below which ParallelFor always runs inline.
+inline constexpr int64_t kParallelForMinWork = 2;
+
+}  // namespace stpt::exec
+
+#endif  // STPT_EXEC_PARALLEL_H_

@@ -1,0 +1,89 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace stpt::exec {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+int ResolveDefaultThreads() {
+  if (const char* env = std::getenv("STPT_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex g_runtime_mu;
+int g_threads = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers < 1) num_workers = 1;
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int Threads() {
+  std::lock_guard<std::mutex> lock(g_runtime_mu);
+  if (g_threads == 0) g_threads = ResolveDefaultThreads();
+  return g_threads;
+}
+
+void SetThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_runtime_mu);
+  g_pool.reset();  // workers join; safe because no region is in flight
+  g_threads = n >= 1 ? n : ResolveDefaultThreads();
+}
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_runtime_mu);
+  if (g_threads == 0) g_threads = ResolveDefaultThreads();
+  if (g_pool == nullptr) g_pool = std::make_unique<ThreadPool>(g_threads);
+  return *g_pool;
+}
+
+}  // namespace stpt::exec

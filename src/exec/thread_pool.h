@@ -1,0 +1,71 @@
+#ifndef STPT_EXEC_THREAD_POOL_H_
+#define STPT_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stpt::exec {
+
+/// A persistent fixed-size worker pool. Tasks are arbitrary closures; the
+/// pool makes no ordering guarantees between tasks, so all determinism in
+/// the library comes from how work is *partitioned* (see parallel.h), never
+/// from execution order.
+///
+/// The pool is an implementation detail of ParallelFor; library code should
+/// not normally talk to it directly.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (>= 1).
+  explicit ThreadPool(int num_workers);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. The task runs on some worker thread at an unspecified
+  /// time; use your own synchronisation to wait for completion.
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is one of this pool's workers. Used by
+  /// ParallelFor to run nested parallel regions inline instead of
+  /// deadlocking on the pool's own queue.
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// --- Global execution runtime -------------------------------------------
+
+/// Number of worker threads the runtime is configured to use. Resolution
+/// order: SetThreads() if called, else the STPT_THREADS environment
+/// variable, else std::thread::hardware_concurrency(). Always >= 1;
+/// 1 means fully serial (no pool is ever created).
+int Threads();
+
+/// Reconfigures the runtime worker count. n <= 0 restores the default
+/// (env / hardware) resolution. Destroys and recreates the global pool;
+/// must not be called from inside a parallel region.
+void SetThreads(int n);
+
+/// The process-wide pool, created lazily with Threads() workers.
+/// Precondition: Threads() > 1 (serial mode never needs a pool).
+ThreadPool& GlobalPool();
+
+}  // namespace stpt::exec
+
+#endif  // STPT_EXEC_THREAD_POOL_H_

@@ -1,0 +1,93 @@
+#include "exec/timing.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "exec/thread_pool.h"
+
+namespace stpt::exec {
+namespace {
+
+struct Accumulator {
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+};
+
+std::mutex g_mu;
+// std::map keeps the profile output stable across runs.
+std::map<std::string, Accumulator>& Registry() {
+  static auto* registry = new std::map<std::string, Accumulator>();
+  return *registry;
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(const char* region)
+    : region_(region), start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  std::lock_guard<std::mutex> lock(g_mu);
+  Accumulator& acc = Registry()[region_];
+  ++acc.calls;
+  acc.total_ns += ns;
+}
+
+std::vector<TimingEntry> TimingProfile() {
+  std::vector<TimingEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    out.reserve(Registry().size());
+    for (const auto& [name, acc] : Registry()) {
+      out.push_back({name, acc.calls, acc.total_ns});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TimingEntry& a, const TimingEntry& b) {
+                     return a.total_ns > b.total_ns;
+                   });
+  return out;
+}
+
+void ResetTimings() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  Registry().clear();
+}
+
+void PrintTimings(std::ostream& os) {
+  const auto profile = TimingProfile();
+  os << "--- exec timing profile (" << Threads() << " threads) ---\n";
+  for (const auto& e : profile) {
+    const double ms = static_cast<double>(e.total_ns) * 1e-6;
+    const double mean_us =
+        e.calls == 0 ? 0.0
+                     : static_cast<double>(e.total_ns) / e.calls * 1e-3;
+    os << "  " << std::left << std::setw(28) << e.region << std::right
+       << std::setw(10) << e.calls << " calls" << std::setw(12) << std::fixed
+       << std::setprecision(2) << ms << " ms total" << std::setw(12)
+       << mean_us << " us/call\n";
+  }
+}
+
+std::string TimingsJson() {
+  std::ostringstream os;
+  os << "{\"threads\": " << Threads() << ", \"regions\": [";
+  bool first = true;
+  for (const auto& e : TimingProfile()) {
+    if (!first) os << ", ";
+    first = false;
+    const uint64_t mean_ns = e.calls == 0 ? 0 : e.total_ns / e.calls;
+    os << "{\"region\": \"" << e.region << "\", \"calls\": " << e.calls
+       << ", \"total_ns\": " << e.total_ns << ", \"mean_ns\": " << mean_ns
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace stpt::exec

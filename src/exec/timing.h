@@ -1,0 +1,57 @@
+#ifndef STPT_EXEC_TIMING_H_
+#define STPT_EXEC_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stpt::exec {
+
+/// Aggregated wall-clock statistics for one named region.
+struct TimingEntry {
+  std::string region;
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+};
+
+/// RAII per-region wall-clock timer. On destruction the elapsed time is
+/// added to a process-wide profile keyed by region name. Thread-safe;
+/// overhead is one clock read + one mutexed map update per region exit, so
+/// instrument phases (training, sanitization, sweeps), not inner loops.
+///
+///   {
+///     exec::ScopedTimer timer("stpt/pattern");
+///     ...  // phase body
+///   }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* region);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* region_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Snapshot of the aggregated profile, sorted by descending total time.
+std::vector<TimingEntry> TimingProfile();
+
+/// Clears all accumulated timings.
+void ResetTimings();
+
+/// Human-readable profile table (one line per region).
+void PrintTimings(std::ostream& os);
+
+/// The profile as a JSON object:
+///   {"threads": N, "regions": [{"region": ..., "calls": ..., "total_ns":
+///   ..., "mean_ns": ...}, ...]}
+std::string TimingsJson();
+
+}  // namespace stpt::exec
+
+#endif  // STPT_EXEC_TIMING_H_

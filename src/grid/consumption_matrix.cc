@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "exec/parallel.h"
+
 namespace stpt::grid {
 
 StatusOr<ConsumptionMatrix> ConsumptionMatrix::Create(Dims dims) {
@@ -44,7 +46,12 @@ ConsumptionMatrix ConsumptionMatrix::Normalized() const {
   const double hi = MaxValue();
   const double range = hi - lo;
   if (range <= 0.0) return out;  // constant matrix -> all zeros
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = (data_[i] - lo) / range;
+  exec::ParallelForRange(
+      static_cast<int64_t>(data_.size()), [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          out.data_[i] = (data_[i] - lo) / range;
+        }
+      });
   return out;
 }
 
@@ -69,22 +76,46 @@ double ConsumptionMatrix::TotalSum() const {
 }
 
 PrefixSum3D::PrefixSum3D(const ConsumptionMatrix& m)
-    : dims_(m.dims()), pre_(m.dims().NumCells(), 0.0) {
-  const auto& d = m.data();
-  auto idx = [&](int x, int y, int t) {
-    return (static_cast<size_t>(x) * dims_.cy + y) * dims_.ct + t;
-  };
-  for (int x = 0; x < dims_.cx; ++x) {
-    for (int y = 0; y < dims_.cy; ++y) {
-      for (int t = 0; t < dims_.ct; ++t) {
-        double v = d[idx(x, y, t)];
-        v += P(x - 1, y, t) + P(x, y - 1, t) + P(x, y, t - 1);
-        v -= P(x - 1, y - 1, t) + P(x - 1, y, t - 1) + P(x, y - 1, t - 1);
-        v += P(x - 1, y - 1, t - 1);
-        pre_[idx(x, y, t)] = v;
+    : dims_(m.dims()), pre_(m.data()) {
+  // Three separable scans, one per axis. Each pass is embarrassingly
+  // parallel across the other two axes, and every output element sees a
+  // fixed accumulation order, so the build is bit-identical at any thread
+  // count (the association differs from the classic inclusion–exclusion
+  // recurrence, but is deterministic in itself).
+  const int cx = dims_.cx;
+  const int cy = dims_.cy;
+  const int ct = dims_.ct;
+  const size_t plane = static_cast<size_t>(cy) * ct;
+  // Scan along t: one task per (x, y) pillar.
+  exec::ParallelForRange(
+      static_cast<int64_t>(cx) * cy, [&](int64_t begin, int64_t end) {
+        for (int64_t p = begin; p < end; ++p) {
+          double* base = pre_.data() + static_cast<size_t>(p) * ct;
+          for (int t = 1; t < ct; ++t) base[t] += base[t - 1];
+        }
+      });
+  // Scan along y: one task per x-slab.
+  exec::ParallelForRange(cx, [&](int64_t begin, int64_t end) {
+    for (int64_t x = begin; x < end; ++x) {
+      double* slab = pre_.data() + static_cast<size_t>(x) * plane;
+      for (int y = 1; y < cy; ++y) {
+        double* row = slab + static_cast<size_t>(y) * ct;
+        const double* prev = row - ct;
+        for (int t = 0; t < ct; ++t) row[t] += prev[t];
       }
     }
-  }
+  });
+  // Scan along x: tasks partition the (y, t) plane.
+  exec::ParallelForRange(static_cast<int64_t>(plane),
+                         [&](int64_t begin, int64_t end) {
+                           for (int x = 1; x < cx; ++x) {
+                             double* cur = pre_.data() + x * plane;
+                             const double* prev = cur - plane;
+                             for (int64_t q = begin; q < end; ++q) {
+                               cur[q] += prev[q];
+                             }
+                           }
+                         });
 }
 
 double PrefixSum3D::BoxSum(int x0, int x1, int y0, int y1, int t0, int t1) const {

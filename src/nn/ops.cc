@@ -2,11 +2,28 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "exec/parallel.h"
 
 namespace stpt::nn {
 namespace {
 
 using Impl = std::shared_ptr<TensorImpl>;
+
+/// Unconditional shape check on op entry points. Unlike assert, this stays
+/// active under NDEBUG: a shape mismatch in a Release build must abort with
+/// a message instead of silently indexing out of bounds.
+void OpRequire(bool cond, const char* msg) {
+  if (!cond) {
+    std::fprintf(stderr, "stpt::nn fatal: %s\n", msg);
+    std::abort();
+  }
+}
+
+/// Elementwise loops below this size are not worth dispatching to the pool.
+constexpr int64_t kMatMulParallelFlops = 32 * 1024;
 
 Impl MakeNode(const std::vector<int>& shape, std::vector<Impl> parents) {
   auto impl = std::make_shared<TensorImpl>();
@@ -19,8 +36,8 @@ Impl MakeNode(const std::vector<int>& shape, std::vector<Impl> parents) {
 }
 
 /// True if `suffix` equals the trailing dims of `shape`.
-[[maybe_unused]] bool IsSuffix(const std::vector<int>& shape,
-                               const std::vector<int>& suffix) {
+bool IsSuffix(const std::vector<int>& shape,
+              const std::vector<int>& suffix) {
   if (suffix.size() > shape.size()) return false;
   const size_t off = shape.size() - suffix.size();
   for (size_t i = 0; i < suffix.size(); ++i) {
@@ -45,7 +62,8 @@ void AccumulateBroadcastGrad(TensorImpl& node, TensorImpl* parent,
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  assert(IsSuffix(a.shape(), b.shape()) && "Add: b must equal or suffix-broadcast a");
+  OpRequire(IsSuffix(a.shape(), b.shape()),
+            "Add: b must equal or suffix-broadcast a");
   auto node = MakeNode(a.shape(), {a.impl(), b.impl()});
   const size_t bn = b.numel();
   for (size_t i = 0; i < node->data.size(); ++i) {
@@ -62,7 +80,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  assert(a.shape() == b.shape());
+  OpRequire(a.shape() == b.shape(), "Sub: shapes must match");
   auto node = MakeNode(a.shape(), {a.impl(), b.impl()});
   for (size_t i = 0; i < node->data.size(); ++i) {
     node->data[i] = a.data()[i] - b.data()[i];
@@ -80,7 +98,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  assert(IsSuffix(a.shape(), b.shape()) && "Mul: b must equal or suffix-broadcast a");
+  OpRequire(IsSuffix(a.shape(), b.shape()),
+            "Mul: b must equal or suffix-broadcast a");
   auto node = MakeNode(a.shape(), {a.impl(), b.impl()});
   const size_t bn = b.numel();
   for (size_t i = 0; i < node->data.size(); ++i) {
@@ -125,21 +144,20 @@ Tensor AddScalar(const Tensor& a, double scalar) {
 Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_b) {
   const auto& as = a.shape();
   const auto& bs = b.shape();
-  assert((a.rank() == 2 || a.rank() == 3) && "MatMul: a must be rank 2 or 3");
-  assert((b.rank() == 2 || b.rank() == 3) && "MatMul: b must be rank 2 or 3");
-  assert(!(a.rank() == 2 && b.rank() == 3) && "MatMul: 2D x 3D unsupported");
+  OpRequire(a.rank() == 2 || a.rank() == 3, "MatMul: a must be rank 2 or 3");
+  OpRequire(b.rank() == 2 || b.rank() == 3, "MatMul: b must be rank 2 or 3");
+  OpRequire(!(a.rank() == 2 && b.rank() == 3), "MatMul: 2D x 3D unsupported");
 
   const int batch = a.rank() == 3 ? as[0] : 1;
   const int m = a.rank() == 3 ? as[1] : as[0];
   const int k = a.rank() == 3 ? as[2] : as[1];
   const bool b_batched = (b.rank() == 3);
-  if (b_batched) assert(bs[0] == batch && "MatMul: batch mismatch");
+  if (b_batched) OpRequire(bs[0] == batch, "MatMul: batch mismatch");
   const int bk = b_batched ? (transpose_b ? bs[2] : bs[1])
                            : (transpose_b ? bs[1] : bs[0]);
   const int n = b_batched ? (transpose_b ? bs[1] : bs[2])
                           : (transpose_b ? bs[0] : bs[1]);
-  assert(bk == k && "MatMul: inner dimension mismatch");
-  (void)bk;
+  OpRequire(bk == k, "MatMul: inner dimension mismatch");
 
   std::vector<int> out_shape =
       a.rank() == 3 ? std::vector<int>{batch, m, n} : std::vector<int>{m, n};
@@ -152,67 +170,130 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_b) {
   const size_t b_stride = b_batched ? static_cast<size_t>(k) * n : 0;
   const size_t c_stride = static_cast<size_t>(m) * n;
 
-  for (int bt = 0; bt < batch; ++bt) {
-    const double* A = ad.data() + bt * a_stride;
-    const double* B = bd.data() + bt * b_stride;
-    double* C = cd.data() + bt * c_stride;
-    for (int i = 0; i < m; ++i) {
+  // Row-blocked parallel forward: output row (bt, i) is a pure function of
+  // A's row and B, so any thread count produces bit-identical results. Tiny
+  // products run inline to avoid dispatch overhead.
+  const int64_t rows = static_cast<int64_t>(batch) * m;
+  const int64_t flops = rows * n * k;
+  const auto forward_rows = [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      const int bt = static_cast<int>(r / m);
+      const int i = static_cast<int>(r % m);
+      const double* A = ad.data() + bt * a_stride + static_cast<size_t>(i) * k;
+      const double* B = bd.data() + bt * b_stride;
+      double* C = cd.data() + bt * c_stride + static_cast<size_t>(i) * n;
       for (int j = 0; j < n; ++j) {
         double s = 0.0;
         if (!transpose_b) {
-          for (int kk = 0; kk < k; ++kk) s += A[i * k + kk] * B[kk * n + j];
+          for (int kk = 0; kk < k; ++kk) s += A[kk] * B[kk * n + j];
         } else {
-          for (int kk = 0; kk < k; ++kk) s += A[i * k + kk] * B[j * k + kk];
+          for (int kk = 0; kk < k; ++kk) s += A[kk] * B[j * k + kk];
         }
-        C[i * n + j] = s;
+        C[j] = s;
       }
     }
+  };
+  if (flops >= kMatMulParallelFlops) {
+    exec::ParallelForRange(rows, forward_rows);
+  } else {
+    forward_rows(0, rows);
   }
 
   if (node->requires_grad) {
     Impl ai = a.impl(), bi = b.impl();
     node->backward_fn = [ai, bi, batch, m, n, k, b_batched, transpose_b, a_stride,
-                         b_stride, c_stride](TensorImpl& node_ref) {
+                         b_stride, c_stride, rows, flops](TensorImpl& node_ref) {
       const auto& gd = node_ref.grad;
-      for (int bt = 0; bt < batch; ++bt) {
-        const double* G = gd.data() + bt * c_stride;
-        const double* A = ai->data.data() + bt * a_stride;
-        const double* B = bi->data.data() + bt * b_stride;
-        double* GA = ai->grad.data() + bt * a_stride;
-        double* GB = bi->grad.data() + bt * b_stride;
-        // dA[i,kk] += sum_j G[i,j] * B(kk,j)
-        for (int i = 0; i < m; ++i) {
+      const bool parallel = flops >= kMatMulParallelFlops;
+
+      // dA[i,kk] += sum_j G[i,j] * B(kk,j). Each task owns whole rows of
+      // GA, and every GA element receives exactly one add, so the result
+      // is bit-identical at any thread count.
+      const auto backward_a = [&](int64_t begin, int64_t end) {
+        for (int64_t r = begin; r < end; ++r) {
+          const int bt = static_cast<int>(r / m);
+          const int i = static_cast<int>(r % m);
+          const double* G = gd.data() + bt * c_stride + static_cast<size_t>(i) * n;
+          const double* B = bi->data.data() + bt * b_stride;
+          double* GA = ai->grad.data() + bt * a_stride + static_cast<size_t>(i) * k;
           for (int kk = 0; kk < k; ++kk) {
             double s = 0.0;
             if (!transpose_b) {
-              for (int j = 0; j < n; ++j) s += G[i * n + j] * B[kk * n + j];
+              for (int j = 0; j < n; ++j) s += G[j] * B[kk * n + j];
             } else {
-              for (int j = 0; j < n; ++j) s += G[i * n + j] * B[j * k + kk];
+              for (int j = 0; j < n; ++j) s += G[j] * B[j * k + kk];
             }
-            GA[i * k + kk] += s;
+            GA[kk] += s;
           }
         }
-        // dB: shared (non-batched) B accumulates across the batch because
-        // GB points at the same buffer for every bt (b_stride == 0).
-        if (!transpose_b) {
-          for (int kk = 0; kk < k; ++kk) {
-            for (int j = 0; j < n; ++j) {
-              double s = 0.0;
-              for (int i = 0; i < m; ++i) s += A[i * k + kk] * G[i * n + j];
-              GB[kk * n + j] += s;
-            }
-          }
-        } else {
-          for (int j = 0; j < n; ++j) {
+      };
+      if (parallel) {
+        exec::ParallelForRange(rows, backward_a);
+      } else {
+        backward_a(0, rows);
+      }
+
+      // dB. Batched: each bt owns a disjoint GB block. Shared: GB
+      // accumulates across the batch, so parallelise over GB *rows* (kk,
+      // or j when transposed) and keep the bt accumulation loop inside —
+      // per-element add order stays (bt ascending), bit-identical to the
+      // serial schedule.
+      if (b_batched) {
+        const auto backward_b_batched = [&](int64_t begin, int64_t end) {
+          for (int64_t bt = begin; bt < end; ++bt) {
+            const double* G = gd.data() + bt * c_stride;
+            const double* A = ai->data.data() + bt * a_stride;
+            double* GB = bi->grad.data() + bt * b_stride;
             for (int kk = 0; kk < k; ++kk) {
-              double s = 0.0;
-              for (int i = 0; i < m; ++i) s += A[i * k + kk] * G[i * n + j];
-              GB[j * k + kk] += s;
+              for (int j = 0; j < n; ++j) {
+                double s = 0.0;
+                for (int i = 0; i < m; ++i) s += A[i * k + kk] * G[i * n + j];
+                if (!transpose_b) {
+                  GB[kk * n + j] += s;
+                } else {
+                  GB[j * k + kk] += s;
+                }
+              }
             }
           }
+        };
+        if (parallel) {
+          exec::ParallelForRange(batch, backward_b_batched);
+        } else {
+          backward_b_batched(0, batch);
+        }
+      } else {
+        const int gb_rows = transpose_b ? n : k;
+        const auto backward_b_shared = [&](int64_t begin, int64_t end) {
+          for (int64_t row = begin; row < end; ++row) {
+            for (int bt = 0; bt < batch; ++bt) {
+              const double* G = gd.data() + bt * c_stride;
+              const double* A = ai->data.data() + bt * a_stride;
+              double* GB = bi->grad.data();
+              if (!transpose_b) {
+                const int kk = static_cast<int>(row);
+                for (int j = 0; j < n; ++j) {
+                  double s = 0.0;
+                  for (int i = 0; i < m; ++i) s += A[i * k + kk] * G[i * n + j];
+                  GB[kk * n + j] += s;
+                }
+              } else {
+                const int j = static_cast<int>(row);
+                for (int kk = 0; kk < k; ++kk) {
+                  double s = 0.0;
+                  for (int i = 0; i < m; ++i) s += A[i * k + kk] * G[i * n + j];
+                  GB[j * k + kk] += s;
+                }
+              }
+            }
+          }
+        };
+        if (parallel) {
+          exec::ParallelForRange(gb_rows, backward_b_shared);
+        } else {
+          backward_b_shared(0, gb_rows);
         }
       }
-      (void)b_batched;
     };
   }
   return Tensor(std::move(node));
@@ -299,8 +380,10 @@ Tensor Softmax(const Tensor& a) {
 Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
                  double eps) {
   const int d = a.shape().back();
-  assert(gamma.rank() == 1 && gamma.shape()[0] == d);
-  assert(beta.rank() == 1 && beta.shape()[0] == d);
+  OpRequire(gamma.rank() == 1 && gamma.shape()[0] == d,
+            "LayerNorm: gamma must be rank-1 of size last-dim(a)");
+  OpRequire(beta.rank() == 1 && beta.shape()[0] == d,
+            "LayerNorm: beta must be rank-1 of size last-dim(a)");
   auto node = MakeNode(a.shape(), {a.impl(), gamma.impl(), beta.impl()});
   const size_t rows = a.numel() / d;
   // Cache per-row statistics for the backward pass.
@@ -353,15 +436,15 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
 }
 
 Tensor StackSeq(const std::vector<Tensor>& steps) {
-  assert(!steps.empty());
+  OpRequire(!steps.empty(), "StackSeq: steps must be non-empty");
   const auto& s0 = steps[0].shape();
-  assert(s0.size() == 2);
+  OpRequire(s0.size() == 2, "StackSeq: steps must be rank-2");
   const int b = s0[0];
   const int d = s0[1];
   const int s = static_cast<int>(steps.size());
   std::vector<Impl> parents;
   for (const auto& t : steps) {
-    assert(t.shape() == s0);
+    OpRequire(t.shape() == s0, "StackSeq: all steps must share one shape");
     parents.push_back(t.impl());
   }
   auto node = MakeNode({b, s, d}, std::move(parents));
@@ -391,15 +474,15 @@ Tensor StackSeq(const std::vector<Tensor>& steps) {
 }
 
 Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
-  assert(!parts.empty());
+  OpRequire(!parts.empty(), "ConcatLastDim: parts must be non-empty");
   const auto& s0 = parts[0].shape();
   std::vector<int> lead(s0.begin(), s0.end() - 1);
   int total_last = 0;
   std::vector<Impl> parents;
   std::vector<int> lasts;
   for (const auto& p : parts) {
-    assert(std::vector<int>(p.shape().begin(), p.shape().end() - 1) == lead &&
-           "ConcatLastDim: leading dims must match");
+    OpRequire(std::vector<int>(p.shape().begin(), p.shape().end() - 1) == lead,
+              "ConcatLastDim: leading dims must match");
     lasts.push_back(p.shape().back());
     total_last += p.shape().back();
     parents.push_back(p.impl());
@@ -440,11 +523,11 @@ Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
 }
 
 Tensor SliceSeq(const Tensor& a, int t) {
-  assert(a.rank() == 3);
+  OpRequire(a.rank() == 3, "SliceSeq: a must be rank-3");
   const int b = a.shape()[0];
   const int s = a.shape()[1];
   const int d = a.shape()[2];
-  assert(t >= 0 && t < s);
+  OpRequire(t >= 0 && t < s, "SliceSeq: t out of range");
   auto node = MakeNode({b, d}, {a.impl()});
   for (int bt = 0; bt < b; ++bt) {
     for (int i = 0; i < d; ++i) {
@@ -486,7 +569,7 @@ Tensor MeanAll(const Tensor& a) {
 }
 
 Tensor MeanSeq(const Tensor& a) {
-  assert(a.rank() == 3);
+  OpRequire(a.rank() == 3, "MeanSeq: a must be rank-3");
   const int b = a.shape()[0];
   const int s = a.shape()[1];
   const int d = a.shape()[2];
@@ -518,7 +601,7 @@ Tensor MeanSeq(const Tensor& a) {
 }
 
 Tensor Reshape(const Tensor& a, const std::vector<int>& shape) {
-  assert(ShapeNumel(shape) == a.numel());
+  OpRequire(ShapeNumel(shape) == a.numel(), "Reshape: volume must match");
   auto node = MakeNode(shape, {a.impl()});
   node->data = a.data();
   if (node->requires_grad) {
@@ -531,13 +614,13 @@ Tensor Reshape(const Tensor& a, const std::vector<int>& shape) {
 }
 
 Tensor MseLoss(const Tensor& pred, const Tensor& target) {
-  assert(pred.shape() == target.shape());
+  OpRequire(pred.shape() == target.shape(), "MseLoss: shapes must match");
   const Tensor diff = Sub(pred, target);
   return MeanAll(Mul(diff, diff));
 }
 
 Tensor MaeLoss(const Tensor& pred, const Tensor& target) {
-  assert(pred.shape() == target.shape());
+  OpRequire(pred.shape() == target.shape(), "MaeLoss: shapes must match");
   auto node = MakeNode({1}, {pred.impl(), target.impl()});
   double s = 0.0;
   for (size_t i = 0; i < pred.numel(); ++i) {

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "exec/parallel.h"
+
 namespace stpt::query {
 
 double RelativeErrorPercent(double truth, double noisy, const MreOptions& options) {
@@ -23,12 +25,21 @@ double MeanRelativeError(const grid::PrefixSum3D& truth,
                          const Workload& workload, const MreOptions& options) {
   assert(truth.dims() == sanitized.dims());
   if (workload.empty()) return 0.0;
+  // Per-query errors are computed in parallel into a slot per query, then
+  // reduced serially in index order so the floating-point sum is identical
+  // at any thread count.
+  std::vector<double> errors(workload.size());
+  exec::ParallelForRange(
+      static_cast<int64_t>(workload.size()), [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const RangeQuery& q = workload[i];
+          const double p = truth.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
+          const double pn = sanitized.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
+          errors[i] = RelativeErrorPercent(p, pn, options);
+        }
+      });
   double total = 0.0;
-  for (const RangeQuery& q : workload) {
-    const double p = truth.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
-    const double pn = sanitized.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
-    total += RelativeErrorPercent(p, pn, options);
-  }
+  for (double e : errors) total += e;
   return total / static_cast<double>(workload.size());
 }
 

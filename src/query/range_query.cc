@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/parallel.h"
+
 namespace stpt::query {
 namespace {
 
@@ -45,9 +47,16 @@ StatusOr<Workload> MakeWorkload(WorkloadKind kind, const grid::Dims& dims, int c
     return Status::InvalidArgument("MakeWorkload: invalid dims");
   }
   Workload wl;
-  wl.reserve(count);
-  for (int i = 0; i < count; ++i) {
-    RangeQuery q;
+  wl.resize(count);
+  // Query i is drawn from the substream Fork(i) of a single base fork, so
+  // query generation is order-independent: the workload is identical at any
+  // thread count, and rejecting/keeping one query cannot shift the stream
+  // of the next. The parent rng advances once per call, so successive
+  // workloads from one rng still differ.
+  const Rng base = rng.Fork();
+  exec::ParallelFor(count, [&](int64_t i) {
+    Rng qrng = base.Fork(static_cast<uint64_t>(i));
+    RangeQuery& q = wl[i];
     int lx = 1, ly = 1, lt = 1;
     switch (kind) {
       case WorkloadKind::kSmall:
@@ -58,16 +67,15 @@ StatusOr<Workload> MakeWorkload(WorkloadKind kind, const grid::Dims& dims, int c
         lt = 10;
         break;
       case WorkloadKind::kRandom:
-        lx = static_cast<int>(rng.UniformInt(1, dims.cx));
-        ly = static_cast<int>(rng.UniformInt(1, dims.cy));
-        lt = static_cast<int>(rng.UniformInt(1, dims.ct));
+        lx = static_cast<int>(qrng.UniformInt(1, dims.cx));
+        ly = static_cast<int>(qrng.UniformInt(1, dims.cy));
+        lt = static_cast<int>(qrng.UniformInt(1, dims.ct));
         break;
     }
-    PlaceInterval(dims.cx, lx, rng, &q.x0, &q.x1);
-    PlaceInterval(dims.cy, ly, rng, &q.y0, &q.y1);
-    PlaceInterval(dims.ct, lt, rng, &q.t0, &q.t1);
-    wl.push_back(q);
-  }
+    PlaceInterval(dims.cx, lx, qrng, &q.x0, &q.x1);
+    PlaceInterval(dims.cy, ly, qrng, &q.y0, &q.y1);
+    PlaceInterval(dims.ct, lt, qrng, &q.t0, &q.t1);
+  });
   return wl;
 }
 

@@ -12,6 +12,7 @@
 // lgan, wpo), and writes the sanitized test region.
 
 #include <cstdio>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -25,6 +26,8 @@
 #include "common/rng.h"
 #include "core/stpt.h"
 #include "datagen/dataset.h"
+#include "exec/thread_pool.h"
+#include "exec/timing.h"
 #include "io/csv.h"
 #include "query/metrics.h"
 
@@ -166,9 +169,22 @@ int main(int argc, char** argv) {
   auto flags = stpt::Flags::Parse(argc, argv);
   if (!flags.ok()) return Fail(flags.status());
   if (flags->positional().empty()) return Usage();
+  // --threads=N overrides the STPT_THREADS env default (1 = serial). The
+  // fork-by-index determinism contract makes outputs identical either way.
+  if (flags->Has("threads")) {
+    exec::SetThreads(static_cast<int>(flags->GetInt("threads", 0)));
+  }
   const std::string command = flags->positional()[0];
-  if (command == "generate") return RunGenerate(*flags);
-  if (command == "publish") return RunPublish(*flags);
-  if (command == "evaluate") return RunEvaluate(*flags);
-  return Usage();
+  int rc;
+  if (command == "generate") {
+    rc = RunGenerate(*flags);
+  } else if (command == "publish") {
+    rc = RunPublish(*flags);
+  } else if (command == "evaluate") {
+    rc = RunEvaluate(*flags);
+  } else {
+    return Usage();
+  }
+  if (flags->GetBool("profile", false)) exec::PrintTimings(std::cerr);
+  return rc;
 }
