@@ -1,0 +1,181 @@
+// bench_serve — multi-threaded loopback load generator for the stpt::serve
+// stack: snapshot -> QueryServer -> TcpServer <- N concurrent clients.
+//
+//   bench_serve [--grid=32] [--slices=120] [--clients=4] [--unique=4096]
+//               [--rounds=4] [--batch=256] [--seed=1] [--threads=N]
+//               [--out=BENCH_serve.json]
+//
+// Each client connects over 127.0.0.1, cycles a shared pool of `unique`
+// random range queries `rounds` times in batches of `batch` (so every pass
+// after the first is cache-hot), and records per-batch round-trip times.
+// Results (QPS, client RTT percentiles, server-side stats including cache
+// hit rate and latency percentiles) are written as JSON to --out.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "exec/timing.h"
+#include "query/range_query.h"
+#include "serve/client.h"
+#include "serve/query_server.h"
+#include "serve/snapshot.h"
+#include "serve/tcp_server.h"
+
+namespace {
+
+using namespace stpt;
+
+uint64_t Percentile(std::vector<uint64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0;
+  const size_t idx = static_cast<size_t>(q * static_cast<double>(sorted_ns.size() - 1));
+  return sorted_ns[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitBenchRuntime(argc, argv);
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  const int grid = static_cast<int>(flags->GetInt("grid", 32));
+  const int slices = static_cast<int>(flags->GetInt("slices", 120));
+  const int num_clients = static_cast<int>(flags->GetInt("clients", 4));
+  const int unique = static_cast<int>(flags->GetInt("unique", 4096));
+  const int rounds = static_cast<int>(flags->GetInt("rounds", 4));
+  const int batch_size = static_cast<int>(flags->GetInt("batch", 256));
+  const uint64_t seed = static_cast<uint64_t>(flags->GetInt("seed", 1));
+  const std::string out_path = flags->GetString("out", "BENCH_serve.json");
+
+  // A synthetic release: the serving path only sees the snapshot, so the
+  // cell values just need realistic structure, not a full pipeline run.
+  const grid::Dims dims{grid, grid, slices};
+  auto matrix = grid::ConsumptionMatrix::Create(dims);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "error: %s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+  Rng data_rng(seed);
+  for (double& v : matrix->mutable_data()) v = data_rng.LogNormal(3.0, 1.0);
+
+  serve::SnapshotMeta meta;
+  meta.algorithm = "bench";
+  meta.eps_total = 30.0;
+  auto engine =
+      serve::QueryServer::Make(serve::Snapshot::FromMatrix(*matrix, meta));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  serve::TcpServer server(&*engine, serve::TcpServerOptions{});
+  if (const Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  Rng wl_rng(seed + 1);
+  auto pool = query::MakeWorkload(query::WorkloadKind::kRandom, dims, unique, wl_rng);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "error: %s\n", pool.status().ToString().c_str());
+    return 1;
+  }
+
+  const int64_t queries_per_client = static_cast<int64_t>(unique) * rounds;
+  std::vector<std::vector<uint64_t>> rtts(num_clients);
+  std::vector<int> failures(num_clients, 0);
+  const uint64_t start_ns = exec::NowNanos();
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(num_clients);
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        auto client = serve::Client::Connect("127.0.0.1", server.port());
+        if (!client.ok()) {
+          ++failures[c];
+          return;
+        }
+        // Stagger start offsets so clients do not move in lockstep.
+        int64_t cursor = (static_cast<int64_t>(c) * unique) / num_clients;
+        for (int64_t done = 0; done < queries_per_client;) {
+          const int n = static_cast<int>(
+              std::min<int64_t>(batch_size, queries_per_client - done));
+          query::Workload batch(static_cast<size_t>(n));
+          for (int i = 0; i < n; ++i) {
+            batch[i] = (*pool)[(cursor + i) % unique];
+          }
+          const uint64_t t0 = exec::NowNanos();
+          auto answers = client->Query(batch);
+          const uint64_t t1 = exec::NowNanos();
+          if (!answers.ok() || answers->size() != batch.size()) {
+            ++failures[c];
+            return;
+          }
+          rtts[c].push_back(t1 - t0);
+          cursor = (cursor + n) % unique;
+          done += n;
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const double wall_s = static_cast<double>(exec::NowNanos() - start_ns) * 1e-9;
+  server.Stop();
+
+  int failed = 0;
+  for (int f : failures) failed += f;
+  if (failed > 0) {
+    std::fprintf(stderr, "error: %d client(s) failed\n", failed);
+    return 1;
+  }
+
+  std::vector<uint64_t> all_rtts;
+  for (const auto& r : rtts) all_rtts.insert(all_rtts.end(), r.begin(), r.end());
+  std::sort(all_rtts.begin(), all_rtts.end());
+  const int64_t total_queries = queries_per_client * num_clients;
+  const double qps = wall_s > 0 ? static_cast<double>(total_queries) / wall_s : 0.0;
+  const serve::ServerStats stats = engine->stats();
+
+  const double batch_p50_us = static_cast<double>(Percentile(all_rtts, 0.50)) * 1e-3;
+  const double batch_p99_us = static_cast<double>(Percentile(all_rtts, 0.99)) * 1e-3;
+  std::printf(
+      "%lld queries, %d clients, %.3f s wall: %.0f q/s; batch RTT p50 %.1f us "
+      "p99 %.1f us; server cache hit rate %.1f%%, per-query p99 %.2f us\n",
+      static_cast<long long>(total_queries), num_clients, wall_s, qps, batch_p50_us,
+      batch_p99_us, 100.0 * stats.hit_rate(),
+      static_cast<double>(stats.p99_ns) * 1e-3);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"serve\",\n"
+               "  \"grid\": [%d, %d, %d],\n"
+               "  \"clients\": %d,\n"
+               "  \"unique_queries\": %d,\n"
+               "  \"rounds\": %d,\n"
+               "  \"batch\": %d,\n"
+               "  \"queries_total\": %lld,\n"
+               "  \"wall_seconds\": %.6f,\n"
+               "  \"qps\": %.1f,\n"
+               "  \"batch_rtt_p50_us\": %.2f,\n"
+               "  \"batch_rtt_p99_us\": %.2f,\n"
+               "  \"server\": %s\n"
+               "}\n",
+               grid, grid, slices, num_clients, unique, rounds, batch_size,
+               static_cast<long long>(total_queries), wall_s, qps, batch_p50_us,
+               batch_p99_us, stats.ToJson().c_str());
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "exec/timing.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iomanip>
 #include <map>
 #include <mutex>
@@ -25,13 +26,18 @@ std::map<std::string, Accumulator>& Registry() {
 
 }  // namespace
 
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 ScopedTimer::ScopedTimer(const char* region)
-    : region_(region), start_(std::chrono::steady_clock::now()) {}
+    : region_(region), start_ns_(NowNanos()) {}
 
 ScopedTimer::~ScopedTimer() {
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
-  const uint64_t ns = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  const uint64_t ns = NowNanos() - start_ns_;
   std::lock_guard<std::mutex> lock(g_mu);
   Accumulator& acc = Registry()[region_];
   ++acc.calls;

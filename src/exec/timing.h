@@ -1,7 +1,6 @@
 #ifndef STPT_EXEC_TIMING_H_
 #define STPT_EXEC_TIMING_H_
 
-#include <chrono>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -15,6 +14,12 @@ struct TimingEntry {
   uint64_t calls = 0;
   uint64_t total_ns = 0;
 };
+
+/// Monotonic wall clock in nanoseconds (steady_clock). The single time
+/// source for all latency measurement in the library: ScopedTimer below,
+/// the serve-layer latency histograms, and the bench load generators all
+/// read this clock, so their numbers are directly comparable.
+uint64_t NowNanos();
 
 /// RAII per-region wall-clock timer. On destruction the elapsed time is
 /// added to a process-wide profile keyed by region name. Thread-safe;
@@ -35,7 +40,7 @@ class ScopedTimer {
 
  private:
   const char* region_;
-  std::chrono::steady_clock::time_point start_;
+  uint64_t start_ns_;
 };
 
 /// Snapshot of the aggregated profile, sorted by descending total time.

@@ -118,6 +118,16 @@ PrefixSum3D::PrefixSum3D(const ConsumptionMatrix& m)
                          });
 }
 
+StatusOr<PrefixSum3D> PrefixSum3D::FromRaw(Dims dims, std::vector<double> prefix) {
+  if (dims.cx <= 0 || dims.cy <= 0 || dims.ct <= 0) {
+    return Status::InvalidArgument("PrefixSum3D::FromRaw: dimensions must be positive");
+  }
+  if (prefix.size() != dims.NumCells()) {
+    return Status::InvalidArgument("PrefixSum3D::FromRaw: prefix size does not match dims");
+  }
+  return PrefixSum3D(dims, std::move(prefix));
+}
+
 double PrefixSum3D::BoxSum(int x0, int x1, int y0, int y1, int t0, int t1) const {
   assert(0 <= x0 && x0 <= x1 && x1 < dims_.cx);
   assert(0 <= y0 && y0 <= y1 && y1 < dims_.cy);

@@ -87,13 +87,25 @@ class PrefixSum3D {
   /// Builds prefix sums over the given matrix.
   explicit PrefixSum3D(const ConsumptionMatrix& m);
 
+  /// Adopts precomputed inclusive prefix sums in the canonical (x, y, t)
+  /// row-major layout — the exact vector a prior build's raw() returned.
+  /// Used by stpt::serve to load a published snapshot without an O(N)
+  /// rebuild. Returns InvalidArgument when the size does not match dims.
+  static StatusOr<PrefixSum3D> FromRaw(Dims dims, std::vector<double> prefix);
+
   /// Sum over the inclusive box [x0,x1] × [y0,y1] × [t0,t1].
   /// Bounds must lie inside the matrix and be ordered.
   double BoxSum(int x0, int x1, int y0, int y1, int t0, int t1) const;
 
   const Dims& dims() const { return dims_; }
 
+  /// The raw inclusive prefix table, (x, y, t) row-major (for persistence).
+  const std::vector<double>& raw() const { return pre_; }
+
  private:
+  PrefixSum3D(Dims dims, std::vector<double> pre)
+      : dims_(dims), pre_(std::move(pre)) {}
+
   double P(int x, int y, int t) const {  // prefix value with -1 guards
     if (x < 0 || y < 0 || t < 0) return 0.0;
     return pre_[(static_cast<size_t>(x) * dims_.cy + y) * dims_.ct + t];

@@ -1,6 +1,7 @@
 #ifndef STPT_QUERY_RANGE_QUERY_H_
 #define STPT_QUERY_RANGE_QUERY_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -16,9 +17,14 @@ struct RangeQuery {
   int y0 = 0, y1 = 0;
   int t0 = 0, t1 = 0;
 
-  int VolumeCells() const {
-    return (x1 - x0 + 1) * (y1 - y0 + 1) * (t1 - t0 + 1);
+  /// Number of cells covered by the box. 64-bit: an `int` product overflows
+  /// already at 2048^3 cells, well inside the dims this library supports.
+  int64_t VolumeCells() const {
+    return static_cast<int64_t>(x1 - x0 + 1) * static_cast<int64_t>(y1 - y0 + 1) *
+           static_cast<int64_t>(t1 - t0 + 1);
   }
+
+  bool operator==(const RangeQuery&) const = default;
 };
 
 /// Validates that a query lies inside the given dims with ordered bounds.

@@ -1,0 +1,100 @@
+#include "serve/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace stpt::serve {
+
+StatusOr<Client> Client::Connect(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &result) != 0) {
+    return Status::NotFound("client: cannot resolve '" + host + "'");
+  }
+  int fd = -1;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    return Status::Internal("client: cannot connect to " + host + ":" + service);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<Frame> Client::Call(MsgType request, const std::vector<uint8_t>& payload,
+                             MsgType expected_response) {
+  if (fd_ < 0) return Status::FailedPrecondition("client: not connected");
+  STPT_RETURN_IF_ERROR(WriteFrame(fd_, request, payload));
+  auto frame = ReadFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MsgType::kError) {
+    auto message = DecodeString(frame->payload);
+    return Status::Internal("server error: " +
+                            (message.ok() ? *message : std::string("<unreadable>")));
+  }
+  if (frame->type != expected_response) {
+    return Status::Internal("client: unexpected response type");
+  }
+  return frame;
+}
+
+StatusOr<std::vector<double>> Client::Query(const query::Workload& batch) {
+  auto frame = Call(MsgType::kQueryRequest, EncodeQueryRequest(batch),
+                    MsgType::kQueryResponse);
+  if (!frame.ok()) return frame.status();
+  auto answers = DecodeQueryResponse(frame->payload);
+  if (!answers.ok()) return answers.status();
+  if (answers->size() != batch.size()) {
+    return Status::Internal("client: answer count does not match batch");
+  }
+  return answers;
+}
+
+StatusOr<WireMeta> Client::Meta() {
+  auto frame = Call(MsgType::kMetaRequest, {}, MsgType::kMetaResponse);
+  if (!frame.ok()) return frame.status();
+  return DecodeMetaResponse(frame->payload);
+}
+
+StatusOr<std::string> Client::Stats() {
+  auto frame = Call(MsgType::kStatsRequest, {}, MsgType::kStatsResponse);
+  if (!frame.ok()) return frame.status();
+  return DecodeString(frame->payload);
+}
+
+Status Client::Shutdown() {
+  auto frame = Call(MsgType::kShutdown, {}, MsgType::kShutdown);
+  return frame.ok() ? Status::OK() : frame.status();
+}
+
+}  // namespace stpt::serve

@@ -1,0 +1,54 @@
+#ifndef STPT_SERVE_CLIENT_H_
+#define STPT_SERVE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/range_query.h"
+#include "serve/wire.h"
+
+namespace stpt::serve {
+
+/// Blocking client for the framed TCP protocol. One connection, one
+/// outstanding request at a time; open several clients for concurrency
+/// (each is cheap: a socket and nothing else). Not thread-safe — confine
+/// each instance to one thread.
+class Client {
+ public:
+  /// Connects to host:port (host is resolved via getaddrinfo, so both
+  /// "127.0.0.1" and "localhost" work).
+  static StatusOr<Client> Connect(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Answers for each query, index-aligned with the batch. A server-side
+  /// validation failure surfaces as the server's error Status.
+  StatusOr<std::vector<double>> Query(const query::Workload& batch);
+
+  /// Server dims + snapshot metadata.
+  StatusOr<WireMeta> Meta();
+
+  /// Serving-counter JSON (ServerStats::ToJson).
+  StatusOr<std::string> Stats();
+
+  /// Asks the server to stop; returns OK once the ack arrives.
+  Status Shutdown();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// One request/response round trip; maps kError frames to Status.
+  StatusOr<Frame> Call(MsgType request, const std::vector<uint8_t>& payload,
+                       MsgType expected_response);
+
+  int fd_ = -1;
+};
+
+}  // namespace stpt::serve
+
+#endif  // STPT_SERVE_CLIENT_H_

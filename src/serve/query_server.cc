@@ -1,0 +1,264 @@
+#include "serve/query_server.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "exec/parallel.h"
+#include "exec/timing.h"
+
+namespace stpt::serve {
+namespace {
+
+/// Log2-bucketed latency histogram: bucket i counts samples with
+/// 2^(i-1) <= ns < 2^i (bucket 0 counts 0 ns). Lock-free recording; the
+/// percentile read is a linear scan over 64 counters.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t ns) {
+    buckets_[std::bit_width(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  /// Upper bound (2^bucket ns) of the bucket containing quantile `q`.
+  uint64_t Quantile(double q) const {
+    std::array<uint64_t, 65> counts;
+    uint64_t total = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    if (total == 0) return 0;
+    const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      seen += counts[i];
+      if (seen > rank) return i == 0 ? 0 : uint64_t{1} << i;
+    }
+    return uint64_t{1} << 63;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, 65> buckets_{};
+};
+
+struct CacheKey {
+  std::array<int32_t, 6> bounds;
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    // splitmix64-style mix over the packed coordinate pairs.
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (int i = 0; i < 3; ++i) {
+      uint64_t w = static_cast<uint64_t>(static_cast<uint32_t>(k.bounds[2 * i])) |
+                   static_cast<uint64_t>(static_cast<uint32_t>(k.bounds[2 * i + 1]))
+                       << 32;
+      h ^= w;
+      h *= 0xBF58476D1CE4E5B9ULL;
+      h ^= h >> 27;
+    }
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+};
+
+CacheKey KeyOf(const query::RangeQuery& q) {
+  return CacheKey{{q.x0, q.x1, q.y0, q.y1, q.t0, q.t1}};
+}
+
+/// One LRU shard: a doubly-linked recency list plus an index into it, both
+/// guarded by the shard mutex. Capacity is enforced per shard.
+class LruShard {
+ public:
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+  bool Lookup(const CacheKey& key, double* value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    recency_.splice(recency_.begin(), recency_, it->second);
+    *value = it->second->second;
+    return true;
+  }
+
+  void Insert(const CacheKey& key, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {  // raced with another miss on the same query
+      recency_.splice(recency_.begin(), recency_, it->second);
+      return;
+    }
+    recency_.emplace_front(key, value);
+    index_[key] = recency_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(recency_.back().first);
+      recency_.pop_back();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  size_t capacity_ = 0;
+  std::list<std::pair<CacheKey, double>> recency_;
+  std::unordered_map<CacheKey, std::list<std::pair<CacheKey, double>>::iterator,
+                     CacheKeyHash>
+      index_;
+};
+
+}  // namespace
+
+std::string ServerStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"queries\": " << queries << ", \"invalid\": " << invalid
+     << ", \"cache_hits\": " << cache_hits << ", \"cache_misses\": " << cache_misses
+     << ", \"cache_hit_rate\": " << hit_rate() << ", \"p50_ns\": " << p50_ns
+     << ", \"p99_ns\": " << p99_ns << "}";
+  return os.str();
+}
+
+class QueryServer::Impl {
+ public:
+  Impl(Snapshot snapshot, grid::PrefixSum3D prefix, const QueryServerOptions& options)
+      : meta_(std::move(snapshot.meta)), prefix_(std::move(prefix)) {
+    if (options.cache_capacity > 0) {
+      const int shards = std::max(1, options.cache_shards);
+      shards_.resize(static_cast<size_t>(std::bit_ceil(static_cast<unsigned>(shards))));
+      const size_t per_shard =
+          std::max<size_t>(1, options.cache_capacity / shards_.size());
+      for (auto& shard : shards_) {
+        shard = std::make_unique<LruShard>();
+        shard->set_capacity(per_shard);
+      }
+    }
+  }
+
+  const grid::Dims& dims() const { return prefix_.dims(); }
+  const SnapshotMeta& meta() const { return meta_; }
+
+  StatusOr<double> Answer(const query::RangeQuery& q) {
+    const uint64_t start_ns = exec::NowNanos();
+    const Status valid = query::ValidateQuery(q, prefix_.dims());
+    if (!valid.ok()) {
+      invalid_.fetch_add(1, std::memory_order_relaxed);
+      return valid;
+    }
+    double value = 0.0;
+    if (shards_.empty()) {
+      value = prefix_.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
+    } else {
+      const CacheKey key = KeyOf(q);
+      LruShard& shard =
+          *shards_[CacheKeyHash{}(key) & (shards_.size() - 1)];
+      if (shard.Lookup(key, &value)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        value = prefix_.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
+        shard.Insert(key, value);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    histogram_.Record(exec::NowNanos() - start_ns);
+    return value;
+  }
+
+  Status AnswerBatch(const query::Workload& batch, std::vector<double>* out) {
+    out->clear();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Status valid = query::ValidateQuery(batch[i], prefix_.dims());
+      if (!valid.ok()) {
+        invalid_.fetch_add(1, std::memory_order_relaxed);
+        return Status::InvalidArgument("AnswerBatch: query " + std::to_string(i) +
+                                       " invalid: " + valid.message());
+      }
+    }
+    out->resize(batch.size());
+    std::vector<double>& answers = *out;
+    exec::ParallelFor(static_cast<int64_t>(batch.size()), [&](int64_t i) {
+      // Already validated, so Answer cannot fail; each slot is written by
+      // exactly one index (the ParallelFor purity contract).
+      answers[i] = *Answer(batch[i]);
+    });
+    return Status::OK();
+  }
+
+  ServerStats stats() const {
+    ServerStats s;
+    s.queries = queries_.load(std::memory_order_relaxed);
+    s.invalid = invalid_.load(std::memory_order_relaxed);
+    s.cache_hits = hits_.load(std::memory_order_relaxed);
+    s.cache_misses = misses_.load(std::memory_order_relaxed);
+    s.p50_ns = histogram_.Quantile(0.50);
+    s.p99_ns = histogram_.Quantile(0.99);
+    return s;
+  }
+
+  void ResetStats() {
+    queries_.store(0, std::memory_order_relaxed);
+    invalid_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    histogram_.Reset();
+  }
+
+ private:
+  SnapshotMeta meta_;
+  grid::PrefixSum3D prefix_;
+  // Shards are heap-allocated because a mutex is neither movable nor
+  // copyable; the vector is empty when the cache is disabled.
+  std::vector<std::unique_ptr<LruShard>> shards_;
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> invalid_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  LatencyHistogram histogram_;
+};
+
+QueryServer::QueryServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+QueryServer::QueryServer(QueryServer&&) noexcept = default;
+QueryServer& QueryServer::operator=(QueryServer&&) noexcept = default;
+QueryServer::~QueryServer() = default;
+
+StatusOr<QueryServer> QueryServer::Open(const std::string& snapshot_path,
+                                        const QueryServerOptions& options) {
+  auto snapshot = ReadSnapshot(snapshot_path);
+  if (!snapshot.ok()) return snapshot.status();
+  return Make(std::move(*snapshot), options);
+}
+
+StatusOr<QueryServer> QueryServer::Make(Snapshot snapshot,
+                                        const QueryServerOptions& options) {
+  auto prefix =
+      grid::PrefixSum3D::FromRaw(snapshot.sanitized.dims(), std::move(snapshot.prefix));
+  if (!prefix.ok()) return prefix.status();
+  return QueryServer(
+      std::make_unique<Impl>(std::move(snapshot), std::move(*prefix), options));
+}
+
+const grid::Dims& QueryServer::dims() const { return impl_->dims(); }
+const SnapshotMeta& QueryServer::meta() const { return impl_->meta(); }
+
+StatusOr<double> QueryServer::Answer(const query::RangeQuery& q) {
+  return impl_->Answer(q);
+}
+
+Status QueryServer::AnswerBatch(const query::Workload& batch,
+                                std::vector<double>* out) {
+  return impl_->AnswerBatch(batch, out);
+}
+
+ServerStats QueryServer::stats() const { return impl_->stats(); }
+void QueryServer::ResetStats() { impl_->ResetStats(); }
+
+}  // namespace stpt::serve

@@ -1,0 +1,93 @@
+#ifndef STPT_SERVE_QUERY_SERVER_H_
+#define STPT_SERVE_QUERY_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "grid/consumption_matrix.h"
+#include "query/range_query.h"
+#include "serve/snapshot.h"
+
+namespace stpt::serve {
+
+/// Tuning knobs for the in-process query engine.
+struct QueryServerOptions {
+  /// Number of independent cache shards; rounded up to a power of two.
+  /// Each shard has its own mutex, so concurrent batches contend only when
+  /// they hash to the same shard.
+  int cache_shards = 16;
+  /// Total cached answers across all shards; 0 disables the cache.
+  size_t cache_capacity = 1 << 16;
+};
+
+/// Point-in-time serving counters. Latency percentiles come from a
+/// log-scaled histogram of per-query Answer() wall times (exec::NowNanos),
+/// so they are approximate to one power-of-two bucket.
+struct ServerStats {
+  uint64_t queries = 0;       ///< answered successfully
+  uint64_t invalid = 0;       ///< rejected by validation
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t p50_ns = 0;        ///< median per-query latency (bucket upper bound)
+  uint64_t p99_ns = 0;        ///< 99th percentile per-query latency
+
+  double hit_rate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+
+  /// Renders the stats as a small JSON object (used by the wire protocol).
+  std::string ToJson() const;
+};
+
+/// Read-only range-query engine over one published snapshot.
+///
+/// Answers are O(1) per query via the snapshot's 3-D prefix sums and are
+/// bit-identical to grid::PrefixSum3D::BoxSum over the sanitized matrix —
+/// cached or not, batched or not, at any thread count. Batches fan out on
+/// the stpt::exec pool. All methods are thread-safe; a TcpServer drives one
+/// instance from many connection threads.
+class QueryServer {
+ public:
+  /// Loads a snapshot container from disk and builds the engine.
+  static StatusOr<QueryServer> Open(const std::string& snapshot_path,
+                                    const QueryServerOptions& options = {});
+
+  /// Builds the engine from an in-memory snapshot (no file round-trip).
+  static StatusOr<QueryServer> Make(Snapshot snapshot,
+                                    const QueryServerOptions& options = {});
+
+  QueryServer(QueryServer&&) noexcept;
+  QueryServer& operator=(QueryServer&&) noexcept;
+  ~QueryServer();
+
+  const grid::Dims& dims() const;
+  const SnapshotMeta& meta() const;
+
+  /// Answers one query: validates bounds, consults the cache, computes the
+  /// range sum on miss. Returns InvalidArgument for out-of-range bounds.
+  StatusOr<double> Answer(const query::RangeQuery& q);
+
+  /// Answers a batch in index order, in parallel on the exec pool. The
+  /// whole batch is validated first; an invalid query fails the batch with
+  /// InvalidArgument (naming the offending index) and leaves `out` empty.
+  Status AnswerBatch(const query::Workload& batch, std::vector<double>* out);
+
+  /// Snapshot of the serving counters.
+  ServerStats stats() const;
+
+  /// Zeroes all counters and the latency histogram (not the cache).
+  void ResetStats();
+
+ private:
+  class Impl;
+  explicit QueryServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace stpt::serve
+
+#endif  // STPT_SERVE_QUERY_SERVER_H_

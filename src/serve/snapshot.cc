@@ -1,0 +1,291 @@
+#include "serve/snapshot.h"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "grid/consumption_matrix.h"
+
+namespace stpt::serve {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'S', 'T', 'P', 'T'};
+
+/// Largest per-axis extent the container accepts. Guards the N = cx*cy*ct
+/// allocation against absurd headers in corrupted or hostile files.
+constexpr int64_t kMaxAxis = 1 << 20;
+constexpr uint64_t kMaxCells = uint64_t{1} << 33;  // 64 GiB of doubles
+constexpr uint32_t kMaxAlgorithmLen = 256;
+
+// --- little-endian primitives (byte-by-byte, endian-independent) ----------
+
+// Byte-wise append (not vector::insert over a char* range, which trips
+// GCC 12's stringop-overflow false positives under -Werror).
+void PutBytes(std::vector<uint8_t>& out, const void* src, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(src);
+  for (size_t i = 0; i < n; ++i) out.push_back(p[i]);
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutI32(std::vector<uint8_t>& out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::vector<uint8_t>& out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// Bounds-checked sequential reader over the container bytes. Every getter
+/// returns false on exhaustion, which callers surface as a truncation
+/// Status — out-of-bounds reads are structurally impossible.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t offset() const { return off_; }
+  size_t remaining() const { return size_ - off_; }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = static_cast<uint32_t>(data_[off_]) |
+         static_cast<uint32_t>(data_[off_ + 1]) << 8 |
+         static_cast<uint32_t>(data_[off_ + 2]) << 16 |
+         static_cast<uint32_t>(data_[off_ + 3]) << 24;
+    off_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    uint32_t lo = 0, hi = 0;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = static_cast<uint64_t>(hi) << 32 | lo;
+    return true;
+  }
+
+  bool ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+
+  bool ReadF64(double* v) {
+    uint64_t u = 0;
+    if (!ReadU64(&u)) return false;
+    *v = std::bit_cast<double>(u);
+    return true;
+  }
+
+  bool ReadBytes(void* dst, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(dst, data_ + off_, n);
+    off_ += n;
+    return true;
+  }
+
+  bool ReadF64Array(double* dst, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      if (!ReadF64(&dst[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
+
+Status Truncated() {
+  return Status::InvalidArgument("snapshot: truncated container");
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  // IEEE 802.3 reflected polynomial, table computed once.
+  static const auto* table = [] {
+    auto* t = new std::array<uint32_t, 256>();
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      (*t)[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) crc = (*table)[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Snapshot Snapshot::FromMatrix(const grid::ConsumptionMatrix& sanitized,
+                              SnapshotMeta meta) {
+  Snapshot snap;
+  meta.norm_min = sanitized.MinValue();
+  meta.norm_max = sanitized.MaxValue();
+  snap.meta = std::move(meta);
+  snap.sanitized = sanitized;
+  snap.prefix = grid::PrefixSum3D(sanitized).raw();
+  return snap;
+}
+
+std::vector<uint8_t> EncodeSnapshot(const Snapshot& snapshot) {
+  const grid::Dims& dims = snapshot.sanitized.dims();
+  const std::string& algo = snapshot.meta.algorithm;
+  std::vector<uint8_t> out;
+  out.reserve(64 + algo.size() +
+              16 * snapshot.sanitized.size() + 8 * snapshot.prefix.size());
+  PutBytes(out, kMagic.data(), kMagic.size());
+  PutU32(out, kSnapshotVersion);
+  PutI32(out, dims.cx);
+  PutI32(out, dims.cy);
+  PutI32(out, dims.ct);
+  PutU32(out, static_cast<uint32_t>(algo.size()));
+  PutBytes(out, algo.data(), algo.size());
+  PutF64(out, snapshot.meta.eps_total);
+  PutF64(out, snapshot.meta.eps_pattern);
+  PutF64(out, snapshot.meta.eps_sanitize);
+  PutF64(out, snapshot.meta.norm_min);
+  PutF64(out, snapshot.meta.norm_max);
+  PutI32(out, snapshot.meta.t_train);
+  PutU64(out, snapshot.sanitized.size());
+  for (double v : snapshot.sanitized.data()) PutF64(out, v);
+  PutU64(out, snapshot.prefix.size());
+  for (double v : snapshot.prefix) PutF64(out, v);
+  PutU32(out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+StatusOr<Snapshot> DecodeSnapshot(const uint8_t* data, size_t size) {
+  // The CRC trailer is checked first, over everything that precedes it:
+  // after it passes, any remaining failure is a malformed writer, not bit
+  // rot, so the two classes get distinct codes.
+  if (size < kMagic.size() + 12) return Truncated();
+  uint32_t stored_crc = 0;
+  {
+    Cursor tail(data + size - 4, 4);
+    tail.ReadU32(&stored_crc);
+  }
+  if (Crc32(data, size - 4) != stored_crc) {
+    return Status::FailedPrecondition("snapshot: checksum mismatch (corrupted container)");
+  }
+
+  Cursor cur(data, size - 4);
+  std::array<char, 4> magic;
+  if (!cur.ReadBytes(magic.data(), magic.size())) return Truncated();
+  if (magic != kMagic) {
+    return Status::InvalidArgument("snapshot: bad magic (not an STPT container)");
+  }
+  uint32_t version = 0;
+  if (!cur.ReadU32(&version)) return Truncated();
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("snapshot: unsupported format version " +
+                                   std::to_string(version));
+  }
+
+  grid::Dims dims;
+  if (!cur.ReadI32(&dims.cx) || !cur.ReadI32(&dims.cy) || !cur.ReadI32(&dims.ct)) {
+    return Truncated();
+  }
+  if (dims.cx <= 0 || dims.cy <= 0 || dims.ct <= 0 || dims.cx > kMaxAxis ||
+      dims.cy > kMaxAxis || dims.ct > kMaxAxis || dims.NumCells() > kMaxCells) {
+    return Status::InvalidArgument("snapshot: implausible dimensions");
+  }
+
+  Snapshot snap;
+  uint32_t algo_len = 0;
+  if (!cur.ReadU32(&algo_len)) return Truncated();
+  if (algo_len > kMaxAlgorithmLen) {
+    return Status::InvalidArgument("snapshot: implausible algorithm-name length");
+  }
+  snap.meta.algorithm.resize(algo_len);
+  if (algo_len > 0 && !cur.ReadBytes(snap.meta.algorithm.data(), algo_len)) {
+    return Truncated();
+  }
+  if (!cur.ReadF64(&snap.meta.eps_total) || !cur.ReadF64(&snap.meta.eps_pattern) ||
+      !cur.ReadF64(&snap.meta.eps_sanitize) || !cur.ReadF64(&snap.meta.norm_min) ||
+      !cur.ReadF64(&snap.meta.norm_max) || !cur.ReadI32(&snap.meta.t_train)) {
+    return Truncated();
+  }
+
+  uint64_t cells = 0;
+  if (!cur.ReadU64(&cells)) return Truncated();
+  if (cells != dims.NumCells()) {
+    return Status::InvalidArgument("snapshot: cell count does not match dims");
+  }
+  auto matrix = grid::ConsumptionMatrix::Create(dims);
+  if (!matrix.ok()) return matrix.status();
+  snap.sanitized = std::move(*matrix);
+  if (!cur.ReadF64Array(snap.sanitized.mutable_data().data(), cells)) {
+    return Truncated();
+  }
+
+  uint64_t prefix_count = 0;
+  if (!cur.ReadU64(&prefix_count)) return Truncated();
+  if (prefix_count != cells) {
+    return Status::InvalidArgument("snapshot: prefix count does not match dims");
+  }
+  snap.prefix.resize(prefix_count);
+  if (!cur.ReadF64Array(snap.prefix.data(), prefix_count)) return Truncated();
+
+  if (cur.remaining() != 0) {
+    return Status::InvalidArgument("snapshot: trailing bytes after container");
+  }
+  return snap;
+}
+
+Status WriteSnapshot(const Snapshot& snapshot, const std::string& path) {
+  const std::vector<uint8_t> bytes = EncodeSnapshot(snapshot);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("snapshot: cannot open '" + tmp + "' for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("snapshot: short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("snapshot: cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<Snapshot> ReadSnapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("snapshot: cannot open '" + path + "'");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::Internal("snapshot: cannot stat '" + path + "'");
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(end));
+  const size_t got = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) {
+    return Status::Internal("snapshot: short read from '" + path + "'");
+  }
+  return DecodeSnapshot(bytes.data(), bytes.size());
+}
+
+}  // namespace stpt::serve

@@ -1,0 +1,188 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace stpt::serve {
+namespace {
+
+void CloseQuietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+TcpServer::TcpServer(QueryServer* engine, TcpServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("tcp: cannot create socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    CloseQuietly(fd);
+    return Status::InvalidArgument("tcp: bad bind address '" + options_.bind_address +
+                                   "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    CloseQuietly(fd);
+    return Status::Internal("tcp: cannot bind " + options_.bind_address + ":" +
+                            std::to_string(options_.port) + " (" +
+                            std::strerror(errno) + ")");
+  }
+  if (::listen(fd, options_.listen_backlog) != 0) {
+    CloseQuietly(fd);
+    return Status::Internal("tcp: listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    CloseQuietly(fd);
+    return Status::Internal("tcp: getsockname failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    stop_requested_ = false;
+  }
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (Stop/RequestStop) or fatal error
+    }
+    const int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      CloseQuietly(conn);
+      break;
+    }
+    open_fds_.push_back(conn);
+    handlers_.emplace_back([this, conn] { HandleConnection(conn); });
+  }
+}
+
+void TcpServer::HandleConnection(int fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto frame = ReadFrame(fd);
+    if (!frame.ok()) {
+      // Clean close is the normal end of a session; anything else gets a
+      // best-effort error frame so well-behaved clients can log the cause.
+      if (!IsConnectionClosed(frame.status())) {
+        (void)WriteFrame(fd, MsgType::kError, EncodeString(frame.status().ToString()));
+      }
+      break;
+    }
+    if (!ServeFrame(fd, frame->type, frame->payload)) break;
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(mu_);
+  open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                  open_fds_.end());
+  CloseQuietly(fd);
+}
+
+bool TcpServer::ServeFrame(int fd, MsgType type, const std::vector<uint8_t>& payload) {
+  switch (type) {
+    case MsgType::kQueryRequest: {
+      auto batch = DecodeQueryRequest(payload);
+      if (!batch.ok()) {
+        (void)WriteFrame(fd, MsgType::kError, EncodeString(batch.status().ToString()));
+        return false;
+      }
+      std::vector<double> answers;
+      const Status st = engine_->AnswerBatch(*batch, &answers);
+      if (!st.ok()) {
+        // Per-query validation failure: report it but keep the connection —
+        // the client's next batch may be fine.
+        return WriteFrame(fd, MsgType::kError, EncodeString(st.ToString())).ok();
+      }
+      return WriteFrame(fd, MsgType::kQueryResponse, EncodeQueryResponse(answers)).ok();
+    }
+    case MsgType::kStatsRequest:
+      return WriteFrame(fd, MsgType::kStatsResponse,
+                        EncodeString(engine_->stats().ToJson()))
+          .ok();
+    case MsgType::kMetaRequest:
+      return WriteFrame(fd, MsgType::kMetaResponse,
+                        EncodeMetaResponse({engine_->dims(), engine_->meta()}))
+          .ok();
+    case MsgType::kShutdown:
+      (void)WriteFrame(fd, MsgType::kShutdown, {});
+      RequestStop();
+      return false;
+    default:
+      (void)WriteFrame(fd, MsgType::kError,
+                       EncodeString("wire: unexpected message type"));
+      return false;
+  }
+}
+
+void TcpServer::RequestStop() {
+  // Called from handler threads: flip the flag and wake Wait(); the waiting
+  // thread (or the destructor) runs the joins, so no thread joins itself.
+  stopping_.store(true, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_requested_ = true;
+  stop_cv_.notify_all();
+}
+
+void TcpServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_ || !started_; });
+}
+
+void TcpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Unblock handlers parked in recv().
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    handlers.swap(handlers_);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  CloseQuietly(listen_fd_);
+  listen_fd_ = -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+}  // namespace stpt::serve

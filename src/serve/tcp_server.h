@@ -1,0 +1,91 @@
+#ifndef STPT_SERVE_TCP_SERVER_H_
+#define STPT_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/query_server.h"
+#include "serve/wire.h"
+
+namespace stpt::serve {
+
+/// Listener configuration.
+struct TcpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 picks an ephemeral port; read it back via port()
+  int listen_backlog = 64;
+};
+
+/// Thread-per-connection TCP front end over one QueryServer.
+///
+/// Each accepted connection gets a handler thread that answers framed
+/// requests (wire.h) until the peer closes, a frame is malformed, or the
+/// server stops. Malformed frames are answered with a kError frame (when
+/// the socket still accepts writes) and the connection is dropped; the
+/// listener and all other connections keep running. A kShutdown frame asks
+/// the whole server to stop, which unblocks Wait().
+class TcpServer {
+ public:
+  /// The engine must outlive the server.
+  TcpServer(QueryServer* engine, TcpServerOptions options);
+
+  /// Not copyable or movable: handler threads capture `this`.
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Stops and joins if still running.
+  ~TcpServer();
+
+  /// Binds, listens, and spawns the accept loop. Fails with kInternal if
+  /// the address cannot be bound (e.g. port in use).
+  Status Start();
+
+  /// The actual bound port (useful with options.port == 0).
+  int port() const { return port_; }
+
+  /// Blocks until Stop() is called or a client sends kShutdown.
+  void Wait();
+
+  /// Closes the listener and every open connection, then joins all
+  /// threads. Idempotent; safe to call while Wait() blocks elsewhere.
+  void Stop();
+
+  /// Total connections accepted since Start().
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Serves one decoded frame; returns false when the connection (or the
+  /// whole server, for kShutdown) should wind down.
+  bool ServeFrame(int fd, MsgType type, const std::vector<uint8_t>& payload);
+  void RequestStop();
+
+  QueryServer* engine_;
+  TcpServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::vector<std::thread> handlers_;
+  std::vector<int> open_fds_;
+};
+
+}  // namespace stpt::serve
+
+#endif  // STPT_SERVE_TCP_SERVER_H_

@@ -1,0 +1,274 @@
+#include "serve/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+namespace stpt::serve {
+namespace {
+
+constexpr const char* kClosedMessage = "connection closed";
+
+// Byte-wise append; see the matching note in snapshot.cc on why this is
+// not vector::insert over a char* range.
+void PutBytes(std::vector<uint8_t>& out, const void* src, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(src);
+  for (size_t i = 0; i < n; ++i) out.push_back(p[i]);
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutI32(std::vector<uint8_t>& out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::vector<uint8_t>& out, double v) {
+  const uint64_t u = std::bit_cast<uint64_t>(v);
+  PutU32(out, static_cast<uint32_t>(u));
+  PutU32(out, static_cast<uint32_t>(u >> 32));
+}
+
+/// Bounds-checked reader over a payload (mirrors the snapshot Cursor).
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<uint8_t>& bytes) : data_(bytes.data()), size_(bytes.size()) {}
+
+  size_t remaining() const { return size_ - off_; }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = static_cast<uint32_t>(data_[off_]) |
+         static_cast<uint32_t>(data_[off_ + 1]) << 8 |
+         static_cast<uint32_t>(data_[off_ + 2]) << 16 |
+         static_cast<uint32_t>(data_[off_ + 3]) << 24;
+    off_ += 4;
+    return true;
+  }
+
+  bool ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+
+  bool ReadF64(double* v) {
+    uint32_t lo = 0, hi = 0;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = std::bit_cast<double>(static_cast<uint64_t>(hi) << 32 | lo);
+    return true;
+  }
+
+  bool ReadBytes(void* dst, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(dst, data_ + off_, n);
+    off_ += n;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("wire: malformed ") + what);
+}
+
+/// Loops a full read over partial recv()s. Returns the number of bytes
+/// read: n on success, 0 on clean close before the first byte, and -1 on
+/// error or mid-buffer close.
+ssize_t ReadFully(int fd, uint8_t* dst, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, dst + got, n - got, 0);
+    if (r == 0) return got == 0 ? 0 : -1;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+Status WriteFully(int fd, const uint8_t* src, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, src + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("wire: connection closed by peer during write");
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeQueryRequest(const query::Workload& batch) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + batch.size() * 24);
+  PutU32(out, static_cast<uint32_t>(batch.size()));
+  for (const query::RangeQuery& q : batch) {
+    PutI32(out, q.x0);
+    PutI32(out, q.x1);
+    PutI32(out, q.y0);
+    PutI32(out, q.y1);
+    PutI32(out, q.t0);
+    PutI32(out, q.t1);
+  }
+  return out;
+}
+
+StatusOr<query::Workload> DecodeQueryRequest(const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  uint32_t count = 0;
+  if (!cur.ReadU32(&count)) return Malformed("query request header");
+  if (static_cast<size_t>(count) * 24 != cur.remaining()) {
+    return Malformed("query request length");
+  }
+  query::Workload batch(count);
+  for (query::RangeQuery& q : batch) {
+    if (!cur.ReadI32(&q.x0) || !cur.ReadI32(&q.x1) || !cur.ReadI32(&q.y0) ||
+        !cur.ReadI32(&q.y1) || !cur.ReadI32(&q.t0) || !cur.ReadI32(&q.t1)) {
+      return Malformed("query request body");
+    }
+  }
+  return batch;
+}
+
+std::vector<uint8_t> EncodeQueryResponse(const std::vector<double>& answers) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + answers.size() * 8);
+  PutU32(out, static_cast<uint32_t>(answers.size()));
+  for (double a : answers) PutF64(out, a);
+  return out;
+}
+
+StatusOr<std::vector<double>> DecodeQueryResponse(const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  uint32_t count = 0;
+  if (!cur.ReadU32(&count)) return Malformed("query response header");
+  if (static_cast<size_t>(count) * 8 != cur.remaining()) {
+    return Malformed("query response length");
+  }
+  std::vector<double> answers(count);
+  for (double& a : answers) {
+    if (!cur.ReadF64(&a)) return Malformed("query response body");
+  }
+  return answers;
+}
+
+std::vector<uint8_t> EncodeString(const std::string& text) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + text.size());
+  PutU32(out, static_cast<uint32_t>(text.size()));
+  PutBytes(out, text.data(), text.size());
+  return out;
+}
+
+StatusOr<std::string> DecodeString(const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  uint32_t len = 0;
+  if (!cur.ReadU32(&len)) return Malformed("string header");
+  if (len != cur.remaining()) return Malformed("string length");
+  std::string text(len, '\0');
+  if (len > 0 && !cur.ReadBytes(text.data(), len)) return Malformed("string body");
+  return text;
+}
+
+std::vector<uint8_t> EncodeMetaResponse(const WireMeta& meta) {
+  std::vector<uint8_t> out;
+  PutI32(out, meta.dims.cx);
+  PutI32(out, meta.dims.cy);
+  PutI32(out, meta.dims.ct);
+  PutU32(out, static_cast<uint32_t>(meta.meta.algorithm.size()));
+  PutBytes(out, meta.meta.algorithm.data(), meta.meta.algorithm.size());
+  PutF64(out, meta.meta.eps_total);
+  PutF64(out, meta.meta.eps_pattern);
+  PutF64(out, meta.meta.eps_sanitize);
+  PutF64(out, meta.meta.norm_min);
+  PutF64(out, meta.meta.norm_max);
+  PutI32(out, meta.meta.t_train);
+  return out;
+}
+
+StatusOr<WireMeta> DecodeMetaResponse(const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  WireMeta meta;
+  if (!cur.ReadI32(&meta.dims.cx) || !cur.ReadI32(&meta.dims.cy) ||
+      !cur.ReadI32(&meta.dims.ct)) {
+    return Malformed("meta dims");
+  }
+  uint32_t algo_len = 0;
+  if (!cur.ReadU32(&algo_len)) return Malformed("meta header");
+  if (algo_len > cur.remaining()) return Malformed("meta algorithm length");
+  meta.meta.algorithm.resize(algo_len);
+  if (algo_len > 0 && !cur.ReadBytes(meta.meta.algorithm.data(), algo_len)) {
+    return Malformed("meta algorithm");
+  }
+  if (!cur.ReadF64(&meta.meta.eps_total) || !cur.ReadF64(&meta.meta.eps_pattern) ||
+      !cur.ReadF64(&meta.meta.eps_sanitize) || !cur.ReadF64(&meta.meta.norm_min) ||
+      !cur.ReadF64(&meta.meta.norm_max) || !cur.ReadI32(&meta.meta.t_train)) {
+    return Malformed("meta body");
+  }
+  if (cur.remaining() != 0) return Malformed("meta trailing bytes");
+  return meta;
+}
+
+Status WriteFrame(int fd, MsgType type, const std::vector<uint8_t>& payload) {
+  const uint64_t length = 1 + payload.size();
+  if (length > kMaxFrameBytes) {
+    return Status::InvalidArgument("wire: frame exceeds kMaxFrameBytes");
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(4 + length);
+  PutU32(frame, static_cast<uint32_t>(length));
+  frame.push_back(static_cast<uint8_t>(type));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return WriteFully(fd, frame.data(), frame.size());
+}
+
+StatusOr<Frame> ReadFrame(int fd) {
+  uint8_t header[4];
+  const ssize_t got = ReadFully(fd, header, sizeof(header));
+  if (got == 0) return Status::NotFound(kClosedMessage);
+  if (got < 0) return Malformed("frame header (connection error or mid-frame close)");
+  const uint32_t length = static_cast<uint32_t>(header[0]) |
+                          static_cast<uint32_t>(header[1]) << 8 |
+                          static_cast<uint32_t>(header[2]) << 16 |
+                          static_cast<uint32_t>(header[3]) << 24;
+  if (length < 1 || length > kMaxFrameBytes) return Malformed("frame length");
+  uint8_t type = 0;
+  if (ReadFully(fd, &type, 1) != 1) return Malformed("frame type");
+  if (type < static_cast<uint8_t>(MsgType::kQueryRequest) ||
+      type > static_cast<uint8_t>(MsgType::kShutdown)) {
+    return Malformed("frame type value");
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.resize(length - 1);
+  if (!frame.payload.empty() &&
+      ReadFully(fd, frame.payload.data(), frame.payload.size()) !=
+          static_cast<ssize_t>(frame.payload.size())) {
+    return Malformed("frame payload (truncated)");
+  }
+  return frame;
+}
+
+bool IsConnectionClosed(const Status& status) {
+  return status.code() == StatusCode::kNotFound && status.message() == kClosedMessage;
+}
+
+}  // namespace stpt::serve

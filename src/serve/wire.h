@@ -1,0 +1,94 @@
+#ifndef STPT_SERVE_WIRE_H_
+#define STPT_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "grid/consumption_matrix.h"
+#include "query/range_query.h"
+#include "serve/snapshot.h"
+
+namespace stpt::serve {
+
+/// --- Framed TCP protocol --------------------------------------------------
+///
+/// Every message is one frame:
+///
+///   u32 LE  frame length L (= 1 + payload bytes, L >= 1, L <= kMaxFrameBytes)
+///   u8      message type (MsgType)
+///   ...     payload (message-specific, little-endian fixed width)
+///
+/// Payloads:
+///   kQueryRequest   u32 count, then count x 6 i32 (x0 x1 y0 y1 t0 t1)
+///   kQueryResponse  u32 count, then count x f64 answers (index-aligned)
+///   kStatsRequest   empty
+///   kStatsResponse  u32 length + UTF-8 JSON (ServerStats::ToJson)
+///   kMetaRequest    empty
+///   kMetaResponse   i32 cx cy ct, u32 algo length + bytes, f64 eps_total,
+///                   eps_pattern, eps_sanitize, norm_min, norm_max, i32 t_train
+///   kError          u32 length + UTF-8 message
+///   kShutdown       empty (server acks with an empty kShutdown, then stops)
+///
+/// A reader that sees a malformed frame (bad length, unknown type, short
+/// payload) gets a non-OK Status and the connection is dropped; the peer's
+/// other connections are unaffected.
+
+enum class MsgType : uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  kMetaRequest = 5,
+  kMetaResponse = 6,
+  kError = 7,
+  kShutdown = 8,
+};
+
+/// Upper bound on one frame (1 MiB of queries is ~43k queries per batch).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// Snapshot dims + metadata as carried by kMetaResponse.
+struct WireMeta {
+  grid::Dims dims;
+  SnapshotMeta meta;
+};
+
+/// --- Payload codecs (pure, no I/O) ---------------------------------------
+
+std::vector<uint8_t> EncodeQueryRequest(const query::Workload& batch);
+StatusOr<query::Workload> DecodeQueryRequest(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeQueryResponse(const std::vector<double>& answers);
+StatusOr<std::vector<double>> DecodeQueryResponse(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeString(const std::string& text);  // stats / error
+StatusOr<std::string> DecodeString(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeMetaResponse(const WireMeta& meta);
+StatusOr<WireMeta> DecodeMetaResponse(const std::vector<uint8_t>& payload);
+
+/// --- Frame I/O over a connected socket ------------------------------------
+
+/// Writes one frame. Uses MSG_NOSIGNAL so a peer that hung up yields a
+/// Status (kInternal, "connection closed by peer") instead of SIGPIPE.
+Status WriteFrame(int fd, MsgType type, const std::vector<uint8_t>& payload);
+
+/// Reads one frame. Clean close before the first header byte returns
+/// NotFound("connection closed") — the normal end-of-session signal; a close
+/// mid-frame or an oversized/zero length returns InvalidArgument.
+StatusOr<Frame> ReadFrame(int fd);
+
+/// True for the Status ReadFrame returns on a clean peer close.
+bool IsConnectionClosed(const Status& status);
+
+}  // namespace stpt::serve
+
+#endif  // STPT_SERVE_WIRE_H_

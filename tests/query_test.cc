@@ -34,6 +34,15 @@ TEST(RangeQueryTest, VolumeCells) {
   EXPECT_EQ((RangeQuery{0, 1, 0, 2, 0, 3}).VolumeCells(), 24);
 }
 
+TEST(RangeQueryTest, VolumeCellsDoesNotOverflowOnLargeGrids) {
+  // 2048^3 = 2^33 cells overflows a 32-bit product; the volume must be
+  // computed in 64 bits.
+  EXPECT_EQ((RangeQuery{0, 2047, 0, 2047, 0, 2047}).VolumeCells(),
+            int64_t{1} << 33);
+  EXPECT_EQ((RangeQuery{0, 99999, 0, 99999, 0, 0}).VolumeCells(),
+            int64_t{10000000000});
+}
+
 TEST(MakeWorkloadTest, RejectsBadArgs) {
   Rng rng(1);
   EXPECT_FALSE(MakeWorkload(WorkloadKind::kSmall, {4, 4, 4}, 0, rng).ok());

@@ -1,0 +1,504 @@
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "grid/consumption_matrix.h"
+#include "gtest/gtest.h"
+#include "query/range_query.h"
+#include "serve/client.h"
+#include "serve/query_server.h"
+#include "serve/snapshot.h"
+#include "serve/tcp_server.h"
+#include "serve/wire.h"
+
+namespace stpt::serve {
+namespace {
+
+grid::ConsumptionMatrix MakeMatrix(grid::Dims dims, uint64_t seed) {
+  auto matrix = grid::ConsumptionMatrix::Create(dims);
+  EXPECT_TRUE(matrix.ok());
+  Rng rng(seed);
+  for (double& v : matrix->mutable_data()) {
+    // Mix magnitudes and signs so bit-identity checks are meaningful.
+    v = rng.Gaussian(0.0, 100.0) + rng.Laplace(0.5);
+  }
+  return std::move(*matrix);
+}
+
+Snapshot MakeTestSnapshot(grid::Dims dims = {6, 5, 9}, uint64_t seed = 42) {
+  SnapshotMeta meta;
+  meta.algorithm = "stpt";
+  meta.eps_total = 30.0;
+  meta.eps_pattern = 10.0;
+  meta.eps_sanitize = 20.0;
+  meta.t_train = 100;
+  return Snapshot::FromMatrix(MakeMatrix(dims, seed), meta);
+}
+
+bool BitIdentical(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+query::Workload MakeQueries(const grid::Dims& dims, int count, uint64_t seed) {
+  Rng rng(seed);
+  auto wl = query::MakeWorkload(query::WorkloadKind::kRandom, dims, count, rng);
+  EXPECT_TRUE(wl.ok());
+  return std::move(*wl);
+}
+
+/// Patches `bytes` in place and rewrites the CRC trailer so that decoding
+/// reaches the structural check under test instead of failing the CRC.
+void Recrc(std::vector<uint8_t>& bytes) {
+  const uint32_t crc = Crc32(bytes.data(), bytes.size() - 4);
+  bytes[bytes.size() - 4] = static_cast<uint8_t>(crc);
+  bytes[bytes.size() - 3] = static_cast<uint8_t>(crc >> 8);
+  bytes[bytes.size() - 2] = static_cast<uint8_t>(crc >> 16);
+  bytes[bytes.size() - 1] = static_cast<uint8_t>(crc >> 24);
+}
+
+// --- Snapshot container ----------------------------------------------------
+
+TEST(SnapshotTest, EncodeDecodeBitIdentity) {
+  const Snapshot snap = MakeTestSnapshot();
+  const std::vector<uint8_t> bytes = EncodeSnapshot(snap);
+  auto decoded = DecodeSnapshot(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->meta, snap.meta);
+  EXPECT_EQ(decoded->sanitized.dims(), snap.sanitized.dims());
+  ASSERT_EQ(decoded->sanitized.size(), snap.sanitized.size());
+  EXPECT_EQ(0, std::memcmp(decoded->sanitized.data().data(),
+                           snap.sanitized.data().data(),
+                           snap.sanitized.size() * sizeof(double)));
+  ASSERT_EQ(decoded->prefix.size(), snap.prefix.size());
+  EXPECT_EQ(0, std::memcmp(decoded->prefix.data(), snap.prefix.data(),
+                           snap.prefix.size() * sizeof(double)));
+}
+
+TEST(SnapshotTest, FileRoundTripBitIdentity) {
+  const Snapshot snap = MakeTestSnapshot({4, 7, 11}, 7);
+  const std::string path = testing::TempDir() + "/roundtrip.stpt";
+  ASSERT_TRUE(WriteSnapshot(snap, path).ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->meta, snap.meta);
+  EXPECT_EQ(0, std::memcmp(loaded->sanitized.data().data(),
+                           snap.sanitized.data().data(),
+                           snap.sanitized.size() * sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(loaded->prefix.data(), snap.prefix.data(),
+                           snap.prefix.size() * sizeof(double)));
+}
+
+TEST(SnapshotTest, NormalizationExtremaRecorded) {
+  const Snapshot snap = MakeTestSnapshot();
+  EXPECT_EQ(snap.meta.norm_min, snap.sanitized.MinValue());
+  EXPECT_EQ(snap.meta.norm_max, snap.sanitized.MaxValue());
+}
+
+TEST(SnapshotTest, TruncationRejectedAtEveryLength) {
+  const std::vector<uint8_t> bytes = EncodeSnapshot(MakeTestSnapshot({3, 3, 4}));
+  // Every strict prefix must be rejected with a Status, never a crash.
+  for (size_t len : {size_t{0}, size_t{3}, size_t{15}, size_t{16}, size_t{40},
+                     bytes.size() / 2, bytes.size() - 5, bytes.size() - 1}) {
+    auto decoded = DecodeSnapshot(bytes.data(), len);
+    EXPECT_FALSE(decoded.ok()) << "prefix of length " << len << " was accepted";
+  }
+}
+
+TEST(SnapshotTest, CorruptedByteFailsChecksum) {
+  std::vector<uint8_t> bytes = EncodeSnapshot(MakeTestSnapshot());
+  bytes[bytes.size() / 2] ^= 0x10;  // one bit flip in the matrix payload
+  auto decoded = DecodeSnapshot(bytes.data(), bytes.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(decoded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SnapshotTest, TruncatedFileRejected) {
+  const std::vector<uint8_t> bytes = EncodeSnapshot(MakeTestSnapshot());
+  const std::string path = testing::TempDir() + "/truncated.stpt";
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fwrite(bytes.data(), 1, bytes.size() - 17, f);
+  fclose(f);
+  auto loaded = ReadSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SnapshotTest, BadMagicRejected) {
+  std::vector<uint8_t> bytes = EncodeSnapshot(MakeTestSnapshot());
+  bytes[0] = 'X';
+  Recrc(bytes);
+  auto decoded = DecodeSnapshot(bytes.data(), bytes.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("magic"), std::string::npos);
+}
+
+TEST(SnapshotTest, UnsupportedVersionRejected) {
+  std::vector<uint8_t> bytes = EncodeSnapshot(MakeTestSnapshot());
+  bytes[4] = 99;
+  Recrc(bytes);
+  auto decoded = DecodeSnapshot(bytes.data(), bytes.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  auto loaded = ReadSnapshot(testing::TempDir() + "/does-not-exist.stpt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// --- QueryServer -----------------------------------------------------------
+
+TEST(QueryServerTest, AnswersBitIdenticalToDirectEvaluation) {
+  const grid::Dims dims{12, 10, 30};
+  const Snapshot snap = MakeTestSnapshot(dims, 3);
+  const grid::PrefixSum3D direct(snap.sanitized);
+  auto server = QueryServer::Make(snap);
+  ASSERT_TRUE(server.ok());
+  for (const query::RangeQuery& q : MakeQueries(dims, 500, 11)) {
+    auto got = server->Answer(q);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(
+        BitIdentical(*got, direct.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1)));
+  }
+}
+
+TEST(QueryServerTest, CachedEqualsUncached) {
+  const grid::Dims dims{10, 10, 20};
+  const Snapshot snap = MakeTestSnapshot(dims, 5);
+  auto cached = QueryServer::Make(snap, {.cache_shards = 4, .cache_capacity = 1024});
+  auto uncached = QueryServer::Make(snap, {.cache_capacity = 0});
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(uncached.ok());
+  const query::Workload wl = MakeQueries(dims, 300, 13);
+  // Two passes through the cached server: the second is served from the
+  // LRU and must still be bit-identical to the cache-free engine.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const query::RangeQuery& q : wl) {
+      auto a = cached->Answer(q);
+      auto b = uncached->Answer(q);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_TRUE(BitIdentical(*a, *b));
+    }
+  }
+  const ServerStats stats = cached->stats();
+  EXPECT_EQ(stats.queries, 600u);
+  EXPECT_GE(stats.cache_hits, 300u);  // second pass is all hits
+  EXPECT_GT(stats.hit_rate(), 0.49);
+  EXPECT_EQ(uncached->stats().cache_hits, 0u);
+}
+
+TEST(QueryServerTest, TinyCacheEvictsButStaysCorrect) {
+  const grid::Dims dims{8, 8, 16};
+  const Snapshot snap = MakeTestSnapshot(dims, 9);
+  const grid::PrefixSum3D direct(snap.sanitized);
+  auto server = QueryServer::Make(snap, {.cache_shards = 2, .cache_capacity = 8});
+  ASSERT_TRUE(server.ok());
+  for (const query::RangeQuery& q : MakeQueries(dims, 400, 17)) {
+    auto got = server->Answer(q);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(
+        BitIdentical(*got, direct.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1)));
+  }
+}
+
+TEST(QueryServerTest, BatchMatchesSingleAnswers) {
+  const grid::Dims dims{9, 9, 25};
+  const Snapshot snap = MakeTestSnapshot(dims, 21);
+  auto batch_server = QueryServer::Make(snap);
+  auto single_server = QueryServer::Make(snap);
+  ASSERT_TRUE(batch_server.ok());
+  ASSERT_TRUE(single_server.ok());
+  const query::Workload wl = MakeQueries(dims, 257, 23);
+  std::vector<double> batched;
+  ASSERT_TRUE(batch_server->AnswerBatch(wl, &batched).ok());
+  ASSERT_EQ(batched.size(), wl.size());
+  for (size_t i = 0; i < wl.size(); ++i) {
+    auto got = single_server->Answer(wl[i]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(BitIdentical(batched[i], *got));
+  }
+}
+
+TEST(QueryServerTest, InvalidQueriesRejected) {
+  auto server = QueryServer::Make(MakeTestSnapshot({5, 5, 5}));
+  ASSERT_TRUE(server.ok());
+  EXPECT_FALSE(server->Answer({0, 5, 0, 0, 0, 0}).ok());  // x1 == cx
+  EXPECT_FALSE(server->Answer({2, 1, 0, 0, 0, 0}).ok());  // unordered
+  EXPECT_FALSE(server->Answer({0, 0, -1, 0, 0, 0}).ok());
+
+  std::vector<double> out;
+  const Status st = server->AnswerBatch({{0, 0, 0, 0, 0, 0}, {0, 9, 0, 0, 0, 0}}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("query 1"), std::string::npos);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(server->stats().invalid, 4u);
+}
+
+TEST(QueryServerTest, StatsTrackLatencyAndResetClears) {
+  auto server = QueryServer::Make(MakeTestSnapshot({6, 6, 12}));
+  ASSERT_TRUE(server.ok());
+  for (const query::RangeQuery& q : MakeQueries({6, 6, 12}, 100, 31)) {
+    ASSERT_TRUE(server->Answer(q).ok());
+  }
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.queries, 100u);
+  EXPECT_GT(stats.p50_ns, 0u);
+  EXPECT_GE(stats.p99_ns, stats.p50_ns);
+  EXPECT_NE(stats.ToJson().find("\"queries\": 100"), std::string::npos);
+  server->ResetStats();
+  stats = server->stats();
+  EXPECT_EQ(stats.queries, 0u);
+  EXPECT_EQ(stats.p99_ns, 0u);
+}
+
+TEST(QueryServerTest, OpenFromDiskServesLoadedPrefixSums) {
+  const grid::Dims dims{7, 9, 14};
+  const Snapshot snap = MakeTestSnapshot(dims, 37);
+  const std::string path = testing::TempDir() + "/served.stpt";
+  ASSERT_TRUE(WriteSnapshot(snap, path).ok());
+  auto server = QueryServer::Open(path);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_EQ(server->dims(), dims);
+  EXPECT_EQ(server->meta().algorithm, "stpt");
+  const grid::PrefixSum3D direct(snap.sanitized);
+  for (const query::RangeQuery& q : MakeQueries(dims, 200, 41)) {
+    auto got = server->Answer(q);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(
+        BitIdentical(*got, direct.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1)));
+  }
+}
+
+// --- Wire codecs -----------------------------------------------------------
+
+TEST(WireTest, QueryRequestRoundTrip) {
+  const query::Workload wl = MakeQueries({16, 16, 32}, 50, 43);
+  auto decoded = DecodeQueryRequest(EncodeQueryRequest(wl));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, wl);
+}
+
+TEST(WireTest, QueryResponseRoundTrip) {
+  const std::vector<double> answers = {0.0, -1.5, 3.25e300, 5e-324, 42.0};
+  auto decoded = DecodeQueryResponse(EncodeQueryResponse(answers));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    EXPECT_TRUE(BitIdentical((*decoded)[i], answers[i]));
+  }
+}
+
+TEST(WireTest, StringAndMetaRoundTrip) {
+  auto text = DecodeString(EncodeString("hello stats"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "hello stats");
+
+  WireMeta meta;
+  meta.dims = {32, 32, 120};
+  meta.meta.algorithm = "fourier10";
+  meta.meta.eps_total = 12.5;
+  meta.meta.eps_sanitize = 12.5;
+  meta.meta.norm_min = -3.0;
+  meta.meta.norm_max = 9.75;
+  meta.meta.t_train = 100;
+  auto decoded = DecodeMetaResponse(EncodeMetaResponse(meta));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->dims, meta.dims);
+  EXPECT_EQ(decoded->meta, meta.meta);
+}
+
+TEST(WireTest, MalformedPayloadsRejected) {
+  EXPECT_FALSE(DecodeQueryRequest({0x01}).ok());  // short header
+  std::vector<uint8_t> wrong_len = EncodeQueryRequest(MakeQueries({4, 4, 4}, 3, 1));
+  wrong_len.pop_back();
+  EXPECT_FALSE(DecodeQueryRequest(wrong_len).ok());
+  EXPECT_FALSE(DecodeQueryResponse({0xFF, 0xFF, 0xFF, 0xFF}).ok());
+  EXPECT_FALSE(DecodeString({0x05, 0x00, 0x00, 0x00, 'a'}).ok());
+  EXPECT_FALSE(DecodeMetaResponse({0x01, 0x02}).ok());
+}
+
+TEST(WireTest, FrameRoundTripOverSocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::vector<uint8_t> payload = EncodeString("ping");
+  ASSERT_TRUE(WriteFrame(fds[0], MsgType::kStatsResponse, payload).ok());
+  auto frame = ReadFrame(fds[1]);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, MsgType::kStatsResponse);
+  EXPECT_EQ(frame->payload, payload);
+
+  // Clean close reads as the dedicated "connection closed" status.
+  ::close(fds[0]);
+  auto closed = ReadFrame(fds[1]);
+  ASSERT_FALSE(closed.ok());
+  EXPECT_TRUE(IsConnectionClosed(closed.status()));
+  ::close(fds[1]);
+}
+
+TEST(WireTest, MalformedFramesRejected) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Zero-length frame.
+  const uint8_t zero[4] = {0, 0, 0, 0};
+  ASSERT_EQ(::send(fds[0], zero, 4, 0), 4);
+  EXPECT_FALSE(ReadFrame(fds[1]).ok());
+  // Oversized frame length.
+  const uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  ASSERT_EQ(::send(fds[0], huge, 4, 0), 4);
+  EXPECT_FALSE(ReadFrame(fds[1]).ok());
+  // Unknown message type.
+  const uint8_t unknown[5] = {1, 0, 0, 0, 0xEE};
+  ASSERT_EQ(::send(fds[0], unknown, 5, 0), 5);
+  EXPECT_FALSE(ReadFrame(fds[1]).ok());
+  // Truncated payload then close.
+  const uint8_t partial[6] = {10, 0, 0, 0, 1, 0x42};
+  ASSERT_EQ(::send(fds[0], partial, 6, 0), 6);
+  ::close(fds[0]);
+  auto truncated = ReadFrame(fds[1]);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_FALSE(IsConnectionClosed(truncated.status()));
+  ::close(fds[1]);
+}
+
+// --- TCP loopback ----------------------------------------------------------
+
+class LoopbackTest : public testing::Test {
+ protected:
+  void StartServer(grid::Dims dims, uint64_t seed) {
+    snapshot_ = MakeTestSnapshot(dims, seed);
+    auto engine = QueryServer::Make(snapshot_);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::make_unique<QueryServer>(std::move(*engine));
+    server_ = std::make_unique<TcpServer>(engine_.get(), TcpServerOptions{});
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  Snapshot snapshot_;
+  std::unique_ptr<QueryServer> engine_;
+  std::unique_ptr<TcpServer> server_;
+};
+
+TEST_F(LoopbackTest, FourConcurrentClientsBitIdenticalToDirectEvaluation) {
+  const grid::Dims dims{16, 16, 40};
+  StartServer(dims, 51);
+  const grid::PrefixSum3D direct(snapshot_.sanitized);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 600;
+  constexpr int kBatch = 64;
+  std::vector<int64_t> mismatches(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      ASSERT_TRUE(client.ok());
+      const query::Workload wl =
+          MakeQueries(dims, kQueriesPerClient, 1000 + static_cast<uint64_t>(c));
+      for (size_t base = 0; base < wl.size(); base += kBatch) {
+        const size_t n = std::min<size_t>(kBatch, wl.size() - base);
+        const query::Workload batch(wl.begin() + base, wl.begin() + base + n);
+        auto answers = client->Query(batch);
+        ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+        for (size_t i = 0; i < n; ++i) {
+          const query::RangeQuery& q = batch[i];
+          if (!BitIdentical((*answers)[i],
+                            direct.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1))) {
+            ++mismatches[c];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(mismatches[c], 0) << "client " << c;
+  EXPECT_EQ(server_->connections_accepted(), static_cast<uint64_t>(kClients));
+  EXPECT_EQ(engine_->stats().queries,
+            static_cast<uint64_t>(kClients) * kQueriesPerClient);
+}
+
+TEST_F(LoopbackTest, MetaStatsAndServerSideValidation) {
+  StartServer({8, 8, 12}, 53);
+  auto client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+
+  auto meta = client->Meta();
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->dims, (grid::Dims{8, 8, 12}));
+  EXPECT_EQ(meta->meta, snapshot_.meta);
+
+  // An invalid batch is answered with an error frame, and the connection
+  // stays usable for the next (valid) request.
+  auto bad = client->Query({{0, 99, 0, 0, 0, 0}});
+  EXPECT_FALSE(bad.ok());
+  auto good = client->Query({{0, 1, 0, 1, 0, 1}});
+  ASSERT_TRUE(good.ok());
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"queries\""), std::string::npos);
+  EXPECT_NE(stats->find("\"cache_hit_rate\""), std::string::npos);
+}
+
+TEST_F(LoopbackTest, MalformedFrameAndDisconnectsDoNotKillServer) {
+  StartServer({6, 6, 6}, 57);
+
+  // Client 1: connects and vanishes without a word.
+  {
+    auto ghost = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(ghost.ok());
+  }
+
+  // Client 2: raw socket spewing garbage (a huge frame length).
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const uint8_t garbage[8] = {0xFF, 0xFF, 0xFF, 0xFF, 0xDE, 0xAD, 0xBE, 0xEF};
+    ASSERT_EQ(::send(fd, garbage, sizeof(garbage), MSG_NOSIGNAL), 8);
+    // The server answers with an error frame (or just closes); either way
+    // the connection winds down without taking the server with it.
+    uint8_t buf[256];
+    while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+    }
+    ::close(fd);
+  }
+
+  // Client 3: normal service still works.
+  auto client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  auto answers = client->Query({{0, 2, 0, 2, 0, 2}});
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+TEST_F(LoopbackTest, ShutdownFrameUnblocksWait) {
+  StartServer({5, 5, 5}, 59);
+  std::thread waiter([&] { server_->Wait(); });
+  auto client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Shutdown().ok());
+  waiter.join();  // Wait() returned, so the shutdown request took effect
+  server_->Stop();
+}
+
+}  // namespace
+}  // namespace stpt::serve

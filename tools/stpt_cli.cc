@@ -4,12 +4,15 @@
 //            --days=220 --seed=1 --out=data.csv
 //   stpt_cli publish  --in=data.csv --algorithm=stpt --eps=30
 //            --t-train=100 --out=sanitized.csv [--truth-out=truth.csv]
+//            [--snapshot=release.stpt]
 //   stpt_cli evaluate --truth=truth.csv --sanitized=sanitized.csv
 //            --kind=random --queries=300 [--seed=7]
 //
 // `publish` aggregates to day granularity, runs the chosen algorithm
 // (stpt, identity, fast, fourier10, fourier20, wavelet10, wavelet20,
-// lgan, wpo), and writes the sanitized test region.
+// lgan, wpo), and writes the sanitized test region. With --snapshot it
+// additionally emits a binary .stpt container (sanitized matrix + prefix
+// sums + privacy metadata) that stpt_serve answers range queries from.
 
 #include <cstdio>
 #include <iostream>
@@ -30,6 +33,7 @@
 #include "exec/timing.h"
 #include "io/csv.h"
 #include "query/metrics.h"
+#include "serve/snapshot.h"
 
 namespace {
 
@@ -104,10 +108,12 @@ int RunPublish(const Flags& flags) {
   const std::string algorithm = flags.GetString("algorithm", "stpt");
   StatusOr<grid::ConsumptionMatrix> sanitized =
       Status::Internal("not run");
+  double eps_pattern = 0.0;  // nonzero only for stpt's two-phase split
   if (algorithm == "stpt") {
     core::StptConfig cfg;
     cfg.eps_pattern = eps / 3.0;
     cfg.eps_sanitize = eps - cfg.eps_pattern;
+    eps_pattern = cfg.eps_pattern;
     cfg.t_train = t_train;
     cfg.quadtree_depth = static_cast<int>(flags.GetInt("depth", 3));
     cfg.quantization_levels = static_cast<int>(flags.GetInt("k", 8));
@@ -133,6 +139,19 @@ int RunPublish(const Flags& flags) {
   const std::string out = flags.GetString("out", "sanitized.csv");
   const Status st = io::WriteMatrixCsv(*sanitized, out);
   if (!st.ok()) return Fail(st);
+  if (flags.Has("snapshot")) {
+    serve::SnapshotMeta meta;
+    meta.algorithm = algorithm;
+    meta.eps_total = eps;
+    meta.eps_pattern = eps_pattern;
+    meta.eps_sanitize = eps - eps_pattern;
+    meta.t_train = t_train;
+    const std::string snapshot_path = flags.GetString("snapshot", "release.stpt");
+    const Status snap_st = serve::WriteSnapshot(
+        serve::Snapshot::FromMatrix(*sanitized, std::move(meta)), snapshot_path);
+    if (!snap_st.ok()) return Fail(snap_st);
+    std::printf("wrote snapshot container to %s\n", snapshot_path.c_str());
+  }
   std::printf("published %s release (%dx%dx%d, eps=%.1f) to %s\n",
               algorithm.c_str(), sanitized->dims().cx, sanitized->dims().cy,
               sanitized->dims().ct, eps, out.c_str());

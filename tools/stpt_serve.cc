@@ -1,0 +1,199 @@
+// stpt_serve — publish-once / serve-many front end for published grids.
+//
+//   stpt_serve serve    --snapshot=g.stpt [--port=7261] [--bind=127.0.0.1]
+//                       [--port-file=path] [--threads=N]
+//   stpt_serve query    --port=P [--host=127.0.0.1] [--count=1000]
+//                       [--kind=random|small|large] [--seed=7] [--batch=256]
+//   stpt_serve verify   --snapshot=g.stpt --port=P [--host=...] [--count=10000]
+//                       [--kind=random] [--seed=7] [--batch=256]
+//   stpt_serve stats    --port=P [--host=...]
+//   stpt_serve shutdown --port=P [--host=...]
+//
+// `serve` loads a snapshot container (written by `stpt_cli publish
+// --snapshot=...`) and answers framed range-query batches over TCP until a
+// client sends shutdown. `query` generates a workload against the server's
+// dims and reports throughput. `verify` additionally loads the snapshot
+// locally and requires every served answer to be bit-identical to direct
+// in-memory evaluation — the end-to-end integrity check used by CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+#include "exec/timing.h"
+#include "query/range_query.h"
+#include "serve/client.h"
+#include "serve/query_server.h"
+#include "serve/snapshot.h"
+#include "serve/tcp_server.h"
+
+namespace {
+
+using namespace stpt;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: stpt_serve <serve|query|verify|stats|shutdown> [--options]\n"
+               "see the header of tools/stpt_serve.cc for details\n");
+  return 2;
+}
+
+StatusOr<query::WorkloadKind> KindByName(const std::string& name) {
+  if (name == "random") return query::WorkloadKind::kRandom;
+  if (name == "small") return query::WorkloadKind::kSmall;
+  if (name == "large") return query::WorkloadKind::kLarge;
+  return Status::NotFound("unknown workload kind '" + name + "'");
+}
+
+int RunServe(const Flags& flags) {
+  const std::string path = flags.GetString("snapshot", "grid.stpt");
+  auto engine = serve::QueryServer::Open(path);
+  if (!engine.ok()) return Fail(engine.status());
+
+  serve::TcpServerOptions options;
+  options.bind_address = flags.GetString("bind", "127.0.0.1");
+  options.port = static_cast<int>(flags.GetInt("port", 0));
+  serve::TcpServer server(&*engine, options);
+  const Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+
+  if (flags.Has("port-file")) {
+    std::ofstream out(flags.GetString("port-file", ""));
+    out << server.port() << "\n";
+  }
+  const grid::Dims& dims = engine->dims();
+  std::printf("serving %s release %dx%dx%d (eps=%.1f) on %s:%d\n",
+              engine->meta().algorithm.c_str(), dims.cx, dims.cy, dims.ct,
+              engine->meta().eps_total, options.bind_address.c_str(), server.port());
+  std::fflush(stdout);
+  server.Wait();
+  server.Stop();
+  const serve::ServerStats stats = engine->stats();
+  std::printf("served %llu queries, cache hit rate %.1f%%, p99 %.1f us\n",
+              static_cast<unsigned long long>(stats.queries), 100.0 * stats.hit_rate(),
+              static_cast<double>(stats.p99_ns) * 1e-3);
+  return 0;
+}
+
+/// Shared query driver for `query` (report only) and `verify` (compare to a
+/// locally evaluated snapshot). Returns nonzero on any mismatch.
+int RunQueryOrVerify(const Flags& flags, bool verify) {
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  auto client = serve::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  auto meta = client->Meta();
+  if (!meta.ok()) return Fail(meta.status());
+
+  serve::Snapshot local;
+  if (verify) {
+    auto snap = serve::ReadSnapshot(flags.GetString("snapshot", "grid.stpt"));
+    if (!snap.ok()) return Fail(snap.status());
+    if (!(snap->sanitized.dims() == meta->dims)) {
+      return Fail(Status::FailedPrecondition(
+          "verify: local snapshot dims differ from the server's"));
+    }
+    local = std::move(*snap);
+  }
+
+  auto kind = KindByName(flags.GetString("kind", "random"));
+  if (!kind.ok()) return Fail(kind.status());
+  const int count = static_cast<int>(flags.GetInt("count", verify ? 10000 : 1000));
+  const int batch_size = static_cast<int>(flags.GetInt("batch", 256));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  auto workload = query::MakeWorkload(*kind, meta->dims, count, rng);
+  if (!workload.ok()) return Fail(workload.status());
+
+  const grid::PrefixSum3D* direct = nullptr;
+  grid::PrefixSum3D direct_storage{grid::ConsumptionMatrix()};
+  if (verify) {
+    auto pre = grid::PrefixSum3D::FromRaw(local.sanitized.dims(),
+                                          std::move(local.prefix));
+    if (!pre.ok()) return Fail(pre.status());
+    direct_storage = std::move(*pre);
+    direct = &direct_storage;
+  }
+
+  const uint64_t start_ns = exec::NowNanos();
+  double checksum = 0.0;
+  int64_t mismatches = 0;
+  for (int base = 0; base < count; base += batch_size) {
+    const int n = std::min(batch_size, count - base);
+    query::Workload batch(workload->begin() + base, workload->begin() + base + n);
+    auto answers = client->Query(batch);
+    if (!answers.ok()) return Fail(answers.status());
+    for (int i = 0; i < n; ++i) {
+      checksum += (*answers)[i];
+      if (direct != nullptr) {
+        const query::RangeQuery& q = batch[i];
+        const double expect = direct->BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
+        // Bit-identity, not epsilon-closeness: the served path must be the
+        // same arithmetic as the local prefix-sum evaluation.
+        if (std::memcmp(&expect, &(*answers)[i], sizeof(double)) != 0) ++mismatches;
+      }
+    }
+  }
+  const double secs = static_cast<double>(exec::NowNanos() - start_ns) * 1e-9;
+  std::printf("%d queries in %.3f s (%.0f q/s), checksum %.6g\n", count, secs,
+              secs > 0 ? count / secs : 0.0, checksum);
+  if (verify) {
+    if (mismatches > 0) {
+      std::fprintf(stderr, "verify FAILED: %lld of %d answers differ\n",
+                   static_cast<long long>(mismatches), count);
+      return 1;
+    }
+    std::printf("verify OK: all %d answers bit-identical to local evaluation\n",
+                count);
+  }
+  return 0;
+}
+
+int RunStats(const Flags& flags) {
+  auto client = serve::Client::Connect(flags.GetString("host", "127.0.0.1"),
+                                       static_cast<int>(flags.GetInt("port", 0)));
+  if (!client.ok()) return Fail(client.status());
+  auto stats = client->Stats();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("%s\n", stats->c_str());
+  return 0;
+}
+
+int RunShutdown(const Flags& flags) {
+  auto client = serve::Client::Connect(flags.GetString("host", "127.0.0.1"),
+                                       static_cast<int>(flags.GetInt("port", 0)));
+  if (!client.ok()) return Fail(client.status());
+  const Status st = client->Shutdown();
+  if (!st.ok()) return Fail(st);
+  std::printf("server shut down\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = stpt::Flags::Parse(argc, argv);
+  if (!flags.ok()) return Fail(flags.status());
+  if (flags->positional().empty()) return Usage();
+  if (flags->Has("threads")) {
+    exec::SetThreads(static_cast<int>(flags->GetInt("threads", 0)));
+  }
+  const std::string command = flags->positional()[0];
+  if (command == "serve") return RunServe(*flags);
+  if (command == "query") return RunQueryOrVerify(*flags, /*verify=*/false);
+  if (command == "verify") return RunQueryOrVerify(*flags, /*verify=*/true);
+  if (command == "stats") return RunStats(*flags);
+  if (command == "shutdown") return RunShutdown(*flags);
+  return Usage();
+}
