@@ -194,28 +194,40 @@ BENCHMARK(BM_SelfAttention)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Accept --threads=N ourselves (google-benchmark rejects unknown flags)
-  // and default the JSON report to BENCH_micro.json.
-  std::vector<char*> args;
+  // Split argv: google-benchmark owns --benchmark_*, the strict FlagSet
+  // owns everything else (--threads/--profile/--metrics), and the JSON
+  // report defaults to BENCH_micro.json.
+  std::vector<char*> bench_args;
+  std::vector<const char*> our_args;
+  bench_args.push_back(argv[0]);
+  our_args.push_back(argv[0]);
   bool has_out = false;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      exec::SetThreads(std::atoi(argv[i] + 10));
-      continue;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+      bench_args.push_back(argv[i]);
+    } else {
+      our_args.push_back(argv[i]);
     }
-    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
-    args.push_back(argv[i]);
+  }
+  FlagSet flags;
+  if (const Status st = bench::InitBenchRuntime(
+          static_cast<int>(our_args.size()), our_args.data(), flags);
+      !st.ok()) {
+    std::fprintf(stderr, "error: %s\nflags:\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
   }
   static char out_flag[] = "--benchmark_out=BENCH_micro.json";
   static char fmt_flag[] = "--benchmark_out_format=json";
   if (!has_out) {
-    args.push_back(out_flag);
-    args.push_back(fmt_flag);
+    bench_args.push_back(out_flag);
+    bench_args.push_back(fmt_flag);
   }
-  int n = static_cast<int>(args.size());
-  benchmark::Initialize(&n, args.data());
+  int n = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&n, bench_args.data());
   benchmark::AddCustomContext("stpt_threads", std::to_string(exec::Threads()));
-  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  if (benchmark::ReportUnrecognizedArguments(n, bench_args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -40,20 +40,28 @@ uint64_t Percentile(std::vector<uint64_t>& sorted_ns, double q) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::InitBenchRuntime(argc, argv);
-  auto flags = Flags::Parse(argc, argv);
-  if (!flags.ok()) {
-    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
-    return 1;
+  FlagSet flags;
+  flags.DefineInt("grid", 32, "grid cells per side");
+  flags.DefineInt("slices", 120, "time slices");
+  flags.DefineInt("clients", 4, "concurrent loopback clients");
+  flags.DefineInt("unique", 4096, "unique queries in the shared pool");
+  flags.DefineInt("rounds", 4, "passes over the pool per client");
+  flags.DefineInt("batch", 256, "queries per request frame");
+  flags.DefineInt("seed", 1, "data/workload seed");
+  flags.DefineString("out", "BENCH_serve.json", "result JSON path");
+  if (const Status st = bench::InitBenchRuntime(argc, argv, flags); !st.ok()) {
+    std::fprintf(stderr, "error: %s\nflags:\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
   }
-  const int grid = static_cast<int>(flags->GetInt("grid", 32));
-  const int slices = static_cast<int>(flags->GetInt("slices", 120));
-  const int num_clients = static_cast<int>(flags->GetInt("clients", 4));
-  const int unique = static_cast<int>(flags->GetInt("unique", 4096));
-  const int rounds = static_cast<int>(flags->GetInt("rounds", 4));
-  const int batch_size = static_cast<int>(flags->GetInt("batch", 256));
-  const uint64_t seed = static_cast<uint64_t>(flags->GetInt("seed", 1));
-  const std::string out_path = flags->GetString("out", "BENCH_serve.json");
+  const int grid = static_cast<int>(flags.GetInt("grid"));
+  const int slices = static_cast<int>(flags.GetInt("slices"));
+  const int num_clients = static_cast<int>(flags.GetInt("clients"));
+  const int unique = static_cast<int>(flags.GetInt("unique"));
+  const int rounds = static_cast<int>(flags.GetInt("rounds"));
+  const int batch_size = static_cast<int>(flags.GetInt("batch"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string out_path = flags.GetString("out");
 
   // A synthetic release: the serving path only sees the snapshot, so the
   // cell values just need realistic structure, not a full pipeline run.
@@ -70,12 +78,17 @@ int main(int argc, char** argv) {
   meta.algorithm = "bench";
   meta.eps_total = 30.0;
   auto engine =
-      serve::QueryServer::Make(serve::Snapshot::FromMatrix(*matrix, meta));
+      serve::QueryServer::Create(serve::Snapshot::FromMatrix(*matrix, meta));
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  serve::TcpServer server(&*engine, serve::TcpServerOptions{});
+  auto server_or = serve::TcpServer::Create(&*engine, serve::TcpServerOptions{});
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", server_or.status().ToString().c_str());
+    return 1;
+  }
+  serve::TcpServer& server = **server_or;
   if (const Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;

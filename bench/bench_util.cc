@@ -3,12 +3,13 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
-#include "common/flags.h"
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
 #include "exec/timing.h"
+#include "obs/metrics.h"
 #include "query/metrics.h"
 
 namespace stpt::bench {
@@ -132,17 +133,45 @@ std::vector<double> RunStpt(const Instance& instance, const core::StptConfig& co
   return mres;
 }
 
-void InitBenchRuntime(int argc, const char* const* argv) {
-  auto flags = Flags::Parse(argc, argv);
-  if (!flags.ok()) {
-    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
-    std::exit(2);
+namespace {
+
+// atexit handlers cannot capture, so the snapshot path lives here.
+std::string& MetricsPath() {
+  static auto* path = new std::string();
+  return *path;
+}
+
+}  // namespace
+
+Status InitBenchRuntime(int argc, const char* const* argv, FlagSet& flags) {
+  flags.DefineInt("threads", 0, "exec pool size (0 = auto / STPT_THREADS)");
+  flags.DefineBool("profile", false, "print the exec timing profile at exit");
+  flags.DefineString("metrics", "",
+                     "write a JSON metric-registry snapshot to this path at exit");
+  flags.IgnorePrefix("benchmark_");  // google-benchmark owns these
+  STPT_RETURN_IF_ERROR(flags.Parse(argc, argv));
+  if (flags.Provided("threads")) {
+    exec::SetThreads(static_cast<int>(flags.GetInt("threads")));
   }
-  if (flags->Has("threads")) {
-    exec::SetThreads(static_cast<int>(flags->GetInt("threads", 0)));
-  }
-  if (flags->GetBool("profile", false)) {
+  if (flags.GetBool("profile")) {
     std::atexit([] { exec::PrintTimings(std::cerr); });
+  }
+  if (flags.Provided("metrics")) {
+    MetricsPath() = flags.GetString("metrics");
+    std::atexit([] {
+      std::ofstream out(MetricsPath());
+      if (out) out << obs::Registry::Global().ToJson() << "\n";
+    });
+  }
+  return Status::OK();
+}
+
+void InitBenchRuntime(int argc, const char* const* argv) {
+  FlagSet flags;
+  if (const Status st = InitBenchRuntime(argc, argv, flags); !st.ok()) {
+    std::fprintf(stderr, "error: %s\nflags:\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    std::exit(2);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/publisher.h"
+#include "common/flags.h"
 #include "common/rng.h"
 #include "core/stpt.h"
 #include "datagen/dataset.h"
@@ -60,10 +61,17 @@ std::vector<double> RunStpt(const Instance& instance, const core::StptConfig& co
 /// All three workload kinds, in the order used by RunBaseline / RunStpt.
 const std::vector<query::WorkloadKind>& AllWorkloadKinds();
 
-/// Configures the exec runtime for a bench main: applies `--threads=N`
-/// (overriding the STPT_THREADS env default) and, with `--profile`,
-/// registers an atexit hook that prints the exec timing profile. Call at
-/// the top of main before any work.
+/// Configures the exec runtime for a bench main: defines the shared runtime
+/// flags (--threads=N overriding the STPT_THREADS env default, --profile
+/// printing the exec timing profile at exit, --metrics=<path> writing a JSON
+/// metric-registry snapshot at exit) into `flags` alongside any flags the
+/// caller already defined, parses argv strictly, and applies them. Options
+/// prefixed `benchmark_` are ignored so google-benchmark binaries can share
+/// argv. Call at the top of main before any work.
+Status InitBenchRuntime(int argc, const char* const* argv, FlagSet& flags);
+
+/// As above for benches with no flags of their own; prints the error and
+/// exits(2) on a bad command line.
 void InitBenchRuntime(int argc, const char* const* argv);
 
 /// Evaluates `n` independent sweep points concurrently on the exec runtime

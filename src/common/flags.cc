@@ -1,75 +1,209 @@
 #include "common/flags.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
+#include <sstream>
 
 namespace stpt {
+namespace {
 
-StatusOr<Flags> Flags::Parse(int argc, const char* const* argv) {
-  Flags flags;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      flags.positional_.push_back(arg);
-      continue;
-    }
-    const std::string body = arg.substr(2);
-    const size_t eq = body.find('=');
-    Option opt;
-    if (eq == std::string::npos) {
-      opt.key = body;
-    } else {
-      opt.key = body.substr(0, eq);
-      opt.value = body.substr(eq + 1);
-      opt.has_value = true;
-    }
-    if (opt.key.empty()) {
-      return Status::InvalidArgument("Flags: empty option name in '" + arg + "'");
-    }
-    flags.options_.push_back(std::move(opt));
+const char* TypeName(int type) {
+  switch (type) {
+    case 0: return "string";
+    case 1: return "int";
+    case 2: return "double";
+    default: return "bool";
   }
-  return flags;
 }
 
-const Flags::Option* Flags::Find(const std::string& key) const {
-  for (const auto& o : options_) {
-    if (o.key == key) return &o;
+}  // namespace
+
+void FlagSet::Define(Flag flag) {
+  assert(!flag.name.empty() && "flag name must not be empty");
+  assert(Find(flag.name) == nullptr && "flag defined twice");
+  flags_.push_back(std::move(flag));
+}
+
+void FlagSet::DefineString(const std::string& name, const std::string& def,
+                           const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.type = Type::kString;
+  f.help = help;
+  f.str_value = def;
+  Define(std::move(f));
+}
+
+void FlagSet::DefineInt(const std::string& name, int64_t def, const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_value = def;
+  Define(std::move(f));
+}
+
+void FlagSet::DefineDouble(const std::string& name, double def,
+                           const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = def;
+  Define(std::move(f));
+}
+
+void FlagSet::DefineBool(const std::string& name, bool def, const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = def;
+  Define(std::move(f));
+}
+
+void FlagSet::IgnorePrefix(const std::string& prefix) {
+  ignore_prefixes_.push_back(prefix);
+}
+
+FlagSet::Flag* FlagSet::Find(const std::string& name) {
+  for (auto& f : flags_) {
+    if (f.name == name) return &f;
   }
   return nullptr;
 }
 
-bool Flags::Has(const std::string& key) const { return Find(key) != nullptr; }
-
-std::string Flags::GetString(const std::string& key, const std::string& def) const {
-  const Option* o = Find(key);
-  return (o != nullptr && o->has_value) ? o->value : def;
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  return const_cast<FlagSet*>(this)->Find(name);
 }
 
-int64_t Flags::GetInt(const std::string& key, int64_t def) const {
-  const Option* o = Find(key);
-  if (o == nullptr || !o->has_value) return def;
-  char* end = nullptr;
-  const long long v = std::strtoll(o->value.c_str(), &end, 10);
-  return (end != nullptr && *end == '\0' && !o->value.empty()) ? v : def;
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    const std::string key = eq == std::string::npos ? body : body.substr(0, eq);
+    const bool has_value = eq != std::string::npos;
+    const std::string value = has_value ? body.substr(eq + 1) : std::string();
+    if (key.empty()) {
+      return Status::InvalidArgument("flags: empty option name in '" + arg + "'");
+    }
+    const bool ignored =
+        std::any_of(ignore_prefixes_.begin(), ignore_prefixes_.end(),
+                    [&key](const std::string& p) { return key.rfind(p, 0) == 0; });
+    if (ignored) continue;
+    Flag* flag = Find(key);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("flags: unknown flag --" + key);
+    }
+    switch (flag->type) {
+      case Type::kString:
+        if (!has_value) {
+          return Status::InvalidArgument("flags: --" + key + " requires a value");
+        }
+        flag->str_value = value;
+        break;
+      case Type::kInt: {
+        if (!has_value || value.empty()) {
+          return Status::InvalidArgument("flags: --" + key +
+                                         " requires an integer value");
+        }
+        char* end = nullptr;
+        const long long v = std::strtoll(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("flags: --" + key + "='" + value +
+                                         "' is not an integer");
+        }
+        flag->int_value = v;
+        break;
+      }
+      case Type::kDouble: {
+        if (!has_value || value.empty()) {
+          return Status::InvalidArgument("flags: --" + key +
+                                         " requires a numeric value");
+        }
+        char* end = nullptr;
+        const double v = std::strtod(value.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("flags: --" + key + "='" + value +
+                                         "' is not a number");
+        }
+        flag->double_value = v;
+        break;
+      }
+      case Type::kBool: {
+        if (!has_value) {
+          flag->bool_value = true;
+          break;
+        }
+        std::string v = value;
+        std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+        if (v == "1" || v == "true" || v == "yes" || v == "on") {
+          flag->bool_value = true;
+        } else if (v == "0" || v == "false" || v == "no" || v == "off") {
+          flag->bool_value = false;
+        } else {
+          return Status::InvalidArgument("flags: --" + key + "='" + value +
+                                         "' is not a boolean");
+        }
+        break;
+      }
+    }
+    flag->provided = true;
+  }
+  return Status::OK();
 }
 
-double Flags::GetDouble(const std::string& key, double def) const {
-  const Option* o = Find(key);
-  if (o == nullptr || !o->has_value) return def;
-  char* end = nullptr;
-  const double v = std::strtod(o->value.c_str(), &end);
-  return (end != nullptr && *end == '\0' && !o->value.empty()) ? v : def;
+bool FlagSet::Provided(const std::string& name) const {
+  const Flag* f = Find(name);
+  return f != nullptr && f->provided;
 }
 
-bool Flags::GetBool(const std::string& key, bool def) const {
-  const Option* o = Find(key);
-  if (o == nullptr) return def;
-  if (!o->has_value) return true;
-  std::string v = o->value;
-  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
-  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
-  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
-  return def;
+std::string FlagSet::GetString(const std::string& name) const {
+  const Flag* f = Find(name);
+  assert(f != nullptr && f->type == Type::kString && "GetString on undefined flag");
+  return f->str_value;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  const Flag* f = Find(name);
+  assert(f != nullptr && f->type == Type::kInt && "GetInt on undefined flag");
+  return f->int_value;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  const Flag* f = Find(name);
+  assert(f != nullptr && f->type == Type::kDouble && "GetDouble on undefined flag");
+  return f->double_value;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  const Flag* f = Find(name);
+  assert(f != nullptr && f->type == Type::kBool && "GetBool on undefined flag");
+  return f->bool_value;
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream os;
+  for (const auto& f : flags_) {
+    os << "  --" << f.name << "=<" << TypeName(static_cast<int>(f.type))
+       << "> (default ";
+    switch (f.type) {
+      case Type::kString: os << "\"" << f.str_value << "\""; break;
+      case Type::kInt: os << f.int_value; break;
+      case Type::kDouble: os << f.double_value; break;
+      case Type::kBool: os << (f.bool_value ? "true" : "false"); break;
+    }
+    os << ")";
+    if (!f.help.empty()) os << "  " << f.help;
+    os << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace stpt

@@ -1,6 +1,7 @@
 #ifndef STPT_COMMON_FLAGS_H_
 #define STPT_COMMON_FLAGS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -8,43 +9,80 @@
 
 namespace stpt {
 
-/// Minimal command-line parser for the CLI tools: positional arguments plus
-/// `--key=value` / `--flag` options. No registration step — callers query
-/// by name with a default.
-class Flags {
+/// Registration-based command-line parser for the CLI tools and bench
+/// binaries: positional arguments plus `--key=value` / `--flag` options.
+///
+/// Unlike an ad-hoc query-by-name parser, every flag must be defined (name,
+/// type, default, help line) before Parse, and Parse fails with
+/// InvalidArgument on an unknown flag or a malformed value instead of
+/// silently falling back to a default — a typo like `--theads=4` is an error,
+/// not a no-op. Flags whose name matches a registered ignore-prefix (e.g.
+/// `benchmark_` for google-benchmark binaries) pass through unvalidated.
+///
+///   FlagSet flags;
+///   flags.DefineInt("port", 0, "server port (0 = ephemeral)");
+///   flags.DefineBool("profile", false, "print the timing profile at exit");
+///   STPT_RETURN_IF_ERROR(flags.Parse(argc, argv));
+///   if (flags.Provided("port")) Connect(flags.GetInt("port"));
+class FlagSet {
  public:
-  /// Parses argv. Returns InvalidArgument on malformed options (`--=x`).
-  static StatusOr<Flags> Parse(int argc, const char* const* argv);
+  FlagSet() = default;
+
+  /// Registers one flag. Names are matched exactly (no abbreviation);
+  /// defining the same name twice is a programming error (asserts).
+  void DefineString(const std::string& name, const std::string& def,
+                    const std::string& help);
+  void DefineInt(const std::string& name, int64_t def, const std::string& help);
+  void DefineDouble(const std::string& name, double def, const std::string& help);
+  void DefineBool(const std::string& name, bool def, const std::string& help);
+
+  /// Options whose name starts with `prefix` are accepted and ignored
+  /// (needed when another library parses part of argv, e.g. `--benchmark_*`).
+  void IgnorePrefix(const std::string& prefix);
+
+  /// Parses argv (argv[0] excluded). On error the FlagSet keeps its
+  /// defaults; values parsed before the error may already be applied, so
+  /// treat a non-OK status as fatal. A repeated flag keeps the last value.
+  Status Parse(int argc, const char* const* argv);
 
   /// Positional arguments in order (argv[0] excluded).
   const std::vector<std::string>& positional() const { return positional_; }
 
-  bool Has(const std::string& key) const;
+  /// True if the flag appeared on the command line (used for defaults that
+  /// depend on runtime data, e.g. "half the time slices").
+  bool Provided(const std::string& name) const;
 
-  /// String option or default.
-  std::string GetString(const std::string& key, const std::string& def) const;
+  /// Typed accessors; asserting that the flag was defined with that type.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
 
-  /// Integer option or default; returns def on parse failure.
-  int64_t GetInt(const std::string& key, int64_t def) const;
-
-  /// Double option or default; returns def on parse failure.
-  double GetDouble(const std::string& key, double def) const;
-
-  /// True if `--key` present without value or with value in
-  /// {1, true, yes, on}; false for {0, false, no, off}; def otherwise.
-  bool GetBool(const std::string& key, bool def) const;
+  /// One "--name=<type> (default ...)  help" line per defined flag, in
+  /// definition order — ready to print after a usage error.
+  std::string Usage() const;
 
  private:
-  struct Option {
-    std::string key;
-    std::string value;
-    bool has_value = false;
+  enum class Type { kString, kInt, kDouble, kBool };
+
+  struct Flag {
+    std::string name;
+    Type type = Type::kString;
+    std::string help;
+    bool provided = false;
+    std::string str_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
   };
 
-  const Option* Find(const std::string& key) const;
+  Flag* Find(const std::string& name);
+  const Flag* Find(const std::string& name) const;
+  void Define(Flag flag);
 
+  std::vector<Flag> flags_;
+  std::vector<std::string> ignore_prefixes_;
   std::vector<std::string> positional_;
-  std::vector<Option> options_;
 };
 
 }  // namespace stpt

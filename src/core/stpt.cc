@@ -5,12 +5,66 @@
 
 #include "core/budget_allocation.h"
 #include "core/htf_partition.h"
+#include "dp/budget_accountant.h"
 #include "dp/mechanisms.h"
 #include "exec/parallel.h"
 #include "exec/timing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/metrics.h"
 
 namespace stpt::core {
+namespace {
+
+/// Pipeline instrumentation (process-wide registry), resolved once.
+obs::Counter& Publishes() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "stpt_core_publishes_total", "Completed Stpt::Publish pipeline runs");
+  return *c;
+}
+
+obs::Histogram* StageNs(const char* name, const char* help) {
+  return obs::Registry::Global().GetHistogram(name, help, obs::LatencyBucketsNs());
+}
+
+obs::Histogram* PatternNs() {
+  static obs::Histogram* h = StageNs("stpt_core_pattern_recognition_ns",
+                                     "Pattern recognition stage wall time");
+  return h;
+}
+
+obs::Histogram* PartitionNs() {
+  static obs::Histogram* h =
+      StageNs("stpt_core_partition_ns", "Quantization / HTF partition wall time");
+  return h;
+}
+
+obs::Histogram* BudgetNs() {
+  static obs::Histogram* h =
+      StageNs("stpt_core_budget_allocation_ns", "Budget allocation wall time");
+  return h;
+}
+
+obs::Histogram* SanitizeNs() {
+  static obs::Histogram* h =
+      StageNs("stpt_core_sanitize_ns", "Aggregate + noise + spread wall time");
+  return h;
+}
+
+/// Privacy-budget gauges, refreshed from the accountant after each charge.
+void ExportBudget(const dp::BudgetAccountant& accountant) {
+  static obs::Gauge* total = obs::Registry::Global().GetGauge(
+      "stpt_core_epsilon_total", "Total privacy budget configured for Publish");
+  static obs::Gauge* consumed = obs::Registry::Global().GetGauge(
+      "stpt_core_epsilon_consumed", "Privacy budget consumed (composed)");
+  static obs::Gauge* remaining = obs::Registry::Global().GetGauge(
+      "stpt_core_epsilon_remaining", "Privacy budget remaining");
+  total->Set(accountant.total_epsilon());
+  consumed->Set(accountant.ConsumedEpsilon());
+  remaining->Set(accountant.RemainingEpsilon());
+}
+
+}  // namespace
 
 StatusOr<grid::ConsumptionMatrix> TestRegion(const grid::ConsumptionMatrix& cons,
                                              int t_train) {
@@ -40,17 +94,26 @@ StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
   if (!(config_.eps_pattern > 0.0) || !(config_.eps_sanitize > 0.0)) {
     return Status::InvalidArgument("Stpt: budgets must be > 0");
   }
+  // The accountant composes the two sequential stages (Theorem 1) and backs
+  // the stpt_core_epsilon_* gauges; a charge past the configured total is a
+  // programming error surfaced as FailedPrecondition.
+  auto accountant_or =
+      dp::BudgetAccountant::Create(config_.eps_pattern + config_.eps_sanitize);
+  STPT_RETURN_IF_ERROR(accountant_or.status());
+  dp::BudgetAccountant accountant = std::move(accountant_or).value();
   // --- Normalise (Eq. 6) and run pattern recognition on the prefix. ---
   const grid::ConsumptionMatrix norm = cons.Normalized();
   const double range = std::max(cons.MaxValue() - cons.MinValue(), 1e-12);
   const double cell_sens_norm = std::min(1.0, unit_sensitivity / range);
 
   auto pattern_or = [&] {
-    exec::ScopedTimer timer("stpt/pattern_recognition");
+    obs::Span span("stpt/pattern_recognition", PatternNs());
     return RunPatternRecognition(norm, config_, cell_sens_norm, rng);
   }();
   STPT_RETURN_IF_ERROR(pattern_or.status());
   PatternResult pattern = std::move(pattern_or).value();
+  STPT_RETURN_IF_ERROR(accountant.Charge("pattern", config_.eps_pattern));
+  ExportBudget(accountant);
 
   StptResult result;
   result.train_stats = std::move(pattern.train_stats);
@@ -67,10 +130,12 @@ StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
                     : static_cast<int>(pattern.pattern.size());
   Quantization quant;
   if (config_.use_quantization) {
-    auto quant_or =
-        config_.partitioning == StptConfig::PartitionStrategy::kHtf
-            ? HtfPartition(pattern.pattern, config_.htf_max_partitions)
-            : KQuantize(pattern.pattern, k);
+    auto quant_or = [&] {
+      obs::Span span("stpt/partition", PartitionNs());
+      return config_.partitioning == StptConfig::PartitionStrategy::kHtf
+                 ? HtfPartition(pattern.pattern, config_.htf_max_partitions)
+                 : KQuantize(pattern.pattern, k);
+    }();
     STPT_RETURN_IF_ERROR(quant_or.status());
     quant = std::move(quant_or).value();
   } else {
@@ -97,7 +162,10 @@ StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
     // Singleton partitions: each holds one cell of one pillar.
     std::fill(sens.begin(), sens.end(), unit_sensitivity);
   }
-  auto eps_or = AllocateBudget(sens, config_.eps_sanitize, config_.allocation);
+  auto eps_or = [&] {
+    obs::Span span("stpt/budget_allocation", BudgetNs());
+    return AllocateBudget(sens, config_.eps_sanitize, config_.allocation);
+  }();
   STPT_RETURN_IF_ERROR(eps_or.status());
   const std::vector<double> eps = std::move(eps_or).value();
 
@@ -106,7 +174,7 @@ StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
   STPT_RETURN_IF_ERROR(truth_test_or.status());
   const grid::ConsumptionMatrix& truth_test = *truth_test_or;
 
-  exec::ScopedTimer sanitize_timer("stpt/sanitize");
+  obs::Span sanitize_span("stpt/sanitize", SanitizeNs());
   std::vector<double> partition_sums(quant.levels, 0.0);
   for (size_t i = 0; i < quant.bucket.size(); ++i) {
     partition_sums[quant.bucket[i]] += truth_test.data()[i];
@@ -134,6 +202,14 @@ StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
           result.sanitized.mutable_data()[i] = released_means[quant.bucket[i]];
         }
       });
+
+  // The per-partition epsilons compose in parallel over disjoint partitions
+  // (Theorem 2), so the sanitize stage charges max(eps) — which AllocateBudget
+  // keeps within eps_sanitize by construction.
+  STPT_RETURN_IF_ERROR(accountant.Charge(
+      "sanitize", eps.empty() ? 0.0 : *std::max_element(eps.begin(), eps.end())));
+  ExportBudget(accountant);
+  Publishes().Increment();
 
   result.pattern = std::move(pattern.pattern);
   result.quantization = std::move(quant);

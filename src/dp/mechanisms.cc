@@ -3,7 +3,28 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace stpt::dp {
+namespace {
+
+/// Noise-draw counters (process-wide registry), resolved once. Draw counts
+/// are an auditing aid: each draw corresponds to one mechanism invocation
+/// against the data, so the counter doubles as a sanity check on the budget
+/// accounting.
+obs::Counter& LaplaceDraws() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "stpt_dp_laplace_draws_total", "Laplace noise samples drawn");
+  return *c;
+}
+
+obs::Counter& GeometricDraws() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "stpt_dp_geometric_draws_total", "Two-sided geometric noise samples drawn");
+  return *c;
+}
+
+}  // namespace
 
 StatusOr<LaplaceMechanism> LaplaceMechanism::Create(double epsilon, double sensitivity) {
   if (!(epsilon > 0.0)) {
@@ -16,6 +37,7 @@ StatusOr<LaplaceMechanism> LaplaceMechanism::Create(double epsilon, double sensi
 }
 
 double LaplaceMechanism::AddNoise(double value, Rng& rng) const {
+  LaplaceDraws().Increment();
   return value + rng.Laplace(scale_);
 }
 
@@ -41,6 +63,7 @@ StatusOr<GeometricMechanism> GeometricMechanism::Create(double epsilon,
 }
 
 int64_t GeometricMechanism::AddNoise(int64_t value, Rng& rng) const {
+  GeometricDraws().Increment();
   // Two-sided geometric via difference of two geometric variables, sampled
   // with inverse CDF: G = floor(log(u) / log(alpha)).
   auto sample_geometric = [&]() -> int64_t {

@@ -5,9 +5,35 @@
 #include <mutex>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace stpt::exec {
 namespace {
+
+/// Pool instrumentation, resolved once from the global registry. Counting
+/// happens outside the worker tasks so it cannot perturb the deterministic
+/// fork-by-index execution order.
+obs::Counter& InlineRegions() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "stpt_exec_regions_inline_total",
+      "Parallel regions executed inline on the calling thread");
+  return *c;
+}
+
+obs::Counter& DispatchedRegions() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "stpt_exec_regions_dispatched_total",
+      "Parallel regions dispatched to the worker pool");
+  return *c;
+}
+
+obs::Histogram& RegionNs() {
+  static obs::Histogram* h = obs::Registry::Global().GetHistogram(
+      "stpt_exec_region_ns", "Wall time of pool-dispatched parallel regions",
+      obs::LatencyBucketsNs());
+  return *h;
+}
 
 /// Synchronisation state for one blocking parallel region.
 struct Region {
@@ -36,9 +62,12 @@ void ParallelForRange(int64_t n,
   if (n <= 0) return;
   const int threads = Threads();
   if (threads <= 1 || n < kParallelForMinWork || ThreadPool::InWorker()) {
+    InlineRegions().Increment();
     fn(0, n);
     return;
   }
+  DispatchedRegions().Increment();
+  const uint64_t region_start_ns = obs::NowNanos();
   const int64_t num_chunks = n < threads ? n : threads;
   const int64_t base = n / num_chunks;
   const int64_t rem = n % num_chunks;
@@ -62,6 +91,7 @@ void ParallelForRange(int64_t n,
     begin = end;
   }
   region.Wait();
+  RegionNs().Observe(static_cast<double>(obs::NowNanos() - region_start_ns));
 }
 
 void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {

@@ -4,10 +4,18 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace stpt::exec {
 namespace {
 
 thread_local bool t_in_worker = false;
+
+obs::Counter& TasksSubmitted() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "stpt_exec_tasks_total", "Tasks submitted to the exec worker pool");
+  return *c;
+}
 
 int ResolveDefaultThreads() {
   if (const char* env = std::getenv("STPT_THREADS")) {
@@ -43,6 +51,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  TasksSubmitted().Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));

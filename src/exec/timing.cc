@@ -1,69 +1,15 @@
 #include "exec/timing.h"
 
-#include <algorithm>
-#include <chrono>
 #include <iomanip>
-#include <map>
-#include <mutex>
 #include <sstream>
 
 #include "exec/thread_pool.h"
 
 namespace stpt::exec {
-namespace {
 
-struct Accumulator {
-  uint64_t calls = 0;
-  uint64_t total_ns = 0;
-};
+std::vector<TimingEntry> TimingProfile() { return obs::TraceProfile(); }
 
-std::mutex g_mu;
-// std::map keeps the profile output stable across runs.
-std::map<std::string, Accumulator>& Registry() {
-  static auto* registry = new std::map<std::string, Accumulator>();
-  return *registry;
-}
-
-}  // namespace
-
-uint64_t NowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-ScopedTimer::ScopedTimer(const char* region)
-    : region_(region), start_ns_(NowNanos()) {}
-
-ScopedTimer::~ScopedTimer() {
-  const uint64_t ns = NowNanos() - start_ns_;
-  std::lock_guard<std::mutex> lock(g_mu);
-  Accumulator& acc = Registry()[region_];
-  ++acc.calls;
-  acc.total_ns += ns;
-}
-
-std::vector<TimingEntry> TimingProfile() {
-  std::vector<TimingEntry> out;
-  {
-    std::lock_guard<std::mutex> lock(g_mu);
-    out.reserve(Registry().size());
-    for (const auto& [name, acc] : Registry()) {
-      out.push_back({name, acc.calls, acc.total_ns});
-    }
-  }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const TimingEntry& a, const TimingEntry& b) {
-                     return a.total_ns > b.total_ns;
-                   });
-  return out;
-}
-
-void ResetTimings() {
-  std::lock_guard<std::mutex> lock(g_mu);
-  Registry().clear();
-}
+void ResetTimings() { obs::ResetTrace(); }
 
 void PrintTimings(std::ostream& os) {
   const auto profile = TimingProfile();

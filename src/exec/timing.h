@@ -6,42 +6,32 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace stpt::exec {
 
+/// Region timing now lives in stpt::obs (see obs/trace.h): obs::Span is the
+/// RAII primitive and the process-wide profile store is obs::RecordRegion /
+/// obs::TraceProfile. This header keeps the original exec-layer names as
+/// aliases and thin wrappers so existing call sites — and the pool-size
+/// context that only exec knows — continue to work unchanged.
+
 /// Aggregated wall-clock statistics for one named region.
-struct TimingEntry {
-  std::string region;
-  uint64_t calls = 0;
-  uint64_t total_ns = 0;
-};
+using TimingEntry = obs::RegionEntry;
 
-/// Monotonic wall clock in nanoseconds (steady_clock). The single time
-/// source for all latency measurement in the library: ScopedTimer below,
-/// the serve-layer latency histograms, and the bench load generators all
-/// read this clock, so their numbers are directly comparable.
-uint64_t NowNanos();
+/// Monotonic wall clock in nanoseconds (steady_clock); alias of
+/// obs::NowNanos, the single time source for all latency measurement.
+inline uint64_t NowNanos() { return obs::NowNanos(); }
 
-/// RAII per-region wall-clock timer. On destruction the elapsed time is
-/// added to a process-wide profile keyed by region name. Thread-safe;
-/// overhead is one clock read + one mutexed map update per region exit, so
-/// instrument phases (training, sanitization, sweeps), not inner loops.
+/// RAII per-region wall-clock timer; alias of obs::Span. On destruction the
+/// elapsed time is added to the process-wide trace profile (and, if a
+/// histogram handle was passed, observed into that metric).
 ///
 ///   {
 ///     exec::ScopedTimer timer("stpt/pattern");
 ///     ...  // phase body
 ///   }
-class ScopedTimer {
- public:
-  explicit ScopedTimer(const char* region);
-  ~ScopedTimer();
-
-  ScopedTimer(const ScopedTimer&) = delete;
-  ScopedTimer& operator=(const ScopedTimer&) = delete;
-
- private:
-  const char* region_;
-  uint64_t start_ns_;
-};
+using ScopedTimer = obs::Span;
 
 /// Snapshot of the aggregated profile, sorted by descending total time.
 std::vector<TimingEntry> TimingProfile();

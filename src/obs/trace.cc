@@ -1,0 +1,60 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace stpt::obs {
+namespace {
+
+struct Accumulator {
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+};
+
+std::mutex g_mu;
+// std::map keeps the profile output stable across runs.
+std::map<std::string, Accumulator>& TraceStore() {
+  static auto* store = new std::map<std::string, Accumulator>();
+  return *store;
+}
+
+}  // namespace
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RecordRegion(const char* region, uint64_t ns) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  Accumulator& acc = TraceStore()[region];
+  ++acc.calls;
+  acc.total_ns += ns;
+}
+
+std::vector<RegionEntry> TraceProfile() {
+  std::vector<RegionEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    out.reserve(TraceStore().size());
+    for (const auto& [name, acc] : TraceStore()) {
+      out.push_back({name, acc.calls, acc.total_ns});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RegionEntry& a, const RegionEntry& b) {
+                     return a.total_ns > b.total_ns;
+                   });
+  return out;
+}
+
+void ResetTrace() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  TraceStore().clear();
+}
+
+}  // namespace stpt::obs

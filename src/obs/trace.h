@@ -1,0 +1,70 @@
+#ifndef STPT_OBS_TRACE_H_
+#define STPT_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace stpt::obs {
+
+/// Monotonic wall clock in nanoseconds (steady_clock). The single time
+/// source for all latency measurement in the library: Span below, the
+/// serve-layer latency histograms, and the bench load generators all read
+/// this clock, so their numbers are directly comparable. (exec::NowNanos is
+/// an alias kept for existing call sites.)
+uint64_t NowNanos();
+
+/// Aggregated wall-clock statistics for one named trace region.
+struct RegionEntry {
+  std::string region;
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+};
+
+/// Adds one sample to the process-wide trace profile. Thread-safe (one
+/// mutexed map update); Span calls this on destruction.
+void RecordRegion(const char* region, uint64_t ns);
+
+/// Snapshot of the aggregated trace profile, sorted by descending total time.
+std::vector<RegionEntry> TraceProfile();
+
+/// Clears all accumulated region timings.
+void ResetTrace();
+
+/// RAII trace span: on destruction the elapsed wall time is added to the
+/// process-wide trace profile under `region`, and — when a histogram handle
+/// is supplied — also observed (in nanoseconds) into that metric, making the
+/// stage latency distribution available to the exporters. The region string
+/// must outlive the span (string literals in practice). Overhead is one
+/// clock read plus one mutexed map update per span exit, so instrument
+/// phases (training, sanitization, sweeps), not inner loops.
+///
+///   {
+///     obs::Span span("stpt/pattern_recognition", StageNsHistogram());
+///     ...  // phase body
+///   }
+class Span {
+ public:
+  explicit Span(const char* region, Histogram* latency_ns = nullptr)
+      : region_(region), latency_ns_(latency_ns), start_ns_(NowNanos()) {}
+
+  ~Span() {
+    const uint64_t ns = NowNanos() - start_ns_;
+    RecordRegion(region_, ns);
+    if (latency_ns_ != nullptr) latency_ns_->Observe(static_cast<double>(ns));
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* region_;
+  Histogram* latency_ns_;
+  uint64_t start_ns_;
+};
+
+}  // namespace stpt::obs
+
+#endif  // STPT_OBS_TRACE_H_

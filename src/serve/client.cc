@@ -68,7 +68,7 @@ StatusOr<Frame> Client::Call(MsgType request, const std::vector<uint8_t>& payloa
   return frame;
 }
 
-StatusOr<std::vector<double>> Client::Query(const query::Workload& batch) {
+StatusOr<QueryResponse> Client::Query(const query::Workload& batch) {
   auto frame = Call(MsgType::kQueryRequest, EncodeQueryRequest(batch),
                     MsgType::kQueryResponse);
   if (!frame.ok()) return frame.status();
@@ -88,6 +88,12 @@ StatusOr<WireMeta> Client::Meta() {
 
 StatusOr<std::string> Client::Stats() {
   auto frame = Call(MsgType::kStatsRequest, {}, MsgType::kStatsResponse);
+  if (!frame.ok()) return frame.status();
+  return DecodeString(frame->payload);
+}
+
+StatusOr<std::string> Client::Metrics() {
+  auto frame = Call(MsgType::kMetricsRequest, {}, MsgType::kMetricsResponse);
   if (!frame.ok()) return frame.status();
   return DecodeString(frame->payload);
 }

@@ -28,13 +28,17 @@ class Client {
 
   /// Answers for each query, index-aligned with the batch. A server-side
   /// validation failure surfaces as the server's error Status.
-  StatusOr<std::vector<double>> Query(const query::Workload& batch);
+  StatusOr<QueryResponse> Query(const query::Workload& batch);
 
   /// Server dims + snapshot metadata.
   StatusOr<WireMeta> Meta();
 
   /// Serving-counter JSON (ServerStats::ToJson).
   StatusOr<std::string> Stats();
+
+  /// Full metric snapshot in Prometheus text exposition format: the
+  /// engine's registry followed by the server process's global registry.
+  StatusOr<std::string> Metrics();
 
   /// Asks the server to stop; returns OK once the ack arrives.
   Status Shutdown();

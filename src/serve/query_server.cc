@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <bit>
 #include <cstring>
 #include <list>
@@ -12,45 +11,10 @@
 #include <utility>
 
 #include "exec/parallel.h"
-#include "exec/timing.h"
+#include "obs/trace.h"
 
 namespace stpt::serve {
 namespace {
-
-/// Log2-bucketed latency histogram: bucket i counts samples with
-/// 2^(i-1) <= ns < 2^i (bucket 0 counts 0 ns). Lock-free recording; the
-/// percentile read is a linear scan over 64 counters.
-class LatencyHistogram {
- public:
-  void Record(uint64_t ns) {
-    buckets_[std::bit_width(ns)].fetch_add(1, std::memory_order_relaxed);
-  }
-
-  void Reset() {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  }
-
-  /// Upper bound (2^bucket ns) of the bucket containing quantile `q`.
-  uint64_t Quantile(double q) const {
-    std::array<uint64_t, 65> counts;
-    uint64_t total = 0;
-    for (size_t i = 0; i < counts.size(); ++i) {
-      counts[i] = buckets_[i].load(std::memory_order_relaxed);
-      total += counts[i];
-    }
-    if (total == 0) return 0;
-    const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
-    uint64_t seen = 0;
-    for (size_t i = 0; i < counts.size(); ++i) {
-      seen += counts[i];
-      if (seen > rank) return i == 0 ? 0 : uint64_t{1} << i;
-    }
-    return uint64_t{1} << 63;
-  }
-
- private:
-  std::array<std::atomic<uint64_t>, 65> buckets_{};
-};
 
 struct CacheKey {
   std::array<int32_t, 6> bounds;
@@ -131,9 +95,22 @@ class QueryServer::Impl {
  public:
   Impl(Snapshot snapshot, grid::PrefixSum3D prefix, const QueryServerOptions& options)
       : meta_(std::move(snapshot.meta)), prefix_(std::move(prefix)) {
+    queries_ = registry_.GetCounter("stpt_serve_queries_total",
+                                    "Queries answered successfully");
+    invalid_ = registry_.GetCounter("stpt_serve_invalid_total",
+                                    "Queries rejected by bounds validation");
+    hits_ = registry_.GetCounter("stpt_serve_cache_hits_total",
+                                 "Answers served from the LRU cache");
+    misses_ = registry_.GetCounter("stpt_serve_cache_misses_total",
+                                   "Answers computed on cache miss");
+    batches_ = registry_.GetCounter("stpt_serve_batches_total",
+                                    "Query batches accepted by AnswerBatch");
+    latency_ = registry_.GetHistogram("stpt_serve_query_latency_ns",
+                                      "Per-query Answer() wall time",
+                                      obs::LatencyBucketsNs());
     if (options.cache_capacity > 0) {
-      const int shards = std::max(1, options.cache_shards);
-      shards_.resize(static_cast<size_t>(std::bit_ceil(static_cast<unsigned>(shards))));
+      shards_.resize(static_cast<size_t>(
+          std::bit_ceil(static_cast<unsigned>(options.cache_shards))));
       const size_t per_shard =
           std::max<size_t>(1, options.cache_capacity / shards_.size());
       for (auto& shard : shards_) {
@@ -145,12 +122,13 @@ class QueryServer::Impl {
 
   const grid::Dims& dims() const { return prefix_.dims(); }
   const SnapshotMeta& meta() const { return meta_; }
+  obs::Registry& metrics() { return registry_; }
 
   StatusOr<double> Answer(const query::RangeQuery& q) {
-    const uint64_t start_ns = exec::NowNanos();
+    const uint64_t start_ns = obs::NowNanos();
     const Status valid = query::ValidateQuery(q, prefix_.dims());
     if (!valid.ok()) {
-      invalid_.fetch_add(1, std::memory_order_relaxed);
+      invalid_->Increment();
       return valid;
     }
     double value = 0.0;
@@ -161,68 +139,65 @@ class QueryServer::Impl {
       LruShard& shard =
           *shards_[CacheKeyHash{}(key) & (shards_.size() - 1)];
       if (shard.Lookup(key, &value)) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_->Increment();
       } else {
         value = prefix_.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
         shard.Insert(key, value);
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        misses_->Increment();
       }
     }
-    queries_.fetch_add(1, std::memory_order_relaxed);
-    histogram_.Record(exec::NowNanos() - start_ns);
+    queries_->Increment();
+    latency_->Observe(static_cast<double>(obs::NowNanos() - start_ns));
     return value;
   }
 
-  Status AnswerBatch(const query::Workload& batch, std::vector<double>* out) {
-    out->clear();
+  StatusOr<QueryResponse> AnswerBatch(const query::Workload& batch) {
     for (size_t i = 0; i < batch.size(); ++i) {
       const Status valid = query::ValidateQuery(batch[i], prefix_.dims());
       if (!valid.ok()) {
-        invalid_.fetch_add(1, std::memory_order_relaxed);
+        invalid_->Increment();
         return Status::InvalidArgument("AnswerBatch: query " + std::to_string(i) +
                                        " invalid: " + valid.message());
       }
     }
-    out->resize(batch.size());
-    std::vector<double>& answers = *out;
+    batches_->Increment();
+    QueryResponse answers(batch.size());
     exec::ParallelFor(static_cast<int64_t>(batch.size()), [&](int64_t i) {
       // Already validated, so Answer cannot fail; each slot is written by
       // exactly one index (the ParallelFor purity contract).
       answers[i] = *Answer(batch[i]);
     });
-    return Status::OK();
+    return answers;
   }
 
   ServerStats stats() const {
     ServerStats s;
-    s.queries = queries_.load(std::memory_order_relaxed);
-    s.invalid = invalid_.load(std::memory_order_relaxed);
-    s.cache_hits = hits_.load(std::memory_order_relaxed);
-    s.cache_misses = misses_.load(std::memory_order_relaxed);
-    s.p50_ns = histogram_.Quantile(0.50);
-    s.p99_ns = histogram_.Quantile(0.99);
+    s.queries = queries_->Value();
+    s.invalid = invalid_->Value();
+    s.cache_hits = hits_->Value();
+    s.cache_misses = misses_->Value();
+    s.p50_ns = static_cast<uint64_t>(latency_->Quantile(0.50));
+    s.p99_ns = static_cast<uint64_t>(latency_->Quantile(0.99));
     return s;
   }
 
-  void ResetStats() {
-    queries_.store(0, std::memory_order_relaxed);
-    invalid_.store(0, std::memory_order_relaxed);
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
-    histogram_.Reset();
-  }
+  void ResetStats() { registry_.Reset(); }
 
  private:
   SnapshotMeta meta_;
   grid::PrefixSum3D prefix_;
+  // Per-instance registry; the handles below are resolved once in the
+  // constructor and are lock-free thereafter.
+  obs::Registry registry_;
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* invalid_ = nullptr;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Histogram* latency_ = nullptr;
   // Shards are heap-allocated because a mutex is neither movable nor
   // copyable; the vector is empty when the cache is disabled.
   std::vector<std::unique_ptr<LruShard>> shards_;
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> invalid_{0};
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  LatencyHistogram histogram_;
 };
 
 QueryServer::QueryServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -234,11 +209,16 @@ StatusOr<QueryServer> QueryServer::Open(const std::string& snapshot_path,
                                         const QueryServerOptions& options) {
   auto snapshot = ReadSnapshot(snapshot_path);
   if (!snapshot.ok()) return snapshot.status();
-  return Make(std::move(*snapshot), options);
+  return Create(std::move(*snapshot), options);
 }
 
-StatusOr<QueryServer> QueryServer::Make(Snapshot snapshot,
-                                        const QueryServerOptions& options) {
+StatusOr<QueryServer> QueryServer::Create(Snapshot snapshot,
+                                          const QueryServerOptions& options) {
+  if (options.cache_shards < 1) {
+    return Status::InvalidArgument(
+        "QueryServer: cache_shards must be >= 1, got " +
+        std::to_string(options.cache_shards));
+  }
   auto prefix =
       grid::PrefixSum3D::FromRaw(snapshot.sanitized.dims(), std::move(snapshot.prefix));
   if (!prefix.ok()) return prefix.status();
@@ -253,12 +233,12 @@ StatusOr<double> QueryServer::Answer(const query::RangeQuery& q) {
   return impl_->Answer(q);
 }
 
-Status QueryServer::AnswerBatch(const query::Workload& batch,
-                                std::vector<double>* out) {
-  return impl_->AnswerBatch(batch, out);
+StatusOr<QueryResponse> QueryServer::AnswerBatch(const query::Workload& batch) {
+  return impl_->AnswerBatch(batch);
 }
 
 ServerStats QueryServer::stats() const { return impl_->stats(); }
 void QueryServer::ResetStats() { impl_->ResetStats(); }
+obs::Registry& QueryServer::metrics() const { return impl_->metrics(); }
 
 }  // namespace stpt::serve

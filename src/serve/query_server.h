@@ -8,23 +8,27 @@
 
 #include "common/status.h"
 #include "grid/consumption_matrix.h"
+#include "obs/metrics.h"
 #include "query/range_query.h"
 #include "serve/snapshot.h"
+#include "serve/wire.h"
 
 namespace stpt::serve {
 
-/// Tuning knobs for the in-process query engine.
+/// Tuning knobs for the in-process query engine. Validated by
+/// QueryServer::Create; invalid combinations fail construction instead of
+/// being silently clamped.
 struct QueryServerOptions {
-  /// Number of independent cache shards; rounded up to a power of two.
-  /// Each shard has its own mutex, so concurrent batches contend only when
-  /// they hash to the same shard.
+  /// Number of independent cache shards; must be >= 1, rounded up to a power
+  /// of two. Each shard has its own mutex, so concurrent batches contend
+  /// only when they hash to the same shard.
   int cache_shards = 16;
   /// Total cached answers across all shards; 0 disables the cache.
   size_t cache_capacity = 1 << 16;
 };
 
 /// Point-in-time serving counters. Latency percentiles come from a
-/// log-scaled histogram of per-query Answer() wall times (exec::NowNanos),
+/// log-scaled histogram of per-query Answer() wall times (obs::NowNanos),
 /// so they are approximate to one power-of-two bucket.
 struct ServerStats {
   uint64_t queries = 0;       ///< answered successfully
@@ -50,6 +54,11 @@ struct ServerStats {
 /// cached or not, batched or not, at any thread count. Batches fan out on
 /// the stpt::exec pool. All methods are thread-safe; a TcpServer drives one
 /// instance from many connection threads.
+///
+/// Each engine owns a private obs::Registry (`stpt_serve_*` metrics) so that
+/// several engines in one process — or in one test — never mix counters;
+/// stats() is a typed view over the same registry handles, which keeps the
+/// `stats` and `metrics` wire commands consistent by construction.
 class QueryServer {
  public:
   /// Loads a snapshot container from disk and builds the engine.
@@ -57,8 +66,9 @@ class QueryServer {
                                     const QueryServerOptions& options = {});
 
   /// Builds the engine from an in-memory snapshot (no file round-trip).
-  static StatusOr<QueryServer> Make(Snapshot snapshot,
-                                    const QueryServerOptions& options = {});
+  /// Returns InvalidArgument if `options` is malformed (cache_shards < 1).
+  static StatusOr<QueryServer> Create(Snapshot snapshot,
+                                      const QueryServerOptions& options = {});
 
   QueryServer(QueryServer&&) noexcept;
   QueryServer& operator=(QueryServer&&) noexcept;
@@ -73,14 +83,19 @@ class QueryServer {
 
   /// Answers a batch in index order, in parallel on the exec pool. The
   /// whole batch is validated first; an invalid query fails the batch with
-  /// InvalidArgument (naming the offending index) and leaves `out` empty.
-  Status AnswerBatch(const query::Workload& batch, std::vector<double>* out);
+  /// InvalidArgument naming the offending index.
+  StatusOr<QueryResponse> AnswerBatch(const query::Workload& batch);
 
   /// Snapshot of the serving counters.
   ServerStats stats() const;
 
   /// Zeroes all counters and the latency histogram (not the cache).
   void ResetStats();
+
+  /// This engine's private metric registry (thread-safe; valid for the
+  /// engine's lifetime). Exported by the `metrics` wire command and by
+  /// stpt_cli --metrics alongside the process-wide registry.
+  obs::Registry& metrics() const;
 
  private:
   class Impl;

@@ -20,8 +20,35 @@ void CloseQuietly(int fd) {
 
 }  // namespace
 
+StatusOr<std::unique_ptr<TcpServer>> TcpServer::Create(QueryServer* engine,
+                                                       TcpServerOptions options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("tcp: engine must not be null");
+  }
+  if (options.port < 0 || options.port > 65535) {
+    return Status::InvalidArgument("tcp: port must be in [0, 65535], got " +
+                                   std::to_string(options.port));
+  }
+  if (options.listen_backlog < 1) {
+    return Status::InvalidArgument("tcp: listen_backlog must be >= 1, got " +
+                                   std::to_string(options.listen_backlog));
+  }
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &parsed) != 1) {
+    return Status::InvalidArgument("tcp: bad bind address '" +
+                                   options.bind_address + "'");
+  }
+  return std::unique_ptr<TcpServer>(new TcpServer(engine, std::move(options)));
+}
+
 TcpServer::TcpServer(QueryServer* engine, TcpServerOptions options)
-    : engine_(engine), options_(std::move(options)) {}
+    : engine_(engine),
+      options_(std::move(options)),
+      connections_ctr_(engine->metrics().GetCounter(
+          "stpt_serve_connections_total", "TCP connections accepted")),
+      protocol_errors_ctr_(engine->metrics().GetCounter(
+          "stpt_serve_protocol_errors_total",
+          "Malformed or unexpected frames received")) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -77,6 +104,7 @@ void TcpServer::AcceptLoop() {
     const int one = 1;
     ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_ctr_->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_.load(std::memory_order_acquire)) {
       CloseQuietly(conn);
@@ -94,6 +122,7 @@ void TcpServer::HandleConnection(int fd) {
       // Clean close is the normal end of a session; anything else gets a
       // best-effort error frame so well-behaved clients can log the cause.
       if (!IsConnectionClosed(frame.status())) {
+        protocol_errors_ctr_->Increment();
         (void)WriteFrame(fd, MsgType::kError, EncodeString(frame.status().ToString()));
       }
       break;
@@ -112,21 +141,31 @@ bool TcpServer::ServeFrame(int fd, MsgType type, const std::vector<uint8_t>& pay
     case MsgType::kQueryRequest: {
       auto batch = DecodeQueryRequest(payload);
       if (!batch.ok()) {
+        protocol_errors_ctr_->Increment();
         (void)WriteFrame(fd, MsgType::kError, EncodeString(batch.status().ToString()));
         return false;
       }
-      std::vector<double> answers;
-      const Status st = engine_->AnswerBatch(*batch, &answers);
-      if (!st.ok()) {
+      auto answers = engine_->AnswerBatch(*batch);
+      if (!answers.ok()) {
         // Per-query validation failure: report it but keep the connection —
         // the client's next batch may be fine.
-        return WriteFrame(fd, MsgType::kError, EncodeString(st.ToString())).ok();
+        return WriteFrame(fd, MsgType::kError,
+                          EncodeString(answers.status().ToString()))
+            .ok();
       }
-      return WriteFrame(fd, MsgType::kQueryResponse, EncodeQueryResponse(answers)).ok();
+      return WriteFrame(fd, MsgType::kQueryResponse, EncodeQueryResponse(*answers))
+          .ok();
     }
     case MsgType::kStatsRequest:
       return WriteFrame(fd, MsgType::kStatsResponse,
                         EncodeString(engine_->stats().ToJson()))
+          .ok();
+    case MsgType::kMetricsRequest:
+      // Engine-private metrics first, then the process-wide registry (exec,
+      // core, dp); the name sets are disjoint by the subsystem prefix.
+      return WriteFrame(fd, MsgType::kMetricsResponse,
+                        EncodeString(engine_->metrics().ToPrometheusText() +
+                                     obs::Registry::Global().ToPrometheusText()))
           .ok();
     case MsgType::kMetaRequest:
       return WriteFrame(fd, MsgType::kMetaResponse,
@@ -137,6 +176,7 @@ bool TcpServer::ServeFrame(int fd, MsgType type, const std::vector<uint8_t>& pay
       RequestStop();
       return false;
     default:
+      protocol_errors_ctr_->Increment();
       (void)WriteFrame(fd, MsgType::kError,
                        EncodeString("wire: unexpected message type"));
       return false;

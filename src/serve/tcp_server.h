@@ -4,18 +4,20 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "serve/query_server.h"
 #include "serve/wire.h"
 
 namespace stpt::serve {
 
-/// Listener configuration.
+/// Listener configuration. Validated by TcpServer::Create.
 struct TcpServerOptions {
   std::string bind_address = "127.0.0.1";
   int port = 0;  ///< 0 picks an ephemeral port; read it back via port()
@@ -30,10 +32,18 @@ struct TcpServerOptions {
 /// the socket still accepts writes) and the connection is dropped; the
 /// listener and all other connections keep running. A kShutdown frame asks
 /// the whole server to stop, which unblocks Wait().
+///
+/// Connection and protocol-error counters live in the engine's registry
+/// (stpt_serve_connections_total, stpt_serve_protocol_errors_total), so the
+/// `metrics` wire command reports them next to the query counters.
 class TcpServer {
  public:
-  /// The engine must outlive the server.
-  TcpServer(QueryServer* engine, TcpServerOptions options);
+  /// Validates `options` and builds a server bound to `engine` (which must
+  /// outlive it). Returns InvalidArgument for a null engine, a port outside
+  /// [0, 65535], a backlog < 1, or an unparseable IPv4 bind address. The
+  /// server is returned stopped; call Start() to bind and accept.
+  static StatusOr<std::unique_ptr<TcpServer>> Create(QueryServer* engine,
+                                                     TcpServerOptions options);
 
   /// Not copyable or movable: handler threads capture `this`.
   TcpServer(const TcpServer&) = delete;
@@ -62,6 +72,8 @@ class TcpServer {
   }
 
  private:
+  TcpServer(QueryServer* engine, TcpServerOptions options);
+
   void AcceptLoop();
   void HandleConnection(int fd);
   /// Serves one decoded frame; returns false when the connection (or the
@@ -71,6 +83,8 @@ class TcpServer {
 
   QueryServer* engine_;
   TcpServerOptions options_;
+  obs::Counter* connections_ctr_;     ///< engine-registry handles, never null
+  obs::Counter* protocol_errors_ctr_;
   int listen_fd_ = -1;
   int port_ = 0;
 

@@ -253,7 +253,7 @@ StatusOr<Frame> ReadFrame(int fd) {
   uint8_t type = 0;
   if (ReadFully(fd, &type, 1) != 1) return Malformed("frame type");
   if (type < static_cast<uint8_t>(MsgType::kQueryRequest) ||
-      type > static_cast<uint8_t>(MsgType::kShutdown)) {
+      type > static_cast<uint8_t>(MsgType::kMetricsResponse)) {
     return Malformed("frame type value");
   }
   Frame frame;

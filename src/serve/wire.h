@@ -30,6 +30,9 @@ namespace stpt::serve {
 ///                   eps_pattern, eps_sanitize, norm_min, norm_max, i32 t_train
 ///   kError          u32 length + UTF-8 message
 ///   kShutdown       empty (server acks with an empty kShutdown, then stops)
+///   kMetricsRequest empty
+///   kMetricsResponse u32 length + UTF-8 Prometheus text exposition
+///                   (engine registry followed by the process-wide registry)
 ///
 /// A reader that sees a malformed frame (bad length, unknown type, short
 /// payload) gets a non-OK Status and the connection is dropped; the peer's
@@ -44,7 +47,13 @@ enum class MsgType : uint8_t {
   kMetaResponse = 6,
   kError = 7,
   kShutdown = 8,
+  kMetricsRequest = 9,
+  kMetricsResponse = 10,
 };
+
+/// Index-aligned answers for one query batch (the kQueryResponse payload,
+/// and what QueryServer::AnswerBatch / Client::Query return).
+using QueryResponse = std::vector<double>;
 
 /// Upper bound on one frame (1 MiB of queries is ~43k queries per batch).
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
@@ -66,10 +75,10 @@ struct WireMeta {
 std::vector<uint8_t> EncodeQueryRequest(const query::Workload& batch);
 StatusOr<query::Workload> DecodeQueryRequest(const std::vector<uint8_t>& payload);
 
-std::vector<uint8_t> EncodeQueryResponse(const std::vector<double>& answers);
-StatusOr<std::vector<double>> DecodeQueryResponse(const std::vector<uint8_t>& payload);
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& answers);
+StatusOr<QueryResponse> DecodeQueryResponse(const std::vector<uint8_t>& payload);
 
-std::vector<uint8_t> EncodeString(const std::string& text);  // stats / error
+std::vector<uint8_t> EncodeString(const std::string& text);  // stats/metrics/error
 StatusOr<std::string> DecodeString(const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeMetaResponse(const WireMeta& meta);

@@ -171,52 +171,126 @@ TEST(SplitCsvTest, SplitsAndKeepsEmptyTrailingField) {
   EXPECT_TRUE(io::SplitCsvLine("").empty());
 }
 
-// --------------------------- Flags ---------------------------
+// --------------------------- FlagSet ---------------------------
 
-Flags MustParse(std::vector<const char*> argv) {
+Status ParseArgs(FlagSet& flags, std::vector<const char*> argv) {
   argv.insert(argv.begin(), "prog");
-  auto f = Flags::Parse(static_cast<int>(argv.size()), argv.data());
-  EXPECT_TRUE(f.ok());
-  return std::move(f).value();
+  return flags.Parse(static_cast<int>(argv.size()), argv.data());
 }
 
-TEST(FlagsTest, PositionalAndOptions) {
-  const Flags f = MustParse({"generate", "--grid=16", "--verbose"});
-  ASSERT_EQ(f.positional().size(), 1u);
-  EXPECT_EQ(f.positional()[0], "generate");
-  EXPECT_TRUE(f.Has("grid"));
-  EXPECT_TRUE(f.Has("verbose"));
-  EXPECT_FALSE(f.Has("missing"));
+TEST(FlagSetTest, PositionalAndProvided) {
+  FlagSet flags;
+  flags.DefineInt("grid", 32, "cells per side");
+  flags.DefineBool("verbose", false, "chatty output");
+  ASSERT_TRUE(ParseArgs(flags, {"generate", "--grid=16", "--verbose"}).ok());
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "generate");
+  EXPECT_TRUE(flags.Provided("grid"));
+  EXPECT_TRUE(flags.Provided("verbose"));
+  EXPECT_EQ(flags.GetInt("grid"), 16);
+  EXPECT_TRUE(flags.GetBool("verbose"));
 }
 
-TEST(FlagsTest, TypedGettersWithDefaults) {
-  const Flags f = MustParse({"--n=42", "--x=2.5", "--name=abc"});
-  EXPECT_EQ(f.GetInt("n", 0), 42);
-  EXPECT_EQ(f.GetInt("missing", 7), 7);
-  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0.0), 2.5);
-  EXPECT_EQ(f.GetString("name", ""), "abc");
-  EXPECT_EQ(f.GetString("missing", "dft"), "dft");
+TEST(FlagSetTest, TypedGettersReturnDefaultsWhenAbsent) {
+  FlagSet flags;
+  flags.DefineInt("n", 7, "");
+  flags.DefineDouble("x", 2.5, "");
+  flags.DefineString("name", "dft", "");
+  flags.DefineBool("b", false, "");
+  ASSERT_TRUE(ParseArgs(flags, {}).ok());
+  EXPECT_FALSE(flags.Provided("n"));
+  EXPECT_EQ(flags.GetInt("n"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x"), 2.5);
+  EXPECT_EQ(flags.GetString("name"), "dft");
+  EXPECT_FALSE(flags.GetBool("b"));
 }
 
-TEST(FlagsTest, MalformedNumbersFallBackToDefault) {
-  const Flags f = MustParse({"--n=abc", "--x=12x"});
-  EXPECT_EQ(f.GetInt("n", -1), -1);
-  EXPECT_DOUBLE_EQ(f.GetDouble("x", -2.0), -2.0);
+TEST(FlagSetTest, UnknownFlagRejected) {
+  FlagSet flags;
+  flags.DefineInt("n", 0, "");
+  const Status st = ParseArgs(flags, {"--n=1", "--bogus=2"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("bogus"), std::string::npos);
 }
 
-TEST(FlagsTest, BoolSemantics) {
-  const Flags f = MustParse({"--a", "--b=true", "--c=0", "--d=off", "--e=maybe"});
-  EXPECT_TRUE(f.GetBool("a", false));
-  EXPECT_TRUE(f.GetBool("b", false));
-  EXPECT_FALSE(f.GetBool("c", true));
-  EXPECT_FALSE(f.GetBool("d", true));
-  EXPECT_TRUE(f.GetBool("e", true));  // unparseable -> default
-  EXPECT_FALSE(f.GetBool("missing", false));
+TEST(FlagSetTest, MalformedNumbersRejected) {
+  {
+    FlagSet flags;
+    flags.DefineInt("n", 0, "");
+    EXPECT_FALSE(ParseArgs(flags, {"--n=abc"}).ok());
+  }
+  {
+    FlagSet flags;
+    flags.DefineInt("n", 0, "");
+    EXPECT_FALSE(ParseArgs(flags, {"--n=12x"}).ok());
+  }
+  {
+    FlagSet flags;
+    flags.DefineDouble("x", 0.0, "");
+    EXPECT_FALSE(ParseArgs(flags, {"--x=1.5oops"}).ok());
+  }
 }
 
-TEST(FlagsTest, RejectsEmptyOptionName) {
-  const char* argv[] = {"prog", "--=x"};
-  EXPECT_FALSE(Flags::Parse(2, argv).ok());
+TEST(FlagSetTest, ValueRequiredForNonBoolFlags) {
+  FlagSet flags;
+  flags.DefineInt("n", 0, "");
+  flags.DefineString("s", "", "");
+  EXPECT_FALSE(ParseArgs(flags, {"--n"}).ok());
+  FlagSet flags2;
+  flags2.DefineString("s", "", "");
+  EXPECT_FALSE(ParseArgs(flags2, {"--s"}).ok());
+}
+
+TEST(FlagSetTest, BoolSemantics) {
+  FlagSet flags;
+  flags.DefineBool("a", false, "");
+  flags.DefineBool("b", false, "");
+  flags.DefineBool("c", true, "");
+  flags.DefineBool("d", true, "");
+  ASSERT_TRUE(ParseArgs(flags, {"--a", "--b=YES", "--c=0", "--d=off"}).ok());
+  EXPECT_TRUE(flags.GetBool("a"));  // bare bool means true
+  EXPECT_TRUE(flags.GetBool("b"));
+  EXPECT_FALSE(flags.GetBool("c"));
+  EXPECT_FALSE(flags.GetBool("d"));
+
+  FlagSet bad;
+  bad.DefineBool("e", false, "");
+  EXPECT_FALSE(ParseArgs(bad, {"--e=maybe"}).ok());
+}
+
+TEST(FlagSetTest, RepeatedFlagLastWins) {
+  FlagSet flags;
+  flags.DefineInt("n", 0, "");
+  ASSERT_TRUE(ParseArgs(flags, {"--n=1", "--n=9"}).ok());
+  EXPECT_EQ(flags.GetInt("n"), 9);
+}
+
+TEST(FlagSetTest, RejectsEmptyOptionName) {
+  FlagSet flags;
+  EXPECT_FALSE(ParseArgs(flags, {"--=x"}).ok());
+}
+
+TEST(FlagSetTest, IgnorePrefixPassesForeignOptionsThrough) {
+  FlagSet flags;
+  flags.DefineInt("n", 3, "");
+  flags.IgnorePrefix("benchmark_");
+  ASSERT_TRUE(
+      ParseArgs(flags, {"--benchmark_filter=all", "--n=5", "--benchmark_repetitions"})
+          .ok());
+  EXPECT_EQ(flags.GetInt("n"), 5);
+}
+
+TEST(FlagSetTest, UsageListsFlagsInDefinitionOrder) {
+  FlagSet flags;
+  flags.DefineString("out", "data.csv", "output path");
+  flags.DefineInt("seed", 1, "rng seed");
+  const std::string usage = flags.Usage();
+  const size_t out_pos = usage.find("--out");
+  const size_t seed_pos = usage.find("--seed");
+  ASSERT_NE(out_pos, std::string::npos);
+  ASSERT_NE(seed_pos, std::string::npos);
+  EXPECT_LT(out_pos, seed_pos);
+  EXPECT_NE(usage.find("output path"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,271 @@
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace stpt::obs {
+namespace {
+
+// --- Counter / Gauge -------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("stpt_test_ops_total", "ops");
+  ASSERT_NE(counter, nullptr);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, IncrementByDelta) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("stpt_test_bytes_total", "");
+  counter->Increment(41);
+  counter->Increment();
+  EXPECT_EQ(counter->Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndConcurrentAdd) {
+  Registry registry;
+  Gauge* gauge = registry.GetGauge("stpt_test_level", "");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(10.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 10.5);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge->Add(0.25);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge->Value(), 10.5 + 0.25 * kThreads * kPerThread);
+}
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(HistogramTest, ExponentialBucketsGrowByFactor) {
+  const std::vector<double> bounds = ExponentialBuckets(1.0, 2.0, 5);
+  EXPECT_EQ(bounds, (std::vector<double>{1.0, 2.0, 4.0, 8.0, 16.0}));
+  EXPECT_TRUE(ExponentialBuckets(1.0, 2.0, 0).empty());
+  EXPECT_EQ(LatencyBucketsNs().size(), 33u);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Registry registry;
+  Histogram* h =
+      registry.GetHistogram("stpt_test_ns", "", {1.0, 10.0, 100.0});
+  ASSERT_NE(h, nullptr);
+  // Empty histogram: every quantile is 0.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 0.0);
+
+  // Single sample: every quantile is that sample's bucket bound.
+  h->Observe(5.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 10.0);
+
+  // Overflow samples clamp to the largest finite bound.
+  h->Observe(1e9);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 100.0);
+  EXPECT_EQ(h->Count(), 2u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 5.0 + 1e9);
+}
+
+TEST(HistogramTest, QuantilesOrderedOnSpreadData) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("stpt_test_spread_ns", "",
+                                       ExponentialBuckets(1.0, 2.0, 12));
+  for (int i = 0; i < 100; ++i) h->Observe(static_cast<double>(i + 1));
+  const double p50 = h->Quantile(0.50);
+  const double p95 = h->Quantile(0.95);
+  const double p99 = h->Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // 100 samples in [1, 100]: the p50 bucket bound must be near the median.
+  EXPECT_LE(p50, 64.0);
+  EXPECT_GE(p99, 64.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreLossless) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("stpt_test_conc_ns", "",
+                                       ExponentialBuckets(1.0, 2.0, 16));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe(static_cast<double>((t * kPerThread + i) % 1000));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h->Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : h->BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, h->Count());
+}
+
+// --- Registry semantics ----------------------------------------------------
+
+TEST(RegistryTest, ReturnsSameHandleAndRejectsKindMismatch) {
+  Registry registry;
+  Counter* a = registry.GetCounter("stpt_test_x_total", "help");
+  Counter* b = registry.GetCounter("stpt_test_x_total", "different help");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.GetGauge("stpt_test_x_total", ""), nullptr);
+  EXPECT_EQ(registry.GetHistogram("stpt_test_x_total", "", {1.0}), nullptr);
+  EXPECT_EQ(registry.NumMetrics(), 1u);
+}
+
+TEST(RegistryTest, RejectsInvalidNamesAndBounds) {
+  Registry registry;
+  EXPECT_EQ(registry.GetCounter("", ""), nullptr);
+  EXPECT_EQ(registry.GetCounter("1starts_with_digit", ""), nullptr);
+  EXPECT_EQ(registry.GetCounter("has-dash", ""), nullptr);
+  EXPECT_EQ(registry.GetCounter("has space", ""), nullptr);
+  EXPECT_NE(registry.GetCounter("_ok_name", ""), nullptr);
+
+  EXPECT_EQ(registry.GetHistogram("stpt_test_h", "", {}), nullptr);
+  EXPECT_EQ(registry.GetHistogram("stpt_test_h", "", {2.0, 1.0}), nullptr);
+  EXPECT_EQ(registry.GetHistogram("stpt_test_h", "", {1.0, 1.0}), nullptr);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(registry.GetHistogram("stpt_test_h", "", {1.0, inf}), nullptr);
+}
+
+TEST(RegistryTest, ResetZeroesValuesButKeepsRegistrations) {
+  Registry registry;
+  Counter* c = registry.GetCounter("stpt_test_total", "");
+  Gauge* g = registry.GetGauge("stpt_test_gauge", "");
+  Histogram* h = registry.GetHistogram("stpt_test_ns", "", {1.0, 2.0});
+  c->Increment(7);
+  g->Set(3.5);
+  h->Observe(1.5);
+  registry.Reset();
+  EXPECT_EQ(registry.NumMetrics(), 3u);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.0);
+  EXPECT_EQ(registry.GetCounter("stpt_test_total", ""), c);
+}
+
+// --- Exporters -------------------------------------------------------------
+
+TEST(ExporterTest, PrometheusTextGolden) {
+  Registry registry;
+  registry.GetCounter("stpt_test_ops_total", "operations")->Increment(3);
+  registry.GetGauge("stpt_test_eps", "epsilon")->Set(12.5);
+  Histogram* h = registry.GetHistogram("stpt_test_lat_ns", "latency", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(99.0);  // overflow bucket
+  // std::map iterates names in lexicographic order.
+  const std::string expected =
+      "# HELP stpt_test_eps epsilon\n"
+      "# TYPE stpt_test_eps gauge\n"
+      "stpt_test_eps 12.5\n"
+      "# HELP stpt_test_lat_ns latency\n"
+      "# TYPE stpt_test_lat_ns histogram\n"
+      "stpt_test_lat_ns_bucket{le=\"1\"} 1\n"
+      "stpt_test_lat_ns_bucket{le=\"10\"} 2\n"
+      "stpt_test_lat_ns_bucket{le=\"+Inf\"} 3\n"
+      "stpt_test_lat_ns_sum 104.5\n"
+      "stpt_test_lat_ns_count 3\n"
+      "# HELP stpt_test_ops_total operations\n"
+      "# TYPE stpt_test_ops_total counter\n"
+      "stpt_test_ops_total 3\n";
+  EXPECT_EQ(registry.ToPrometheusText(), expected);
+}
+
+TEST(ExporterTest, JsonGolden) {
+  Registry registry;
+  registry.GetCounter("stpt_test_ops_total", "")->Increment(2);
+  registry.GetGauge("stpt_test_eps", "")->Set(30);
+  Histogram* h = registry.GetHistogram("stpt_test_lat_ns", "", {1.0, 10.0});
+  h->Observe(5.0);
+  const std::string expected =
+      "{\"counters\": {\"stpt_test_ops_total\": 2}, "
+      "\"gauges\": {\"stpt_test_eps\": 30}, "
+      "\"histograms\": {\"stpt_test_lat_ns\": "
+      "{\"count\": 1, \"sum\": 5, \"p50\": 10, \"p95\": 10, \"p99\": 10, "
+      "\"buckets\": [{\"le\": 1, \"count\": 0}, {\"le\": 10, \"count\": 1}, "
+      "{\"le\": \"+Inf\", \"count\": 0}]}}}";
+  EXPECT_EQ(registry.ToJson(), expected);
+}
+
+TEST(ExporterTest, EmptyRegistryExportsAreWellFormed) {
+  Registry registry;
+  EXPECT_EQ(registry.ToPrometheusText(), "");
+  EXPECT_EQ(registry.ToJson(),
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}");
+}
+
+// --- Trace spans -----------------------------------------------------------
+
+TEST(TraceTest, SpanRecordsRegionAndOptionalHistogram) {
+  ResetTrace();
+  Registry registry;
+  Histogram* h = registry.GetHistogram("stpt_test_span_ns", "",
+                                       ExponentialBuckets(1.0, 4.0, 24));
+  {
+    Span outer("obs_test/outer", h);
+    Span inner("obs_test/inner");
+  }
+  { Span again("obs_test/outer", h); }
+
+  EXPECT_EQ(h->Count(), 2u);
+  const std::vector<RegionEntry> profile = TraceProfile();
+  uint64_t outer_calls = 0, inner_calls = 0;
+  for (const RegionEntry& e : profile) {
+    if (e.region == "obs_test/outer") outer_calls = e.calls;
+    if (e.region == "obs_test/inner") inner_calls = e.calls;
+  }
+  EXPECT_EQ(outer_calls, 2u);
+  EXPECT_EQ(inner_calls, 1u);
+
+  ResetTrace();
+  for (const RegionEntry& e : TraceProfile()) {
+    EXPECT_NE(e.region, "obs_test/outer");
+    EXPECT_NE(e.region, "obs_test/inner");
+  }
+}
+
+TEST(TraceTest, ProfileSortedByTotalTimeDescending) {
+  ResetTrace();
+  RecordRegion("obs_test/slow", 1000);
+  RecordRegion("obs_test/fast", 10);
+  RecordRegion("obs_test/slow", 1000);
+  const std::vector<RegionEntry> profile = TraceProfile();
+  ASSERT_GE(profile.size(), 2u);
+  for (size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_GE(profile[i - 1].total_ns, profile[i].total_ns);
+  }
+  ResetTrace();
+}
+
+TEST(TraceTest, NowNanosIsMonotonic) {
+  const uint64_t a = NowNanos();
+  const uint64_t b = NowNanos();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace stpt::obs

@@ -3,12 +3,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/thread_pool.h"
 #include "grid/consumption_matrix.h"
 #include "gtest/gtest.h"
 #include "query/range_query.h"
@@ -161,7 +163,7 @@ TEST(QueryServerTest, AnswersBitIdenticalToDirectEvaluation) {
   const grid::Dims dims{12, 10, 30};
   const Snapshot snap = MakeTestSnapshot(dims, 3);
   const grid::PrefixSum3D direct(snap.sanitized);
-  auto server = QueryServer::Make(snap);
+  auto server = QueryServer::Create(snap);
   ASSERT_TRUE(server.ok());
   for (const query::RangeQuery& q : MakeQueries(dims, 500, 11)) {
     auto got = server->Answer(q);
@@ -174,8 +176,8 @@ TEST(QueryServerTest, AnswersBitIdenticalToDirectEvaluation) {
 TEST(QueryServerTest, CachedEqualsUncached) {
   const grid::Dims dims{10, 10, 20};
   const Snapshot snap = MakeTestSnapshot(dims, 5);
-  auto cached = QueryServer::Make(snap, {.cache_shards = 4, .cache_capacity = 1024});
-  auto uncached = QueryServer::Make(snap, {.cache_capacity = 0});
+  auto cached = QueryServer::Create(snap, {.cache_shards = 4, .cache_capacity = 1024});
+  auto uncached = QueryServer::Create(snap, {.cache_capacity = 0});
   ASSERT_TRUE(cached.ok());
   ASSERT_TRUE(uncached.ok());
   const query::Workload wl = MakeQueries(dims, 300, 13);
@@ -201,7 +203,7 @@ TEST(QueryServerTest, TinyCacheEvictsButStaysCorrect) {
   const grid::Dims dims{8, 8, 16};
   const Snapshot snap = MakeTestSnapshot(dims, 9);
   const grid::PrefixSum3D direct(snap.sanitized);
-  auto server = QueryServer::Make(snap, {.cache_shards = 2, .cache_capacity = 8});
+  auto server = QueryServer::Create(snap, {.cache_shards = 2, .cache_capacity = 8});
   ASSERT_TRUE(server.ok());
   for (const query::RangeQuery& q : MakeQueries(dims, 400, 17)) {
     auto got = server->Answer(q);
@@ -214,38 +216,44 @@ TEST(QueryServerTest, TinyCacheEvictsButStaysCorrect) {
 TEST(QueryServerTest, BatchMatchesSingleAnswers) {
   const grid::Dims dims{9, 9, 25};
   const Snapshot snap = MakeTestSnapshot(dims, 21);
-  auto batch_server = QueryServer::Make(snap);
-  auto single_server = QueryServer::Make(snap);
+  auto batch_server = QueryServer::Create(snap);
+  auto single_server = QueryServer::Create(snap);
   ASSERT_TRUE(batch_server.ok());
   ASSERT_TRUE(single_server.ok());
   const query::Workload wl = MakeQueries(dims, 257, 23);
-  std::vector<double> batched;
-  ASSERT_TRUE(batch_server->AnswerBatch(wl, &batched).ok());
-  ASSERT_EQ(batched.size(), wl.size());
+  auto batched = batch_server->AnswerBatch(wl);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched->size(), wl.size());
   for (size_t i = 0; i < wl.size(); ++i) {
     auto got = single_server->Answer(wl[i]);
     ASSERT_TRUE(got.ok());
-    EXPECT_TRUE(BitIdentical(batched[i], *got));
+    EXPECT_TRUE(BitIdentical((*batched)[i], *got));
   }
 }
 
 TEST(QueryServerTest, InvalidQueriesRejected) {
-  auto server = QueryServer::Make(MakeTestSnapshot({5, 5, 5}));
+  auto server = QueryServer::Create(MakeTestSnapshot({5, 5, 5}));
   ASSERT_TRUE(server.ok());
   EXPECT_FALSE(server->Answer({0, 5, 0, 0, 0, 0}).ok());  // x1 == cx
   EXPECT_FALSE(server->Answer({2, 1, 0, 0, 0, 0}).ok());  // unordered
   EXPECT_FALSE(server->Answer({0, 0, -1, 0, 0, 0}).ok());
 
-  std::vector<double> out;
-  const Status st = server->AnswerBatch({{0, 0, 0, 0, 0, 0}, {0, 9, 0, 0, 0, 0}}, &out);
-  ASSERT_FALSE(st.ok());
-  EXPECT_NE(st.message().find("query 1"), std::string::npos);
-  EXPECT_TRUE(out.empty());
+  auto batched = server->AnswerBatch({{0, 0, 0, 0, 0, 0}, {0, 9, 0, 0, 0, 0}});
+  ASSERT_FALSE(batched.ok());
+  EXPECT_NE(batched.status().message().find("query 1"), std::string::npos);
   EXPECT_EQ(server->stats().invalid, 4u);
 }
 
+TEST(QueryServerTest, CreateRejectsInvalidOptions) {
+  const Snapshot snap = MakeTestSnapshot({4, 4, 4});
+  auto server = QueryServer::Create(snap, {.cache_shards = 0});
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(QueryServer::Create(snap, {.cache_shards = -3}).ok());
+}
+
 TEST(QueryServerTest, StatsTrackLatencyAndResetClears) {
-  auto server = QueryServer::Make(MakeTestSnapshot({6, 6, 12}));
+  auto server = QueryServer::Create(MakeTestSnapshot({6, 6, 12}));
   ASSERT_TRUE(server.ok());
   for (const query::RangeQuery& q : MakeQueries({6, 6, 12}, 100, 31)) {
     ASSERT_TRUE(server->Answer(q).ok());
@@ -376,10 +384,12 @@ class LoopbackTest : public testing::Test {
  protected:
   void StartServer(grid::Dims dims, uint64_t seed) {
     snapshot_ = MakeTestSnapshot(dims, seed);
-    auto engine = QueryServer::Make(snapshot_);
+    auto engine = QueryServer::Create(snapshot_);
     ASSERT_TRUE(engine.ok());
     engine_ = std::make_unique<QueryServer>(std::move(*engine));
-    server_ = std::make_unique<TcpServer>(engine_.get(), TcpServerOptions{});
+    auto server = TcpServer::Create(engine_.get(), TcpServerOptions{});
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
     ASSERT_TRUE(server_->Start().ok());
   }
 
@@ -498,6 +508,109 @@ TEST_F(LoopbackTest, ShutdownFrameUnblocksWait) {
   ASSERT_TRUE(client->Shutdown().ok());
   waiter.join();  // Wait() returned, so the shutdown request took effect
   server_->Stop();
+}
+
+// --- Options validation and metrics export ---------------------------------
+
+TEST(TcpServerTest, CreateRejectsInvalidOptions) {
+  auto engine = QueryServer::Create(MakeTestSnapshot({4, 4, 4}));
+  ASSERT_TRUE(engine.ok());
+
+  EXPECT_FALSE(TcpServer::Create(nullptr, TcpServerOptions{}).ok());
+
+  TcpServerOptions bad_port;
+  bad_port.port = 70000;
+  EXPECT_FALSE(TcpServer::Create(&*engine, bad_port).ok());
+  bad_port.port = -1;
+  EXPECT_FALSE(TcpServer::Create(&*engine, bad_port).ok());
+
+  TcpServerOptions bad_backlog;
+  bad_backlog.listen_backlog = 0;
+  EXPECT_FALSE(TcpServer::Create(&*engine, bad_backlog).ok());
+
+  TcpServerOptions bad_bind;
+  bad_bind.bind_address = "not-an-address";
+  auto created = TcpServer::Create(&*engine, bad_bind);
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Extracts the value of a Prometheus sample line `name value` from `text`.
+/// Returns -1 when the metric is absent.
+double PrometheusValue(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  const std::string needle = name + " ";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    // Must be at the start of a line (exposition samples, not HELP text).
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    }
+    pos += needle.size();
+  }
+  return -1.0;
+}
+
+/// Runs the same batched workload through a loopback server at `threads`
+/// exec threads and requires the cache counters reported by the `metrics`
+/// wire command to exactly match the `stats` counters.
+void RunMetricsMatchesStats(int threads) {
+  const int prev_threads = exec::Threads();
+  exec::SetThreads(threads);
+  const grid::Dims dims{10, 10, 18};
+  const Snapshot snap = MakeTestSnapshot(dims, 61);
+  auto engine = QueryServer::Create(snap);
+  ASSERT_TRUE(engine.ok());
+  auto server = TcpServer::Create(&*engine, TcpServerOptions{});
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  const query::Workload wl = MakeQueries(dims, 256, 67);
+  // Two identical passes: the second one is cache-hot.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto answers = client->Query(wl);
+    ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+    ASSERT_EQ(answers->size(), wl.size());
+  }
+
+  auto text = client->Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const ServerStats stats = engine->stats();
+  EXPECT_EQ(stats.queries, 512u);
+  EXPECT_EQ(PrometheusValue(*text, "stpt_serve_queries_total"),
+            static_cast<double>(stats.queries));
+  EXPECT_EQ(PrometheusValue(*text, "stpt_serve_cache_hits_total"),
+            static_cast<double>(stats.cache_hits));
+  EXPECT_EQ(PrometheusValue(*text, "stpt_serve_cache_misses_total"),
+            static_cast<double>(stats.cache_misses));
+  // The payload also carries the process-global registry (exec/dp metrics).
+  EXPECT_NE(text->find("# TYPE stpt_serve_query_latency_ns histogram"),
+            std::string::npos);
+
+  (*server)->Stop();
+  exec::SetThreads(prev_threads);
+}
+
+TEST(MetricsExportTest, WireMetricsMatchStatsSingleThread) {
+  RunMetricsMatchesStats(1);
+}
+
+TEST(MetricsExportTest, WireMetricsMatchStatsEightThreads) {
+  RunMetricsMatchesStats(8);
+}
+
+TEST(MetricsExportTest, RegistriesArePerEngineInstance) {
+  const Snapshot snap = MakeTestSnapshot({6, 6, 6});
+  auto a = QueryServer::Create(snap);
+  auto b = QueryServer::Create(snap);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->Answer({0, 1, 0, 1, 0, 1}).ok());
+  EXPECT_EQ(a->stats().queries, 1u);
+  EXPECT_EQ(b->stats().queries, 0u);
+  EXPECT_NE(a->metrics().ToPrometheusText().find("stpt_serve_queries_total 1"),
+            std::string::npos);
 }
 
 }  // namespace

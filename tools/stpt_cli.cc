@@ -8,6 +8,11 @@
 //   stpt_cli evaluate --truth=truth.csv --sanitized=sanitized.csv
 //            --kind=random --queries=300 [--seed=7]
 //
+// Every subcommand also accepts --threads=N (exec pool size), --profile
+// (print the timing profile at exit), and --metrics=<path> (write a JSON
+// snapshot of the process metric registry at exit). Unknown or malformed
+// flags are rejected with the subcommand's flag listing.
+//
 // `publish` aggregates to day granularity, runs the chosen algorithm
 // (stpt, identity, fast, fourier10, fourier20, wavelet10, wavelet20,
 // lgan, wpo), and writes the sanitized test region. With --snapshot it
@@ -15,6 +20,7 @@
 // sums + privacy metadata) that stpt_serve answers range queries from.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -32,6 +38,7 @@
 #include "exec/thread_pool.h"
 #include "exec/timing.h"
 #include "io/csv.h"
+#include "obs/metrics.h"
 #include "query/metrics.h"
 #include "serve/snapshot.h"
 
@@ -51,6 +58,56 @@ int Usage() {
   return 2;
 }
 
+/// Flags shared by every subcommand (exec runtime + observability).
+void DefineCommonFlags(FlagSet& flags) {
+  flags.DefineInt("threads", 0, "exec pool size (0 = auto / STPT_THREADS)");
+  flags.DefineBool("profile", false, "print the timing profile to stderr at exit");
+  flags.DefineString("metrics", "",
+                     "write a JSON metric-registry snapshot to this path at exit");
+}
+
+FlagSet GenerateFlags() {
+  FlagSet flags;
+  DefineCommonFlags(flags);
+  flags.DefineString("dataset", "CER", "dataset spec (CER, CA, MI, TX)");
+  flags.DefineString("distribution", "uniform",
+                     "spatial distribution (uniform, normal, la)");
+  flags.DefineInt("households", 0, "household count override (0 = spec default)");
+  flags.DefineInt("grid", 32, "grid cells per side");
+  flags.DefineInt("days", 220, "days of hourly readings");
+  flags.DefineInt("seed", 1, "generator seed");
+  flags.DefineString("out", "data.csv", "output CSV path");
+  return flags;
+}
+
+FlagSet PublishFlags() {
+  FlagSet flags;
+  DefineCommonFlags(flags);
+  flags.DefineString("in", "data.csv", "input dataset CSV");
+  flags.DefineString("algorithm", "stpt",
+                     "stpt, identity, fast, fourier10/20, wavelet10/20, lgan, wpo");
+  flags.DefineDouble("eps", 30.0, "total privacy budget");
+  flags.DefineInt("t-train", -1, "training prefix length (-1 = half the slices)");
+  flags.DefineInt("seed", 1, "noise / training seed");
+  flags.DefineInt("depth", 3, "quadtree depth (stpt)");
+  flags.DefineInt("k", 8, "quantization levels (stpt)");
+  flags.DefineString("out", "sanitized.csv", "sanitized-region CSV path");
+  flags.DefineString("truth-out", "", "also write the true test region here");
+  flags.DefineString("snapshot", "", "also write a .stpt snapshot container here");
+  return flags;
+}
+
+FlagSet EvaluateFlags() {
+  FlagSet flags;
+  DefineCommonFlags(flags);
+  flags.DefineString("truth", "truth.csv", "true test-region CSV");
+  flags.DefineString("sanitized", "sanitized.csv", "sanitized-region CSV");
+  flags.DefineString("kind", "random", "workload kind (random, small, large)");
+  flags.DefineInt("queries", 300, "workload size");
+  flags.DefineInt("seed", 7, "workload seed");
+  return flags;
+}
+
 StatusOr<datagen::DatasetSpec> SpecByName(const std::string& name) {
   for (const auto& spec : datagen::AllSpecs()) {
     if (spec.name == name) return spec;
@@ -66,21 +123,21 @@ StatusOr<datagen::SpatialDistribution> DistributionByName(const std::string& nam
                           "' (uniform, normal, la)");
 }
 
-int RunGenerate(const Flags& flags) {
-  auto spec = SpecByName(flags.GetString("dataset", "CER"));
+int RunGenerate(const FlagSet& flags) {
+  auto spec = SpecByName(flags.GetString("dataset"));
   if (!spec.ok()) return Fail(spec.status());
-  auto dist = DistributionByName(flags.GetString("distribution", "uniform"));
+  auto dist = DistributionByName(flags.GetString("distribution"));
   if (!dist.ok()) return Fail(dist.status());
-  if (flags.Has("households")) {
-    spec->num_households = static_cast<int>(flags.GetInt("households", 0));
+  if (flags.Provided("households")) {
+    spec->num_households = static_cast<int>(flags.GetInt("households"));
   }
   datagen::GenerateOptions opts;
-  opts.grid_x = opts.grid_y = static_cast<int>(flags.GetInt("grid", 32));
-  opts.hours = static_cast<int>(flags.GetInt("days", 220)) * 24;
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  opts.grid_x = opts.grid_y = static_cast<int>(flags.GetInt("grid"));
+  opts.hours = static_cast<int>(flags.GetInt("days")) * 24;
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
   auto ds = datagen::GenerateDataset(*spec, *dist, opts, rng);
   if (!ds.ok()) return Fail(ds.status());
-  const std::string out = flags.GetString("out", "data.csv");
+  const std::string out = flags.GetString("out");
   const Status st = io::WriteDatasetCsv(*ds, out);
   if (!st.ok()) return Fail(st);
   std::printf("wrote %d households x %d hours to %s\n", spec->num_households,
@@ -88,24 +145,26 @@ int RunGenerate(const Flags& flags) {
   return 0;
 }
 
-int RunPublish(const Flags& flags) {
-  auto ds = io::ReadDatasetCsv(flags.GetString("in", "data.csv"));
+int RunPublish(const FlagSet& flags) {
+  auto ds = io::ReadDatasetCsv(flags.GetString("in"));
   if (!ds.ok()) return Fail(ds.status());
   auto cons = datagen::BuildConsumptionMatrix(*ds, /*hours_per_slice=*/24);
   if (!cons.ok()) return Fail(cons.status());
   const double unit = datagen::UnitSensitivity(ds->spec, 24);
-  const double eps = flags.GetDouble("eps", 30.0);
-  const int t_train = static_cast<int>(flags.GetInt("t-train", cons->dims().ct / 2));
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  const double eps = flags.GetDouble("eps");
+  const int t_train = flags.Provided("t-train")
+                          ? static_cast<int>(flags.GetInt("t-train"))
+                          : cons->dims().ct / 2;
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
 
   auto truth = core::TestRegion(*cons, t_train);
   if (!truth.ok()) return Fail(truth.status());
-  if (flags.Has("truth-out")) {
-    const Status st = io::WriteMatrixCsv(*truth, flags.GetString("truth-out", ""));
+  if (flags.Provided("truth-out")) {
+    const Status st = io::WriteMatrixCsv(*truth, flags.GetString("truth-out"));
     if (!st.ok()) return Fail(st);
   }
 
-  const std::string algorithm = flags.GetString("algorithm", "stpt");
+  const std::string algorithm = flags.GetString("algorithm");
   StatusOr<grid::ConsumptionMatrix> sanitized =
       Status::Internal("not run");
   double eps_pattern = 0.0;  // nonzero only for stpt's two-phase split
@@ -115,8 +174,8 @@ int RunPublish(const Flags& flags) {
     cfg.eps_sanitize = eps - cfg.eps_pattern;
     eps_pattern = cfg.eps_pattern;
     cfg.t_train = t_train;
-    cfg.quadtree_depth = static_cast<int>(flags.GetInt("depth", 3));
-    cfg.quantization_levels = static_cast<int>(flags.GetInt("k", 8));
+    cfg.quadtree_depth = static_cast<int>(flags.GetInt("depth"));
+    cfg.quantization_levels = static_cast<int>(flags.GetInt("k"));
     auto res = core::Stpt(cfg).Publish(*cons, unit, rng);
     if (!res.ok()) return Fail(res.status());
     sanitized = std::move(res->sanitized);
@@ -136,17 +195,17 @@ int RunPublish(const Flags& flags) {
     sanitized = pub->Publish(*truth, eps, unit, rng);
   }
   if (!sanitized.ok()) return Fail(sanitized.status());
-  const std::string out = flags.GetString("out", "sanitized.csv");
+  const std::string out = flags.GetString("out");
   const Status st = io::WriteMatrixCsv(*sanitized, out);
   if (!st.ok()) return Fail(st);
-  if (flags.Has("snapshot")) {
+  if (flags.Provided("snapshot")) {
     serve::SnapshotMeta meta;
     meta.algorithm = algorithm;
     meta.eps_total = eps;
     meta.eps_pattern = eps_pattern;
     meta.eps_sanitize = eps - eps_pattern;
     meta.t_train = t_train;
-    const std::string snapshot_path = flags.GetString("snapshot", "release.stpt");
+    const std::string snapshot_path = flags.GetString("snapshot");
     const Status snap_st = serve::WriteSnapshot(
         serve::Snapshot::FromMatrix(*sanitized, std::move(meta)), snapshot_path);
     if (!snap_st.ok()) return Fail(snap_st);
@@ -158,21 +217,21 @@ int RunPublish(const Flags& flags) {
   return 0;
 }
 
-int RunEvaluate(const Flags& flags) {
-  auto truth = io::ReadMatrixCsv(flags.GetString("truth", "truth.csv"));
+int RunEvaluate(const FlagSet& flags) {
+  auto truth = io::ReadMatrixCsv(flags.GetString("truth"));
   if (!truth.ok()) return Fail(truth.status());
-  auto sanitized = io::ReadMatrixCsv(flags.GetString("sanitized", "sanitized.csv"));
+  auto sanitized = io::ReadMatrixCsv(flags.GetString("sanitized"));
   if (!sanitized.ok()) return Fail(sanitized.status());
   if (!(truth->dims() == sanitized->dims())) {
     return Fail(Status::InvalidArgument("matrix dimensions differ"));
   }
-  const std::string kind_name = flags.GetString("kind", "random");
+  const std::string kind_name = flags.GetString("kind");
   query::WorkloadKind kind = query::WorkloadKind::kRandom;
   if (kind_name == "small") kind = query::WorkloadKind::kSmall;
   if (kind_name == "large") kind = query::WorkloadKind::kLarge;
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
   auto wl = query::MakeWorkload(kind, truth->dims(),
-                                static_cast<int>(flags.GetInt("queries", 300)), rng);
+                                static_cast<int>(flags.GetInt("queries")), rng);
   if (!wl.ok()) return Fail(wl.status());
   query::MreOptions opts;
   opts.denominator_floor =
@@ -185,25 +244,44 @@ int RunEvaluate(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags = stpt::Flags::Parse(argc, argv);
-  if (!flags.ok()) return Fail(flags.status());
-  if (flags->positional().empty()) return Usage();
-  // --threads=N overrides the STPT_THREADS env default (1 = serial). The
-  // fork-by-index determinism contract makes outputs identical either way.
-  if (flags->Has("threads")) {
-    exec::SetThreads(static_cast<int>(flags->GetInt("threads", 0)));
-  }
-  const std::string command = flags->positional()[0];
-  int rc;
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  FlagSet flags;
   if (command == "generate") {
-    rc = RunGenerate(*flags);
+    flags = GenerateFlags();
   } else if (command == "publish") {
-    rc = RunPublish(*flags);
+    flags = PublishFlags();
   } else if (command == "evaluate") {
-    rc = RunEvaluate(*flags);
+    flags = EvaluateFlags();
   } else {
     return Usage();
   }
-  if (flags->GetBool("profile", false)) exec::PrintTimings(std::cerr);
+  if (const Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "error: %s\nflags for 'stpt_cli %s':\n%s",
+                 st.ToString().c_str(), command.c_str(), flags.Usage().c_str());
+    return 2;
+  }
+  // --threads=N overrides the STPT_THREADS env default (1 = serial). The
+  // fork-by-index determinism contract makes outputs identical either way.
+  if (flags.Provided("threads")) {
+    exec::SetThreads(static_cast<int>(flags.GetInt("threads")));
+  }
+  int rc;
+  if (command == "generate") {
+    rc = RunGenerate(flags);
+  } else if (command == "publish") {
+    rc = RunPublish(flags);
+  } else {
+    rc = RunEvaluate(flags);
+  }
+  if (flags.GetBool("profile")) exec::PrintTimings(std::cerr);
+  if (flags.Provided("metrics")) {
+    std::ofstream out(flags.GetString("metrics"));
+    if (!out) {
+      return Fail(Status::Internal("cannot open metrics path '" +
+                                   flags.GetString("metrics") + "'"));
+    }
+    out << obs::Registry::Global().ToJson() << "\n";
+  }
   return rc;
 }

@@ -7,6 +7,7 @@
 //   stpt_serve verify   --snapshot=g.stpt --port=P [--host=...] [--count=10000]
 //                       [--kind=random] [--seed=7] [--batch=256]
 //   stpt_serve stats    --port=P [--host=...]
+//   stpt_serve metrics  --port=P [--host=...]
 //   stpt_serve shutdown --port=P [--host=...]
 //
 // `serve` loads a snapshot container (written by `stpt_cli publish
@@ -15,6 +16,8 @@
 // dims and reports throughput. `verify` additionally loads the snapshot
 // locally and requires every served answer to be bit-identical to direct
 // in-memory evaluation — the end-to-end integrity check used by CI.
+// `stats` prints the serving counters as JSON; `metrics` prints the full
+// metric registries in Prometheus text exposition format.
 
 #include <algorithm>
 #include <cstdio>
@@ -43,10 +46,49 @@ int Fail(const Status& status) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: stpt_serve <serve|query|verify|stats|shutdown> [--options]\n"
-               "see the header of tools/stpt_serve.cc for details\n");
+  std::fprintf(
+      stderr,
+      "usage: stpt_serve <serve|query|verify|stats|metrics|shutdown> [--options]\n"
+      "see the header of tools/stpt_serve.cc for details\n");
   return 2;
+}
+
+void DefineCommonFlags(FlagSet& flags) {
+  flags.DefineInt("threads", 0, "exec pool size (0 = auto / STPT_THREADS)");
+}
+
+void DefineClientFlags(FlagSet& flags) {
+  flags.DefineString("host", "127.0.0.1", "server host");
+  flags.DefineInt("port", 0, "server port");
+}
+
+FlagSet ServeFlags() {
+  FlagSet flags;
+  DefineCommonFlags(flags);
+  flags.DefineString("snapshot", "grid.stpt", "snapshot container to serve");
+  flags.DefineString("bind", "127.0.0.1", "listen address");
+  flags.DefineInt("port", 0, "listen port (0 = ephemeral)");
+  flags.DefineString("port-file", "", "write the bound port to this file");
+  return flags;
+}
+
+FlagSet QueryFlags() {
+  FlagSet flags;
+  DefineCommonFlags(flags);
+  DefineClientFlags(flags);
+  flags.DefineString("snapshot", "grid.stpt", "local snapshot (verify only)");
+  flags.DefineString("kind", "random", "workload kind (random, small, large)");
+  flags.DefineInt("count", -1, "queries to run (-1 = 1000, or 10000 for verify)");
+  flags.DefineInt("batch", 256, "queries per request frame");
+  flags.DefineInt("seed", 7, "workload seed");
+  return flags;
+}
+
+FlagSet ClientOnlyFlags() {
+  FlagSet flags;
+  DefineCommonFlags(flags);
+  DefineClientFlags(flags);
+  return flags;
 }
 
 StatusOr<query::WorkloadKind> KindByName(const std::string& name) {
@@ -56,29 +98,35 @@ StatusOr<query::WorkloadKind> KindByName(const std::string& name) {
   return Status::NotFound("unknown workload kind '" + name + "'");
 }
 
-int RunServe(const Flags& flags) {
-  const std::string path = flags.GetString("snapshot", "grid.stpt");
+StatusOr<serve::Client> ConnectFromFlags(const FlagSet& flags) {
+  return serve::Client::Connect(flags.GetString("host"),
+                                static_cast<int>(flags.GetInt("port")));
+}
+
+int RunServe(const FlagSet& flags) {
+  const std::string path = flags.GetString("snapshot");
   auto engine = serve::QueryServer::Open(path);
   if (!engine.ok()) return Fail(engine.status());
 
   serve::TcpServerOptions options;
-  options.bind_address = flags.GetString("bind", "127.0.0.1");
-  options.port = static_cast<int>(flags.GetInt("port", 0));
-  serve::TcpServer server(&*engine, options);
-  const Status st = server.Start();
-  if (!st.ok()) return Fail(st);
+  options.bind_address = flags.GetString("bind");
+  options.port = static_cast<int>(flags.GetInt("port"));
+  auto server = serve::TcpServer::Create(&*engine, options);
+  if (!server.ok()) return Fail(server.status());
+  if (const Status st = (*server)->Start(); !st.ok()) return Fail(st);
 
-  if (flags.Has("port-file")) {
-    std::ofstream out(flags.GetString("port-file", ""));
-    out << server.port() << "\n";
+  if (flags.Provided("port-file")) {
+    std::ofstream out(flags.GetString("port-file"));
+    out << (*server)->port() << "\n";
   }
   const grid::Dims& dims = engine->dims();
   std::printf("serving %s release %dx%dx%d (eps=%.1f) on %s:%d\n",
               engine->meta().algorithm.c_str(), dims.cx, dims.cy, dims.ct,
-              engine->meta().eps_total, options.bind_address.c_str(), server.port());
+              engine->meta().eps_total, options.bind_address.c_str(),
+              (*server)->port());
   std::fflush(stdout);
-  server.Wait();
-  server.Stop();
+  (*server)->Wait();
+  (*server)->Stop();
   const serve::ServerStats stats = engine->stats();
   std::printf("served %llu queries, cache hit rate %.1f%%, p99 %.1f us\n",
               static_cast<unsigned long long>(stats.queries), 100.0 * stats.hit_rate(),
@@ -88,10 +136,8 @@ int RunServe(const Flags& flags) {
 
 /// Shared query driver for `query` (report only) and `verify` (compare to a
 /// locally evaluated snapshot). Returns nonzero on any mismatch.
-int RunQueryOrVerify(const Flags& flags, bool verify) {
-  const std::string host = flags.GetString("host", "127.0.0.1");
-  const int port = static_cast<int>(flags.GetInt("port", 0));
-  auto client = serve::Client::Connect(host, port);
+int RunQueryOrVerify(const FlagSet& flags, bool verify) {
+  auto client = ConnectFromFlags(flags);
   if (!client.ok()) return Fail(client.status());
 
   auto meta = client->Meta();
@@ -99,7 +145,7 @@ int RunQueryOrVerify(const Flags& flags, bool verify) {
 
   serve::Snapshot local;
   if (verify) {
-    auto snap = serve::ReadSnapshot(flags.GetString("snapshot", "grid.stpt"));
+    auto snap = serve::ReadSnapshot(flags.GetString("snapshot"));
     if (!snap.ok()) return Fail(snap.status());
     if (!(snap->sanitized.dims() == meta->dims)) {
       return Fail(Status::FailedPrecondition(
@@ -108,11 +154,12 @@ int RunQueryOrVerify(const Flags& flags, bool verify) {
     local = std::move(*snap);
   }
 
-  auto kind = KindByName(flags.GetString("kind", "random"));
+  auto kind = KindByName(flags.GetString("kind"));
   if (!kind.ok()) return Fail(kind.status());
-  const int count = static_cast<int>(flags.GetInt("count", verify ? 10000 : 1000));
-  const int batch_size = static_cast<int>(flags.GetInt("batch", 256));
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  const int count = flags.Provided("count") ? static_cast<int>(flags.GetInt("count"))
+                                            : (verify ? 10000 : 1000);
+  const int batch_size = static_cast<int>(flags.GetInt("batch"));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
   auto workload = query::MakeWorkload(*kind, meta->dims, count, rng);
   if (!workload.ok()) return Fail(workload.status());
 
@@ -160,9 +207,8 @@ int RunQueryOrVerify(const Flags& flags, bool verify) {
   return 0;
 }
 
-int RunStats(const Flags& flags) {
-  auto client = serve::Client::Connect(flags.GetString("host", "127.0.0.1"),
-                                       static_cast<int>(flags.GetInt("port", 0)));
+int RunStats(const FlagSet& flags) {
+  auto client = ConnectFromFlags(flags);
   if (!client.ok()) return Fail(client.status());
   auto stats = client->Stats();
   if (!stats.ok()) return Fail(stats.status());
@@ -170,9 +216,17 @@ int RunStats(const Flags& flags) {
   return 0;
 }
 
-int RunShutdown(const Flags& flags) {
-  auto client = serve::Client::Connect(flags.GetString("host", "127.0.0.1"),
-                                       static_cast<int>(flags.GetInt("port", 0)));
+int RunMetrics(const FlagSet& flags) {
+  auto client = ConnectFromFlags(flags);
+  if (!client.ok()) return Fail(client.status());
+  auto metrics = client->Metrics();
+  if (!metrics.ok()) return Fail(metrics.status());
+  std::fputs(metrics->c_str(), stdout);
+  return 0;
+}
+
+int RunShutdown(const FlagSet& flags) {
+  auto client = ConnectFromFlags(flags);
   if (!client.ok()) return Fail(client.status());
   const Status st = client->Shutdown();
   if (!st.ok()) return Fail(st);
@@ -183,17 +237,30 @@ int RunShutdown(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags = stpt::Flags::Parse(argc, argv);
-  if (!flags.ok()) return Fail(flags.status());
-  if (flags->positional().empty()) return Usage();
-  if (flags->Has("threads")) {
-    exec::SetThreads(static_cast<int>(flags->GetInt("threads", 0)));
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  FlagSet flags;
+  if (command == "serve") {
+    flags = ServeFlags();
+  } else if (command == "query" || command == "verify") {
+    flags = QueryFlags();
+  } else if (command == "stats" || command == "metrics" || command == "shutdown") {
+    flags = ClientOnlyFlags();
+  } else {
+    return Usage();
   }
-  const std::string command = flags->positional()[0];
-  if (command == "serve") return RunServe(*flags);
-  if (command == "query") return RunQueryOrVerify(*flags, /*verify=*/false);
-  if (command == "verify") return RunQueryOrVerify(*flags, /*verify=*/true);
-  if (command == "stats") return RunStats(*flags);
-  if (command == "shutdown") return RunShutdown(*flags);
-  return Usage();
+  if (const Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "error: %s\nflags for 'stpt_serve %s':\n%s",
+                 st.ToString().c_str(), command.c_str(), flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.Provided("threads")) {
+    exec::SetThreads(static_cast<int>(flags.GetInt("threads")));
+  }
+  if (command == "serve") return RunServe(flags);
+  if (command == "query") return RunQueryOrVerify(flags, /*verify=*/false);
+  if (command == "verify") return RunQueryOrVerify(flags, /*verify=*/true);
+  if (command == "stats") return RunStats(flags);
+  if (command == "metrics") return RunMetrics(flags);
+  return RunShutdown(flags);
 }
