@@ -9,7 +9,10 @@
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
 #include "exec/timing.h"
+#include "nn/predictor.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/metrics.h"
 
 namespace stpt::bench {
@@ -135,8 +138,13 @@ std::vector<double> RunStpt(const Instance& instance, const core::StptConfig& co
 
 namespace {
 
-// atexit handlers cannot capture, so the snapshot path lives here.
+// atexit handlers cannot capture, so the snapshot paths live here.
 std::string& MetricsPath() {
+  static auto* path = new std::string();
+  return *path;
+}
+
+std::string& TracePath() {
   static auto* path = new std::string();
   return *path;
 }
@@ -148,11 +156,23 @@ Status InitBenchRuntime(int argc, const char* const* argv, FlagSet& flags) {
   flags.DefineBool("profile", false, "print the exec timing profile at exit");
   flags.DefineString("metrics", "",
                      "write a JSON metric-registry snapshot to this path at exit");
+  flags.DefineString("trace", "",
+                     "write a Chrome trace-event JSON to this path at exit");
+  flags.DefineString("log-level", "warn",
+                     "structured-log threshold (debug, info, warn, error, off)");
+  flags.DefineString("train-log", "",
+                     "route every training run's JSONL loss curve to this path");
   flags.IgnorePrefix("benchmark_");  // google-benchmark owns these
   STPT_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.Provided("threads")) {
     exec::SetThreads(static_cast<int>(flags.GetInt("threads")));
   }
+  obs::LogLevel log_level;
+  if (!obs::ParseLogLevel(flags.GetString("log-level"), &log_level)) {
+    return Status::InvalidArgument("bad --log-level '" +
+                                   flags.GetString("log-level") + "'");
+  }
+  obs::SetLogLevel(log_level);
   if (flags.GetBool("profile")) {
     std::atexit([] { exec::PrintTimings(std::cerr); });
   }
@@ -160,8 +180,23 @@ Status InitBenchRuntime(int argc, const char* const* argv, FlagSet& flags) {
     MetricsPath() = flags.GetString("metrics");
     std::atexit([] {
       std::ofstream out(MetricsPath());
-      if (out) out << obs::Registry::Global().ToJson() << "\n";
+      if (out) out << exec::MetricsSnapshotJson() << "\n";
     });
+  }
+  if (flags.Provided("trace")) {
+    TracePath() = flags.GetString("trace");
+    obs::RegisterCurrentThreadName("main");
+    obs::StartTraceEvents();
+    std::atexit([] {
+      obs::StopTraceEvents();
+      if (!obs::WriteChromeTrace(TracePath())) {
+        std::fprintf(stderr, "error: cannot write trace path '%s'\n",
+                     TracePath().c_str());
+      }
+    });
+  }
+  if (flags.Provided("train-log")) {
+    nn::SetDefaultTrainLogPath(flags.GetString("train-log"));
   }
   return Status::OK();
 }

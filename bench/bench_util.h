@@ -64,8 +64,11 @@ const std::vector<query::WorkloadKind>& AllWorkloadKinds();
 /// Configures the exec runtime for a bench main: defines the shared runtime
 /// flags (--threads=N overriding the STPT_THREADS env default, --profile
 /// printing the exec timing profile at exit, --metrics=<path> writing a JSON
-/// metric-registry snapshot at exit) into `flags` alongside any flags the
-/// caller already defined, parses argv strictly, and applies them. Options
+/// metric-registry + trace-profile snapshot at exit, --trace=<path> writing
+/// a Chrome trace-event JSON at exit, --log-level=<name> setting the
+/// structured-log threshold, --train-log=<path> routing training loss curves
+/// to one JSONL sink) into `flags` alongside any flags the caller already
+/// defined, parses argv strictly, and applies them. Options
 /// prefixed `benchmark_` are ignored so google-benchmark binaries can share
 /// argv. Call at the top of main before any work.
 Status InitBenchRuntime(int argc, const char* const* argv, FlagSet& flags);

@@ -62,6 +62,10 @@ void ExportBudget(const dp::BudgetAccountant& accountant) {
   total->Set(accountant.total_epsilon());
   consumed->Set(accountant.ConsumedEpsilon());
   remaining->Set(accountant.RemainingEpsilon());
+  if (obs::TraceEventsEnabled()) {
+    obs::TraceCounter("dp/epsilon_consumed", accountant.ConsumedEpsilon());
+    obs::TraceCounter("dp/epsilon_remaining", accountant.RemainingEpsilon());
+  }
 }
 
 }  // namespace
@@ -101,6 +105,7 @@ StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
       dp::BudgetAccountant::Create(config_.eps_pattern + config_.eps_sanitize);
   STPT_RETURN_IF_ERROR(accountant_or.status());
   dp::BudgetAccountant accountant = std::move(accountant_or).value();
+  accountant.AttachLedger(config_.audit_ledger);
   // --- Normalise (Eq. 6) and run pattern recognition on the prefix. ---
   const grid::ConsumptionMatrix norm = cons.Normalized();
   const double range = std::max(cons.MaxValue() - cons.MinValue(), 1e-12);
@@ -112,7 +117,9 @@ StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
   }();
   STPT_RETURN_IF_ERROR(pattern_or.status());
   PatternResult pattern = std::move(pattern_or).value();
-  STPT_RETURN_IF_ERROR(accountant.Charge("pattern", config_.eps_pattern));
+  STPT_RETURN_IF_ERROR(accountant.Charge(
+      "pattern", config_.eps_pattern,
+      dp::ChargeDetails{"laplace", cell_sens_norm}));
   ExportBudget(accountant);
 
   StptResult result;
@@ -204,10 +211,21 @@ StatusOr<StptResult> Stpt::Publish(const grid::ConsumptionMatrix& cons,
       });
 
   // The per-partition epsilons compose in parallel over disjoint partitions
-  // (Theorem 2), so the sanitize stage charges max(eps) — which AllocateBudget
-  // keeps within eps_sanitize by construction.
-  STPT_RETURN_IF_ERROR(accountant.Charge(
-      "sanitize", eps.empty() ? 0.0 : *std::max_element(eps.begin(), eps.end())));
+  // (Theorem 2), so the sanitize stage consumes max(eps) — which AllocateBudget
+  // keeps within eps_sanitize by construction. Charging each partition under
+  // the one "sanitize" group records every release in the audit ledger while
+  // the accountant's per-group max keeps the composed spend at max(eps).
+  bool charged_sanitize = false;
+  for (int b = 0; b < quant.levels; ++b) {
+    if (!(eps[b] > 0.0)) continue;
+    STPT_RETURN_IF_ERROR(accountant.Charge(
+        "sanitize", eps[b], dp::ChargeDetails{"laplace", sens[b]}));
+    charged_sanitize = true;
+  }
+  if (!charged_sanitize) {
+    STPT_RETURN_IF_ERROR(accountant.Charge(
+        "sanitize", eps.empty() ? 0.0 : *std::max_element(eps.begin(), eps.end())));
+  }
   ExportBudget(accountant);
   Publishes().Increment();
 

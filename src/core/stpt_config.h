@@ -3,6 +3,10 @@
 
 #include "nn/predictor.h"
 
+namespace stpt::dp {
+class AuditLedger;
+}  // namespace stpt::dp
+
 namespace stpt::core {
 
 /// How the sanitization budget is split across partitions.
@@ -55,6 +59,11 @@ struct StptConfig {
   /// Ablation: false bypasses partitioning and releases each cell
   /// individually (partition of singletons).
   bool use_quantization = true;
+
+  // --- Observability. ---
+  /// When non-null, every BudgetAccountant charge made by Publish is appended
+  /// to this ledger (--audit-ledger=<path>). Not owned; must outlive Publish.
+  dp::AuditLedger* audit_ledger = nullptr;
 
   double TotalEpsilon() const { return eps_pattern + eps_sanitize; }
 };

@@ -1,0 +1,136 @@
+#include "dp/audit_ledger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace stpt::dp {
+namespace {
+
+/// Shortest round-trippable decimal form, so the JSONL ledger preserves the
+/// exact doubles the accountant saw.
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Prefer a shorter representation when it round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == value) return shorter;
+  }
+  return buf;
+}
+
+void AppendJsonEscaped(std::ostringstream& os, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+std::string RecordJson(const AuditRecord& r) {
+  std::ostringstream os;
+  os << "{\"seq\": " << r.seq << ", \"stage\": \"";
+  AppendJsonEscaped(os, r.stage);
+  os << "\", \"mechanism\": \"";
+  AppendJsonEscaped(os, r.mechanism);
+  os << "\", \"epsilon\": " << FormatDouble(r.epsilon)
+     << ", \"sensitivity\": " << FormatDouble(r.sensitivity)
+     << ", \"composition\": \"";
+  AppendJsonEscaped(os, r.composition);
+  os << "\", \"consumed_after\": " << FormatDouble(r.consumed_after) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+AuditLedger::~AuditLedger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status AuditLedger::OpenFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("AuditLedger: cannot open '" + path + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = file;
+  // Records appended before the sink opened still belong in the file.
+  for (const AuditRecord& record : records_) WriteRecordLocked(record);
+  return Status::OK();
+}
+
+void AuditLedger::Append(AuditRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = static_cast<uint64_t>(records_.size());
+  records_.push_back(std::move(record));
+  if (file_ != nullptr) WriteRecordLocked(records_.back());
+}
+
+void AuditLedger::WriteRecordLocked(const AuditRecord& record) {
+  const std::string line = RecordJson(record) + "\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+std::vector<AuditRecord> AuditLedger::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t AuditLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+double AuditLedger::TotalEpsilonRaw() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const AuditRecord& r : records_) total += r.epsilon;
+  return total;
+}
+
+double AuditLedger::ComposedEpsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Mirror BudgetAccountant exactly: a vector of (stage, running max) in
+  // first-charge order, then one left-to-right sum. Using the identical
+  // operations in the identical order makes the result bitwise equal to
+  // ConsumedEpsilon(), so the audit test can assert exact equality.
+  std::vector<std::pair<std::string, double>> groups;
+  for (const AuditRecord& r : records_) {
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == r.stage; });
+    if (it == groups.end()) {
+      groups.emplace_back(r.stage, r.epsilon);
+    } else {
+      it->second = std::max(it->second, r.epsilon);
+    }
+  }
+  double total = 0.0;
+  for (const auto& g : groups) total += g.second;
+  return total;
+}
+
+std::string AuditLedger::ToJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const AuditRecord& r : records_) {
+    out += RecordJson(r);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace stpt::dp

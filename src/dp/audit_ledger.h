@@ -1,0 +1,83 @@
+#ifndef STPT_DP_AUDIT_LEDGER_H_
+#define STPT_DP_AUDIT_LEDGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stpt::dp {
+
+/// One privacy-budget charge, as recorded by BudgetAccountant when a ledger
+/// is attached (see BudgetAccountant::AttachLedger).
+struct AuditRecord {
+  uint64_t seq = 0;          ///< 0-based charge order within the ledger
+  std::string stage;         ///< the accountant's sequential-group key
+  std::string mechanism;     ///< noise mechanism behind the charge ("laplace", ...)
+  double epsilon = 0.0;      ///< the charged epsilon
+  double sensitivity = 0.0;  ///< query sensitivity backing the charge (0 = n/a)
+  /// Composition rule applied: "sequential" for the first charge of a stage
+  /// (it opens a new group that adds to the total), "parallel" for repeat
+  /// charges of a stage (they compose at the max within the group).
+  std::string composition;
+  double consumed_after = 0.0;  ///< accountant's composed total after this charge
+};
+
+/// Append-only record of every BudgetAccountant charge — the auditable
+/// counterpart of the accountant's single composed number. The ledger keeps
+/// records in memory and, when a JSONL sink is opened, also appends each
+/// record to the file at charge time, so a crashed pipeline still leaves
+/// the charges it made on disk.
+///
+/// The key invariant (tested end-to-end on a full Stpt::Publish run):
+/// ComposedEpsilon() — replaying the records through the paper's
+/// composition rules — is EXACTLY equal (bitwise, not within a tolerance)
+/// to the accountant's ConsumedEpsilon(), because the replay performs the
+/// same per-stage max and same-order summation the accountant performs.
+class AuditLedger {
+ public:
+  AuditLedger() = default;
+  ~AuditLedger();
+
+  AuditLedger(const AuditLedger&) = delete;
+  AuditLedger& operator=(const AuditLedger&) = delete;
+
+  /// Opens (truncates) a JSONL sink; every subsequent Append is also
+  /// written to it. Returns InvalidArgument on an unopenable path.
+  Status OpenFile(const std::string& path);
+
+  /// Appends one record (the accountant calls this under its charge path).
+  /// record.seq is assigned by the ledger. Thread-safe.
+  void Append(AuditRecord record);
+
+  /// Copy of all records, in charge order.
+  std::vector<AuditRecord> records() const;
+
+  size_t size() const;
+
+  /// Sum of all epsilon entries (diagnostic; ignores composition).
+  double TotalEpsilonRaw() const;
+
+  /// Replays the records through the accountant's composition arithmetic:
+  /// per-stage running max, stages summed in first-charge order. Bitwise
+  /// equal to BudgetAccountant::ConsumedEpsilon() after the same charges.
+  double ComposedEpsilon() const;
+
+  /// All records as JSONL (one object per line), identical to the file
+  /// sink's contents.
+  std::string ToJsonl() const;
+
+ private:
+  void WriteRecordLocked(const AuditRecord& record);
+
+  mutable std::mutex mu_;
+  std::vector<AuditRecord> records_;
+  std::FILE* file_ = nullptr;  // owned JSONL sink, may be null
+};
+
+}  // namespace stpt::dp
+
+#endif  // STPT_DP_AUDIT_LEDGER_H_

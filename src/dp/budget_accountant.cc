@@ -27,6 +27,11 @@ const BudgetAccountant::Group* BudgetAccountant::FindGroup(
 }
 
 Status BudgetAccountant::Charge(const std::string& group, double epsilon) {
+  return Charge(group, epsilon, ChargeDetails{});
+}
+
+Status BudgetAccountant::Charge(const std::string& group, double epsilon,
+                                const ChargeDetails& details) {
   if (!(epsilon > 0.0)) {
     return Status::InvalidArgument("BudgetAccountant: charge must be > 0");
   }
@@ -43,6 +48,16 @@ Status BudgetAccountant::Charge(const std::string& group, double epsilon) {
     FindGroup(group)->max_epsilon = std::max(current_group_max, epsilon);
   } else {
     groups_.push_back(Group{group, epsilon});
+  }
+  if (ledger_ != nullptr) {
+    AuditRecord record;
+    record.stage = group;
+    record.mechanism = details.mechanism;
+    record.epsilon = epsilon;
+    record.sensitivity = details.sensitivity;
+    record.composition = existing != nullptr ? "parallel" : "sequential";
+    record.consumed_after = ConsumedEpsilon();
+    ledger_->Append(std::move(record));
   }
   return Status::OK();
 }

@@ -5,8 +5,15 @@
 #include <vector>
 
 #include "common/status.h"
+#include "dp/audit_ledger.h"
 
 namespace stpt::dp {
+
+/// Optional provenance attached to a Charge for audit-ledger records.
+struct ChargeDetails {
+  std::string mechanism = "laplace";  ///< noise mechanism behind the charge
+  double sensitivity = 0.0;           ///< query sensitivity (0 = not applicable)
+};
 
 /// Tracks privacy-budget consumption under the composition theorems used by
 /// the paper (Theorems 1–3):
@@ -31,6 +38,20 @@ class BudgetAccountant {
   /// Returns FailedPrecondition if the charge would push the composed total
   /// over the configured budget (the charge is then NOT recorded).
   Status Charge(const std::string& group, double epsilon);
+
+  /// Charge with provenance: identical accounting, but the attached audit
+  /// ledger (if any) records the mechanism and sensitivity behind the
+  /// charge instead of the defaults.
+  Status Charge(const std::string& group, double epsilon,
+                const ChargeDetails& details);
+
+  /// Attaches an append-only audit ledger: every subsequent successful
+  /// Charge appends one AuditRecord (stage = group, composition =
+  /// "sequential" for a group's first charge, "parallel" for repeats).
+  /// Rejected charges are not recorded. The ledger must outlive the
+  /// accountant (or be detached with nullptr); the accountant does not own
+  /// it.
+  void AttachLedger(AuditLedger* ledger) { ledger_ = ledger; }
 
   /// The composed epsilon consumed so far: sum over groups of the max charge
   /// per group.
@@ -58,6 +79,7 @@ class BudgetAccountant {
 
   double total_epsilon_;
   std::vector<Group> groups_;
+  AuditLedger* ledger_ = nullptr;  // not owned
 };
 
 }  // namespace stpt::dp

@@ -68,6 +68,15 @@ void ParallelForRange(int64_t n,
   }
   DispatchedRegions().Increment();
   const uint64_t region_start_ns = obs::NowNanos();
+  // Chunk label for event tracing: the span enclosing the dispatch (e.g.
+  // "stpt/sanitize"), captured once here so workers tag their lanes with the
+  // region they execute on behalf of. nullptr when tracing is off — the
+  // per-chunk emit below then compiles down to two untaken branches.
+  const char* trace_label = nullptr;
+  if (obs::TraceEventsEnabled()) {
+    trace_label = obs::CurrentSpanName();
+    if (trace_label == nullptr) trace_label = "exec/chunk";
+  }
   const int64_t num_chunks = n < threads ? n : threads;
   const int64_t base = n / num_chunks;
   const int64_t rem = n % num_chunks;
@@ -79,12 +88,21 @@ void ParallelForRange(int64_t n,
   for (int64_t c = 0; c < num_chunks; ++c) {
     const int64_t len = base + (c < rem ? 1 : 0);
     const int64_t end = begin + len;
-    pool.Submit([&fn, &region, begin, end] {
+    pool.Submit([&fn, &region, begin, end, trace_label] {
+      // Raw B/E events (not a Span): chunks are already aggregated into
+      // stpt_exec_region_ns by the dispatcher, so a Span here would
+      // double-count the region in the profile.
+      if (trace_label != nullptr) {
+        obs::EmitTraceEvent('B', trace_label, obs::NowNanos());
+      }
       std::exception_ptr err;
       try {
         fn(begin, end);
       } catch (...) {
         err = std::current_exception();
+      }
+      if (trace_label != nullptr) {
+        obs::EmitTraceEvent('E', trace_label, obs::NowNanos());
       }
       region.Finish(err);
     });

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace stpt::exec {
 namespace {
@@ -37,7 +38,7 @@ ThreadPool::ThreadPool(int num_workers) {
   if (num_workers < 1) num_workers = 1;
   workers_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -61,8 +62,10 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::InWorker() { return t_in_worker; }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int index) {
   t_in_worker = true;
+  // Name the lane so Chrome-trace exports render parallel regions per worker.
+  obs::RegisterCurrentThreadName("stpt-worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {

@@ -40,7 +40,7 @@ class ThreadPool {
   static bool InWorker();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int index);
 
   std::mutex mu_;
   std::condition_variable cv_;

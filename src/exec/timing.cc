@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace stpt::exec {
 
@@ -40,6 +41,15 @@ std::string TimingsJson() {
   }
   os << "]}";
   return os.str();
+}
+
+std::string MetricsSnapshotJson() {
+  std::string out = "{\"metrics\": ";
+  out += obs::Registry::Global().ToJson();
+  out += ", \"profile\": ";
+  out += TimingsJson();
+  out += "}";
+  return out;
 }
 
 }  // namespace stpt::exec

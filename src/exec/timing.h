@@ -47,6 +47,12 @@ void PrintTimings(std::ostream& os);
 ///   ..., "mean_ns": ...}, ...]}
 std::string TimingsJson();
 
+/// The full observability snapshot written by --metrics=<path>:
+///   {"metrics": <obs::Registry::Global().ToJson()>, "profile": <TimingsJson()>}
+/// Combining both in one document keeps counters/gauges/histograms and the
+/// aggregated trace-region profile in a single artifact per run.
+std::string MetricsSnapshotJson();
+
 }  // namespace stpt::exec
 
 #endif  // STPT_EXEC_TIMING_H_

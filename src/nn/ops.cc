@@ -2,10 +2,11 @@
 
 #include <cassert>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
 
 #include "exec/parallel.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace stpt::nn {
 namespace {
@@ -17,7 +18,7 @@ using Impl = std::shared_ptr<TensorImpl>;
 /// a message instead of silently indexing out of bounds.
 void OpRequire(bool cond, const char* msg) {
   if (!cond) {
-    std::fprintf(stderr, "stpt::nn fatal: %s\n", msg);
+    obs::Log(obs::LogLevel::kError, "nn", std::string("fatal: ") + msg);
     std::abort();
   }
 }
@@ -62,6 +63,7 @@ void AccumulateBroadcastGrad(TensorImpl& node, TensorImpl* parent,
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  obs::Span span("nn/Add");
   OpRequire(IsSuffix(a.shape(), b.shape()),
             "Add: b must equal or suffix-broadcast a");
   auto node = MakeNode(a.shape(), {a.impl(), b.impl()});
@@ -72,6 +74,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   if (node->requires_grad) {
     Impl ai = a.impl(), bi = b.impl();
     node->backward_fn = [ai, bi](TensorImpl& n) {
+      obs::Span bwd_span("nn/Add.bwd");
       for (size_t i = 0; i < n.data.size(); ++i) ai->grad[i] += n.grad[i];
       AccumulateBroadcastGrad(n, bi.get(), {});
     };
@@ -80,6 +83,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
+  obs::Span span("nn/Sub");
   OpRequire(a.shape() == b.shape(), "Sub: shapes must match");
   auto node = MakeNode(a.shape(), {a.impl(), b.impl()});
   for (size_t i = 0; i < node->data.size(); ++i) {
@@ -88,6 +92,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   if (node->requires_grad) {
     Impl ai = a.impl(), bi = b.impl();
     node->backward_fn = [ai, bi](TensorImpl& n) {
+      obs::Span bwd_span("nn/Sub.bwd");
       for (size_t i = 0; i < n.data.size(); ++i) {
         ai->grad[i] += n.grad[i];
         bi->grad[i] -= n.grad[i];
@@ -98,6 +103,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
+  obs::Span span("nn/Mul");
   OpRequire(IsSuffix(a.shape(), b.shape()),
             "Mul: b must equal or suffix-broadcast a");
   auto node = MakeNode(a.shape(), {a.impl(), b.impl()});
@@ -108,6 +114,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   if (node->requires_grad) {
     Impl ai = a.impl(), bi = b.impl();
     node->backward_fn = [ai, bi, bn](TensorImpl& n) {
+      obs::Span bwd_span("nn/Mul.bwd");
       for (size_t i = 0; i < n.data.size(); ++i) {
         ai->grad[i] += n.grad[i] * bi->data[i % bn];
         bi->grad[i % bn] += n.grad[i] * ai->data[i];
@@ -118,11 +125,13 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Scale(const Tensor& a, double scalar) {
+  obs::Span span("nn/Scale");
   auto node = MakeNode(a.shape(), {a.impl()});
   for (size_t i = 0; i < node->data.size(); ++i) node->data[i] = a.data()[i] * scalar;
   if (node->requires_grad) {
     Impl ai = a.impl();
     node->backward_fn = [ai, scalar](TensorImpl& n) {
+      obs::Span bwd_span("nn/Scale.bwd");
       for (size_t i = 0; i < n.data.size(); ++i) ai->grad[i] += n.grad[i] * scalar;
     };
   }
@@ -130,11 +139,13 @@ Tensor Scale(const Tensor& a, double scalar) {
 }
 
 Tensor AddScalar(const Tensor& a, double scalar) {
+  obs::Span span("nn/AddScalar");
   auto node = MakeNode(a.shape(), {a.impl()});
   for (size_t i = 0; i < node->data.size(); ++i) node->data[i] = a.data()[i] + scalar;
   if (node->requires_grad) {
     Impl ai = a.impl();
     node->backward_fn = [ai](TensorImpl& n) {
+      obs::Span bwd_span("nn/AddScalar.bwd");
       for (size_t i = 0; i < n.data.size(); ++i) ai->grad[i] += n.grad[i];
     };
   }
@@ -142,6 +153,7 @@ Tensor AddScalar(const Tensor& a, double scalar) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_b) {
+  obs::Span span("nn/MatMul");
   const auto& as = a.shape();
   const auto& bs = b.shape();
   OpRequire(a.rank() == 2 || a.rank() == 3, "MatMul: a must be rank 2 or 3");
@@ -203,6 +215,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_b) {
     Impl ai = a.impl(), bi = b.impl();
     node->backward_fn = [ai, bi, batch, m, n, k, b_batched, transpose_b, a_stride,
                          b_stride, c_stride, rows, flops](TensorImpl& node_ref) {
+      obs::Span bwd_span("nn/MatMul.bwd");
       const auto& gd = node_ref.grad;
       const bool parallel = flops >= kMatMulParallelFlops;
 
@@ -300,6 +313,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_b) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
+  obs::Span span("nn/Sigmoid");
   auto node = MakeNode(a.shape(), {a.impl()});
   for (size_t i = 0; i < node->data.size(); ++i) {
     node->data[i] = 1.0 / (1.0 + std::exp(-a.data()[i]));
@@ -307,6 +321,7 @@ Tensor Sigmoid(const Tensor& a) {
   if (node->requires_grad) {
     Impl ai = a.impl();
     node->backward_fn = [ai](TensorImpl& n) {
+      obs::Span bwd_span("nn/Sigmoid.bwd");
       for (size_t i = 0; i < n.data.size(); ++i) {
         ai->grad[i] += n.grad[i] * n.data[i] * (1.0 - n.data[i]);
       }
@@ -316,11 +331,13 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor Tanh(const Tensor& a) {
+  obs::Span span("nn/Tanh");
   auto node = MakeNode(a.shape(), {a.impl()});
   for (size_t i = 0; i < node->data.size(); ++i) node->data[i] = std::tanh(a.data()[i]);
   if (node->requires_grad) {
     Impl ai = a.impl();
     node->backward_fn = [ai](TensorImpl& n) {
+      obs::Span bwd_span("nn/Tanh.bwd");
       for (size_t i = 0; i < n.data.size(); ++i) {
         ai->grad[i] += n.grad[i] * (1.0 - n.data[i] * n.data[i]);
       }
@@ -330,6 +347,7 @@ Tensor Tanh(const Tensor& a) {
 }
 
 Tensor Relu(const Tensor& a) {
+  obs::Span span("nn/Relu");
   auto node = MakeNode(a.shape(), {a.impl()});
   for (size_t i = 0; i < node->data.size(); ++i) {
     node->data[i] = a.data()[i] > 0.0 ? a.data()[i] : 0.0;
@@ -337,6 +355,7 @@ Tensor Relu(const Tensor& a) {
   if (node->requires_grad) {
     Impl ai = a.impl();
     node->backward_fn = [ai](TensorImpl& n) {
+      obs::Span bwd_span("nn/Relu.bwd");
       for (size_t i = 0; i < n.data.size(); ++i) {
         if (ai->data[i] > 0.0) ai->grad[i] += n.grad[i];
       }
@@ -346,6 +365,7 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor Softmax(const Tensor& a) {
+  obs::Span span("nn/Softmax");
   const int last = a.shape().back();
   auto node = MakeNode(a.shape(), {a.impl()});
   const size_t rows = a.numel() / last;
@@ -364,6 +384,7 @@ Tensor Softmax(const Tensor& a) {
   if (node->requires_grad) {
     Impl ai = a.impl();
     node->backward_fn = [ai, last, rows](TensorImpl& n) {
+      obs::Span bwd_span("nn/Softmax.bwd");
       for (size_t r = 0; r < rows; ++r) {
         const double* y = n.data.data() + r * last;
         const double* gy = n.grad.data() + r * last;
@@ -379,6 +400,7 @@ Tensor Softmax(const Tensor& a) {
 
 Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
                  double eps) {
+  obs::Span span("nn/LayerNorm");
   const int d = a.shape().back();
   OpRequire(gamma.rank() == 1 && gamma.shape()[0] == d,
             "LayerNorm: gamma must be rank-1 of size last-dim(a)");
@@ -408,6 +430,7 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   if (node->requires_grad) {
     Impl ai = a.impl(), gi = gamma.impl(), bi = beta.impl();
     node->backward_fn = [ai, gi, bi, d, rows, mean, inv_std](TensorImpl& n) {
+      obs::Span bwd_span("nn/LayerNorm.bwd");
       for (size_t r = 0; r < rows; ++r) {
         const double* x = ai->data.data() + r * d;
         const double* gy = n.grad.data() + r * d;
@@ -436,6 +459,7 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
 }
 
 Tensor StackSeq(const std::vector<Tensor>& steps) {
+  obs::Span span("nn/StackSeq");
   OpRequire(!steps.empty(), "StackSeq: steps must be non-empty");
   const auto& s0 = steps[0].shape();
   OpRequire(s0.size() == 2, "StackSeq: steps must be rank-2");
@@ -460,6 +484,7 @@ Tensor StackSeq(const std::vector<Tensor>& steps) {
     std::vector<Impl> ps;
     for (const auto& t : steps) ps.push_back(t.impl());
     node->backward_fn = [ps, b, s, d](TensorImpl& n) {
+      obs::Span bwd_span("nn/StackSeq.bwd");
       for (int bt = 0; bt < b; ++bt) {
         for (int st = 0; st < s; ++st) {
           for (int i = 0; i < d; ++i) {
@@ -474,6 +499,7 @@ Tensor StackSeq(const std::vector<Tensor>& steps) {
 }
 
 Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
+  obs::Span span("nn/ConcatLastDim");
   OpRequire(!parts.empty(), "ConcatLastDim: parts must be non-empty");
   const auto& s0 = parts[0].shape();
   std::vector<int> lead(s0.begin(), s0.end() - 1);
@@ -506,6 +532,7 @@ Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
     std::vector<Impl> ps;
     for (const auto& p : parts) ps.push_back(p.impl());
     node->backward_fn = [ps, lasts, rows, total_last](TensorImpl& n) {
+      obs::Span bwd_span("nn/ConcatLastDim.bwd");
       for (size_t r = 0; r < rows; ++r) {
         size_t off = 0;
         for (size_t p = 0; p < ps.size(); ++p) {
@@ -523,6 +550,7 @@ Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
 }
 
 Tensor SliceSeq(const Tensor& a, int t) {
+  obs::Span span("nn/SliceSeq");
   OpRequire(a.rank() == 3, "SliceSeq: a must be rank-3");
   const int b = a.shape()[0];
   const int s = a.shape()[1];
@@ -538,6 +566,7 @@ Tensor SliceSeq(const Tensor& a, int t) {
   if (node->requires_grad) {
     Impl ai = a.impl();
     node->backward_fn = [ai, b, s, d, t](TensorImpl& n) {
+      obs::Span bwd_span("nn/SliceSeq.bwd");
       for (int bt = 0; bt < b; ++bt) {
         for (int i = 0; i < d; ++i) {
           ai->grad[(static_cast<size_t>(bt) * s + t) * d + i] +=
@@ -550,6 +579,7 @@ Tensor SliceSeq(const Tensor& a, int t) {
 }
 
 Tensor SumAll(const Tensor& a) {
+  obs::Span span("nn/SumAll");
   auto node = MakeNode({1}, {a.impl()});
   double s = 0.0;
   for (double v : a.data()) s += v;
@@ -557,6 +587,7 @@ Tensor SumAll(const Tensor& a) {
   if (node->requires_grad) {
     Impl ai = a.impl();
     node->backward_fn = [ai](TensorImpl& n) {
+      obs::Span bwd_span("nn/SumAll.bwd");
       for (double& g : ai->grad) g += n.grad[0];
     };
   }
@@ -564,11 +595,13 @@ Tensor SumAll(const Tensor& a) {
 }
 
 Tensor MeanAll(const Tensor& a) {
+  obs::Span span("nn/MeanAll");
   const double inv = 1.0 / static_cast<double>(a.numel());
   return Scale(SumAll(a), inv);
 }
 
 Tensor MeanSeq(const Tensor& a) {
+  obs::Span span("nn/MeanSeq");
   OpRequire(a.rank() == 3, "MeanSeq: a must be rank-3");
   const int b = a.shape()[0];
   const int s = a.shape()[1];
@@ -586,6 +619,7 @@ Tensor MeanSeq(const Tensor& a) {
   if (node->requires_grad) {
     Impl ai = a.impl();
     node->backward_fn = [ai, b, s, d](TensorImpl& n) {
+      obs::Span bwd_span("nn/MeanSeq.bwd");
       const double inv = 1.0 / s;
       for (int bt = 0; bt < b; ++bt) {
         for (int st = 0; st < s; ++st) {
@@ -601,12 +635,14 @@ Tensor MeanSeq(const Tensor& a) {
 }
 
 Tensor Reshape(const Tensor& a, const std::vector<int>& shape) {
+  obs::Span span("nn/Reshape");
   OpRequire(ShapeNumel(shape) == a.numel(), "Reshape: volume must match");
   auto node = MakeNode(shape, {a.impl()});
   node->data = a.data();
   if (node->requires_grad) {
     Impl ai = a.impl();
     node->backward_fn = [ai](TensorImpl& n) {
+      obs::Span bwd_span("nn/Reshape.bwd");
       for (size_t i = 0; i < n.data.size(); ++i) ai->grad[i] += n.grad[i];
     };
   }
@@ -614,12 +650,14 @@ Tensor Reshape(const Tensor& a, const std::vector<int>& shape) {
 }
 
 Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  obs::Span span("nn/MseLoss");
   OpRequire(pred.shape() == target.shape(), "MseLoss: shapes must match");
   const Tensor diff = Sub(pred, target);
   return MeanAll(Mul(diff, diff));
 }
 
 Tensor MaeLoss(const Tensor& pred, const Tensor& target) {
+  obs::Span span("nn/MaeLoss");
   OpRequire(pred.shape() == target.shape(), "MaeLoss: shapes must match");
   auto node = MakeNode({1}, {pred.impl(), target.impl()});
   double s = 0.0;
@@ -630,6 +668,7 @@ Tensor MaeLoss(const Tensor& pred, const Tensor& target) {
   if (node->requires_grad) {
     Impl pi = pred.impl(), ti = target.impl();
     node->backward_fn = [pi, ti](TensorImpl& n) {
+      obs::Span bwd_span("nn/MaeLoss.bwd");
       const double inv = 1.0 / static_cast<double>(pi->data.size());
       for (size_t i = 0; i < pi->data.size(); ++i) {
         const double diff = pi->data[i] - ti->data[i];

@@ -20,6 +20,7 @@ double Optimizer::ClipGradNorm(double max_norm) {
       for (double& g : p.grad()) g *= scale;
     }
   }
+  last_grad_norm_ = norm;
   return norm;
 }
 
@@ -85,6 +86,41 @@ void Adam::Step() {
       data[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+StatusOr<TrainLog> TrainLog::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument("TrainLog: cannot open '" + path + "'");
+  }
+  return TrainLog(file);
+}
+
+TrainLog::TrainLog(TrainLog&& other) noexcept : file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+TrainLog& TrainLog::operator=(TrainLog&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+TrainLog::~TrainLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TrainLog::LogEpoch(int epoch, double loss, double grad_norm, double lr,
+                        int batches) {
+  if (file_ == nullptr) return;
+  std::fprintf(file_,
+               "{\"epoch\": %d, \"loss\": %.17g, \"grad_norm\": %.17g, "
+               "\"lr\": %.17g, \"batches\": %d}\n",
+               epoch, loss, grad_norm, lr, batches);
+  std::fflush(file_);
 }
 
 }  // namespace stpt::nn

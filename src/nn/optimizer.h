@@ -1,8 +1,11 @@
 #ifndef STPT_NN_OPTIMIZER_H_
 #define STPT_NN_OPTIMIZER_H_
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/tensor.h"
 
 namespace stpt::nn {
@@ -16,6 +19,10 @@ class Optimizer {
   /// Applies one update from the currently accumulated gradients.
   virtual void Step() = 0;
 
+  /// The current base learning rate (telemetry; constant for the built-in
+  /// optimizers but surfaced so schedules can be observed when added).
+  virtual double learning_rate() const = 0;
+
   /// Zeroes all parameter gradients.
   void ZeroGrad();
 
@@ -23,8 +30,13 @@ class Optimizer {
   /// Returns the pre-clip norm.
   double ClipGradNorm(double max_norm);
 
+  /// The pre-clip global gradient norm measured by the most recent
+  /// ClipGradNorm call (0 before the first call). Telemetry only.
+  double last_grad_norm() const { return last_grad_norm_; }
+
  protected:
   std::vector<Tensor> params_;
+  double last_grad_norm_ = 0.0;
 };
 
 /// Plain SGD with optional momentum.
@@ -32,6 +44,7 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<Tensor> params, double lr, double momentum = 0.0);
   void Step() override;
+  double learning_rate() const override { return lr_; }
 
  private:
   double lr_, momentum_;
@@ -44,6 +57,7 @@ class RmsProp : public Optimizer {
   RmsProp(std::vector<Tensor> params, double lr, double decay = 0.9,
           double eps = 1e-8);
   void Step() override;
+  double learning_rate() const override { return lr_; }
 
  private:
   double lr_, decay_, eps_;
@@ -56,11 +70,37 @@ class Adam : public Optimizer {
   Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8);
   void Step() override;
+  double learning_rate() const override { return lr_; }
 
  private:
   double lr_, beta1_, beta2_, eps_;
   int64_t t_ = 0;
   std::vector<std::vector<double>> m_, v_;
+};
+
+/// Per-epoch training-curve emitter: one JSONL row per epoch with the mean
+/// loss, pre-clip gradient norm, learning rate, and batch count — the
+/// --train-log=<path> sink wired through TrainPredictor. Rows are flushed
+/// as they are written so an interrupted run keeps its partial curve.
+class TrainLog {
+ public:
+  /// Opens (truncates) the sink. InvalidArgument on an unopenable path.
+  static StatusOr<TrainLog> Open(const std::string& path);
+
+  TrainLog(TrainLog&& other) noexcept;
+  TrainLog& operator=(TrainLog&& other) noexcept;
+  TrainLog(const TrainLog&) = delete;
+  TrainLog& operator=(const TrainLog&) = delete;
+  ~TrainLog();
+
+  /// Appends {"epoch": ..., "loss": ..., "grad_norm": ..., "lr": ...,
+  /// "batches": ...}.
+  void LogEpoch(int epoch, double loss, double grad_norm, double lr,
+                int batches);
+
+ private:
+  explicit TrainLog(std::FILE* file) : file_(file) {}
+  std::FILE* file_ = nullptr;  // owned
 };
 
 }  // namespace stpt::nn

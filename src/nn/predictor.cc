@@ -5,9 +5,14 @@
 #include <cmath>
 
 #include "nn/optimizer.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace stpt::nn {
 namespace {
+
+std::string g_default_train_log_path;  // see SetDefaultTrainLogPath
 
 /// Shared "embed -> self-attention -> recurrent core -> linear head"
 /// predictor, with a vanilla RNN or GRU core (paper §4 base design and
@@ -139,6 +144,12 @@ Tensor WindowsToTensor(const std::vector<std::vector<double>>& windows,
 
 }  // namespace
 
+void SetDefaultTrainLogPath(const std::string& path) {
+  g_default_train_log_path = path;
+}
+
+const std::string& DefaultTrainLogPath() { return g_default_train_log_path; }
+
 const char* ModelKindToString(ModelKind kind) {
   switch (kind) {
     case ModelKind::kRnn:
@@ -186,12 +197,39 @@ StatusOr<TrainStats> TrainPredictor(SequencePredictor* predictor,
       return Status::InvalidArgument("TrainPredictor: window size mismatch");
     }
   }
+  obs::Span train_span("nn/train");
   RmsProp optimizer(predictor->Parameters(), config.learning_rate);
   std::vector<size_t> order(dataset.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // Telemetry sinks: gauges track the latest epoch; the optional TrainLog
+  // keeps the full loss curve as JSONL. Neither influences the math.
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Gauge* loss_gauge =
+      reg.GetGauge("stpt_nn_epoch_loss", "mean training loss of the last epoch");
+  obs::Gauge* grad_gauge = reg.GetGauge(
+      "stpt_nn_grad_norm", "pre-clip global gradient norm of the last batch");
+  obs::Gauge* lr_gauge =
+      reg.GetGauge("stpt_nn_learning_rate", "optimizer base learning rate");
+  if (lr_gauge != nullptr) lr_gauge->Set(optimizer.learning_rate());
+  const std::string& log_path = config.train_log_path.empty()
+                                    ? DefaultTrainLogPath()
+                                    : config.train_log_path;
+  std::unique_ptr<TrainLog> train_log;
+  if (!log_path.empty()) {
+    StatusOr<TrainLog> opened = TrainLog::Open(log_path);
+    if (opened.ok()) {
+      train_log = std::make_unique<TrainLog>(std::move(opened).value());
+    } else {
+      obs::Log(obs::LogLevel::kWarn, "nn",
+               "cannot open train log, continuing without it",
+               {{"path", log_path}});
+    }
+  }
+
   TrainStats stats;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::Span epoch_span("nn/train_epoch");
     // Fisher–Yates shuffle with the injected RNG for reproducibility.
     for (size_t i = order.size(); i > 1; --i) {
       std::swap(order[i - 1],
@@ -219,7 +257,18 @@ StatusOr<TrainStats> TrainPredictor(SequencePredictor* predictor,
       epoch_loss += loss.item();
       ++batches;
     }
-    stats.epoch_losses.push_back(epoch_loss / static_cast<double>(batches));
+    const double mean_loss = epoch_loss / static_cast<double>(batches);
+    stats.epoch_losses.push_back(mean_loss);
+    if (loss_gauge != nullptr) loss_gauge->Set(mean_loss);
+    if (grad_gauge != nullptr) grad_gauge->Set(optimizer.last_grad_norm());
+    if (obs::TraceEventsEnabled()) {
+      obs::TraceCounter("nn/epoch_loss", mean_loss);
+      obs::TraceCounter("nn/grad_norm", optimizer.last_grad_norm());
+    }
+    if (train_log != nullptr) {
+      train_log->LogEpoch(epoch, mean_loss, optimizer.last_grad_norm(),
+                          optimizer.learning_rate(), static_cast<int>(batches));
+    }
   }
   return stats;
 }
@@ -227,6 +276,7 @@ StatusOr<TrainStats> TrainPredictor(SequencePredictor* predictor,
 std::vector<double> PredictBatch(SequencePredictor* predictor,
                                  const std::vector<std::vector<double>>& windows) {
   if (windows.empty()) return {};
+  obs::Span infer_span("nn/infer");
   std::vector<size_t> identity(windows.size());
   for (size_t i = 0; i < identity.size(); ++i) identity[i] = i;
   std::vector<double> out;

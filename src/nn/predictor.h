@@ -2,6 +2,7 @@
 #define STPT_NN_PREDICTOR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -75,7 +76,18 @@ struct TrainConfig {
   int batch_size = 32;
   double learning_rate = 1e-3;
   double grad_clip = 5.0;
+  /// When non-empty, TrainPredictor appends one JSONL row per epoch
+  /// ({"epoch", "loss", "grad_norm", "lr", "batches"}) to this path — the
+  /// --train-log flag. Empty falls back to DefaultTrainLogPath().
+  std::string train_log_path;
 };
+
+/// Process-wide fallback for TrainConfig::train_log_path, so front ends
+/// that build configs deep inside sweeps (bench binaries) can route every
+/// training run's loss curve to one --train-log sink. Empty (the default)
+/// disables the fallback. Not thread-safe: set once at startup.
+void SetDefaultTrainLogPath(const std::string& path);
+const std::string& DefaultTrainLogPath();
 
 /// Per-epoch mean training losses.
 struct TrainStats {

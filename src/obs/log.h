@@ -1,0 +1,57 @@
+#ifndef STPT_OBS_LOG_H_
+#define STPT_OBS_LOG_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+namespace stpt::obs {
+
+/// Severity levels of the process-wide structured logger. The default
+/// threshold is kWarn, so an unconfigured process emits nothing on the
+/// info/debug paths — flag-free runs stay byte-identical to a build without
+/// any Log call sites.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  ///< threshold only; not a valid event level
+};
+
+/// Lower-case level name ("debug", "info", "warn", "error", "off").
+const char* LogLevelName(LogLevel level);
+
+/// Parses a --log-level value (case-sensitive lower-case names as printed
+/// by LogLevelName). Returns false and leaves *out untouched on unknown
+/// input.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// Sets / reads the global severity threshold (events below it are
+/// dropped). Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// True when an event at `level` would currently be emitted. Use to skip
+/// building expensive field values.
+bool LogEnabled(LogLevel level);
+
+/// Redirects log output from the default sink (human-readable lines on
+/// stderr) to a JSONL file, one object per event. An empty path restores
+/// the stderr sink. Returns false if the file cannot be opened (the sink is
+/// then left unchanged).
+bool SetLogFile(const std::string& path);
+
+/// One structured key/value attachment; values are emitted as JSON strings.
+using LogField = std::pair<const char*, std::string>;
+
+/// Emits one event. `component` names the subsystem ("serve", "nn",
+/// "core", ...); fields ride along as key=value (text sink) or extra JSON
+/// members (JSONL sink). Thread-safe; events are written atomically per
+/// call.
+void Log(LogLevel level, const char* component, const std::string& message,
+         std::initializer_list<LogField> fields = {});
+
+}  // namespace stpt::obs
+
+#endif  // STPT_OBS_LOG_H_

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "exec/parallel.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 
 namespace stpt::serve {
@@ -94,7 +95,9 @@ std::string ServerStats::ToJson() const {
 class QueryServer::Impl {
  public:
   Impl(Snapshot snapshot, grid::PrefixSum3D prefix, const QueryServerOptions& options)
-      : meta_(std::move(snapshot.meta)), prefix_(std::move(prefix)) {
+      : meta_(std::move(snapshot.meta)),
+        prefix_(std::move(prefix)),
+        slow_batch_ns_(options.slow_batch_ns) {
     queries_ = registry_.GetCounter("stpt_serve_queries_total",
                                     "Queries answered successfully");
     invalid_ = registry_.GetCounter("stpt_serve_invalid_total",
@@ -105,6 +108,9 @@ class QueryServer::Impl {
                                    "Answers computed on cache miss");
     batches_ = registry_.GetCounter("stpt_serve_batches_total",
                                     "Query batches accepted by AnswerBatch");
+    slow_batches_ = registry_.GetCounter(
+        "stpt_serve_slow_batches_total",
+        "Batches slower than QueryServerOptions::slow_batch_ns");
     latency_ = registry_.GetHistogram("stpt_serve_query_latency_ns",
                                       "Per-query Answer() wall time",
                                       obs::LatencyBucketsNs());
@@ -161,12 +167,24 @@ class QueryServer::Impl {
       }
     }
     batches_->Increment();
+    // Named span so the batch shows up in the trace-region profile
+    // (`stpt_serve stats` top_regions) and labels the worker-chunk lanes.
+    obs::Span batch_span("serve/answer_batch");
+    const uint64_t batch_start_ns = obs::NowNanos();
     QueryResponse answers(batch.size());
     exec::ParallelFor(static_cast<int64_t>(batch.size()), [&](int64_t i) {
       // Already validated, so Answer cannot fail; each slot is written by
       // exactly one index (the ParallelFor purity contract).
       answers[i] = *Answer(batch[i]);
     });
+    const uint64_t batch_ns = obs::NowNanos() - batch_start_ns;
+    if (slow_batch_ns_ > 0 && batch_ns > slow_batch_ns_) {
+      slow_batches_->Increment();
+      obs::Log(obs::LogLevel::kWarn, "serve", "slow batch",
+               {{"queries", std::to_string(batch.size())},
+                {"wall_ns", std::to_string(batch_ns)},
+                {"threshold_ns", std::to_string(slow_batch_ns_)}});
+    }
     return answers;
   }
 
@@ -194,7 +212,9 @@ class QueryServer::Impl {
   obs::Counter* hits_ = nullptr;
   obs::Counter* misses_ = nullptr;
   obs::Counter* batches_ = nullptr;
+  obs::Counter* slow_batches_ = nullptr;
   obs::Histogram* latency_ = nullptr;
+  uint64_t slow_batch_ns_ = 0;
   // Shards are heap-allocated because a mutex is neither movable nor
   // copyable; the vector is empty when the cache is disabled.
   std::vector<std::unique_ptr<LruShard>> shards_;

@@ -25,6 +25,10 @@ struct QueryServerOptions {
   int cache_shards = 16;
   /// Total cached answers across all shards; 0 disables the cache.
   size_t cache_capacity = 1 << 16;
+  /// Batches whose wall time exceeds this threshold are counted in
+  /// stpt_serve_slow_batches_total and logged at warn level (the serve-layer
+  /// slow-query log). 0 disables slow-batch detection.
+  uint64_t slow_batch_ns = 50'000'000;  // 50 ms
 };
 
 /// Point-in-time serving counters. Latency percentiles come from a

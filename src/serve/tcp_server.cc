@@ -9,7 +9,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <string>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace stpt::serve {
 namespace {
@@ -103,7 +106,8 @@ void TcpServer::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t conn_id =
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     connections_ctr_->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_.load(std::memory_order_acquire)) {
@@ -111,7 +115,10 @@ void TcpServer::AcceptLoop() {
       break;
     }
     open_fds_.push_back(conn);
-    handlers_.emplace_back([this, conn] { HandleConnection(conn); });
+    handlers_.emplace_back([this, conn, conn_id] {
+      obs::RegisterCurrentThreadName("stpt-conn-" + std::to_string(conn_id));
+      HandleConnection(conn);
+    });
   }
 }
 
@@ -156,10 +163,16 @@ bool TcpServer::ServeFrame(int fd, MsgType type, const std::vector<uint8_t>& pay
       return WriteFrame(fd, MsgType::kQueryResponse, EncodeQueryResponse(*answers))
           .ok();
     }
-    case MsgType::kStatsRequest:
-      return WriteFrame(fd, MsgType::kStatsResponse,
-                        EncodeString(engine_->stats().ToJson()))
+    case MsgType::kStatsRequest: {
+      // Splice the top trace regions into the engine stats object so `stats`
+      // shows where serving time actually goes (empty array when no spans
+      // have run yet).
+      std::string stats_json = engine_->stats().ToJson();
+      stats_json.insert(stats_json.size() - 1,
+                        ", \"top_regions\": " + obs::TraceProfileJson(10));
+      return WriteFrame(fd, MsgType::kStatsResponse, EncodeString(stats_json))
           .ok();
+    }
     case MsgType::kMetricsRequest:
       // Engine-private metrics first, then the process-wide registry (exec,
       // core, dp); the name sets are disjoint by the subsystem prefix.

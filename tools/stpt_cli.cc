@@ -9,9 +9,15 @@
 //            --kind=random --queries=300 [--seed=7]
 //
 // Every subcommand also accepts --threads=N (exec pool size), --profile
-// (print the timing profile at exit), and --metrics=<path> (write a JSON
-// snapshot of the process metric registry at exit). Unknown or malformed
-// flags are rejected with the subcommand's flag listing.
+// (print the timing profile at exit), --metrics=<path> (write a JSON
+// snapshot of the process metric registry + trace-region profile at exit),
+// --trace=<path> (record per-thread span events and write a Chrome
+// trace-event JSON at exit; load in chrome://tracing or Perfetto), and
+// --log-level=<debug|info|warn|error|off> (structured-log threshold,
+// default warn). `publish` additionally accepts --train-log=<path> (JSONL
+// loss curve, one row per epoch) and --audit-ledger=<path> (JSONL record of
+// every privacy-budget charge). Unknown or malformed flags are rejected
+// with the subcommand's flag listing.
 //
 // `publish` aggregates to day granularity, runs the chosen algorithm
 // (stpt, identity, fast, fourier10, fourier20, wavelet10, wavelet20,
@@ -35,10 +41,13 @@
 #include "common/rng.h"
 #include "core/stpt.h"
 #include "datagen/dataset.h"
+#include "dp/audit_ledger.h"
 #include "exec/thread_pool.h"
 #include "exec/timing.h"
 #include "io/csv.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/metrics.h"
 #include "serve/snapshot.h"
 
@@ -64,6 +73,10 @@ void DefineCommonFlags(FlagSet& flags) {
   flags.DefineBool("profile", false, "print the timing profile to stderr at exit");
   flags.DefineString("metrics", "",
                      "write a JSON metric-registry snapshot to this path at exit");
+  flags.DefineString("trace", "",
+                     "write a Chrome trace-event JSON to this path at exit");
+  flags.DefineString("log-level", "warn",
+                     "structured-log threshold (debug, info, warn, error, off)");
 }
 
 FlagSet GenerateFlags() {
@@ -94,6 +107,9 @@ FlagSet PublishFlags() {
   flags.DefineString("out", "sanitized.csv", "sanitized-region CSV path");
   flags.DefineString("truth-out", "", "also write the true test region here");
   flags.DefineString("snapshot", "", "also write a .stpt snapshot container here");
+  flags.DefineString("train-log", "", "write a JSONL per-epoch loss curve here (stpt)");
+  flags.DefineString("audit-ledger", "",
+                     "write a JSONL privacy-budget audit ledger here (stpt)");
   return flags;
 }
 
@@ -176,10 +192,22 @@ int RunPublish(const FlagSet& flags) {
     cfg.t_train = t_train;
     cfg.quadtree_depth = static_cast<int>(flags.GetInt("depth"));
     cfg.quantization_levels = static_cast<int>(flags.GetInt("k"));
+    cfg.training.train_log_path = flags.GetString("train-log");
+    dp::AuditLedger ledger;
+    if (flags.Provided("audit-ledger")) {
+      const Status st = ledger.OpenFile(flags.GetString("audit-ledger"));
+      if (!st.ok()) return Fail(st);
+      cfg.audit_ledger = &ledger;
+    }
     auto res = core::Stpt(cfg).Publish(*cons, unit, rng);
     if (!res.ok()) return Fail(res.status());
     sanitized = std::move(res->sanitized);
   } else {
+    if (flags.Provided("train-log") || flags.Provided("audit-ledger")) {
+      obs::Log(obs::LogLevel::kWarn, "cli",
+               "--train-log/--audit-ledger only apply to --algorithm=stpt",
+               {{"algorithm", algorithm}});
+    }
     std::unique_ptr<baselines::Publisher> pub;
     if (algorithm == "identity") pub = std::make_unique<baselines::IdentityPublisher>();
     if (algorithm == "fast") pub = std::make_unique<baselines::FastPublisher>();
@@ -266,6 +294,17 @@ int main(int argc, char** argv) {
   if (flags.Provided("threads")) {
     exec::SetThreads(static_cast<int>(flags.GetInt("threads")));
   }
+  obs::LogLevel log_level;
+  if (!obs::ParseLogLevel(flags.GetString("log-level"), &log_level)) {
+    std::fprintf(stderr, "error: bad --log-level '%s'\n",
+                 flags.GetString("log-level").c_str());
+    return 2;
+  }
+  obs::SetLogLevel(log_level);
+  if (flags.Provided("trace")) {
+    obs::RegisterCurrentThreadName("main");
+    obs::StartTraceEvents();
+  }
   int rc;
   if (command == "generate") {
     rc = RunGenerate(flags);
@@ -281,7 +320,14 @@ int main(int argc, char** argv) {
       return Fail(Status::Internal("cannot open metrics path '" +
                                    flags.GetString("metrics") + "'"));
     }
-    out << obs::Registry::Global().ToJson() << "\n";
+    out << exec::MetricsSnapshotJson() << "\n";
+  }
+  if (flags.Provided("trace")) {
+    obs::StopTraceEvents();
+    if (!obs::WriteChromeTrace(flags.GetString("trace"))) {
+      return Fail(Status::Internal("cannot write trace path '" +
+                                   flags.GetString("trace") + "'"));
+    }
   }
   return rc;
 }

@@ -16,8 +16,13 @@
 // dims and reports throughput. `verify` additionally loads the snapshot
 // locally and requires every served answer to be bit-identical to direct
 // in-memory evaluation — the end-to-end integrity check used by CI.
-// `stats` prints the serving counters as JSON; `metrics` prints the full
-// metric registries in Prometheus text exposition format.
+// `stats` prints the serving counters as JSON (including the server's
+// top-10 trace regions by total time); `metrics` prints the full metric
+// registries in Prometheus text exposition format.
+//
+// Every subcommand also accepts --trace=<path> (Chrome trace-event JSON
+// written at exit) and --log-level=<debug|info|warn|error|off> (structured
+// log threshold, default warn — `serve` logs slow batches at warn).
 
 #include <algorithm>
 #include <cstdio>
@@ -30,6 +35,8 @@
 #include "common/rng.h"
 #include "exec/thread_pool.h"
 #include "exec/timing.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "query/range_query.h"
 #include "serve/client.h"
 #include "serve/query_server.h"
@@ -55,6 +62,10 @@ int Usage() {
 
 void DefineCommonFlags(FlagSet& flags) {
   flags.DefineInt("threads", 0, "exec pool size (0 = auto / STPT_THREADS)");
+  flags.DefineString("trace", "",
+                     "write a Chrome trace-event JSON to this path at exit");
+  flags.DefineString("log-level", "warn",
+                     "structured-log threshold (debug, info, warn, error, off)");
 }
 
 void DefineClientFlags(FlagSet& flags) {
@@ -257,10 +268,38 @@ int main(int argc, char** argv) {
   if (flags.Provided("threads")) {
     exec::SetThreads(static_cast<int>(flags.GetInt("threads")));
   }
-  if (command == "serve") return RunServe(flags);
-  if (command == "query") return RunQueryOrVerify(flags, /*verify=*/false);
-  if (command == "verify") return RunQueryOrVerify(flags, /*verify=*/true);
-  if (command == "stats") return RunStats(flags);
-  if (command == "metrics") return RunMetrics(flags);
-  return RunShutdown(flags);
+  obs::LogLevel log_level;
+  if (!obs::ParseLogLevel(flags.GetString("log-level"), &log_level)) {
+    std::fprintf(stderr, "error: bad --log-level '%s'\n",
+                 flags.GetString("log-level").c_str());
+    return 2;
+  }
+  obs::SetLogLevel(log_level);
+  if (flags.Provided("trace")) {
+    obs::RegisterCurrentThreadName("main");
+    obs::StartTraceEvents();
+  }
+  int rc;
+  if (command == "serve") {
+    rc = RunServe(flags);
+  } else if (command == "query") {
+    rc = RunQueryOrVerify(flags, /*verify=*/false);
+  } else if (command == "verify") {
+    rc = RunQueryOrVerify(flags, /*verify=*/true);
+  } else if (command == "stats") {
+    rc = RunStats(flags);
+  } else if (command == "metrics") {
+    rc = RunMetrics(flags);
+  } else {
+    rc = RunShutdown(flags);
+  }
+  if (flags.Provided("trace")) {
+    obs::StopTraceEvents();
+    if (!obs::WriteChromeTrace(flags.GetString("trace"))) {
+      std::fprintf(stderr, "error: cannot write trace path '%s'\n",
+                   flags.GetString("trace").c_str());
+      return 1;
+    }
+  }
+  return rc;
 }
