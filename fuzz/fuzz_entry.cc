@@ -1,0 +1,13 @@
+// One-line libFuzzer entry shim. Each fuzz binary compiles this file with
+// -DSTPT_FUZZ_TARGET=<FuzzFunction> so the same five harnesses link both as
+// libFuzzer targets (clang, -fsanitize=fuzzer) and under the deterministic
+// corpus-replay runner (replay_main.cc, any compiler).
+#include "targets.h"
+
+#ifndef STPT_FUZZ_TARGET
+#error "compile with -DSTPT_FUZZ_TARGET=<FuzzFunction from targets.h>"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return stpt::fuzz::STPT_FUZZ_TARGET(data, size);
+}

@@ -1,0 +1,136 @@
+#include "fuzz_util.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace stpt::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<uint8_t> ReadFileBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+/// Boundary-ish byte values that parsers mishandle most often.
+constexpr uint8_t kInterestingBytes[] = {0x00, 0x01, 0x7F, 0x80, 0xFF, 0xFE, 0x20, 0x2C};
+
+}  // namespace
+
+std::vector<CorpusEntry> LoadCorpus(const std::string& path) {
+  std::vector<CorpusEntry> out;
+  std::error_code ec;
+  if (fs::is_regular_file(path, ec)) {
+    out.push_back({fs::path(path).filename().string(), ReadFileBytes(path)});
+    return out;
+  }
+  if (!fs::is_directory(path, ec)) return out;
+  for (const auto& entry : fs::directory_iterator(path, ec)) {
+    if (!entry.is_regular_file()) continue;
+    out.push_back({entry.path().filename().string(), ReadFileBytes(entry.path())});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) { return a.name < b.name; });
+  return out;
+}
+
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& seed, Rng& rng,
+                            size_t max_size) {
+  std::vector<uint8_t> out = seed;
+  const int ops = static_cast<int>(rng.UniformInt(1, 8));
+  for (int op = 0; op < ops; ++op) {
+    switch (rng.UniformInt(0, 6)) {
+      case 0: {  // flip one bit
+        if (out.empty()) break;
+        const size_t i = static_cast<size_t>(rng.UniformInt(0, out.size() - 1));
+        out[i] ^= uint8_t{1} << rng.UniformInt(0, 7);
+        break;
+      }
+      case 1: {  // overwrite one byte with anything
+        if (out.empty()) break;
+        const size_t i = static_cast<size_t>(rng.UniformInt(0, out.size() - 1));
+        out[i] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+        break;
+      }
+      case 2: {  // overwrite one byte with an interesting value
+        if (out.empty()) break;
+        const size_t i = static_cast<size_t>(rng.UniformInt(0, out.size() - 1));
+        out[i] = kInterestingBytes[rng.UniformInt(
+            0, static_cast<int64_t>(std::size(kInterestingBytes)) - 1)];
+        break;
+      }
+      case 3: {  // truncate
+        if (out.empty()) break;
+        out.resize(static_cast<size_t>(rng.UniformInt(0, out.size() - 1)));
+        break;
+      }
+      case 4: {  // insert random bytes
+        const size_t n = static_cast<size_t>(rng.UniformInt(1, 16));
+        if (out.size() + n > max_size) break;
+        const size_t at = static_cast<size_t>(rng.UniformInt(0, out.size()));
+        std::vector<uint8_t> ins(n);
+        for (auto& b : ins) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+        out.insert(out.begin() + at, ins.begin(), ins.end());
+        break;
+      }
+      case 5: {  // erase a chunk
+        if (out.empty()) break;
+        const size_t at = static_cast<size_t>(rng.UniformInt(0, out.size() - 1));
+        const size_t n = static_cast<size_t>(
+            rng.UniformInt(1, std::min<int64_t>(16, out.size() - at)));
+        out.erase(out.begin() + at, out.begin() + at + n);
+        break;
+      }
+      default: {  // duplicate a chunk elsewhere (splice)
+        if (out.size() < 2) break;
+        const size_t from = static_cast<size_t>(rng.UniformInt(0, out.size() - 2));
+        const size_t n = static_cast<size_t>(
+            rng.UniformInt(1, std::min<int64_t>(32, out.size() - from)));
+        if (out.size() + n > max_size) break;
+        const size_t at = static_cast<size_t>(rng.UniformInt(0, out.size()));
+        const std::vector<uint8_t> chunk(out.begin() + from, out.begin() + from + n);
+        out.insert(out.begin() + at, chunk.begin(), chunk.end());
+        break;
+      }
+    }
+  }
+  if (out.size() > max_size) out.resize(max_size);
+  return out;
+}
+
+SweepStats TruncationAndBitflipSweep(
+    const std::vector<uint8_t>& bytes,
+    const std::function<bool(const uint8_t*, size_t)>& decode,
+    size_t max_exhaustive) {
+  SweepStats stats;
+  const size_t n = bytes.size();
+  const size_t stride = n <= max_exhaustive ? 1 : n / max_exhaustive + 1;
+  for (size_t len = 0; len < n; len += stride) {
+    ++stats.cases;
+    if (decode(bytes.data(), len)) ++stats.accepted;
+  }
+  std::vector<uint8_t> flipped = bytes;
+  for (size_t i = 0; i < n; i += stride) {
+    for (int bit = 0; bit < 8; ++bit) {
+      flipped[i] ^= uint8_t{1} << bit;
+      ++stats.cases;
+      if (decode(flipped.data(), flipped.size())) ++stats.accepted;
+      flipped[i] ^= uint8_t{1} << bit;
+    }
+  }
+  return stats;
+}
+
+}  // namespace stpt::fuzz

@@ -1,0 +1,56 @@
+#ifndef STPT_FUZZ_FUZZ_UTIL_H_
+#define STPT_FUZZ_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace stpt::fuzz {
+
+/// One corpus entry: the file's bytes plus its basename (used both for
+/// reporting and to derive the entry's deterministic mutation stream, so
+/// adding or removing other files never shifts an entry's mutants).
+struct CorpusEntry {
+  std::string name;
+  std::vector<uint8_t> bytes;
+};
+
+/// Loads every regular file under `dir` (non-recursive), sorted by
+/// basename. A single-file path loads that one file. Missing paths yield
+/// an empty list.
+std::vector<CorpusEntry> LoadCorpus(const std::string& path);
+
+/// FNV-1a over a string — the deterministic per-entry seed basis.
+uint64_t Fnv1a(const std::string& text);
+
+/// Returns a deterministic mutant of `seed`: 1–8 stacked operations
+/// (bit flips, byte writes, interesting-value overwrites, truncations,
+/// insertions, erasures, chunk duplication) drawn from `rng`, capped at
+/// `max_size` bytes. Pure function of (seed, rng state).
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& seed, Rng& rng,
+                            size_t max_size = 1 << 16);
+
+/// Result of a truncation-and-bitflip sweep.
+struct SweepStats {
+  size_t cases = 0;     ///< inputs fed to the decoder
+  size_t accepted = 0;  ///< inputs the decoder reported as valid
+};
+
+/// Feeds `decode` every strict prefix of `bytes` and every single-bit flip
+/// of `bytes` (exhaustive up to `max_exhaustive` input bytes, deterministic
+/// stride sampling beyond that). `decode` returns whether it accepted the
+/// input; the helper exists so the byte-level robustness sweep promoted out
+/// of serve_test is shared verbatim by the unit tests and the corpus-replay
+/// harnesses. The decoder must never crash, hang, or trip a sanitizer.
+SweepStats TruncationAndBitflipSweep(
+    const std::vector<uint8_t>& bytes,
+    const std::function<bool(const uint8_t*, size_t)>& decode,
+    size_t max_exhaustive = 4096);
+
+}  // namespace stpt::fuzz
+
+#endif  // STPT_FUZZ_FUZZ_UTIL_H_

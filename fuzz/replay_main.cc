@@ -1,0 +1,77 @@
+// Deterministic corpus-replay driver: the ctest-facing counterpart of the
+// libFuzzer binaries. For every checked-in corpus entry it runs the harness
+// on the seed itself, on a full truncation-and-bitflip sweep of the seed,
+// and on a fixed number of stacked mutants derived from the deterministic
+// Rng — no wall clock and no entropy anywhere, so a replay is
+// bit-reproducible across machines and runs, and any crash it finds can be
+// re-triggered from the corpus file alone.
+//
+// Usage: fuzz_<target>_replay [--mutants=N] <corpus dir or file>...
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// Seeds larger than this skip the exhaustive sweep (it is quadratic in the
+// seed size) and rely on mutants instead.
+constexpr size_t kMaxSweepBytes = 4096;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int mutants = 128;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mutants=", 0) == 0) {
+      mutants = std::atoi(arg.c_str() + 10);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: %s [--mutants=N] <corpus dir or file>...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  size_t seeds = 0, cases = 0;
+  for (const std::string& path : paths) {
+    const auto corpus = stpt::fuzz::LoadCorpus(path);
+    if (corpus.empty()) {
+      std::fprintf(stderr, "replay: no corpus entries under '%s'\n", path.c_str());
+      return 2;
+    }
+    for (const auto& entry : corpus) {
+      ++seeds;
+      LLVMFuzzerTestOneInput(entry.bytes.data(), entry.bytes.size());
+      ++cases;
+      if (entry.bytes.size() <= kMaxSweepBytes) {
+        const auto stats = stpt::fuzz::TruncationAndBitflipSweep(
+            entry.bytes, [](const uint8_t* data, size_t size) {
+              LLVMFuzzerTestOneInput(data, size);
+              return false;  // acceptance is not asserted here, only "no crash"
+            });
+        cases += stats.cases;
+      }
+      // The mutation stream is keyed by the entry's basename, so adding or
+      // removing other corpus files never changes this entry's mutants.
+      stpt::Rng rng(stpt::fuzz::Fnv1a(entry.name) ^ 0x5EEDF00DULL);
+      for (int m = 0; m < mutants; ++m) {
+        const auto mutant = stpt::fuzz::Mutate(entry.bytes, rng);
+        LLVMFuzzerTestOneInput(mutant.data(), mutant.size());
+        ++cases;
+      }
+    }
+  }
+  std::printf("replay ok: %zu seeds, %zu cases\n", seeds, cases);
+  return 0;
+}

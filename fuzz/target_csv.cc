@@ -1,0 +1,68 @@
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "io/csv.h"
+#include "targets.h"
+
+namespace stpt::fuzz {
+namespace {
+
+[[noreturn]] void Fail(const char* what) {
+  std::fprintf(stderr, "FuzzCsv: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+int FuzzCsv(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  {
+    std::istringstream in(text);
+    auto matrix = io::ReadMatrixCsv(in);
+    if (matrix.ok()) {
+      const auto& dims = matrix->dims();
+      if (dims.cx <= 0 || dims.cy <= 0 || dims.ct <= 0 ||
+          dims.cx > io::kMaxCsvAxis || dims.cy > io::kMaxCsvAxis ||
+          dims.ct > io::kMaxCsvAxis) {
+        Fail("accepted matrix with out-of-bounds dims");
+      }
+      for (const double v : matrix->data()) {
+        if (!std::isfinite(v)) Fail("accepted matrix with non-finite cell");
+      }
+    }
+  }
+
+  {
+    std::istringstream in(text);
+    auto ds = io::ReadDatasetCsv(in);
+    if (ds.ok()) {
+      if (ds->grid_x <= 0 || ds->grid_y <= 0 || ds->hours <= 0 ||
+          ds->grid_x > io::kMaxCsvAxis || ds->grid_y > io::kMaxCsvAxis ||
+          ds->hours > io::kMaxCsvAxis) {
+        Fail("accepted dataset with out-of-bounds spec dims");
+      }
+      if (static_cast<int>(ds->households.size()) != ds->spec.num_households) {
+        Fail("accepted dataset whose household count mismatches its spec");
+      }
+      for (const auto& h : ds->households) {
+        if (h.cell_x < 0 || h.cell_x >= ds->grid_x || h.cell_y < 0 ||
+            h.cell_y >= ds->grid_y) {
+          Fail("accepted dataset with household outside the grid");
+        }
+        if (static_cast<int>(h.series.size()) != ds->hours) {
+          Fail("accepted dataset with mis-sized series");
+        }
+        for (const double v : h.series) {
+          if (!std::isfinite(v)) Fail("accepted dataset with non-finite reading");
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace stpt::fuzz

@@ -1,0 +1,49 @@
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "targets.h"
+
+namespace stpt::fuzz {
+
+int FuzzFlags(const uint8_t* data, size_t size) {
+  // Tokenise on newlines into an argv (argv[0] is the program name). Token
+  // and argc caps keep one run cheap; the content is unrestricted bytes.
+  std::vector<std::string> tokens = {"fuzz"};
+  std::string current;
+  for (size_t i = 0; i < size && tokens.size() < 64; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n') {
+      tokens.push_back(current);
+      current.clear();
+    } else if (current.size() < 1024) {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty() && tokens.size() < 64) tokens.push_back(current);
+
+  std::vector<const char*> argv;
+  argv.reserve(tokens.size());
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+
+  FlagSet flags;
+  flags.DefineString("str", "default", "a string flag");
+  flags.DefineInt("int", 7, "an int flag");
+  flags.DefineDouble("num", 0.5, "a double flag");
+  flags.DefineBool("flag", false, "a bool flag");
+  flags.IgnorePrefix("benchmark_");
+  const Status status = flags.Parse(static_cast<int>(argv.size()), argv.data());
+  if (status.ok()) {
+    // Accepted parses must leave every flag readable (typed getters assert
+    // on registry corruption) and Provided() consistent.
+    (void)flags.GetString("str");
+    (void)flags.GetInt("int");
+    (void)flags.GetDouble("num");
+    (void)flags.GetBool("flag");
+    (void)flags.Provided("flag");
+    (void)flags.positional();
+  }
+  return 0;
+}
+
+}  // namespace stpt::fuzz

@@ -1,0 +1,111 @@
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/math_util.h"
+#include "signal/fft.h"
+#include "signal/wavelet.h"
+#include "targets.h"
+
+namespace stpt::fuzz {
+namespace {
+
+using Complex = std::complex<double>;
+
+/// Textbook O(n^2) DFT — the reference the Bluestein implementation is
+/// checked against on every (arbitrary, not just power-of-two) length.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& input, bool inverse) {
+  const size_t n = input.size();
+  std::vector<Complex> out(n);
+  const double dir = inverse ? 1.0 : -1.0;
+  for (size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      const double ang = dir * 2.0 * M_PI * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      acc += input[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+[[noreturn]] void Fail(const char* what, size_t n, double err, double tol) {
+  std::fprintf(stderr, "FuzzSignalDiff: %s (n=%zu, err=%g, tol=%g)\n", what, n,
+               err, tol);
+  std::abort();
+}
+
+double MaxDiff(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace
+
+int FuzzSignalDiff(const uint8_t* data, size_t size) {
+  if (size < 2) return 0;
+  // Layout: u16 length selector, then 8 bytes per sample (little-endian
+  // f64 bit patterns; non-finite samples are mapped to 0 so the transforms
+  // are compared on the domain they are specified over).
+  const size_t n = ((static_cast<size_t>(data[0]) | (static_cast<size_t>(data[1]) << 8)) % 300) + 1;
+  std::vector<double> samples(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t u = 0;
+    for (size_t b = 0; b < 8; ++b) {
+      const size_t at = 2 + i * 8 + b;
+      u |= static_cast<uint64_t>(at < size ? data[at] : 0) << (8 * b);
+    }
+    double v;
+    std::memcpy(&v, &u, sizeof(v));
+    if (!std::isfinite(v) || std::fabs(v) > 1e12) v = 0.0;
+    samples[i] = v;
+  }
+
+  std::vector<Complex> input(n);
+  double max_abs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    input[i] = Complex(samples[i], 0.0);
+    max_abs = std::max(max_abs, std::fabs(samples[i]));
+  }
+  // Error in both implementations grows with n and magnitude; the naive
+  // reference itself carries O(n * eps * |x|) rounding, so scale the bound.
+  const double tol = 1e-9 * static_cast<double>(n) * (1.0 + max_abs) *
+                     static_cast<double>(n);
+
+  const std::vector<Complex> fast = signal::Dft(input, /*inverse=*/false);
+  const std::vector<Complex> naive = NaiveDft(input, /*inverse=*/false);
+  if (fast.size() != n || naive.size() != n) {
+    Fail("Dft returned wrong length", n, 0.0, tol);
+  }
+  double err = MaxDiff(fast, naive);
+  if (err > tol) Fail("Bluestein Dft diverges from naive DFT", n, err, tol);
+
+  const std::vector<Complex> back = signal::Dft(fast, /*inverse=*/true);
+  err = MaxDiff(back, input);
+  if (err > tol) Fail("inverse Dft does not round-trip", n, err, tol);
+
+  // Haar round-trip on the padded (power-of-two) signal.
+  const std::vector<double> padded = signal::PadToPowerOfTwo(samples);
+  auto fwd = signal::HaarForward(padded);
+  if (!fwd.ok()) Fail("HaarForward rejected a power-of-two length", n, 0.0, 0.0);
+  auto inv = signal::HaarInverse(*fwd);
+  if (!inv.ok()) Fail("HaarInverse rejected HaarForward output", n, 0.0, 0.0);
+  double haar_err = 0.0;
+  for (size_t i = 0; i < padded.size(); ++i) {
+    haar_err = std::max(haar_err, std::fabs((*inv)[i] - padded[i]));
+  }
+  const double haar_tol = 1e-10 * (1.0 + max_abs) *
+                          static_cast<double>(FloorLog2(padded.size()) + 1);
+  if (haar_err > haar_tol) {
+    Fail("Haar forward/inverse does not round-trip", padded.size(), haar_err,
+         haar_tol);
+  }
+  return 0;
+}
+
+}  // namespace stpt::fuzz

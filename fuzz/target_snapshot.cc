@@ -1,0 +1,25 @@
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/snapshot.h"
+#include "targets.h"
+
+namespace stpt::fuzz {
+
+int FuzzSnapshot(const uint8_t* data, size_t size) {
+  auto decoded = serve::DecodeSnapshot(data, size);
+  if (!decoded.ok()) return 0;  // any Status is a correct outcome
+  // The container format is canonical (no padding, exact trailing-byte
+  // check), so an accepted input must re-encode to the identical bytes.
+  const std::vector<uint8_t> reencoded = serve::EncodeSnapshot(*decoded);
+  if (reencoded.size() != size ||
+      (size > 0 && std::memcmp(reencoded.data(), data, size) != 0)) {
+    std::fprintf(stderr, "FuzzSnapshot: accepted container is not canonical "
+                         "(in %zu bytes, out %zu bytes)\n", size, reencoded.size());
+    std::abort();
+  }
+  return 0;
+}
+
+}  // namespace stpt::fuzz

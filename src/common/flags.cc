@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -114,10 +116,11 @@ Status FlagSet::Parse(int argc, const char* const* argv) {
                                          " requires an integer value");
         }
         char* end = nullptr;
+        errno = 0;
         const long long v = std::strtoll(value.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0') {
+        if (end == nullptr || *end != '\0' || errno == ERANGE) {
           return Status::InvalidArgument("flags: --" + key + "='" + value +
-                                         "' is not an integer");
+                                         "' is not a representable integer");
         }
         flag->int_value = v;
         break;
@@ -128,10 +131,11 @@ Status FlagSet::Parse(int argc, const char* const* argv) {
                                          " requires a numeric value");
         }
         char* end = nullptr;
+        errno = 0;
         const double v = std::strtod(value.c_str(), &end);
-        if (end == nullptr || *end != '\0') {
+        if (end == nullptr || *end != '\0' || errno == ERANGE) {
           return Status::InvalidArgument("flags: --" + key + "='" + value +
-                                         "' is not a number");
+                                         "' is not a representable number");
         }
         flag->double_value = v;
         break;
@@ -142,7 +146,11 @@ Status FlagSet::Parse(int argc, const char* const* argv) {
           break;
         }
         std::string v = value;
-        std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+        // Cast through unsigned char: feeding a negative char (any byte
+        // >= 0x80) to tolower is undefined behaviour.
+        std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+          return static_cast<char>(std::tolower(c));
+        });
         if (v == "1" || v == "true" || v == "yes" || v == "on") {
           flag->bool_value = true;
         } else if (v == "0" || v == "false" || v == "no" || v == "off") {

@@ -17,6 +17,7 @@ enum class StatusCode {
   kNotFound = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  kResourceExhausted = 7,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "core/quantization.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace stpt::core {
 
@@ -17,6 +18,12 @@ StatusOr<Quantization> KQuantize(const grid::ConsumptionMatrix& pattern, int k) 
   for (size_t i = 0; i < data.size(); ++i) {
     int b = 0;
     if (range > 0.0) {
+      // Casting a NaN (or out-of-int-range) double to int is undefined
+      // behaviour, and min/max comparisons do not reliably propagate NaNs
+      // out of the data — so check each element before the cast.
+      if (!std::isfinite(data[i])) {
+        return Status::InvalidArgument("KQuantize: non-finite cell value");
+      }
       b = static_cast<int>((data[i] - q.min_value) / range * k);
       b = std::clamp(b, 0, k - 1);  // max value falls into the last bucket
     }

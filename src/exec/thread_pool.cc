@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -18,14 +19,20 @@ obs::Counter& TasksSubmitted() {
   return *c;
 }
 
-int ResolveDefaultThreads() {
-  if (const char* env = std::getenv("STPT_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<int>(v);
-  }
+int HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveDefaultThreads() {
+  if (const char* env = std::getenv("STPT_THREADS")) {
+    const int v = ParseThreadsValue(env);
+    if (v > 0) return v;
+    obs::Log(obs::LogLevel::kWarn, "exec",
+             "ignoring invalid STPT_THREADS, using hardware default",
+             {{"value", env}, {"default", std::to_string(HardwareThreads())}});
+  }
+  return HardwareThreads();
 }
 
 std::mutex g_runtime_mu;
@@ -33,6 +40,20 @@ int g_threads = 0;  // 0 = not yet resolved
 std::unique_ptr<ThreadPool> g_pool;
 
 }  // namespace
+
+int ParseThreadsValue(const char* text) {
+  // A bare strtol silently accepted "4abc", negatives wrapped through the
+  // int cast, and values far beyond any plausible core count. Require a
+  // pure bounded decimal instead.
+  if (text == nullptr || *text == '\0') return 0;
+  long v = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+    v = v * 10 + (*p - '0');
+    if (v > kMaxThreads) return 0;
+  }
+  return v >= 1 ? static_cast<int>(v) : 0;
+}
 
 ThreadPool::ThreadPool(int num_workers) {
   if (num_workers < 1) num_workers = 1;

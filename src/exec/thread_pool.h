@@ -57,6 +57,15 @@ class ThreadPool {
 /// 1 means fully serial (no pool is ever created).
 int Threads();
 
+/// Upper bound accepted from STPT_THREADS / SetThreads resolution.
+inline constexpr int kMaxThreads = 4096;
+
+/// Strictly parses a STPT_THREADS-style override: a bare decimal integer in
+/// [1, kMaxThreads], no sign, no whitespace, no trailing junk. Returns the
+/// parsed value, or 0 when `text` is null or invalid (the runtime then logs
+/// a warning and falls back to the hardware default).
+int ParseThreadsValue(const char* text);
+
 /// Reconfigures the runtime worker count. n <= 0 restores the default
 /// (env / hardware) resolution. Destroys and recreates the global pool;
 /// must not be called from inside a parallel region.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <new>
+#include <stdexcept>
+#include <string>
 
 #include "exec/parallel.h"
 
@@ -12,7 +15,18 @@ StatusOr<ConsumptionMatrix> ConsumptionMatrix::Create(Dims dims) {
   if (dims.cx <= 0 || dims.cy <= 0 || dims.ct <= 0) {
     return Status::InvalidArgument("ConsumptionMatrix: dimensions must be positive");
   }
-  return ConsumptionMatrix(dims);
+  // Dims often come straight from a parsed header (CSV, snapshot container),
+  // so an allocation failure is an input problem, not a programming error:
+  // surface it as a Status instead of an uncaught bad_alloc.
+  try {
+    return ConsumptionMatrix(dims);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("ConsumptionMatrix: cannot allocate " +
+                                     std::to_string(dims.NumCells()) + " cells");
+  } catch (const std::length_error&) {
+    return Status::ResourceExhausted("ConsumptionMatrix: cannot allocate " +
+                                     std::to_string(dims.NumCells()) + " cells");
+  }
 }
 
 std::vector<double> ConsumptionMatrix::Pillar(int x, int y) const {

@@ -1,8 +1,10 @@
 #include "io/csv.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
+#include <new>
 #include <sstream>
 
 namespace stpt::io {
@@ -37,6 +39,10 @@ Status WriteMatrixCsv(const grid::ConsumptionMatrix& matrix,
 StatusOr<grid::ConsumptionMatrix> ReadMatrixCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("ReadMatrixCsv: cannot open " + path);
+  return ReadMatrixCsv(in);
+}
+
+StatusOr<grid::ConsumptionMatrix> ReadMatrixCsv(std::istream& in) {
   std::string line;
   if (!std::getline(in, line) || SplitCsvLine(line).size() != 4) {
     return Status::InvalidArgument("ReadMatrixCsv: missing x,y,t,value header");
@@ -63,6 +69,14 @@ StatusOr<grid::ConsumptionMatrix> ReadMatrixCsv(const std::string& path) {
         return Status::InvalidArgument("ReadMatrixCsv: negative index at line " +
                                        std::to_string(line_no));
       }
+      if (c.x >= kMaxCsvAxis || c.y >= kMaxCsvAxis || c.t >= kMaxCsvAxis) {
+        return Status::InvalidArgument("ReadMatrixCsv: index exceeds axis limit at line " +
+                                       std::to_string(line_no));
+      }
+      if (!std::isfinite(c.v)) {
+        return Status::InvalidArgument("ReadMatrixCsv: non-finite value at line " +
+                                       std::to_string(line_no));
+      }
       max_x = std::max(max_x, c.x);
       max_y = std::max(max_y, c.y);
       max_t = std::max(max_t, c.t);
@@ -73,13 +87,31 @@ StatusOr<grid::ConsumptionMatrix> ReadMatrixCsv(const std::string& path) {
     }
   }
   if (cells.empty()) return Status::InvalidArgument("ReadMatrixCsv: no data rows");
+  // Check that the rows fill the inferred dims *before* allocating the
+  // matrix: a single hostile row like "999999,999999,999999,1" must not
+  // drive an allocation sized by its indices. Indices are < kMaxCsvAxis,
+  // so the product fits in int64 with no overflow.
+  const int64_t expected = int64_t{max_x + 1} * int64_t{max_y + 1} * int64_t{max_t + 1};
+  if (static_cast<int64_t>(cells.size()) != expected) {
+    return Status::InvalidArgument("ReadMatrixCsv: cell count does not fill matrix");
+  }
   auto matrix_or = grid::ConsumptionMatrix::Create({max_x + 1, max_y + 1, max_t + 1});
   STPT_RETURN_IF_ERROR(matrix_or.status());
   grid::ConsumptionMatrix matrix = std::move(matrix_or).value();
-  if (cells.size() != matrix.size()) {
-    return Status::InvalidArgument("ReadMatrixCsv: cell count does not fill matrix");
+  // Count matching dims does not imply coverage: a duplicated cell plus a
+  // missing one has the right count but silently corrupts the release.
+  std::vector<uint8_t> seen(matrix.size(), 0);
+  for (const Cell& c : cells) {
+    const size_t idx =
+        (static_cast<size_t>(c.x) * (max_y + 1) + c.y) * (max_t + 1) + c.t;
+    if (seen[idx]) {
+      return Status::InvalidArgument("ReadMatrixCsv: duplicate cell (" +
+                                     std::to_string(c.x) + "," + std::to_string(c.y) +
+                                     "," + std::to_string(c.t) + ")");
+    }
+    seen[idx] = 1;
+    matrix.set(c.x, c.y, c.t, c.v);
   }
-  for (const Cell& c : cells) matrix.set(c.x, c.y, c.t, c.v);
   return matrix;
 }
 
@@ -107,6 +139,10 @@ Status WriteDatasetCsv(const datagen::SyntheticDataset& dataset,
 StatusOr<datagen::SyntheticDataset> ReadDatasetCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("ReadDatasetCsv: cannot open " + path);
+  return ReadDatasetCsv(in);
+}
+
+StatusOr<datagen::SyntheticDataset> ReadDatasetCsv(std::istream& in) {
   std::string line;
   if (!std::getline(in, line) || line.size() < 3 || line[0] != '#') {
     return Status::InvalidArgument("ReadDatasetCsv: missing spec comment line");
@@ -132,8 +168,29 @@ StatusOr<datagen::SyntheticDataset> ReadDatasetCsv(const std::string& path) {
   if (ds.spec.num_households <= 0 || ds.hours <= 0) {
     return Status::InvalidArgument("ReadDatasetCsv: non-positive spec values");
   }
-  ds.households.resize(ds.spec.num_households);
-  for (auto& h : ds.households) h.series.assign(ds.hours, 0.0);
+  if (ds.grid_x <= 0 || ds.grid_y <= 0) {
+    return Status::InvalidArgument("ReadDatasetCsv: non-positive grid dimensions");
+  }
+  if (ds.grid_x > kMaxCsvAxis || ds.grid_y > kMaxCsvAxis || ds.hours > kMaxCsvAxis) {
+    return Status::InvalidArgument("ReadDatasetCsv: spec dimensions exceed axis limit");
+  }
+  if (!std::isfinite(ds.spec.mean_kwh) || !std::isfinite(ds.spec.std_kwh) ||
+      !std::isfinite(ds.spec.max_kwh) || !std::isfinite(ds.spec.clip_factor)) {
+    return Status::InvalidArgument("ReadDatasetCsv: non-finite spec statistics");
+  }
+  // Cap the header-declared sizes before the resize below: this allocation
+  // is driven entirely by a line of untrusted text.
+  if (ds.spec.num_households > kMaxCsvHouseholds ||
+      int64_t{ds.spec.num_households} * int64_t{ds.hours} > kMaxCsvReadings) {
+    return Status::InvalidArgument(
+        "ReadDatasetCsv: households x hours exceeds reader limit");
+  }
+  try {
+    ds.households.resize(ds.spec.num_households);
+    for (auto& h : ds.households) h.series.assign(ds.hours, 0.0);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("ReadDatasetCsv: cannot allocate dataset");
+  }
 
   if (!std::getline(in, line) || SplitCsvLine(line).size() != 5) {
     return Status::InvalidArgument("ReadDatasetCsv: missing data header");
@@ -154,9 +211,20 @@ StatusOr<datagen::SyntheticDataset> ReadDatasetCsv(const std::string& path) {
         return Status::OutOfRange("ReadDatasetCsv: index out of range at line " +
                                   std::to_string(line_no));
       }
-      ds.households[h].cell_x = std::stoi(fields[1]);
-      ds.households[h].cell_y = std::stoi(fields[2]);
-      ds.households[h].series[t] = std::stod(fields[4]);
+      const int cx = std::stoi(fields[1]);
+      const int cy = std::stoi(fields[2]);
+      if (cx < 0 || cx >= ds.grid_x || cy < 0 || cy >= ds.grid_y) {
+        return Status::OutOfRange("ReadDatasetCsv: cell outside grid at line " +
+                                  std::to_string(line_no));
+      }
+      const double kwh = std::stod(fields[4]);
+      if (!std::isfinite(kwh)) {
+        return Status::InvalidArgument("ReadDatasetCsv: non-finite reading at line " +
+                                       std::to_string(line_no));
+      }
+      ds.households[h].cell_x = cx;
+      ds.households[h].cell_y = cy;
+      ds.households[h].series[t] = kwh;
     } catch (const std::exception&) {
       return Status::InvalidArgument("ReadDatasetCsv: parse error at line " +
                                      std::to_string(line_no));

@@ -226,6 +226,11 @@ StatusOr<Snapshot> DecodeSnapshot(const uint8_t* data, size_t size) {
   if (cells != dims.NumCells()) {
     return Status::InvalidArgument("snapshot: cell count does not match dims");
   }
+  // The matrix and prefix sections must still be present: 8 bytes per cell
+  // each plus the prefix-count word. Checking before allocating bounds the
+  // allocation by the container's actual size, so a tiny file with a huge
+  // (CRC-valid) header cannot drive a multi-GiB allocation.
+  if (cur.remaining() < 16 * cells + 8) return Truncated();
   auto matrix = grid::ConsumptionMatrix::Create(dims);
   if (!matrix.ok()) return matrix.status();
   snap.sanitized = std::move(*matrix);

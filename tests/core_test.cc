@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "common/rng.h"
@@ -46,6 +47,26 @@ TEST(KQuantizeTest, RejectsBadK) {
   const auto m = RampMatrix({2, 2, 4});
   EXPECT_FALSE(KQuantize(m, 0).ok());
   EXPECT_TRUE(KQuantize(m, 1).ok());
+}
+
+TEST(KQuantizeTest, NanCellRejectedNotUb) {
+  // static_cast<int> of a NaN double is undefined behaviour; a NaN cell
+  // used to flow straight into the bucket-index cast. It must now be a
+  // clean InvalidArgument.
+  auto m = grid::ConsumptionMatrix::Create({1, 1, 4});
+  ASSERT_TRUE(m.ok());
+  m->mutable_data() = {0.0, 1.0, std::nan(""), 3.0};
+  auto q = KQuantize(*m, 4);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("non-finite"), std::string::npos);
+}
+
+TEST(KQuantizeTest, InfinityCellRejectedNotUb) {
+  auto m = grid::ConsumptionMatrix::Create({1, 1, 4});
+  ASSERT_TRUE(m.ok());
+  m->mutable_data() = {0.0, 1.0, std::numeric_limits<double>::infinity(), 3.0};
+  EXPECT_FALSE(KQuantize(*m, 4).ok());
 }
 
 TEST(KQuantizeTest, SingleLevelPutsAllInBucketZero) {

@@ -108,6 +108,27 @@ TEST(ParallelForTest, SerialAndParallelMatMulBitIdentical) {
   }
 }
 
+TEST(ThreadPoolTest, ParseThreadsValueAcceptsOnlyCleanPositiveIntegers) {
+  // STPT_THREADS parsing used to take atoi-style prefixes ("4abc" -> 4)
+  // and treat negatives as huge unsigned counts. The parser now accepts
+  // exactly [1, kMaxThreads] spelled as plain digits, and anything else
+  // reports invalid (0) so the caller falls back to hardware threads.
+  EXPECT_EQ(exec::ParseThreadsValue("1"), 1);
+  EXPECT_EQ(exec::ParseThreadsValue("4"), 4);
+  EXPECT_EQ(exec::ParseThreadsValue("4096"), exec::kMaxThreads);
+
+  EXPECT_EQ(exec::ParseThreadsValue(nullptr), 0);
+  EXPECT_EQ(exec::ParseThreadsValue(""), 0);
+  EXPECT_EQ(exec::ParseThreadsValue("0"), 0);
+  EXPECT_EQ(exec::ParseThreadsValue("-2"), 0);
+  EXPECT_EQ(exec::ParseThreadsValue("4abc"), 0);
+  EXPECT_EQ(exec::ParseThreadsValue(" 4"), 0);
+  EXPECT_EQ(exec::ParseThreadsValue("4 "), 0);
+  EXPECT_EQ(exec::ParseThreadsValue("+4"), 0);
+  EXPECT_EQ(exec::ParseThreadsValue("4097"), 0);
+  EXPECT_EQ(exec::ParseThreadsValue("99999999999999999999"), 0);
+}
+
 TEST(ThreadPoolTest, RespectsConfiguredWorkerCount) {
   ThreadGuard guard;
   exec::SetThreads(3);

@@ -1,6 +1,8 @@
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/flags.h"
 #include "common/rng.h"
@@ -76,6 +78,60 @@ TEST_F(CsvTest, ReadMatrixRejectsNegativeIndex) {
   EXPECT_FALSE(io::ReadMatrixCsv(path).ok());
 }
 
+TEST_F(CsvTest, MatrixHugeDimsRejectedWithoutAllocation) {
+  // Regression for fuzz/corpus/csv/crash-matrix-huge-dims.csv: a single
+  // hostile row used to size the matrix from its max indices (~1e18
+  // cells) before checking the row count, aborting on bad_alloc. The
+  // count-vs-dims check must fire before any allocation.
+  std::istringstream in("x,y,t,value\n999999,999999,999999,1\n");
+  auto m = io::ReadMatrixCsv(in);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, MatrixIndexAboveAxisCapRejected) {
+  std::istringstream in("x,y,t,value\n1048576,0,0,1\n");  // kMaxCsvAxis
+  auto m = io::ReadMatrixCsv(in);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("axis limit"), std::string::npos);
+}
+
+TEST_F(CsvTest, MatrixDuplicateCellRejected) {
+  // Two rows for cell (1,0,0) and none for (0,0,0): the count matches the
+  // inferred 2x1x1 dims, so only the duplicate bitmap catches the corruption.
+  std::istringstream in("x,y,t,value\n1,0,0,1\n1,0,0,2\n");
+  auto m = io::ReadMatrixCsv(in);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST_F(CsvTest, MatrixNanValueRejected) {
+  std::istringstream in("x,y,t,value\n0,0,0,nan\n");
+  auto m = io::ReadMatrixCsv(in);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("non-finite"), std::string::npos);
+}
+
+TEST_F(CsvTest, MatrixStreamAndPathReadersAgree) {
+  Rng rng(9);
+  auto m = grid::ConsumptionMatrix::Create({2, 3, 4});
+  ASSERT_TRUE(m.ok());
+  for (auto& v : m->mutable_data()) v = rng.Uniform(-5, 5);
+  const std::string path = Make("stream_agree.csv");
+  ASSERT_TRUE(io::WriteMatrixCsv(*m, path).ok());
+  auto from_path = io::ReadMatrixCsv(path);
+  std::ifstream file(path);
+  std::stringstream buf;
+  buf << file.rdbuf();
+  std::istringstream stream_in(buf.str());
+  auto from_stream = io::ReadMatrixCsv(stream_in);
+  ASSERT_TRUE(from_path.ok());
+  ASSERT_TRUE(from_stream.ok());
+  EXPECT_EQ(from_path->dims(), from_stream->dims());
+  EXPECT_EQ(0, std::memcmp(from_path->data().data(), from_stream->data().data(),
+                           from_path->size() * sizeof(double)));
+}
+
 // --------------------------- Dataset CSV ---------------------------
 
 TEST_F(CsvTest, DatasetRoundTrip) {
@@ -144,6 +200,52 @@ TEST_F(CsvTest, ReadDatasetRejectsOutOfRangeIndices) {
                       << "household,cell_x,cell_y,hour,kwh\n"
                       << "5,0,0,0,1.0\n";  // household 5 of 1
   EXPECT_EQ(io::ReadDatasetCsv(path).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CsvTest, DatasetHugeHeaderRejected) {
+  // Regression for fuzz/corpus/csv/crash-dataset-huge-header.csv: a spec
+  // line declaring 2e9 households used to reach the households resize
+  // unguarded and abort on bad_alloc.
+  std::istringstream in(
+      "# x,2000000000,1,1,1,1,4,4,1000000\n"
+      "household,cell_x,cell_y,hour,kwh\n");
+  auto ds = io::ReadDatasetCsv(in);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, DatasetBadGridRejected) {
+  // grid_x = 0 used to be accepted, yielding households whose cells can
+  // never be placed on the grid.
+  std::istringstream in(
+      "# X,1,0.5,1.0,10.0,2.0,0,4,2\n"
+      "household,cell_x,cell_y,hour,kwh\n"
+      "0,0,0,0,1.0\n");
+  auto ds = io::ReadDatasetCsv(in);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_NE(ds.status().message().find("grid"), std::string::npos);
+}
+
+TEST_F(CsvTest, DatasetCellOutsideGridRejected) {
+  // cell_x = 7 on a 4x4 grid used to round-trip silently and then index
+  // out of bounds in BuildConsumptionMatrix.
+  std::istringstream in(
+      "# X,1,0.5,1.0,10.0,2.0,4,4,2\n"
+      "household,cell_x,cell_y,hour,kwh\n"
+      "0,7,0,0,1.0\n");
+  auto ds = io::ReadDatasetCsv(in);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CsvTest, DatasetNonFiniteReadingRejected) {
+  std::istringstream in(
+      "# X,1,0.5,1.0,10.0,2.0,4,4,2\n"
+      "household,cell_x,cell_y,hour,kwh\n"
+      "0,0,0,0,inf\n");
+  auto ds = io::ReadDatasetCsv(in);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_NE(ds.status().message().find("non-finite"), std::string::npos);
 }
 
 // --------------------------- Table CSV ---------------------------
@@ -229,6 +331,36 @@ TEST(FlagSetTest, MalformedNumbersRejected) {
     flags.DefineDouble("x", 0.0, "");
     EXPECT_FALSE(ParseArgs(flags, {"--x=1.5oops"}).ok());
   }
+}
+
+TEST(FlagSetTest, OutOfRangeNumbersRejected) {
+  // Found by fuzz_flags: strtoll/strtod used to saturate silently on
+  // overflow (errno was never checked), so --n=99999999999999999999
+  // parsed as INT64_MAX instead of failing.
+  {
+    FlagSet flags;
+    flags.DefineInt("n", 0, "");
+    EXPECT_FALSE(ParseArgs(flags, {"--n=99999999999999999999"}).ok());
+  }
+  {
+    FlagSet flags;
+    flags.DefineInt("n", 0, "");
+    EXPECT_FALSE(ParseArgs(flags, {"--n=-99999999999999999999"}).ok());
+  }
+  {
+    FlagSet flags;
+    flags.DefineDouble("x", 0.0, "");
+    EXPECT_FALSE(ParseArgs(flags, {"--x=1e999"}).ok());
+  }
+}
+
+TEST(FlagSetTest, BoolValueWithHighBytesRejectedNotUb) {
+  // Found by fuzz_flags: ::tolower on a negative signed char (bytes
+  // >= 0x80 in a bool value) was undefined behaviour. Such values must
+  // now be rejected cleanly.
+  FlagSet flags;
+  flags.DefineBool("e", false, "");
+  EXPECT_FALSE(ParseArgs(flags, {"--e=\xff\xfe"}).ok());
 }
 
 TEST(FlagSetTest, ValueRequiredForNonBoolFlags) {

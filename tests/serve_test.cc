@@ -11,6 +11,8 @@
 
 #include "common/rng.h"
 #include "exec/thread_pool.h"
+#include "fuzz/fuzz_util.h"
+#include "fuzz/targets.h"
 #include "grid/consumption_matrix.h"
 #include "gtest/gtest.h"
 #include "query/range_query.h"
@@ -103,14 +105,50 @@ TEST(SnapshotTest, NormalizationExtremaRecorded) {
   EXPECT_EQ(snap.meta.norm_max, snap.sanitized.MaxValue());
 }
 
-TEST(SnapshotTest, TruncationRejectedAtEveryLength) {
+TEST(SnapshotTest, TruncationAndBitflipRejectedEverywhere) {
+  // Exhaustive: every strict prefix and every single-bit corruption must be
+  // rejected with a Status, never a crash. The sweep helper is shared with
+  // the fuzz_snapshot_replay harness, so unit tests and corpus replay
+  // exercise byte-identical robustness logic.
   const std::vector<uint8_t> bytes = EncodeSnapshot(MakeTestSnapshot({3, 3, 4}));
-  // Every strict prefix must be rejected with a Status, never a crash.
-  for (size_t len : {size_t{0}, size_t{3}, size_t{15}, size_t{16}, size_t{40},
-                     bytes.size() / 2, bytes.size() - 5, bytes.size() - 1}) {
-    auto decoded = DecodeSnapshot(bytes.data(), len);
-    EXPECT_FALSE(decoded.ok()) << "prefix of length " << len << " was accepted";
+  const fuzz::SweepStats stats = fuzz::TruncationAndBitflipSweep(
+      bytes, [](const uint8_t* data, size_t size) {
+        return DecodeSnapshot(data, size).ok();
+      });
+  EXPECT_EQ(stats.accepted, 0u);
+  // All prefixes plus eight flips per byte were actually tried.
+  EXPECT_EQ(stats.cases, bytes.size() + 8 * bytes.size());
+}
+
+TEST(SnapshotTest, CheckedInCorpusReplaysClean) {
+  // The seed corpus must decode without crashing; every committed crash-*
+  // regression input must be rejected (each pins a fixed decoder bug).
+  const auto corpus =
+      fuzz::LoadCorpus(std::string(STPT_SOURCE_DIR) + "/fuzz/corpus/snapshot");
+  ASSERT_FALSE(corpus.empty());
+  size_t valid = 0;
+  for (const auto& entry : corpus) {
+    auto decoded = DecodeSnapshot(entry.bytes.data(), entry.bytes.size());
+    if (entry.name.rfind("crash-", 0) == 0) {
+      EXPECT_FALSE(decoded.ok()) << entry.name << " must stay rejected";
+    }
+    if (decoded.ok()) ++valid;
   }
+  EXPECT_GE(valid, 3u) << "seed-valid-* containers should decode";
+}
+
+TEST(SnapshotTest, HugeDimsHeaderWithoutBodyRejected) {
+  // Regression for fuzz/corpus/snapshot/crash-huge-dims-no-body.stpt: a
+  // CRC-valid 80-byte container declaring 2048^3 cells used to reach the
+  // 64 GiB matrix allocation before noticing the body bytes are missing.
+  const auto corpus = fuzz::LoadCorpus(
+      std::string(STPT_SOURCE_DIR) +
+      "/fuzz/corpus/snapshot/crash-huge-dims-no-body.stpt");
+  ASSERT_EQ(corpus.size(), 1u);
+  auto decoded = DecodeSnapshot(corpus[0].bytes.data(), corpus[0].bytes.size());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("truncated"), std::string::npos);
 }
 
 TEST(SnapshotTest, CorruptedByteFailsChecksum) {
@@ -333,6 +371,36 @@ TEST(WireTest, MalformedPayloadsRejected) {
   EXPECT_FALSE(DecodeQueryResponse({0xFF, 0xFF, 0xFF, 0xFF}).ok());
   EXPECT_FALSE(DecodeString({0x05, 0x00, 0x00, 0x00, 'a'}).ok());
   EXPECT_FALSE(DecodeMetaResponse({0x01, 0x02}).ok());
+}
+
+TEST(WireTest, QueryRequestTruncationSweepRejectsEveryPrefix) {
+  // Shared sweep helper: the codec must survive every strict prefix and
+  // every single-bit flip of a valid payload without crashing. Bit flips
+  // may still decode (no checksum on wire payloads) but truncations must
+  // not: the trailing-length check catches every short payload.
+  const std::vector<uint8_t> payload =
+      EncodeQueryRequest(MakeQueries({6, 6, 8}, 5, 3));
+  size_t prefix_accepted = 0;
+  const fuzz::SweepStats stats = fuzz::TruncationAndBitflipSweep(
+      payload, [&](const uint8_t* data, size_t size) {
+        const bool ok =
+            DecodeQueryRequest(std::vector<uint8_t>(data, data + size)).ok();
+        if (ok && size < payload.size()) ++prefix_accepted;
+        return ok;
+      });
+  EXPECT_GT(stats.cases, payload.size());
+  EXPECT_EQ(prefix_accepted, 0u);
+}
+
+TEST(WireTest, CheckedInCorpusReplaysClean) {
+  // Every committed wire corpus entry must run through the full harness
+  // (codec selector + frame-stream path) without crashing.
+  const auto corpus =
+      fuzz::LoadCorpus(std::string(STPT_SOURCE_DIR) + "/fuzz/corpus/wire");
+  ASSERT_FALSE(corpus.empty());
+  for (const auto& entry : corpus) {
+    fuzz::FuzzWire(entry.bytes.data(), entry.bytes.size());
+  }
 }
 
 TEST(WireTest, FrameRoundTripOverSocketPair) {
