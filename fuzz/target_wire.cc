@@ -81,6 +81,46 @@ int FuzzWire(const uint8_t* data, size_t size) {
       }
       break;
     }
+    case 5: {
+      auto request = serve::DecodeTenantQueryRequest(payload);
+      if (request.ok()) {
+        RequireCanonical("tenant query request",
+                         serve::EncodeTenantQueryRequest(*request), payload);
+      }
+      break;
+    }
+    case 6: {
+      auto response = serve::DecodeTenantQueryResponse(payload);
+      if (response.ok()) {
+        RequireCanonical("tenant query response",
+                         serve::EncodeTenantQueryResponse(*response), payload);
+      }
+      break;
+    }
+    case 7: {
+      auto admin = serve::DecodeAdminRequest(payload);
+      if (admin.ok()) {
+        RequireCanonical("admin request", serve::EncodeAdminRequest(*admin),
+                         payload);
+      }
+      break;
+    }
+    case 8: {
+      auto admin = serve::DecodeAdminResponse(payload);
+      if (admin.ok()) {
+        RequireCanonical("admin response", serve::EncodeAdminResponse(*admin),
+                         payload);
+      }
+      break;
+    }
+    case 9: {
+      auto stats = serve::DecodeShardStatsRequest(payload);
+      if (stats.ok()) {
+        RequireCanonical("shard stats request",
+                         serve::EncodeShardStatsRequest(*stats), payload);
+      }
+      break;
+    }
     default:
       // Socket traffic is slower than pure codec calls, so cap the stream
       // the frame reader sees. 64 KiB is plenty to cover every header and

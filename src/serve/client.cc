@@ -80,6 +80,74 @@ StatusOr<QueryResponse> Client::Query(const query::Workload& batch) {
   return answers;
 }
 
+StatusOr<TenantQueryResponse> Client::QueryTenant(const std::string& tenant,
+                                                  const std::string& tile,
+                                                  const query::Workload& batch,
+                                                  uint64_t epoch) {
+  TenantQueryRequest request;
+  request.tenant = tenant;
+  request.tile = tile;
+  request.epoch = epoch;
+  request.batch = batch;
+  auto frame = Call(MsgType::kQueryRequestV2, EncodeTenantQueryRequest(request),
+                    MsgType::kQueryResponseV2);
+  if (!frame.ok()) return frame.status();
+  auto response = DecodeTenantQueryResponse(frame->payload);
+  if (!response.ok()) return response.status();
+  if (response->answers.size() != batch.size()) {
+    return Status::Internal("client: answer count does not match batch");
+  }
+  return response;
+}
+
+StatusOr<uint64_t> Client::Admin(AdminVerb verb, const std::string& tenant,
+                                 const std::string& tile,
+                                 const std::string& path) {
+  AdminRequest request;
+  request.verb = verb;
+  request.tenant = tenant;
+  request.tile = tile;
+  request.path = path;
+  auto frame = Call(MsgType::kAdminRequest, EncodeAdminRequest(request),
+                    MsgType::kAdminResponse);
+  if (!frame.ok()) return frame.status();
+  auto response = DecodeAdminResponse(frame->payload);
+  if (!response.ok()) return response.status();
+  if (response->verb != verb) {
+    return Status::Internal("client: admin response echoes wrong verb");
+  }
+  return response->epoch;
+}
+
+StatusOr<uint64_t> Client::Load(const std::string& tenant,
+                                const std::string& tile,
+                                const std::string& path) {
+  return Admin(AdminVerb::kLoad, tenant, tile, path);
+}
+
+StatusOr<uint64_t> Client::Swap(const std::string& tenant,
+                                const std::string& tile,
+                                const std::string& path) {
+  return Admin(AdminVerb::kSwap, tenant, tile, path);
+}
+
+Status Client::Unload(const std::string& tenant, const std::string& tile) {
+  auto epoch = Admin(AdminVerb::kUnload, tenant, tile, "");
+  return epoch.ok() ? Status::OK() : epoch.status();
+}
+
+StatusOr<std::string> Client::ShardStats(const std::string& tenant,
+                                         const std::string& tile) {
+  ShardStatsRequest request;
+  request.tenant = tenant;
+  request.tile = tile;
+  auto frame = Call(MsgType::kShardStatsRequest,
+                    EncodeShardStatsRequest(request),
+                    MsgType::kShardStatsResponse);
+  if (!frame.ok()) return frame.status();
+  return DecodeString(frame->payload);
+}
+
 StatusOr<WireMeta> Client::Meta() {
   auto frame = Call(MsgType::kMetaRequest, {}, MsgType::kMetaResponse);
   if (!frame.ok()) return frame.status();

@@ -27,8 +27,37 @@ class Client {
   ~Client();
 
   /// Answers for each query, index-aligned with the batch. A server-side
-  /// validation failure surfaces as the server's error Status.
+  /// validation failure surfaces as the server's error Status. Routed to
+  /// the server's default shard (v1 frame).
   StatusOr<QueryResponse> Query(const query::Workload& batch);
+
+  /// Tenant-addressed query (v2 frame). Empty tenant/tile address the
+  /// default shard; epoch 0 accepts the current generation, a nonzero
+  /// epoch fails with the server's NotFound if that generation was swapped
+  /// out. The response carries the epoch that answered.
+  StatusOr<TenantQueryResponse> QueryTenant(const std::string& tenant,
+                                            const std::string& tile,
+                                            const query::Workload& batch,
+                                            uint64_t epoch = 0);
+
+  /// Loads a snapshot container (server-side path) as a new shard.
+  /// Returns the published epoch (1). FailedPrecondition-style server
+  /// error if the shard already exists — use Swap.
+  StatusOr<uint64_t> Load(const std::string& tenant, const std::string& tile,
+                          const std::string& path);
+
+  /// Hot-swaps an existing shard to a new snapshot container with zero
+  /// dropped queries. Returns the new epoch.
+  StatusOr<uint64_t> Swap(const std::string& tenant, const std::string& tile,
+                          const std::string& path);
+
+  /// Removes a shard; in-flight batches on the old generation finish.
+  Status Unload(const std::string& tenant, const std::string& tile);
+
+  /// Per-shard stats JSON (SnapshotRegistry::StatsJson). Empty strings
+  /// select all shards.
+  StatusOr<std::string> ShardStats(const std::string& tenant = "",
+                                   const std::string& tile = "");
 
   /// Server dims + snapshot metadata.
   StatusOr<WireMeta> Meta();
@@ -49,6 +78,10 @@ class Client {
   /// One request/response round trip; maps kError frames to Status.
   StatusOr<Frame> Call(MsgType request, const std::vector<uint8_t>& payload,
                        MsgType expected_response);
+
+  /// Shared load/swap/unload round trip; returns the published epoch.
+  StatusOr<uint64_t> Admin(AdminVerb verb, const std::string& tenant,
+                           const std::string& tile, const std::string& path);
 
   int fd_ = -1;
 };

@@ -1,0 +1,734 @@
+#include "serve/event_loop.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
+
+namespace stpt::serve {
+namespace {
+
+// epoll user-data tags for the two non-connection fds; connection ids
+// start above them.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
+// Per-event read cap: level-triggered epoll re-notifies, so bounding one
+// visit keeps a firehose connection from starving the others.
+constexpr size_t kMaxReadPerVisit = 256u << 10;
+
+void CloseQuietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+/// All connection state is owned by the loop thread; nothing here is
+/// touched from workers (they only see the connection id).
+struct EventLoopServer::Conn {
+  int fd = -1;
+  uint64_t id = 0;
+  FrameDecoder decoder;
+  std::deque<std::vector<uint8_t>> wqueue;  ///< encoded frames, FIFO
+  size_t front_off = 0;       ///< bytes of wqueue.front() already sent
+  size_t pending_bytes = 0;   ///< total unsent bytes across wqueue
+  uint32_t last_events = 0;   ///< epoll interest currently registered
+  bool busy = false;          ///< one dispatched batch in flight
+  bool deferred = false;      ///< paused by the global dispatch backlog
+  bool closing = false;       ///< flush wqueue, then close
+  bool dead = false;          ///< reaped at the next safe point
+  bool pause_counted = false; ///< contributes to the backpressure gauge
+};
+
+EventLoopServer::EventLoopServer(SnapshotRegistry* registry,
+                                 EventLoopOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  connections_ctr_ = registry_metrics_.GetCounter(
+      "stpt_serve_connections_total", "TCP connections accepted");
+  protocol_errors_ctr_ = registry_metrics_.GetCounter(
+      "stpt_serve_protocol_errors_total",
+      "Malformed or unexpected frames received");
+  frames_ctr_ = registry_metrics_.GetCounter("stpt_serve_frames_total",
+                                             "Request frames parsed");
+  dispatches_ctr_ = registry_metrics_.GetCounter(
+      "stpt_serve_dispatches_total", "Query batches dispatched to the exec pool");
+  pauses_ctr_ = registry_metrics_.GetCounter(
+      "stpt_serve_backpressure_pauses_total",
+      "Connections paused for backpressure (budget or backlog)");
+  paused_gauge_ = registry_metrics_.GetGauge(
+      "stpt_serve_backpressure_paused",
+      "Connections currently paused for backpressure");
+  inflight_gauge_ = registry_metrics_.GetGauge(
+      "stpt_serve_dispatch_inflight", "Dispatched batches not yet answered");
+}
+
+EventLoopServer::~EventLoopServer() { Stop(); }
+
+StatusOr<std::unique_ptr<EventLoopServer>> EventLoopServer::Create(
+    SnapshotRegistry* registry, EventLoopOptions options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("event_loop: registry must not be null");
+  }
+  if (options.port < 0 || options.port > 65535) {
+    return Status::InvalidArgument("event_loop: port must be in [0, 65535], got " +
+                                   std::to_string(options.port));
+  }
+  if (options.listen_backlog < 1) {
+    return Status::InvalidArgument("event_loop: listen_backlog must be >= 1");
+  }
+  if (options.write_budget_bytes < 4096) {
+    return Status::InvalidArgument(
+        "event_loop: write_budget_bytes must be >= 4096");
+  }
+  if (options.max_inflight_batches < 1) {
+    return Status::InvalidArgument(
+        "event_loop: max_inflight_batches must be >= 1");
+  }
+  if (options.so_sndbuf < 0) {
+    return Status::InvalidArgument("event_loop: so_sndbuf must be >= 0");
+  }
+  if (options.drain_timeout_ms < 0) {
+    return Status::InvalidArgument("event_loop: drain_timeout_ms must be >= 0");
+  }
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &parsed) != 1) {
+    return Status::InvalidArgument("event_loop: bad bind address '" +
+                                   options.bind_address + "'");
+  }
+  return std::unique_ptr<EventLoopServer>(
+      new EventLoopServer(registry, std::move(options)));
+}
+
+Status EventLoopServer::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Internal("event_loop: cannot create socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  ::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    CloseQuietly(fd);
+    return Status::Internal("event_loop: cannot bind " + options_.bind_address +
+                            ":" + std::to_string(options_.port) + " (" +
+                            std::strerror(errno) + ")");
+  }
+  if (::listen(fd, options_.listen_backlog) != 0) {
+    CloseQuietly(fd);
+    return Status::Internal("event_loop: listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    CloseQuietly(fd);
+    return Status::Internal("event_loop: getsockname failed");
+  }
+
+  const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) {
+    CloseQuietly(fd);
+    return Status::Internal("event_loop: epoll_create1 failed");
+  }
+  const int wfd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wfd < 0) {
+    CloseQuietly(fd);
+    CloseQuietly(epfd);
+    return Status::Internal("event_loop: eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epfd, EPOLL_CTL_ADD, wfd, &ev);
+
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  epoll_fd_ = epfd;
+  wake_fd_ = wfd;
+  stop_requested_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    stop_flagged_ = false;
+  }
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  return Status::OK();
+}
+
+void EventLoopServer::LoopThread() {
+  obs::RegisterCurrentThreadName("stpt-loop");
+  std::vector<epoll_event> events(128);
+  std::vector<uint64_t> dead;
+  auto reap = [this, &dead] {
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (it->second->dead) {
+        dead.push_back(it->first);
+      }
+      ++it;
+    }
+    for (uint64_t id : dead) CloseConn(id);
+    dead.clear();
+  };
+  while (true) {
+    const int timeout_ms = draining_ ? 10 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd closed or fatal
+    }
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.u64 == kListenTag) {
+        AcceptReady();
+        continue;
+      }
+      if (ev.data.u64 == kWakeTag) {
+        uint64_t drainv = 0;
+        while (::read(wake_fd_, &drainv, sizeof(drainv)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(ev.data.u64);
+      if (it == conns_.end() || it->second->dead) continue;
+      Conn& conn = *it->second;
+      if (ev.events & (EPOLLHUP | EPOLLERR)) {
+        conn.dead = true;
+        continue;
+      }
+      if (ev.events & EPOLLOUT) WriteReady(conn);
+      if (!conn.dead && (ev.events & EPOLLIN)) ReadReady(conn);
+    }
+    ProcessCompletions();
+    reap();
+    if (!draining_ && stop_requested_.load(std::memory_order_acquire)) {
+      BeginDrain();
+    }
+    if (draining_ &&
+        (DrainComplete() || obs::NowNanos() >= drain_deadline_ns_)) {
+      CloseAllConns();
+      break;
+    }
+  }
+}
+
+void EventLoopServer::AcceptReady() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or the listener was closed for drain
+    }
+    if (draining_) {
+      CloseQuietly(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.so_sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                   sizeof(options_.so_sndbuf));
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      CloseQuietly(fd);
+      continue;
+    }
+    conn->last_events = EPOLLIN;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_ctr_->Increment();
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void EventLoopServer::ReadReady(Conn& conn) {
+  if (conn.busy || conn.closing || conn.deferred || draining_) return;
+  uint8_t buf[65536];
+  size_t total = 0;
+  while (total < kMaxReadPerVisit) {
+    const ssize_t r = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      conn.decoder.Append(buf, static_cast<size_t>(r));
+      total += static_cast<size_t>(r);
+      if (static_cast<size_t>(r) < sizeof(buf)) break;
+      continue;
+    }
+    if (r == 0) {  // clean peer close
+      conn.dead = true;
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.dead = true;
+    return;
+  }
+  ParseFrames(conn);
+}
+
+void EventLoopServer::ParseFrames(Conn& conn) {
+  if (draining_) {
+    UpdateInterest(conn);
+    return;
+  }
+  while (!conn.busy && !conn.closing && !conn.dead) {
+    if (inflight_.load(std::memory_order_relaxed) >=
+        options_.max_inflight_batches) {
+      // Query backlog is deep: defer reading (and parsing) until workers
+      // catch up. ResumeDeferred picks the connection back up.
+      if (!conn.deferred) {
+        conn.deferred = true;
+        deferred_.push_back(conn.id);
+      }
+      break;
+    }
+    if (conn.pending_bytes > options_.write_budget_bytes) break;
+    Frame frame;
+    auto ready = conn.decoder.Next(&frame);
+    if (!ready.ok()) {
+      protocol_errors_ctr_->Increment();
+      EnqueueError(conn, ready.status(), /*close_after=*/true);
+      break;
+    }
+    if (!*ready) break;
+    frames_ctr_->Increment();
+    if (!HandleFrame(conn, std::move(frame))) break;
+  }
+  UpdatePauseAccounting(conn);
+  UpdateInterest(conn);
+}
+
+bool EventLoopServer::HandleFrame(Conn& conn, Frame frame) {
+  switch (frame.type) {
+    case MsgType::kQueryRequest: {
+      auto batch = DecodeQueryRequest(frame.payload);
+      if (!batch.ok()) {
+        protocol_errors_ctr_->Increment();
+        EnqueueError(conn, batch.status(), /*close_after=*/true);
+        return false;
+      }
+      auto gen = registry_->RouteDefault();
+      if (!gen.ok()) {
+        EnqueueError(conn, gen.status(), /*close_after=*/false);
+        return true;
+      }
+      DispatchQuery(conn, std::move(*gen), std::move(*batch), /*v2=*/false);
+      return false;
+    }
+    case MsgType::kQueryRequestV2: {
+      auto request = DecodeTenantQueryRequest(frame.payload);
+      if (!request.ok()) {
+        protocol_errors_ctr_->Increment();
+        EnqueueError(conn, request.status(), /*close_after=*/true);
+        return false;
+      }
+      const std::string tenant =
+          request->tenant.empty() ? kDefaultTenant : request->tenant;
+      const std::string tile = request->tile.empty() ? kDefaultTile : request->tile;
+      auto gen = registry_->Route(tenant, tile, request->epoch);
+      if (!gen.ok()) {
+        EnqueueError(conn, gen.status(), /*close_after=*/false);
+        return true;
+      }
+      DispatchQuery(conn, std::move(*gen), std::move(request->batch), /*v2=*/true);
+      return false;
+    }
+    case MsgType::kStatsRequest:
+      EnqueueFrame(conn, MsgType::kStatsResponse, EncodeString(StatsText()));
+      return true;
+    case MsgType::kShardStatsRequest: {
+      auto request = DecodeShardStatsRequest(frame.payload);
+      if (!request.ok()) {
+        protocol_errors_ctr_->Increment();
+        EnqueueError(conn, request.status(), /*close_after=*/true);
+        return false;
+      }
+      EnqueueFrame(conn, MsgType::kShardStatsResponse,
+                   EncodeString(registry_->StatsJson(request->tenant,
+                                                     request->tile)));
+      return true;
+    }
+    case MsgType::kMetaRequest: {
+      auto gen = registry_->RouteDefault();
+      if (!gen.ok()) {
+        EnqueueError(conn, gen.status(), /*close_after=*/false);
+        return true;
+      }
+      EnqueueFrame(conn, MsgType::kMetaResponse,
+                   EncodeMetaResponse(
+                       {(*gen)->engine->dims(), (*gen)->engine->meta()}));
+      return true;
+    }
+    case MsgType::kMetricsRequest:
+      EnqueueFrame(conn, MsgType::kMetricsResponse, EncodeString(MetricsText()));
+      return true;
+    case MsgType::kAdminRequest:
+      HandleAdmin(conn, frame.payload);
+      return true;
+    case MsgType::kShutdown:
+      EnqueueFrame(conn, MsgType::kShutdown, {});
+      RequestStop();
+      return false;
+    default:
+      protocol_errors_ctr_->Increment();
+      EnqueueError(conn, Status::InvalidArgument("wire: unexpected message type"),
+                   /*close_after=*/true);
+      return false;
+  }
+}
+
+void EventLoopServer::DispatchQuery(Conn& conn,
+                                    std::shared_ptr<const ShardGeneration> gen,
+                                    query::Workload batch, bool v2) {
+  conn.busy = true;
+  dispatches_ctr_->Increment();
+  inflight_gauge_->Set(static_cast<double>(
+      inflight_.fetch_add(1, std::memory_order_acq_rel) + 1));
+  auto task = [this, id = conn.id, gen = std::move(gen),
+               batch = std::move(batch), v2] {
+    Completion comp;
+    comp.conn_id = id;
+    auto answers = gen->engine->AnswerBatch(batch);
+    if (!answers.ok()) {
+      // Per-query validation failure: report it but keep the connection —
+      // the client's next batch may be fine (v1 semantics preserved).
+      comp.type = MsgType::kError;
+      comp.payload = EncodeString(answers.status().ToString());
+    } else if (v2) {
+      TenantQueryResponse response;
+      response.epoch = gen->epoch;
+      response.answers = std::move(*answers);
+      comp.type = MsgType::kQueryResponseV2;
+      comp.payload = EncodeTenantQueryResponse(response);
+    } else {
+      comp.type = MsgType::kQueryResponse;
+      comp.payload = EncodeQueryResponse(*answers);
+    }
+    PushCompletion(std::move(comp));
+  };
+  if (exec::Threads() > 1) {
+    exec::GlobalPool().Submit(std::move(task));
+  } else {
+    // Serial runtime: no pool exists; answer inline. The completion is
+    // picked up in the same loop iteration.
+    task();
+  }
+}
+
+void EventLoopServer::HandleAdmin(Conn& conn,
+                                  const std::vector<uint8_t>& payload) {
+  auto request = DecodeAdminRequest(payload);
+  if (!request.ok()) {
+    protocol_errors_ctr_->Increment();
+    EnqueueError(conn, request.status(), /*close_after=*/true);
+    return;
+  }
+  const ShardKey key{request->tenant, request->tile};
+  AdminResponse response;
+  response.verb = request->verb;
+  Status failed = Status::OK();
+  switch (request->verb) {
+    case AdminVerb::kLoad: {
+      auto epoch = registry_->LoadFile(key, request->path);
+      if (epoch.ok()) {
+        response.epoch = *epoch;
+      } else {
+        failed = epoch.status();
+      }
+      break;
+    }
+    case AdminVerb::kSwap: {
+      auto epoch = registry_->SwapFile(key, request->path);
+      if (epoch.ok()) {
+        response.epoch = *epoch;
+      } else {
+        failed = epoch.status();
+      }
+      break;
+    }
+    case AdminVerb::kUnload:
+      failed = registry_->Unload(key);
+      break;
+  }
+  if (!failed.ok()) {
+    EnqueueError(conn, failed, /*close_after=*/false);
+    return;
+  }
+  response.message = "ok";
+  EnqueueFrame(conn, MsgType::kAdminResponse, EncodeAdminResponse(response));
+}
+
+std::string EventLoopServer::MetricsText() const {
+  // Default shard first (v1-compatible unlabeled stpt_serve_* families),
+  // then this server's loop metrics, the registry's admin + labeled
+  // per-shard families, and the process-wide registry.
+  std::string text;
+  auto def = registry_->RouteDefault();
+  if (def.ok()) text += (*def)->engine->metrics().ToPrometheusText();
+  text += registry_metrics_.ToPrometheusText();
+  text += registry_->ToPrometheusText();
+  text += obs::Registry::Global().ToPrometheusText();
+  return text;
+}
+
+std::string EventLoopServer::StatsText() const {
+  auto def = registry_->RouteDefault();
+  if (!def.ok()) return registry_->StatsJson();
+  // v1 shape (engine counters) with the trace-region profile and the
+  // registry topology spliced in.
+  std::string stats_json = (*def)->engine->stats().ToJson();
+  stats_json.insert(stats_json.size() - 1,
+                    ", \"top_regions\": " + obs::TraceProfileJson(10) +
+                        ", \"registry\": " + registry_->StatsJson());
+  return stats_json;
+}
+
+void EventLoopServer::EnqueueFrame(Conn& conn, MsgType type,
+                                   const std::vector<uint8_t>& payload) {
+  if (conn.dead) return;
+  const uint64_t length = 1 + payload.size();
+  if (length > kMaxFrameBytes) {
+    conn.dead = true;
+    return;
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(4 + static_cast<size_t>(length));
+  frame.push_back(static_cast<uint8_t>(length));
+  frame.push_back(static_cast<uint8_t>(length >> 8));
+  frame.push_back(static_cast<uint8_t>(length >> 16));
+  frame.push_back(static_cast<uint8_t>(length >> 24));
+  frame.push_back(static_cast<uint8_t>(type));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  conn.pending_bytes += frame.size();
+  conn.wqueue.push_back(std::move(frame));
+  FlushWrites(conn);
+}
+
+void EventLoopServer::EnqueueError(Conn& conn, const Status& status,
+                                   bool close_after) {
+  if (close_after) conn.closing = true;
+  EnqueueFrame(conn, MsgType::kError, EncodeString(status.ToString()));
+}
+
+void EventLoopServer::FlushWrites(Conn& conn) {
+  if (conn.dead) return;
+  while (!conn.wqueue.empty()) {
+    const std::vector<uint8_t>& front = conn.wqueue.front();
+    const size_t n = front.size() - conn.front_off;
+    const ssize_t w =
+        ::send(conn.fd, front.data() + conn.front_off, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn.dead = true;  // peer hung up mid-response
+      return;
+    }
+    conn.front_off += static_cast<size_t>(w);
+    conn.pending_bytes -= static_cast<size_t>(w);
+    if (conn.front_off == front.size()) {
+      conn.wqueue.pop_front();
+      conn.front_off = 0;
+    }
+  }
+  if (conn.wqueue.empty() && conn.closing) {
+    conn.dead = true;
+    return;
+  }
+  UpdatePauseAccounting(conn);
+  UpdateInterest(conn);
+}
+
+void EventLoopServer::WriteReady(Conn& conn) {
+  FlushWrites(conn);
+  // Dropping back under the write budget may unblock requests that were
+  // already sitting in the frame decoder (the socket itself is drained, so
+  // no EPOLLIN will fire for them).
+  if (!conn.dead && !conn.busy && conn.decoder.buffered() > 0) {
+    ParseFrames(conn);
+  }
+}
+
+void EventLoopServer::UpdateInterest(Conn& conn) {
+  if (conn.dead) return;
+  uint32_t events = 0;
+  const bool want_read = !conn.busy && !conn.closing && !draining_ &&
+                         !conn.deferred &&
+                         conn.pending_bytes <= options_.write_budget_bytes;
+  if (want_read) events |= EPOLLIN;
+  if (!conn.wqueue.empty()) events |= EPOLLOUT;
+  if (events == conn.last_events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.last_events = events;
+}
+
+void EventLoopServer::UpdatePauseAccounting(Conn& conn) {
+  const bool paused =
+      !conn.dead && !conn.closing &&
+      (conn.deferred || conn.pending_bytes > options_.write_budget_bytes);
+  if (paused && !conn.pause_counted) {
+    conn.pause_counted = true;
+    ++paused_count_;
+    pauses_ctr_->Increment();
+    paused_gauge_->Set(static_cast<double>(paused_count_));
+  } else if (!paused && conn.pause_counted) {
+    conn.pause_counted = false;
+    --paused_count_;
+    paused_gauge_->Set(static_cast<double>(paused_count_));
+  }
+}
+
+void EventLoopServer::CloseConn(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if (conn.pause_counted) {
+    --paused_count_;
+    paused_gauge_->Set(static_cast<double>(paused_count_));
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  CloseQuietly(conn.fd);
+  conns_.erase(it);
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void EventLoopServer::ProcessCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& comp : batch) {
+    inflight_gauge_->Set(static_cast<double>(
+        inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1));
+    auto it = conns_.find(comp.conn_id);
+    if (it == conns_.end() || it->second->dead) continue;
+    Conn& conn = *it->second;
+    conn.busy = false;
+    EnqueueFrame(conn, comp.type, comp.payload);
+    if (comp.close_after) conn.closing = true;
+    if (!conn.dead) ParseFrames(conn);  // more frames may be buffered
+  }
+  ResumeDeferred();
+}
+
+void EventLoopServer::ResumeDeferred() {
+  while (!deferred_.empty() && inflight_.load(std::memory_order_relaxed) <
+                                   options_.max_inflight_batches) {
+    const uint64_t id = deferred_.front();
+    deferred_.pop_front();
+    auto it = conns_.find(id);
+    if (it == conns_.end() || it->second->dead) continue;
+    Conn& conn = *it->second;
+    if (!conn.deferred) continue;
+    conn.deferred = false;
+    ParseFrames(conn);
+  }
+}
+
+void EventLoopServer::PushCompletion(Completion completion) {
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  // The loop drains the queue at the bottom of every iteration, so a
+  // completion produced on the loop thread itself (serial inline dispatch)
+  // is already guaranteed to be seen — the wake syscall is only for pool
+  // workers that must interrupt a blocking epoll_wait.
+  if (std::this_thread::get_id() == loop_thread_.get_id()) return;
+  const uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoopServer::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_flagged_ = true;
+  stop_cv_.notify_all();
+}
+
+void EventLoopServer::BeginDrain() {
+  draining_ = true;
+  drain_deadline_ns_ =
+      obs::NowNanos() +
+      static_cast<uint64_t>(options_.drain_timeout_ms) * 1'000'000ull;
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Stop reading everywhere; in-flight batches and pending writes drain.
+  for (auto& [id, conn] : conns_) {
+    if (!conn->dead) {
+      UpdatePauseAccounting(*conn);
+      UpdateInterest(*conn);
+    }
+  }
+}
+
+bool EventLoopServer::DrainComplete() const {
+  if (inflight_.load(std::memory_order_acquire) != 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    if (!completions_.empty()) return false;
+  }
+  for (const auto& [id, conn] : conns_) {
+    if (!conn->dead && conn->pending_bytes > 0) return false;
+  }
+  return true;
+}
+
+void EventLoopServer::CloseAllConns() {
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) CloseConn(id);
+}
+
+void EventLoopServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [this] { return stop_flagged_ || !started_; });
+}
+
+void EventLoopServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+  }
+  RequestStop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  CloseQuietly(listen_fd_);
+  CloseQuietly(epoll_fd_);
+  CloseQuietly(wake_fd_);
+  listen_fd_ = -1;
+  epoll_fd_ = -1;
+  wake_fd_ = -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+}  // namespace stpt::serve

@@ -56,8 +56,9 @@ struct ServerStats {
 /// Answers are O(1) per query via the snapshot's 3-D prefix sums and are
 /// bit-identical to grid::PrefixSum3D::BoxSum over the sanitized matrix —
 /// cached or not, batched or not, at any thread count. Batches fan out on
-/// the stpt::exec pool. All methods are thread-safe; a TcpServer drives one
-/// instance from many connection threads.
+/// the stpt::exec pool. All methods are thread-safe; one generation of a
+/// SnapshotRegistry shard owns one engine, and the event-loop server's
+/// workers drive it concurrently.
 ///
 /// Each engine owns a private obs::Registry (`stpt_serve_*` metrics) so that
 /// several engines in one process — or in one test — never mix counters;

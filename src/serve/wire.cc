@@ -227,6 +227,238 @@ StatusOr<WireMeta> DecodeMetaResponse(const std::vector<uint8_t>& payload) {
   return meta;
 }
 
+namespace {
+
+// Shared helpers for the v2 codecs: length-prefixed strings with a hard
+// cap, so hostile frames cannot smuggle oversized names into the registry.
+void PutString(std::vector<uint8_t>& out, const std::string& text) {
+  PutU32(out, static_cast<uint32_t>(text.size()));
+  PutBytes(out, text.data(), text.size());
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+bool ReadU64(Cursor& cur, uint64_t* v) {
+  uint32_t lo = 0, hi = 0;
+  if (!cur.ReadU32(&lo) || !cur.ReadU32(&hi)) return false;
+  *v = static_cast<uint64_t>(hi) << 32 | lo;
+  return true;
+}
+
+bool ReadCappedString(Cursor& cur, uint32_t cap, std::string* out) {
+  uint32_t len = 0;
+  if (!cur.ReadU32(&len)) return false;
+  if (len > cap || len > cur.remaining()) return false;
+  out->resize(len);
+  return len == 0 || cur.ReadBytes(out->data(), len);
+}
+
+bool ReadQueryBody(Cursor& cur, query::Workload* batch) {
+  uint32_t count = 0;
+  if (!cur.ReadU32(&count)) return false;
+  if (static_cast<size_t>(count) * 24 != cur.remaining()) return false;
+  batch->resize(count);
+  for (query::RangeQuery& q : *batch) {
+    if (!cur.ReadI32(&q.x0) || !cur.ReadI32(&q.x1) || !cur.ReadI32(&q.y0) ||
+        !cur.ReadI32(&q.y1) || !cur.ReadI32(&q.t0) || !cur.ReadI32(&q.t1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeTenantQueryRequest(const TenantQueryRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(24 + request.tenant.size() + request.tile.size() +
+              request.batch.size() * 24);
+  PutString(out, request.tenant);
+  PutString(out, request.tile);
+  PutU64(out, request.epoch);
+  PutU32(out, static_cast<uint32_t>(request.batch.size()));
+  for (const query::RangeQuery& q : request.batch) {
+    PutI32(out, q.x0);
+    PutI32(out, q.x1);
+    PutI32(out, q.y0);
+    PutI32(out, q.y1);
+    PutI32(out, q.t0);
+    PutI32(out, q.t1);
+  }
+  return out;
+}
+
+StatusOr<TenantQueryRequest> DecodeTenantQueryRequest(
+    const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  TenantQueryRequest request;
+  if (!ReadCappedString(cur, kMaxWireNameBytes, &request.tenant)) {
+    return Malformed("v2 query tenant");
+  }
+  if (!ReadCappedString(cur, kMaxWireNameBytes, &request.tile)) {
+    return Malformed("v2 query tile");
+  }
+  if (!ReadU64(cur, &request.epoch)) return Malformed("v2 query epoch");
+  if (!ReadQueryBody(cur, &request.batch)) return Malformed("v2 query body");
+  return request;
+}
+
+std::vector<uint8_t> EncodeTenantQueryResponse(const TenantQueryResponse& response) {
+  std::vector<uint8_t> out;
+  out.reserve(12 + response.answers.size() * 8);
+  PutU64(out, response.epoch);
+  PutU32(out, static_cast<uint32_t>(response.answers.size()));
+  for (double a : response.answers) PutF64(out, a);
+  return out;
+}
+
+StatusOr<TenantQueryResponse> DecodeTenantQueryResponse(
+    const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  TenantQueryResponse response;
+  if (!ReadU64(cur, &response.epoch)) return Malformed("v2 response epoch");
+  uint32_t count = 0;
+  if (!cur.ReadU32(&count)) return Malformed("v2 response header");
+  if (static_cast<size_t>(count) * 8 != cur.remaining()) {
+    return Malformed("v2 response length");
+  }
+  response.answers.resize(count);
+  for (double& a : response.answers) {
+    if (!cur.ReadF64(&a)) return Malformed("v2 response body");
+  }
+  return response;
+}
+
+std::vector<uint8_t> EncodeAdminRequest(const AdminRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(13 + request.tenant.size() + request.tile.size() +
+              request.path.size());
+  out.push_back(static_cast<uint8_t>(request.verb));
+  PutString(out, request.tenant);
+  PutString(out, request.tile);
+  PutString(out, request.path);
+  return out;
+}
+
+StatusOr<AdminRequest> DecodeAdminRequest(const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  uint8_t verb = 0;
+  if (!cur.ReadBytes(&verb, 1)) return Malformed("admin verb");
+  if (verb < static_cast<uint8_t>(AdminVerb::kLoad) ||
+      verb > static_cast<uint8_t>(AdminVerb::kUnload)) {
+    return Malformed("admin verb value");
+  }
+  AdminRequest request;
+  request.verb = static_cast<AdminVerb>(verb);
+  if (!ReadCappedString(cur, kMaxWireNameBytes, &request.tenant)) {
+    return Malformed("admin tenant");
+  }
+  if (!ReadCappedString(cur, kMaxWireNameBytes, &request.tile)) {
+    return Malformed("admin tile");
+  }
+  if (!ReadCappedString(cur, kMaxWirePathBytes, &request.path)) {
+    return Malformed("admin path");
+  }
+  if (cur.remaining() != 0) return Malformed("admin trailing bytes");
+  if (request.verb == AdminVerb::kUnload && !request.path.empty()) {
+    return Malformed("admin unload path (must be empty)");
+  }
+  if (request.verb != AdminVerb::kUnload && request.path.empty()) {
+    return Malformed("admin path (must not be empty)");
+  }
+  return request;
+}
+
+std::vector<uint8_t> EncodeAdminResponse(const AdminResponse& response) {
+  std::vector<uint8_t> out;
+  out.reserve(13 + response.message.size());
+  out.push_back(static_cast<uint8_t>(response.verb));
+  PutU64(out, response.epoch);
+  PutString(out, response.message);
+  return out;
+}
+
+StatusOr<AdminResponse> DecodeAdminResponse(const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  uint8_t verb = 0;
+  if (!cur.ReadBytes(&verb, 1)) return Malformed("admin response verb");
+  if (verb < static_cast<uint8_t>(AdminVerb::kLoad) ||
+      verb > static_cast<uint8_t>(AdminVerb::kUnload)) {
+    return Malformed("admin response verb value");
+  }
+  AdminResponse response;
+  response.verb = static_cast<AdminVerb>(verb);
+  if (!ReadU64(cur, &response.epoch)) return Malformed("admin response epoch");
+  uint32_t len = 0;
+  if (!cur.ReadU32(&len)) return Malformed("admin response header");
+  if (len != cur.remaining()) return Malformed("admin response length");
+  response.message.resize(len);
+  if (len > 0 && !cur.ReadBytes(response.message.data(), len)) {
+    return Malformed("admin response body");
+  }
+  return response;
+}
+
+std::vector<uint8_t> EncodeShardStatsRequest(const ShardStatsRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + request.tenant.size() + request.tile.size());
+  PutString(out, request.tenant);
+  PutString(out, request.tile);
+  return out;
+}
+
+StatusOr<ShardStatsRequest> DecodeShardStatsRequest(
+    const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  ShardStatsRequest request;
+  if (!ReadCappedString(cur, kMaxWireNameBytes, &request.tenant)) {
+    return Malformed("shard stats tenant");
+  }
+  if (!ReadCappedString(cur, kMaxWireNameBytes, &request.tile)) {
+    return Malformed("shard stats tile");
+  }
+  if (cur.remaining() != 0) return Malformed("shard stats trailing bytes");
+  return request;
+}
+
+void FrameDecoder::Append(const uint8_t* data, size_t n) {
+  // Compact lazily: only when the dead prefix dominates, so steady-state
+  // appends are amortized O(n).
+  if (off_ > 0 && off_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+StatusOr<bool> FrameDecoder::Next(Frame* out) {
+  if (poisoned_) return Malformed("frame stream (already poisoned)");
+  if (buffered() < 4) return false;
+  const uint8_t* p = buf_.data() + off_;
+  const uint32_t length = static_cast<uint32_t>(p[0]) |
+                          static_cast<uint32_t>(p[1]) << 8 |
+                          static_cast<uint32_t>(p[2]) << 16 |
+                          static_cast<uint32_t>(p[3]) << 24;
+  if (length < 1 || length > kMaxFrameBytes) {
+    poisoned_ = true;
+    return Malformed("frame length");
+  }
+  if (buffered() < 4 + static_cast<size_t>(length)) return false;
+  const uint8_t type = p[4];
+  if (type < static_cast<uint8_t>(MsgType::kQueryRequest) ||
+      type > static_cast<uint8_t>(MsgType::kShardStatsResponse)) {
+    poisoned_ = true;
+    return Malformed("frame type value");
+  }
+  out->type = static_cast<MsgType>(type);
+  out->payload.assign(p + 5, p + 4 + length);
+  off_ += 4 + static_cast<size_t>(length);
+  return true;
+}
+
 Status WriteFrame(int fd, MsgType type, const std::vector<uint8_t>& payload) {
   const uint64_t length = 1 + payload.size();
   if (length > kMaxFrameBytes) {
@@ -253,7 +485,7 @@ StatusOr<Frame> ReadFrame(int fd) {
   uint8_t type = 0;
   if (ReadFully(fd, &type, 1) != 1) return Malformed("frame type");
   if (type < static_cast<uint8_t>(MsgType::kQueryRequest) ||
-      type > static_cast<uint8_t>(MsgType::kMetricsResponse)) {
+      type > static_cast<uint8_t>(MsgType::kShardStatsResponse)) {
     return Malformed("frame type value");
   }
   Frame frame;

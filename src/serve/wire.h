@@ -20,7 +20,8 @@ namespace stpt::serve {
 ///   u8      message type (MsgType)
 ///   ...     payload (message-specific, little-endian fixed width)
 ///
-/// Payloads:
+/// v1 payloads (unaddressed; a v2 server routes them to the default
+/// tenant/tile, so v1 clients keep working unchanged):
 ///   kQueryRequest   u32 count, then count x 6 i32 (x0 x1 y0 y1 t0 t1)
 ///   kQueryResponse  u32 count, then count x f64 answers (index-aligned)
 ///   kStatsRequest   empty
@@ -33,6 +34,20 @@ namespace stpt::serve {
 ///   kMetricsRequest empty
 ///   kMetricsResponse u32 length + UTF-8 Prometheus text exposition
 ///                   (engine registry followed by the process-wide registry)
+///
+/// v2 payloads (tenant-addressed; `str` below is u32 length + bytes, names
+/// capped at kMaxShardNameBytes, paths at kMaxPathBytes):
+///   kQueryRequestV2   str tenant, str tile, u64 epoch (0 = current), then a
+///                     v1 query body (u32 count + count x 6 i32). Empty
+///                     tenant/tile address the default shard.
+///   kQueryResponseV2  u64 epoch that answered, u32 count, count x f64
+///   kAdminRequest     u8 verb (AdminVerb), str tenant, str tile, str path
+///                     (snapshot container path for load/swap; must be empty
+///                     for unload)
+///   kAdminResponse    u8 verb echoed, u64 epoch now published (0 after
+///                     unload), str message
+///   kShardStatsRequest  str tenant, str tile (both empty = all shards)
+///   kShardStatsResponse str JSON (SnapshotRegistry::StatsJson)
 ///
 /// A reader that sees a malformed frame (bad length, unknown type, short
 /// payload) gets a non-OK Status and the connection is dropped; the peer's
@@ -49,6 +64,19 @@ enum class MsgType : uint8_t {
   kShutdown = 8,
   kMetricsRequest = 9,
   kMetricsResponse = 10,
+  kQueryRequestV2 = 11,
+  kQueryResponseV2 = 12,
+  kAdminRequest = 13,
+  kAdminResponse = 14,
+  kShardStatsRequest = 15,
+  kShardStatsResponse = 16,
+};
+
+/// Registry admin verbs carried by kAdminRequest.
+enum class AdminVerb : uint8_t {
+  kLoad = 1,
+  kSwap = 2,
+  kUnload = 3,
 };
 
 /// Index-aligned answers for one query batch (the kQueryResponse payload,
@@ -70,6 +98,62 @@ struct WireMeta {
   SnapshotMeta meta;
 };
 
+/// Upper bound on tenant/tile names in v2 frames (mirrors the registry cap).
+inline constexpr uint32_t kMaxWireNameBytes = 255;
+
+/// Upper bound on the snapshot path in kAdminRequest.
+inline constexpr uint32_t kMaxWirePathBytes = 4096;
+
+/// kQueryRequestV2: a query batch addressed to one shard. Empty tenant and
+/// tile mean the default shard; epoch 0 means the current generation.
+struct TenantQueryRequest {
+  std::string tenant;
+  std::string tile;
+  uint64_t epoch = 0;
+  query::Workload batch;
+
+  bool operator==(const TenantQueryRequest&) const = default;
+};
+
+/// kQueryResponseV2: index-aligned answers plus the epoch that produced
+/// them, so a client hammering across a hot-swap can tell generations apart.
+struct TenantQueryResponse {
+  uint64_t epoch = 0;
+  QueryResponse answers;
+
+  bool operator==(const TenantQueryResponse&) const = default;
+};
+
+/// kAdminRequest: load/swap/unload one shard. `path` names a snapshot
+/// container on the server's filesystem for load/swap and must be empty
+/// for unload.
+struct AdminRequest {
+  AdminVerb verb = AdminVerb::kLoad;
+  std::string tenant;
+  std::string tile;
+  std::string path;
+
+  bool operator==(const AdminRequest&) const = default;
+};
+
+/// kAdminResponse: the epoch now published for the shard (0 after unload).
+struct AdminResponse {
+  AdminVerb verb = AdminVerb::kLoad;
+  uint64_t epoch = 0;
+  std::string message;
+
+  bool operator==(const AdminResponse&) const = default;
+};
+
+/// kShardStatsRequest: filter for the per-shard stats JSON; empty strings
+/// select every shard.
+struct ShardStatsRequest {
+  std::string tenant;
+  std::string tile;
+
+  bool operator==(const ShardStatsRequest&) const = default;
+};
+
 /// --- Payload codecs (pure, no I/O) ---------------------------------------
 
 std::vector<uint8_t> EncodeQueryRequest(const query::Workload& batch);
@@ -83,6 +167,50 @@ StatusOr<std::string> DecodeString(const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeMetaResponse(const WireMeta& meta);
 StatusOr<WireMeta> DecodeMetaResponse(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeTenantQueryRequest(const TenantQueryRequest& request);
+StatusOr<TenantQueryRequest> DecodeTenantQueryRequest(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeTenantQueryResponse(const TenantQueryResponse& response);
+StatusOr<TenantQueryResponse> DecodeTenantQueryResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeAdminRequest(const AdminRequest& request);
+StatusOr<AdminRequest> DecodeAdminRequest(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeAdminResponse(const AdminResponse& response);
+StatusOr<AdminResponse> DecodeAdminResponse(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeShardStatsRequest(const ShardStatsRequest& request);
+StatusOr<ShardStatsRequest> DecodeShardStatsRequest(
+    const std::vector<uint8_t>& payload);
+
+/// --- Incremental frame decoding (event-loop read path) ---------------------
+
+/// Accumulates nonblocking read() chunks and yields complete frames. The
+/// same header/length/type validation as ReadFrame, but pull-based: the
+/// event loop appends whatever the socket had and asks for frames until
+/// Next returns false (need more bytes) or an error (drop the connection).
+class FrameDecoder {
+ public:
+  /// Appends raw stream bytes.
+  void Append(const uint8_t* data, size_t n);
+
+  /// Extracts the next complete frame into `out`. Returns true when a
+  /// frame was produced, false when more bytes are needed, and a Status
+  /// error on a malformed stream (bad length or unknown type) — the
+  /// decoder is then poisoned and the connection should be dropped.
+  StatusOr<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed by Next.
+  size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t off_ = 0;
+  bool poisoned_ = false;
+};
 
 /// --- Frame I/O over a connected socket ------------------------------------
 

@@ -1,10 +1,15 @@
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,9 +22,10 @@
 #include "gtest/gtest.h"
 #include "query/range_query.h"
 #include "serve/client.h"
+#include "serve/event_loop.h"
 #include "serve/query_server.h"
+#include "serve/registry.h"
 #include "serve/snapshot.h"
-#include "serve/tcp_server.h"
 #include "serve/wire.h"
 
 namespace stpt::serve {
@@ -446,19 +452,385 @@ TEST(WireTest, MalformedFramesRejected) {
   ::close(fds[1]);
 }
 
-// --- TCP loopback ----------------------------------------------------------
+/// Extracts the value of a Prometheus sample line `name value` from `text`.
+/// Returns -1 when the metric is absent.
+double PrometheusValue(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  const std::string needle = name + " ";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    // Must be at the start of a line (exposition samples, not HELP text).
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    }
+    pos += needle.size();
+  }
+  return -1.0;
+}
+
+// --- Wire v2 codecs --------------------------------------------------------
+
+TEST(WireV2Test, TenantQueryRequestRoundTrip) {
+  TenantQueryRequest request;
+  request.tenant = "acme";
+  request.tile = "tile-7";
+  request.epoch = 42;
+  request.batch = MakeQueries({16, 16, 32}, 20, 71);
+  auto decoded = DecodeTenantQueryRequest(EncodeTenantQueryRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, request);
+
+  // Empty names (default shard) and epoch 0 (current generation) are valid.
+  TenantQueryRequest defaults;
+  defaults.batch = MakeQueries({4, 4, 4}, 3, 73);
+  auto decoded_defaults =
+      DecodeTenantQueryRequest(EncodeTenantQueryRequest(defaults));
+  ASSERT_TRUE(decoded_defaults.ok());
+  EXPECT_EQ(*decoded_defaults, defaults);
+}
+
+TEST(WireV2Test, TenantQueryResponseRoundTripBitIdentical) {
+  TenantQueryResponse response;
+  response.epoch = 9;
+  response.answers = {0.0, -1.5, 3.25e300, 5e-324, 42.0};
+  auto decoded = DecodeTenantQueryResponse(EncodeTenantQueryResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->epoch, 9u);
+  ASSERT_EQ(decoded->answers.size(), response.answers.size());
+  for (size_t i = 0; i < response.answers.size(); ++i) {
+    EXPECT_TRUE(BitIdentical(decoded->answers[i], response.answers[i]));
+  }
+}
+
+TEST(WireV2Test, AdminRequestRoundTripAndValidation) {
+  for (const AdminVerb verb : {AdminVerb::kLoad, AdminVerb::kSwap}) {
+    AdminRequest request;
+    request.verb = verb;
+    request.tenant = "acme";
+    request.tile = "0";
+    request.path = "/var/lib/stpt/release.stpt";
+    auto decoded = DecodeAdminRequest(EncodeAdminRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, request);
+  }
+  AdminRequest unload;
+  unload.verb = AdminVerb::kUnload;
+  unload.tenant = "acme";
+  unload.tile = "0";
+  auto decoded = DecodeAdminRequest(EncodeAdminRequest(unload));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, unload);
+
+  // Semantic validation: unload must not carry a path, load/swap must.
+  AdminRequest bad_unload = unload;
+  bad_unload.path = "/some/path";
+  EXPECT_FALSE(DecodeAdminRequest(EncodeAdminRequest(bad_unload)).ok());
+  AdminRequest bad_load;
+  bad_load.verb = AdminVerb::kLoad;
+  EXPECT_FALSE(DecodeAdminRequest(EncodeAdminRequest(bad_load)).ok());
+
+  // Out-of-range verb byte.
+  std::vector<uint8_t> bytes = EncodeAdminRequest(unload);
+  bytes[0] = 0;
+  EXPECT_FALSE(DecodeAdminRequest(bytes).ok());
+  bytes[0] = 4;
+  EXPECT_FALSE(DecodeAdminRequest(bytes).ok());
+}
+
+TEST(WireV2Test, AdminResponseAndShardStatsRoundTrip) {
+  AdminResponse response;
+  response.verb = AdminVerb::kSwap;
+  response.epoch = 17;
+  response.message = "ok";
+  auto decoded = DecodeAdminResponse(EncodeAdminResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, response);
+
+  ShardStatsRequest stats;
+  stats.tenant = "acme";
+  stats.tile = "";
+  auto decoded_stats = DecodeShardStatsRequest(EncodeShardStatsRequest(stats));
+  ASSERT_TRUE(decoded_stats.ok());
+  EXPECT_EQ(*decoded_stats, stats);
+}
+
+TEST(WireV2Test, OversizedNamesRejected) {
+  TenantQueryRequest request;
+  request.tenant = std::string(kMaxWireNameBytes + 1, 'x');
+  request.batch = MakeQueries({4, 4, 4}, 1, 79);
+  EXPECT_FALSE(
+      DecodeTenantQueryRequest(EncodeTenantQueryRequest(request)).ok());
+
+  AdminRequest admin;
+  admin.verb = AdminVerb::kLoad;
+  admin.path = std::string(kMaxWirePathBytes + 1, 'p');
+  EXPECT_FALSE(DecodeAdminRequest(EncodeAdminRequest(admin)).ok());
+}
+
+TEST(WireV2Test, TruncationSweepRejectsEveryPrefix) {
+  // Strict codecs: every strict prefix must fail, and no case may crash.
+  TenantQueryRequest request;
+  request.tenant = "acme";
+  request.tile = "0";
+  request.epoch = 3;
+  request.batch = MakeQueries({6, 6, 8}, 4, 83);
+  const std::vector<std::vector<uint8_t>> payloads = {
+      EncodeTenantQueryRequest(request),
+      EncodeTenantQueryResponse({5, {1.0, -2.0, 0.5}}),
+      EncodeAdminRequest({AdminVerb::kSwap, "acme", "0", "/tmp/a.stpt"}),
+      EncodeAdminResponse({AdminVerb::kLoad, 1, "ok"}),
+      EncodeShardStatsRequest({"acme", "0"}),
+  };
+  const std::vector<std::function<bool(const uint8_t*, size_t)>> decoders = {
+      [](const uint8_t* d, size_t n) {
+        return DecodeTenantQueryRequest({d, d + n}).ok();
+      },
+      [](const uint8_t* d, size_t n) {
+        return DecodeTenantQueryResponse({d, d + n}).ok();
+      },
+      [](const uint8_t* d, size_t n) { return DecodeAdminRequest({d, d + n}).ok(); },
+      [](const uint8_t* d, size_t n) { return DecodeAdminResponse({d, d + n}).ok(); },
+      [](const uint8_t* d, size_t n) {
+        return DecodeShardStatsRequest({d, d + n}).ok();
+      },
+  };
+  for (size_t k = 0; k < payloads.size(); ++k) {
+    size_t prefix_accepted = 0;
+    const fuzz::SweepStats stats = fuzz::TruncationAndBitflipSweep(
+        payloads[k], [&](const uint8_t* data, size_t size) {
+          const bool ok = decoders[k](data, size);
+          if (ok && size < payloads[k].size()) ++prefix_accepted;
+          return ok;
+        });
+    EXPECT_GT(stats.cases, payloads[k].size()) << "payload " << k;
+    EXPECT_EQ(prefix_accepted, 0u) << "payload " << k;
+  }
+}
+
+TEST(FrameDecoderTest, ReassemblesFramesFromSingleByteChunks) {
+  std::vector<uint8_t> stream;
+  auto append_frame = [&stream](MsgType type, const std::vector<uint8_t>& payload) {
+    const uint32_t length = static_cast<uint32_t>(1 + payload.size());
+    stream.push_back(static_cast<uint8_t>(length));
+    stream.push_back(static_cast<uint8_t>(length >> 8));
+    stream.push_back(static_cast<uint8_t>(length >> 16));
+    stream.push_back(static_cast<uint8_t>(length >> 24));
+    stream.push_back(static_cast<uint8_t>(type));
+    stream.insert(stream.end(), payload.begin(), payload.end());
+  };
+  const std::vector<uint8_t> query =
+      EncodeQueryRequest(MakeQueries({4, 4, 4}, 2, 89));
+  append_frame(MsgType::kStatsRequest, {});
+  append_frame(MsgType::kQueryRequest, query);
+  append_frame(MsgType::kShardStatsRequest,
+               EncodeShardStatsRequest({"a", "b"}));
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const uint8_t byte : stream) {
+    decoder.Append(&byte, 1);
+    Frame frame;
+    auto ready = decoder.Next(&frame);
+    ASSERT_TRUE(ready.ok());
+    if (*ready) frames.push_back(std::move(frame));
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, MsgType::kStatsRequest);
+  EXPECT_TRUE(frames[0].payload.empty());
+  EXPECT_EQ(frames[1].type, MsgType::kQueryRequest);
+  EXPECT_EQ(frames[1].payload, query);
+  EXPECT_EQ(frames[2].type, MsgType::kShardStatsRequest);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, MalformedStreamPoisonsDecoder) {
+  {  // zero frame length
+    FrameDecoder decoder;
+    const uint8_t zero[5] = {0, 0, 0, 0, 1};
+    decoder.Append(zero, sizeof(zero));
+    Frame frame;
+    EXPECT_FALSE(decoder.Next(&frame).ok());
+    EXPECT_FALSE(decoder.Next(&frame).ok());  // stays poisoned
+  }
+  {  // oversized frame length
+    FrameDecoder decoder;
+    const uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+    decoder.Append(huge, sizeof(huge));
+    Frame frame;
+    EXPECT_FALSE(decoder.Next(&frame).ok());
+  }
+  {  // unknown message type
+    FrameDecoder decoder;
+    const uint8_t unknown[5] = {1, 0, 0, 0, 0xEE};
+    decoder.Append(unknown, sizeof(unknown));
+    Frame frame;
+    EXPECT_FALSE(decoder.Next(&frame).ok());
+  }
+}
+
+// --- SnapshotRegistry ------------------------------------------------------
+
+TEST(RegistryTest, LoadRouteSwapUnloadLifecycle) {
+  const grid::Dims dims{8, 8, 10};
+  const Snapshot snap_a = MakeTestSnapshot(dims, 11);
+  const Snapshot snap_b = MakeTestSnapshot(dims, 22);
+  const grid::PrefixSum3D direct_a(snap_a.sanitized);
+  const grid::PrefixSum3D direct_b(snap_b.sanitized);
+
+  auto registry = SnapshotRegistry::Create();
+  ASSERT_TRUE(registry.ok());
+  const ShardKey key{"acme", "0"};
+  auto epoch = (*registry)->Load(key, snap_a);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 1u);
+  EXPECT_EQ((*registry)->shard_count(), 1u);
+
+  auto gen = (*registry)->Route("acme", "0");
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ((*gen)->epoch, 1u);
+  const query::RangeQuery q{0, 3, 1, 4, 2, 7};
+  auto a = (*gen)->engine->Answer(q);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(BitIdentical(*a, direct_a.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1)));
+
+  auto swapped = (*registry)->Swap(key, snap_b);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(*swapped, 2u);
+  auto gen2 = (*registry)->Route("acme", "0");
+  ASSERT_TRUE(gen2.ok());
+  EXPECT_EQ((*gen2)->epoch, 2u);
+  auto b = (*gen2)->engine->Answer(q);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(BitIdentical(*b, direct_b.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1)));
+
+  // Explicit-epoch routing: current matches, swapped-out epochs are gone.
+  EXPECT_TRUE((*registry)->Route("acme", "0", 2).ok());
+  auto stale = (*registry)->Route("acme", "0", 1);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE((*registry)->Unload(key).ok());
+  EXPECT_EQ((*registry)->shard_count(), 0u);
+  EXPECT_FALSE((*registry)->Route("acme", "0").ok());
+  EXPECT_FALSE((*registry)->Unload(key).ok());  // already gone
+}
+
+TEST(RegistryTest, InFlightGenerationSurvivesSwapAndUnload) {
+  const grid::Dims dims{6, 6, 8};
+  const Snapshot snap_a = MakeTestSnapshot(dims, 31);
+  const grid::PrefixSum3D direct_a(snap_a.sanitized);
+  auto registry = SnapshotRegistry::Create();
+  ASSERT_TRUE(registry.ok());
+  const ShardKey key{"t", "0"};
+  ASSERT_TRUE((*registry)->Load(key, snap_a).ok());
+
+  // A batch in flight captures the generation once; the swap and even the
+  // unload must not pull the engine out from under it.
+  auto held = (*registry)->Route("t", "0");
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE((*registry)->Swap(key, MakeTestSnapshot(dims, 32)).ok());
+  ASSERT_TRUE((*registry)->Unload(key).ok());
+  const query::RangeQuery q{1, 4, 0, 5, 2, 6};
+  auto answer = (*held)->engine->Answer(q);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(BitIdentical(
+      *answer, direct_a.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1)));
+  EXPECT_EQ((*held)->epoch, 1u);
+}
+
+TEST(RegistryTest, DuplicateLoadAndMissingSwapRejected) {
+  auto registry = SnapshotRegistry::Create();
+  ASSERT_TRUE(registry.ok());
+  const ShardKey key{"acme", "0"};
+  ASSERT_TRUE((*registry)->Load(key, MakeTestSnapshot()).ok());
+
+  auto dup = (*registry)->Load(key, MakeTestSnapshot());
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kFailedPrecondition);
+
+  auto missing = (*registry)->Swap(ShardKey{"ghost", "0"}, MakeTestSnapshot());
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, NamesAndOptionsValidated) {
+  SnapshotRegistryOptions no_capacity;
+  no_capacity.max_shards = 0;
+  EXPECT_FALSE(SnapshotRegistry::Create(no_capacity).ok());
+
+  auto registry = SnapshotRegistry::Create();
+  ASSERT_TRUE(registry.ok());
+  EXPECT_FALSE((*registry)->Load(ShardKey{"", "0"}, MakeTestSnapshot()).ok());
+  EXPECT_FALSE((*registry)->Load(ShardKey{"t", ""}, MakeTestSnapshot()).ok());
+  const std::string oversized(kMaxShardNameBytes + 1, 'x');
+  auto too_long = (*registry)->Load(ShardKey{oversized, "0"}, MakeTestSnapshot());
+  ASSERT_FALSE(too_long.ok());
+  EXPECT_EQ(too_long.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, MaxShardsEnforced) {
+  SnapshotRegistryOptions two_slots;
+  two_slots.max_shards = 2;
+  auto registry = SnapshotRegistry::Create(two_slots);
+  ASSERT_TRUE(registry.ok());
+  ASSERT_TRUE((*registry)->Load(ShardKey{"a", "0"}, MakeTestSnapshot()).ok());
+  ASSERT_TRUE((*registry)->Load(ShardKey{"b", "0"}, MakeTestSnapshot()).ok());
+  auto third = (*registry)->Load(ShardKey{"c", "0"}, MakeTestSnapshot());
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  // Unload frees a slot.
+  ASSERT_TRUE((*registry)->Unload(ShardKey{"a", "0"}).ok());
+  EXPECT_TRUE((*registry)->Load(ShardKey{"c", "0"}, MakeTestSnapshot()).ok());
+}
+
+TEST(RegistryTest, StatsJsonAndLabeledPrometheusFamilies) {
+  auto registry = SnapshotRegistry::Create();
+  ASSERT_TRUE(registry.ok());
+  ASSERT_TRUE((*registry)->Load(ShardKey{"acme", "7"}, MakeTestSnapshot()).ok());
+  ASSERT_TRUE((*registry)->Load(ShardKey{"beta", "0"}, MakeTestSnapshot()).ok());
+  ASSERT_TRUE((*registry)->Swap(ShardKey{"beta", "0"}, MakeTestSnapshot()).ok());
+
+  const std::string all = (*registry)->StatsJson();
+  EXPECT_NE(all.find("\"tenant\": \"acme\""), std::string::npos);
+  EXPECT_NE(all.find("\"tenant\": \"beta\""), std::string::npos);
+  EXPECT_NE(all.find("\"loads_total\": 2"), std::string::npos);
+  EXPECT_NE(all.find("\"swaps_total\": 1"), std::string::npos);
+
+  const std::string filtered = (*registry)->StatsJson("acme");
+  EXPECT_NE(filtered.find("\"tenant\": \"acme\""), std::string::npos);
+  EXPECT_EQ(filtered.find("\"tenant\": \"beta\""), std::string::npos);
+
+  const std::string text = (*registry)->ToPrometheusText();
+  EXPECT_NE(text.find("stpt_shard_epoch{tenant=\"acme\",tile=\"7\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("stpt_shard_epoch{tenant=\"beta\",tile=\"0\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("stpt_registry_swap_latency_ns"), std::string::npos);
+}
+
+// --- Event-loop loopback ---------------------------------------------------
 
 class LoopbackTest : public testing::Test {
  protected:
-  void StartServer(grid::Dims dims, uint64_t seed) {
+  void StartServer(grid::Dims dims, uint64_t seed,
+                   EventLoopOptions options = {}) {
     snapshot_ = MakeTestSnapshot(dims, seed);
-    auto engine = QueryServer::Create(snapshot_);
-    ASSERT_TRUE(engine.ok());
-    engine_ = std::make_unique<QueryServer>(std::move(*engine));
-    auto server = TcpServer::Create(engine_.get(), TcpServerOptions{});
+    auto registry = SnapshotRegistry::Create();
+    ASSERT_TRUE(registry.ok());
+    registry_ = std::move(*registry);
+    ASSERT_TRUE(registry_
+                    ->Load(ShardKey{kDefaultTenant, kDefaultTile},
+                           snapshot_)
+                    .ok());
+    auto server = EventLoopServer::Create(registry_.get(), std::move(options));
     ASSERT_TRUE(server.ok()) << server.status().ToString();
     server_ = std::move(*server);
     ASSERT_TRUE(server_->Start().ok());
+  }
+
+  ServerStats DefaultShardStats() {
+    auto gen = registry_->RouteDefault();
+    EXPECT_TRUE(gen.ok());
+    return (*gen)->engine->stats();
   }
 
   void TearDown() override {
@@ -466,8 +838,8 @@ class LoopbackTest : public testing::Test {
   }
 
   Snapshot snapshot_;
-  std::unique_ptr<QueryServer> engine_;
-  std::unique_ptr<TcpServer> server_;
+  std::unique_ptr<SnapshotRegistry> registry_;
+  std::unique_ptr<EventLoopServer> server_;
 };
 
 TEST_F(LoopbackTest, FourConcurrentClientsBitIdenticalToDirectEvaluation) {
@@ -505,7 +877,7 @@ TEST_F(LoopbackTest, FourConcurrentClientsBitIdenticalToDirectEvaluation) {
   for (std::thread& t : clients) t.join();
   for (int c = 0; c < kClients; ++c) EXPECT_EQ(mismatches[c], 0) << "client " << c;
   EXPECT_EQ(server_->connections_accepted(), static_cast<uint64_t>(kClients));
-  EXPECT_EQ(engine_->stats().queries,
+  EXPECT_EQ(DefaultShardStats().queries,
             static_cast<uint64_t>(kClients) * kQueriesPerClient);
 }
 
@@ -530,6 +902,34 @@ TEST_F(LoopbackTest, MetaStatsAndServerSideValidation) {
   ASSERT_TRUE(stats.ok());
   EXPECT_NE(stats->find("\"queries\""), std::string::npos);
   EXPECT_NE(stats->find("\"cache_hit_rate\""), std::string::npos);
+  EXPECT_NE(stats->find("\"registry\""), std::string::npos);
+}
+
+TEST_F(LoopbackTest, V1AndV2AddressTheSameDefaultShard) {
+  // v1 compatibility: an unaddressed client and a tenant-addressed client
+  // hit the same default shard and get bit-identical answers.
+  const grid::Dims dims{10, 10, 16};
+  StartServer(dims, 55);
+  auto v1 = Client::Connect("127.0.0.1", server_->port());
+  auto v2 = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  const query::Workload wl = MakeQueries(dims, 128, 59);
+
+  auto old_answers = v1->Query(wl);
+  ASSERT_TRUE(old_answers.ok());
+  auto addressed = v2->QueryTenant("", "", wl);
+  ASSERT_TRUE(addressed.ok()) << addressed.status().ToString();
+  EXPECT_EQ(addressed->epoch, 1u);
+  auto named = v2->QueryTenant(kDefaultTenant, kDefaultTile, wl);
+  ASSERT_TRUE(named.ok());
+  ASSERT_EQ(addressed->answers.size(), old_answers->size());
+  for (size_t i = 0; i < wl.size(); ++i) {
+    EXPECT_TRUE(BitIdentical((*old_answers)[i], addressed->answers[i]));
+    EXPECT_TRUE(BitIdentical((*old_answers)[i], named.value().answers[i]));
+  }
+  // Both protocols' queries landed on one engine.
+  EXPECT_EQ(DefaultShardStats().queries, 3u * wl.size());
 }
 
 TEST_F(LoopbackTest, MalformedFrameAndDisconnectsDoNotKillServer) {
@@ -576,59 +976,361 @@ TEST_F(LoopbackTest, ShutdownFrameUnblocksWait) {
   ASSERT_TRUE(client->Shutdown().ok());
   waiter.join();  // Wait() returned, so the shutdown request took effect
   server_->Stop();
+  EXPECT_EQ(server_->open_connections(), 0);
+}
+
+TEST_F(LoopbackTest, AdminLifecycleOverTheWire) {
+  const grid::Dims dims{9, 9, 14};
+  StartServer(dims, 61);
+
+  const Snapshot snap_a = MakeTestSnapshot(dims, 71);
+  const Snapshot snap_b = MakeTestSnapshot(dims, 72);
+  const std::string path_a = testing::TempDir() + "/admin_a.stpt";
+  const std::string path_b = testing::TempDir() + "/admin_b.stpt";
+  ASSERT_TRUE(WriteSnapshot(snap_a, path_a).ok());
+  ASSERT_TRUE(WriteSnapshot(snap_b, path_b).ok());
+  const grid::PrefixSum3D direct_a(snap_a.sanitized);
+  const grid::PrefixSum3D direct_b(snap_b.sanitized);
+
+  auto client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+
+  // Load a second tenant next to the default shard.
+  auto epoch = client->Load("acme", "7", path_a);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(*epoch, 1u);
+  auto dup = client->Load("acme", "7", path_a);
+  ASSERT_FALSE(dup.ok());  // already loaded -> use swap
+  auto missing = client->Swap("ghost", "0", path_a);
+  ASSERT_FALSE(missing.ok());
+
+  const query::Workload wl = MakeQueries(dims, 64, 73);
+  auto before = client->QueryTenant("acme", "7", wl);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->epoch, 1u);
+  for (size_t i = 0; i < wl.size(); ++i) {
+    const query::RangeQuery& q = wl[i];
+    EXPECT_TRUE(BitIdentical(before->answers[i],
+                             direct_a.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1)));
+  }
+
+  auto swapped = client->Swap("acme", "7", path_b);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(*swapped, 2u);
+  auto after = client->QueryTenant("acme", "7", wl);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->epoch, 2u);
+  for (size_t i = 0; i < wl.size(); ++i) {
+    const query::RangeQuery& q = wl[i];
+    EXPECT_TRUE(BitIdentical(after->answers[i],
+                             direct_b.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1)));
+  }
+
+  // Pinning the swapped-out epoch fails; the connection stays usable.
+  auto stale = client->QueryTenant("acme", "7", wl, /*epoch=*/1);
+  ASSERT_FALSE(stale.ok());
+  auto pinned = client->QueryTenant("acme", "7", wl, /*epoch=*/2);
+  ASSERT_TRUE(pinned.ok());
+
+  // Per-shard stats and labeled metrics see both tenants.
+  auto stats = client->ShardStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"tenant\": \"acme\""), std::string::npos);
+  EXPECT_NE(stats->find("\"tenant\": \"default\""), std::string::npos);
+  auto filtered = client->ShardStats("acme", "7");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->find("\"tenant\": \"default\""), std::string::npos);
+  auto metrics = client->Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("stpt_shard_epoch{tenant=\"acme\",tile=\"7\"} 2"),
+            std::string::npos);
+
+  // Unload, then the tenant is gone while the default shard still serves.
+  ASSERT_TRUE(client->Unload("acme", "7").ok());
+  EXPECT_FALSE(client->QueryTenant("acme", "7", wl).ok());
+  EXPECT_TRUE(client->Query({{0, 1, 0, 1, 0, 1}}).ok());
+}
+
+TEST_F(LoopbackTest, HammerWhileSwappingZeroErrorsBitIdentical) {
+  const grid::Dims dims{12, 12, 24};
+  StartServer(dims, 63);
+  const Snapshot snap_a = MakeTestSnapshot(dims, 101);
+  const Snapshot snap_b = MakeTestSnapshot(dims, 202);
+  const grid::PrefixSum3D direct_a(snap_a.sanitized);
+  const grid::PrefixSum3D direct_b(snap_b.sanitized);
+  const ShardKey key{"acme", "0"};
+  ASSERT_TRUE(registry_->Load(key, snap_a).ok());  // epoch 1 = A
+
+  constexpr int kThreads = 4;
+  constexpr int kBatch = 32;
+  constexpr int kMinBatches = 40;
+  constexpr int kMaxBatches = 4000;
+  std::atomic<bool> swapping{true};
+  std::atomic<int64_t> errors{0};
+  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> batches_done{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      const query::Workload wl =
+          MakeQueries(dims, kMinBatches * kBatch, 5000 + static_cast<uint64_t>(t));
+      for (int b = 0; b < kMaxBatches && (b < kMinBatches || swapping.load());
+           ++b) {
+        const int slot = b % kMinBatches;
+        const query::Workload batch(wl.begin() + slot * kBatch,
+                                    wl.begin() + (slot + 1) * kBatch);
+        auto response = client->QueryTenant("acme", "0", batch);
+        if (!response.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        // Load published epoch 1 (= A); each swap alternates to B, A, ...
+        // so odd epochs answer from A and even epochs from B.
+        const grid::PrefixSum3D& direct =
+            (response->epoch % 2 == 1) ? direct_a : direct_b;
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const query::RangeQuery& q = batch[i];
+          if (!BitIdentical(response->answers[i],
+                            direct.BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1))) {
+            mismatches.fetch_add(1);
+          }
+        }
+        batches_done.fetch_add(1);
+      }
+    });
+  }
+
+  constexpr int kSwaps = 30;
+  for (int s = 0; s < kSwaps; ++s) {
+    auto epoch = registry_->Swap(key, (s % 2 == 0) ? snap_b : snap_a);
+    ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+    EXPECT_EQ(*epoch, static_cast<uint64_t>(s + 2));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  swapping.store(false);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(batches_done.load(), kThreads * kMinBatches);
+  EXPECT_NE(registry_->metrics().ToPrometheusText().find(
+                "stpt_registry_swaps_total 30"),
+            std::string::npos);
+}
+
+// --- Shutdown drain and fd hygiene -----------------------------------------
+
+int CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  EXPECT_NE(dir, nullptr);
+  int count = 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count - 1;  // exclude the directory iteration fd itself
+}
+
+TEST(ShutdownDrainTest, InFlightResponsesFlushBeforeCloseAndNoFdLeaks) {
+  const int fds_before = CountOpenFds();
+  {
+    const grid::Dims dims{16, 16, 32};
+    const Snapshot snap = MakeTestSnapshot(dims, 67);
+    auto registry = SnapshotRegistry::Create();
+    ASSERT_TRUE(registry.ok());
+    ASSERT_TRUE(
+        (*registry)->Load(ShardKey{kDefaultTenant, kDefaultTile}, snap).ok());
+    auto server = EventLoopServer::Create(registry->get(), {});
+    ASSERT_TRUE(server.ok());
+    ASSERT_TRUE((*server)->Start().ok());
+
+    std::promise<void> first_response;
+    auto first_done = first_response.get_future();
+    std::atomic<int64_t> ok_batches{0};
+    std::atomic<bool> close_was_clean{false};
+    std::thread client_thread([&] {
+      auto client = Client::Connect("127.0.0.1", (*server)->port());
+      ASSERT_TRUE(client.ok());
+      const query::Workload wl = MakeQueries(dims, 128, 69);
+      bool signaled = false;
+      for (int i = 0; i < 1000000; ++i) {
+        auto answers = client->Query(wl);
+        if (answers.ok()) {
+          ok_batches.fetch_add(1);
+          if (!signaled) {
+            first_response.set_value();
+            signaled = true;
+          }
+          continue;
+        }
+        // Drain guarantees responses are flushed whole: the failure must be
+        // a connection-level close on a frame boundary, never a truncated
+        // or corrupted frame.
+        close_was_clean.store(
+            answers.status().message().find("connection") != std::string::npos);
+        break;
+      }
+    });
+    first_done.wait();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    (*server)->Stop();
+    client_thread.join();
+    EXPECT_GE(ok_batches.load(), 1);
+    EXPECT_TRUE(close_was_clean.load());
+    EXPECT_EQ((*server)->open_connections(), 0);
+  }
+  // Listener, epoll, eventfd, and every connection fd are gone.
+  EXPECT_EQ(CountOpenFds(), fds_before);
+}
+
+TEST(ShutdownDrainTest, ConnectionMidRequestAtShutdownClosedCleanly) {
+  const int fds_before = CountOpenFds();
+  {
+    auto registry = SnapshotRegistry::Create();
+    ASSERT_TRUE(registry.ok());
+    ASSERT_TRUE((*registry)
+                    ->Load(ShardKey{kDefaultTenant, kDefaultTile},
+                           MakeTestSnapshot())
+                    .ok());
+    auto server = EventLoopServer::Create(registry->get(), {});
+    ASSERT_TRUE(server.ok());
+    ASSERT_TRUE((*server)->Start().ok());
+
+    // A connection parked mid-frame: 6 bytes of a frame that declares 10.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>((*server)->port()));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const uint8_t partial[6] = {10, 0, 0, 0,
+                                static_cast<uint8_t>(MsgType::kQueryRequest), 1};
+    ASSERT_EQ(::send(fd, partial, sizeof(partial), MSG_NOSIGNAL), 6);
+    // Let the loop accept and read the half frame before stopping.
+    for (int i = 0; i < 200 && (*server)->connections_accepted() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ((*server)->connections_accepted(), 1u);
+
+    (*server)->Stop();
+    EXPECT_EQ((*server)->open_connections(), 0);
+    // The peer observes the close promptly rather than hanging.
+    uint8_t buf[64];
+    const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    EXPECT_LE(r, 0);
+    ::close(fd);
+  }
+  EXPECT_EQ(CountOpenFds(), fds_before);
+}
+
+// --- Backpressure ----------------------------------------------------------
+
+TEST(BackpressureTest, SlowReaderIsPausedAndEveryResponseStillArrives) {
+  auto registry = SnapshotRegistry::Create();
+  ASSERT_TRUE(registry.ok());
+  ASSERT_TRUE((*registry)
+                  ->Load(ShardKey{kDefaultTenant, kDefaultTile},
+                         MakeTestSnapshot({8, 8, 12}, 77))
+                  .ok());
+  EventLoopOptions options;
+  options.write_budget_bytes = 4096;  // minimum: trip the budget quickly
+  options.so_sndbuf = 16384;  // keep the kernel from absorbing the backlog
+  auto server = EventLoopServer::Create(registry->get(), options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  // A deliberately tiny receive window so the server's responses back up.
+  const int rcvbuf = 8192;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>((*server)->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // Pipeline thousands of metrics requests without reading a byte. Each
+  // response is a multi-KiB exposition payload, so the pending bytes blow
+  // through the 4 KiB budget and the loop must pause reading this
+  // connection instead of buffering responses without bound.
+  constexpr int kRequests = 1000;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(WriteFrame(fd, MsgType::kMetricsRequest, {}).ok()) << i;
+  }
+  // Now drain: every single response must arrive, in order, well-formed.
+  int got = 0;
+  for (; got < kRequests; ++got) {
+    auto frame = ReadFrame(fd);
+    ASSERT_TRUE(frame.ok()) << "response " << got << ": "
+                            << frame.status().ToString();
+    ASSERT_EQ(frame->type, MsgType::kMetricsResponse);
+  }
+  EXPECT_EQ(got, kRequests);
+
+  const std::string text = (*server)->metrics().ToPrometheusText();
+  const double pauses = PrometheusValue(text, "stpt_serve_backpressure_pauses_total");
+  EXPECT_GE(pauses, 1.0);
+  const double paused_now = PrometheusValue(text, "stpt_serve_backpressure_paused");
+  EXPECT_EQ(paused_now, 0.0);  // fully drained -> nothing paused anymore
+
+  ::close(fd);
+  (*server)->Stop();
 }
 
 // --- Options validation and metrics export ---------------------------------
 
-TEST(TcpServerTest, CreateRejectsInvalidOptions) {
-  auto engine = QueryServer::Create(MakeTestSnapshot({4, 4, 4}));
-  ASSERT_TRUE(engine.ok());
+TEST(EventLoopServerTest, CreateRejectsInvalidOptions) {
+  auto registry = SnapshotRegistry::Create();
+  ASSERT_TRUE(registry.ok());
 
-  EXPECT_FALSE(TcpServer::Create(nullptr, TcpServerOptions{}).ok());
+  EXPECT_FALSE(EventLoopServer::Create(nullptr, EventLoopOptions{}).ok());
 
-  TcpServerOptions bad_port;
+  EventLoopOptions bad_port;
   bad_port.port = 70000;
-  EXPECT_FALSE(TcpServer::Create(&*engine, bad_port).ok());
+  EXPECT_FALSE(EventLoopServer::Create(registry->get(), bad_port).ok());
   bad_port.port = -1;
-  EXPECT_FALSE(TcpServer::Create(&*engine, bad_port).ok());
+  EXPECT_FALSE(EventLoopServer::Create(registry->get(), bad_port).ok());
 
-  TcpServerOptions bad_backlog;
+  EventLoopOptions bad_backlog;
   bad_backlog.listen_backlog = 0;
-  EXPECT_FALSE(TcpServer::Create(&*engine, bad_backlog).ok());
+  EXPECT_FALSE(EventLoopServer::Create(registry->get(), bad_backlog).ok());
 
-  TcpServerOptions bad_bind;
+  EventLoopOptions bad_budget;
+  bad_budget.write_budget_bytes = 1;
+  EXPECT_FALSE(EventLoopServer::Create(registry->get(), bad_budget).ok());
+
+  EventLoopOptions bad_inflight;
+  bad_inflight.max_inflight_batches = 0;
+  EXPECT_FALSE(EventLoopServer::Create(registry->get(), bad_inflight).ok());
+
+  EventLoopOptions bad_bind;
   bad_bind.bind_address = "not-an-address";
-  auto created = TcpServer::Create(&*engine, bad_bind);
+  auto created = EventLoopServer::Create(registry->get(), bad_bind);
   ASSERT_FALSE(created.ok());
   EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument);
 }
 
-/// Extracts the value of a Prometheus sample line `name value` from `text`.
-/// Returns -1 when the metric is absent.
-double PrometheusValue(const std::string& text, const std::string& name) {
-  size_t pos = 0;
-  const std::string needle = name + " ";
-  while ((pos = text.find(needle, pos)) != std::string::npos) {
-    // Must be at the start of a line (exposition samples, not HELP text).
-    if (pos == 0 || text[pos - 1] == '\n') {
-      return std::strtod(text.c_str() + pos + needle.size(), nullptr);
-    }
-    pos += needle.size();
-  }
-  return -1.0;
-}
-
 /// Runs the same batched workload through a loopback server at `threads`
 /// exec threads and requires the cache counters reported by the `metrics`
-/// wire command to exactly match the `stats` counters.
+/// wire command to exactly match the default shard's `stats` counters.
 void RunMetricsMatchesStats(int threads) {
   const int prev_threads = exec::Threads();
   exec::SetThreads(threads);
   const grid::Dims dims{10, 10, 18};
   const Snapshot snap = MakeTestSnapshot(dims, 61);
-  auto engine = QueryServer::Create(snap);
-  ASSERT_TRUE(engine.ok());
-  auto server = TcpServer::Create(&*engine, TcpServerOptions{});
+  auto registry = SnapshotRegistry::Create();
+  ASSERT_TRUE(registry.ok());
+  ASSERT_TRUE(
+      (*registry)->Load(ShardKey{kDefaultTenant, kDefaultTile}, snap).ok());
+  auto server = EventLoopServer::Create(registry->get(), {});
   ASSERT_TRUE(server.ok());
   ASSERT_TRUE((*server)->Start().ok());
 
@@ -644,7 +1346,9 @@ void RunMetricsMatchesStats(int threads) {
 
   auto text = client->Metrics();
   ASSERT_TRUE(text.ok()) << text.status().ToString();
-  const ServerStats stats = engine->stats();
+  auto gen = (*registry)->RouteDefault();
+  ASSERT_TRUE(gen.ok());
+  const ServerStats stats = (*gen)->engine->stats();
   EXPECT_EQ(stats.queries, 512u);
   EXPECT_EQ(PrometheusValue(*text, "stpt_serve_queries_total"),
             static_cast<double>(stats.queries));
@@ -652,8 +1356,13 @@ void RunMetricsMatchesStats(int threads) {
             static_cast<double>(stats.cache_hits));
   EXPECT_EQ(PrometheusValue(*text, "stpt_serve_cache_misses_total"),
             static_cast<double>(stats.cache_misses));
-  // The payload also carries the process-global registry (exec/dp metrics).
+  // The payload also carries the event-loop, registry, and process-global
+  // registries.
   EXPECT_NE(text->find("# TYPE stpt_serve_query_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text->find("stpt_serve_dispatches_total"), std::string::npos);
+  EXPECT_NE(text->find("stpt_registry_shards 1"), std::string::npos);
+  EXPECT_NE(text->find("stpt_shard_epoch{tenant=\"default\",tile=\"0\"} 1"),
             std::string::npos);
 
   (*server)->Stop();

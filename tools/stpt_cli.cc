@@ -49,6 +49,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/metrics.h"
+#include "serve/client.h"
+#include "serve/registry.h"
 #include "serve/snapshot.h"
 
 namespace {
@@ -107,6 +109,13 @@ FlagSet PublishFlags() {
   flags.DefineString("out", "sanitized.csv", "sanitized-region CSV path");
   flags.DefineString("truth-out", "", "also write the true test region here");
   flags.DefineString("snapshot", "", "also write a .stpt snapshot container here");
+  flags.DefineInt("push-port", 0,
+                  "push the written --snapshot into a live stpt_serve on this port");
+  flags.DefineString("push-host", "127.0.0.1", "stpt_serve host for --push-port");
+  flags.DefineString("tenant", serve::kDefaultTenant,
+                     "tenant to publish the pushed shard under");
+  flags.DefineString("tile", serve::kDefaultTile,
+                     "tile to publish the pushed shard under");
   flags.DefineString("train-log", "", "write a JSONL per-epoch loss curve here (stpt)");
   flags.DefineString("audit-ledger", "",
                      "write a JSONL privacy-budget audit ledger here (stpt)");
@@ -238,6 +247,24 @@ int RunPublish(const FlagSet& flags) {
         serve::Snapshot::FromMatrix(*sanitized, std::move(meta)), snapshot_path);
     if (!snap_st.ok()) return Fail(snap_st);
     std::printf("wrote snapshot container to %s\n", snapshot_path.c_str());
+    if (flags.Provided("push-port")) {
+      // Upsert into a live server: hot-swap if the shard exists, load it
+      // fresh otherwise. The server re-reads snapshot_path from its own
+      // filesystem, so this assumes a shared (here: local) filesystem.
+      auto client = serve::Client::Connect(
+          flags.GetString("push-host"),
+          static_cast<int>(flags.GetInt("push-port")));
+      if (!client.ok()) return Fail(client.status());
+      const std::string tenant = flags.GetString("tenant");
+      const std::string tile = flags.GetString("tile");
+      auto epoch = client->Swap(tenant, tile, snapshot_path);
+      if (!epoch.ok()) epoch = client->Load(tenant, tile, snapshot_path);
+      if (!epoch.ok()) return Fail(epoch.status());
+      std::printf("pushed %s/%s epoch %llu to %s:%d\n", tenant.c_str(),
+                  tile.c_str(), static_cast<unsigned long long>(*epoch),
+                  flags.GetString("push-host").c_str(),
+                  static_cast<int>(flags.GetInt("push-port")));
+    }
   }
   std::printf("published %s release (%dx%dx%d, eps=%.1f) to %s\n",
               algorithm.c_str(), sanitized->dims().cx, sanitized->dims().cy,

@@ -1,28 +1,42 @@
 // stpt_serve — publish-once / serve-many front end for published grids.
 //
-//   stpt_serve serve    --snapshot=g.stpt [--port=7261] [--bind=127.0.0.1]
-//                       [--port-file=path] [--threads=N]
-//   stpt_serve query    --port=P [--host=127.0.0.1] [--count=1000]
-//                       [--kind=random|small|large] [--seed=7] [--batch=256]
-//   stpt_serve verify   --snapshot=g.stpt --port=P [--host=...] [--count=10000]
-//                       [--kind=random] [--seed=7] [--batch=256]
-//   stpt_serve stats    --port=P [--host=...]
+//   stpt_serve serve    [--snapshot=g.stpt] [--tenant=default] [--tile=0]
+//                       [--port=7261] [--bind=127.0.0.1] [--port-file=path]
+//                       [--max-inflight=64] [--threads=N]
+//   stpt_serve query    --port=P [--host=127.0.0.1] [--tenant=] [--tile=]
+//                       [--count=1000] [--kind=random|small|large] [--seed=7]
+//                       [--batch=256]
+//   stpt_serve verify   --snapshot=g.stpt --port=P [--tenant=] [--tile=]
+//                       [--host=...] [--count=10000] [--kind=random]
+//                       [--seed=7] [--batch=256]
+//   stpt_serve load     --port=P --tenant=T [--tile=0] --snapshot=path
+//   stpt_serve swap     --port=P --tenant=T [--tile=0] --snapshot=path
+//   stpt_serve unload   --port=P --tenant=T [--tile=0]
+//   stpt_serve stats    --port=P [--host=...] [--tenant=T [--tile=0]]
 //   stpt_serve metrics  --port=P [--host=...]
 //   stpt_serve shutdown --port=P [--host=...]
 //
-// `serve` loads a snapshot container (written by `stpt_cli publish
-// --snapshot=...`) and answers framed range-query batches over TCP until a
-// client sends shutdown. `query` generates a workload against the server's
-// dims and reports throughput. `verify` additionally loads the snapshot
-// locally and requires every served answer to be bit-identical to direct
-// in-memory evaluation — the end-to-end integrity check used by CI.
-// `stats` prints the serving counters as JSON (including the server's
-// top-10 trace regions by total time); `metrics` prints the full metric
-// registries in Prometheus text exposition format.
+// `serve` starts the sharded event-loop server. With --snapshot it loads
+// that container (written by `stpt_cli publish --snapshot=...`) as the
+// --tenant/--tile shard (default tenant "default", tile "0" — where v1
+// clients are routed); without it the server starts empty and shards are
+// loaded at runtime. `load`/`swap`/`unload` administer shards over the
+// wire: load publishes a new (tenant, tile) shard, swap hot-swaps an
+// existing shard to a new snapshot with zero dropped queries, unload
+// removes one. The path is resolved on the *server's* filesystem.
+//
+// `query` generates a workload against the server's dims and reports
+// throughput; with --tenant/--tile it speaks the tenant-addressed v2
+// protocol. `verify` additionally loads the snapshot locally and requires
+// every served answer to be bit-identical to direct in-memory evaluation —
+// the end-to-end integrity check used by CI (it holds across hot-swaps to
+// a byte-identical snapshot). `stats` prints serving counters as JSON
+// (per-shard when --tenant is given); `metrics` prints every metric
+// registry in Prometheus text exposition format.
 //
 // Every subcommand also accepts --trace=<path> (Chrome trace-event JSON
 // written at exit) and --log-level=<debug|info|warn|error|off> (structured
-// log threshold, default warn — `serve` logs slow batches at warn).
+// log threshold, default warn).
 
 #include <algorithm>
 #include <cstdio>
@@ -39,9 +53,10 @@
 #include "obs/trace.h"
 #include "query/range_query.h"
 #include "serve/client.h"
+#include "serve/event_loop.h"
 #include "serve/query_server.h"
+#include "serve/registry.h"
 #include "serve/snapshot.h"
-#include "serve/tcp_server.h"
 
 namespace {
 
@@ -53,10 +68,10 @@ int Fail(const Status& status) {
 }
 
 int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: stpt_serve <serve|query|verify|stats|metrics|shutdown> [--options]\n"
-      "see the header of tools/stpt_serve.cc for details\n");
+  std::fprintf(stderr,
+               "usage: stpt_serve <serve|query|verify|load|swap|unload|stats|"
+               "metrics|shutdown> [--options]\n"
+               "see the header of tools/stpt_serve.cc for details\n");
   return 2;
 }
 
@@ -73,13 +88,25 @@ void DefineClientFlags(FlagSet& flags) {
   flags.DefineInt("port", 0, "server port");
 }
 
+void DefineShardFlags(FlagSet& flags) {
+  flags.DefineString("tenant", "", "tenant name (empty = default shard)");
+  flags.DefineString("tile", "", "grid tile within the tenant");
+}
+
 FlagSet ServeFlags() {
   FlagSet flags;
   DefineCommonFlags(flags);
-  flags.DefineString("snapshot", "grid.stpt", "snapshot container to serve");
+  flags.DefineString("snapshot", "",
+                     "snapshot container to serve (empty = start with no shards)");
+  flags.DefineString("tenant", serve::kDefaultTenant,
+                     "tenant the --snapshot shard is published under");
+  flags.DefineString("tile", serve::kDefaultTile,
+                     "tile the --snapshot shard is published under");
   flags.DefineString("bind", "127.0.0.1", "listen address");
   flags.DefineInt("port", 0, "listen port (0 = ephemeral)");
   flags.DefineString("port-file", "", "write the bound port to this file");
+  flags.DefineInt("max-inflight", 64,
+                  "dispatched-batch backlog before reads are deferred");
   return flags;
 }
 
@@ -87,11 +114,31 @@ FlagSet QueryFlags() {
   FlagSet flags;
   DefineCommonFlags(flags);
   DefineClientFlags(flags);
+  DefineShardFlags(flags);
   flags.DefineString("snapshot", "grid.stpt", "local snapshot (verify only)");
   flags.DefineString("kind", "random", "workload kind (random, small, large)");
   flags.DefineInt("count", -1, "queries to run (-1 = 1000, or 10000 for verify)");
   flags.DefineInt("batch", 256, "queries per request frame");
   flags.DefineInt("seed", 7, "workload seed");
+  return flags;
+}
+
+FlagSet AdminFlags() {
+  FlagSet flags;
+  DefineCommonFlags(flags);
+  DefineClientFlags(flags);
+  flags.DefineString("tenant", serve::kDefaultTenant, "tenant to administer");
+  flags.DefineString("tile", serve::kDefaultTile, "tile to administer");
+  flags.DefineString("snapshot", "",
+                     "snapshot container path, resolved on the server (load/swap)");
+  return flags;
+}
+
+FlagSet StatsFlags() {
+  FlagSet flags;
+  DefineCommonFlags(flags);
+  DefineClientFlags(flags);
+  DefineShardFlags(flags);
   return flags;
 }
 
@@ -115,14 +162,20 @@ StatusOr<serve::Client> ConnectFromFlags(const FlagSet& flags) {
 }
 
 int RunServe(const FlagSet& flags) {
-  const std::string path = flags.GetString("snapshot");
-  auto engine = serve::QueryServer::Open(path);
-  if (!engine.ok()) return Fail(engine.status());
+  auto registry = serve::SnapshotRegistry::Create();
+  if (!registry.ok()) return Fail(registry.status());
 
-  serve::TcpServerOptions options;
+  if (!flags.GetString("snapshot").empty()) {
+    const serve::ShardKey key{flags.GetString("tenant"), flags.GetString("tile")};
+    auto epoch = (*registry)->LoadFile(key, flags.GetString("snapshot"));
+    if (!epoch.ok()) return Fail(epoch.status());
+  }
+
+  serve::EventLoopOptions options;
   options.bind_address = flags.GetString("bind");
   options.port = static_cast<int>(flags.GetInt("port"));
-  auto server = serve::TcpServer::Create(&*engine, options);
+  options.max_inflight_batches = static_cast<int>(flags.GetInt("max-inflight"));
+  auto server = serve::EventLoopServer::Create(registry->get(), options);
   if (!server.ok()) return Fail(server.status());
   if (const Status st = (*server)->Start(); !st.ok()) return Fail(st);
 
@@ -130,23 +183,38 @@ int RunServe(const FlagSet& flags) {
     std::ofstream out(flags.GetString("port-file"));
     out << (*server)->port() << "\n";
   }
-  const grid::Dims& dims = engine->dims();
-  std::printf("serving %s release %dx%dx%d (eps=%.1f) on %s:%d\n",
-              engine->meta().algorithm.c_str(), dims.cx, dims.cy, dims.ct,
-              engine->meta().eps_total, options.bind_address.c_str(),
-              (*server)->port());
+  const auto shards = (*registry)->List();
+  if (shards.empty()) {
+    std::printf("serving 0 shards on %s:%d (load via 'stpt_serve load')\n",
+                options.bind_address.c_str(), (*server)->port());
+  } else {
+    for (const auto& shard : shards) {
+      std::printf("serving %s/%s: %s release %dx%dx%d (eps=%.1f) on %s:%d\n",
+                  shard.key.tenant.c_str(), shard.key.tile.c_str(),
+                  shard.meta.algorithm.c_str(), shard.dims.cx, shard.dims.cy,
+                  shard.dims.ct, shard.meta.eps_total,
+                  options.bind_address.c_str(), (*server)->port());
+    }
+  }
   std::fflush(stdout);
   (*server)->Wait();
   (*server)->Stop();
-  const serve::ServerStats stats = engine->stats();
-  std::printf("served %llu queries, cache hit rate %.1f%%, p99 %.1f us\n",
-              static_cast<unsigned long long>(stats.queries), 100.0 * stats.hit_rate(),
-              static_cast<double>(stats.p99_ns) * 1e-3);
+  for (const auto& shard : (*registry)->List()) {
+    std::printf(
+        "shard %s/%s epoch %llu: served %llu queries, cache hit rate %.1f%%, "
+        "p99 %.1f us\n",
+        shard.key.tenant.c_str(), shard.key.tile.c_str(),
+        static_cast<unsigned long long>(shard.epoch),
+        static_cast<unsigned long long>(shard.stats.queries),
+        100.0 * shard.stats.hit_rate(),
+        static_cast<double>(shard.stats.p99_ns) * 1e-3);
+  }
   return 0;
 }
 
 /// Shared query driver for `query` (report only) and `verify` (compare to a
-/// locally evaluated snapshot). Returns nonzero on any mismatch.
+/// locally evaluated snapshot). Returns nonzero on any mismatch. With
+/// --tenant/--tile it uses tenant-addressed v2 frames.
 int RunQueryOrVerify(const FlagSet& flags, bool verify) {
   auto client = ConnectFromFlags(flags);
   if (!client.ok()) return Fail(client.status());
@@ -184,28 +252,49 @@ int RunQueryOrVerify(const FlagSet& flags, bool verify) {
     direct = &direct_storage;
   }
 
+  const bool v2 = flags.Provided("tenant") || flags.Provided("tile");
+  const std::string tenant = flags.GetString("tenant");
+  const std::string tile = flags.GetString("tile");
+
   const uint64_t start_ns = exec::NowNanos();
   double checksum = 0.0;
   int64_t mismatches = 0;
+  uint64_t first_epoch = 0;
+  uint64_t last_epoch = 0;
   for (int base = 0; base < count; base += batch_size) {
     const int n = std::min(batch_size, count - base);
     query::Workload batch(workload->begin() + base, workload->begin() + base + n);
-    auto answers = client->Query(batch);
-    if (!answers.ok()) return Fail(answers.status());
+    serve::QueryResponse answers;
+    if (v2) {
+      auto response = client->QueryTenant(tenant, tile, batch);
+      if (!response.ok()) return Fail(response.status());
+      if (first_epoch == 0) first_epoch = response->epoch;
+      last_epoch = response->epoch;
+      answers = std::move(response->answers);
+    } else {
+      auto response = client->Query(batch);
+      if (!response.ok()) return Fail(response.status());
+      answers = std::move(*response);
+    }
     for (int i = 0; i < n; ++i) {
-      checksum += (*answers)[i];
+      checksum += answers[i];
       if (direct != nullptr) {
         const query::RangeQuery& q = batch[i];
         const double expect = direct->BoxSum(q.x0, q.x1, q.y0, q.y1, q.t0, q.t1);
         // Bit-identity, not epsilon-closeness: the served path must be the
         // same arithmetic as the local prefix-sum evaluation.
-        if (std::memcmp(&expect, &(*answers)[i], sizeof(double)) != 0) ++mismatches;
+        if (std::memcmp(&expect, &answers[i], sizeof(double)) != 0) ++mismatches;
       }
     }
   }
   const double secs = static_cast<double>(exec::NowNanos() - start_ns) * 1e-9;
   std::printf("%d queries in %.3f s (%.0f q/s), checksum %.6g\n", count, secs,
               secs > 0 ? count / secs : 0.0, checksum);
+  if (v2 && first_epoch != last_epoch) {
+    std::printf("epoch advanced %llu -> %llu during the run (hot swap)\n",
+                static_cast<unsigned long long>(first_epoch),
+                static_cast<unsigned long long>(last_epoch));
+  }
   if (verify) {
     if (mismatches > 0) {
       std::fprintf(stderr, "verify FAILED: %lld of %d answers differ\n",
@@ -218,10 +307,47 @@ int RunQueryOrVerify(const FlagSet& flags, bool verify) {
   return 0;
 }
 
+int RunAdmin(const FlagSet& flags, serve::AdminVerb verb) {
+  const std::string path = flags.GetString("snapshot");
+  if (verb != serve::AdminVerb::kUnload && path.empty()) {
+    return Fail(Status::InvalidArgument("--snapshot=<path> is required"));
+  }
+  auto client = ConnectFromFlags(flags);
+  if (!client.ok()) return Fail(client.status());
+  const std::string tenant = flags.GetString("tenant");
+  const std::string tile = flags.GetString("tile");
+  switch (verb) {
+    case serve::AdminVerb::kLoad: {
+      auto epoch = client->Load(tenant, tile, path);
+      if (!epoch.ok()) return Fail(epoch.status());
+      std::printf("loaded %s/%s epoch %llu\n", tenant.c_str(), tile.c_str(),
+                  static_cast<unsigned long long>(*epoch));
+      return 0;
+    }
+    case serve::AdminVerb::kSwap: {
+      auto epoch = client->Swap(tenant, tile, path);
+      if (!epoch.ok()) return Fail(epoch.status());
+      std::printf("swapped %s/%s to epoch %llu\n", tenant.c_str(), tile.c_str(),
+                  static_cast<unsigned long long>(*epoch));
+      return 0;
+    }
+    case serve::AdminVerb::kUnload: {
+      const Status st = client->Unload(tenant, tile);
+      if (!st.ok()) return Fail(st);
+      std::printf("unloaded %s/%s\n", tenant.c_str(), tile.c_str());
+      return 0;
+    }
+  }
+  return 1;
+}
+
 int RunStats(const FlagSet& flags) {
   auto client = ConnectFromFlags(flags);
   if (!client.ok()) return Fail(client.status());
-  auto stats = client->Stats();
+  StatusOr<std::string> stats =
+      (flags.Provided("tenant") || flags.Provided("tile"))
+          ? client->ShardStats(flags.GetString("tenant"), flags.GetString("tile"))
+          : client->Stats();
   if (!stats.ok()) return Fail(stats.status());
   std::printf("%s\n", stats->c_str());
   return 0;
@@ -255,7 +381,11 @@ int main(int argc, char** argv) {
     flags = ServeFlags();
   } else if (command == "query" || command == "verify") {
     flags = QueryFlags();
-  } else if (command == "stats" || command == "metrics" || command == "shutdown") {
+  } else if (command == "load" || command == "swap" || command == "unload") {
+    flags = AdminFlags();
+  } else if (command == "stats") {
+    flags = StatsFlags();
+  } else if (command == "metrics" || command == "shutdown") {
     flags = ClientOnlyFlags();
   } else {
     return Usage();
@@ -286,6 +416,12 @@ int main(int argc, char** argv) {
     rc = RunQueryOrVerify(flags, /*verify=*/false);
   } else if (command == "verify") {
     rc = RunQueryOrVerify(flags, /*verify=*/true);
+  } else if (command == "load") {
+    rc = RunAdmin(flags, stpt::serve::AdminVerb::kLoad);
+  } else if (command == "swap") {
+    rc = RunAdmin(flags, stpt::serve::AdminVerb::kSwap);
+  } else if (command == "unload") {
+    rc = RunAdmin(flags, stpt::serve::AdminVerb::kUnload);
   } else if (command == "stats") {
     rc = RunStats(flags);
   } else if (command == "metrics") {
