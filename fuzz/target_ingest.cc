@@ -1,0 +1,119 @@
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ingest/clock.h"
+#include "ingest/pipeline.h"
+#include "serve/registry.h"
+#include "serve/wire.h"
+#include "targets.h"
+
+namespace stpt::fuzz {
+namespace {
+
+void RequireCanonical(const char* what, const std::vector<uint8_t>& reencoded,
+                      const std::vector<uint8_t>& payload) {
+  if (reencoded != payload) {
+    std::fprintf(stderr, "FuzzIngest: accepted %s payload is not canonical "
+                         "(in %zu bytes, out %zu bytes)\n",
+                 what, payload.size(), reencoded.size());
+    std::abort();
+  }
+}
+
+/// Structure-aware pipeline driver: the payload is cut into (header, batch)
+/// records and applied to an in-memory IngestPipeline. Whatever arbitrary
+/// tenants, cells, timestamps, and loads arrive, every ack must account for
+/// every reading and the shard ledgers must replay to the accountants'
+/// consumed epsilon bitwise. Bounded work: dims 4x4x8, <= 64 batches of
+/// <= 16 readings, <= 4 shards.
+void FuzzPipeline(const uint8_t* data, size_t size) {
+  auto registry = serve::SnapshotRegistry::Create();
+  if (!registry.ok()) return;
+  ingest::ManualClock clock;
+  ingest::IngestOptions options;
+  options.dims = grid::Dims{4, 4, 8};
+  options.epoch_readings = 24;
+  options.epoch_ticks_ns = 1000;
+  options.max_shards = 4;
+  auto pipeline =
+      ingest::IngestPipeline::Create(registry->get(), &clock, options);
+  if (!pipeline.ok()) return;
+
+  size_t pos = 0;
+  for (int b = 0; b < 64 && pos < size; ++b) {
+    // Header: tenant selector, reading count, clock advance.
+    const uint8_t sel = data[pos++];
+    serve::ReadingBatch batch;
+    batch.tenant = "t" + std::to_string(sel & 0x7);
+    batch.tile = "0";
+    const size_t count = std::min<size_t>((sel >> 3) & 0xF, (size - pos) / 6);
+    for (size_t i = 0; i < count; ++i) {
+      serve::MeterReading r;
+      r.meter_id = i;
+      // Raw bytes, deliberately unclamped: out-of-bounds cells, late
+      // timesteps, and wild loads must all be rejected, never crash.
+      r.x = static_cast<int32_t>(data[pos]) - 8;
+      r.y = static_cast<int32_t>(data[pos + 1]) - 8;
+      r.t = static_cast<int32_t>(data[pos + 2]) - 8;
+      uint16_t load = 0;
+      std::memcpy(&load, data + pos + 3, 2);
+      r.kwh = static_cast<double>(load) * 0.25;
+      clock.Advance(data[pos + 5]);
+      pos += 6;
+      batch.readings.push_back(r);
+    }
+    const serve::ReadingAck ack = pipeline->get()->Apply(batch);
+    if (ack.accepted + ack.rejected != batch.readings.size()) {
+      std::fprintf(stderr, "FuzzIngest: ack %llu+%llu != %zu readings\n",
+                   static_cast<unsigned long long>(ack.accepted),
+                   static_cast<unsigned long long>(ack.rejected),
+                   batch.readings.size());
+      std::abort();
+    }
+  }
+  for (int s = 0; s < 8; ++s) {
+    auto audit = pipeline->get()->Audit("t" + std::to_string(s), "0");
+    if (!audit.ok()) continue;
+    // Bitwise, not approximate: the ledger records the exact charges.
+    if (audit->ledger_composed_epsilon != audit->consumed_epsilon) {
+      std::fprintf(stderr, "FuzzIngest: ledger %.17g != accountant %.17g\n",
+                   audit->ledger_composed_epsilon, audit->consumed_epsilon);
+      std::abort();
+    }
+  }
+}
+
+}  // namespace
+
+int FuzzIngest(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const uint8_t mode = data[0];
+  const std::vector<uint8_t> payload(data + 1, data + size);
+  switch (mode) {
+    case 0: {
+      auto batch = serve::DecodeReadingBatch(payload);
+      if (batch.ok()) {
+        RequireCanonical("reading batch", serve::EncodeReadingBatch(*batch),
+                         payload);
+      }
+      break;
+    }
+    case 1: {
+      auto ack = serve::DecodeReadingAck(payload);
+      if (ack.ok()) {
+        RequireCanonical("reading ack", serve::EncodeReadingAck(*ack), payload);
+      }
+      break;
+    }
+    default:
+      FuzzPipeline(payload.data(), std::min<size_t>(payload.size(), 1 << 12));
+      break;
+  }
+  return 0;
+}
+
+}  // namespace stpt::fuzz

@@ -6,7 +6,7 @@
 
 namespace stpt::fuzz {
 
-/// The five structure-aware harnesses, one per byte-eating surface. Each
+/// The six structure-aware harnesses, one per byte-eating surface. Each
 /// follows the libFuzzer contract: consume arbitrary bytes, return 0, and
 /// enforce its surface's invariant — "arbitrary bytes yield a Status error
 /// or a valid object, never a crash, hang, or sanitizer report" — by
@@ -32,6 +32,12 @@ int FuzzFlags(const uint8_t* data, size_t size);
 /// signal/: differential harness — Bluestein Dft vs a naive O(n^2) DFT on
 /// arbitrary lengths, inverse round-trip, and HaarForward∘HaarInverse.
 int FuzzSignalDiff(const uint8_t* data, size_t size);
+
+/// ingest/: DecodeReadingBatch / DecodeReadingAck with canonical re-encode
+/// (selector byte), plus a structure-aware IngestPipeline driver that
+/// applies arbitrary batch sequences under a ManualClock and checks ack
+/// accounting and bitwise ledger-vs-accountant agreement.
+int FuzzIngest(const uint8_t* data, size_t size);
 
 }  // namespace stpt::fuzz
 

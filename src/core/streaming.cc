@@ -25,15 +25,32 @@ StatusOr<StreamingPublisher> StreamingPublisher::Create(int cells,
 }
 
 void StreamingPublisher::EvictExpired() {
-  while (!ledger_.empty() && ledger_.front().time <= time_ - options_.window) {
-    ledger_.pop_front();
+  while (!window_.empty() && window_.front().time <= time_ - options_.window) {
+    window_.pop_front();
   }
 }
 
 double StreamingPublisher::WindowSpend() const {
   double s = 0.0;
-  for (const auto& entry : ledger_) s += entry.epsilon;
+  for (const auto& entry : window_) s += entry.epsilon;
   return s;
+}
+
+void StreamingPublisher::AttachAccountant(dp::BudgetAccountant* accountant,
+                                          std::string stage_prefix) {
+  accountant_ = accountant;
+  stage_prefix_ = std::move(stage_prefix);
+}
+
+Status StreamingPublisher::ChargeAccountant(const char* kind, double epsilon,
+                                            double sensitivity) {
+  if (accountant_ == nullptr) return Status::OK();
+  // One stage per (timestep, kind) pair: never reused, so every streaming
+  // charge composes sequentially and the ledger replay is the raw sum —
+  // the same arithmetic WindowSpend() uses inside the window.
+  return accountant_->Charge(
+      stage_prefix_ + "/t" + std::to_string(time_) + "/" + kind, epsilon,
+      dp::ChargeDetails{"laplace", sensitivity});
 }
 
 StatusOr<std::vector<double>> StreamingPublisher::ProcessSlice(
@@ -51,35 +68,44 @@ StatusOr<std::vector<double>> StreamingPublisher::ProcessSlice(
   // of it for each publication guarantees the window total never exceeds
   // eps_pub_budget regardless of how many publications the data forces.
   double pub_spent = 0.0;
-  for (const auto& entry : ledger_) {
+  for (const auto& entry : window_) {
     if (entry.is_publication) pub_spent += entry.epsilon;
   }
   const double eps_pub = (eps_pub_budget - pub_spent) / 2.0;
 
-  auto publish = [&]() -> std::vector<double>& {
+  // Charges hit the accountant before any noise is drawn or state mutated,
+  // so a rejected charge leaves the publisher (and its RNG) untouched.
+  auto publish = [&]() -> Status {
+    if (Status charged = ChargeAccountant("pub", eps_pub, unit_); !charged.ok()) {
+      return charged;
+    }
     last_published_.resize(cells_);
     for (int c = 0; c < cells_; ++c) {
       last_published_[c] = slice[c] + rng.Laplace(unit_ / eps_pub);
     }
-    ledger_.push_back({time_, eps_pub, /*is_publication=*/true});
+    window_.push_back({time_, eps_pub, /*is_publication=*/true});
     has_published_ = true;
-    return last_published_;
+    return Status::OK();
   };
 
   if (!has_published_) {
-    auto& out = publish();
+    if (Status published = publish(); !published.ok()) return published;
     ++time_;
-    return out;
+    return last_published_;
   }
 
   // Dissimilarity test: noisy mean absolute deviation from the last
   // release. One user changes one cell per slice by at most unit_, so the
   // mean absolute deviation has sensitivity unit_ / cells.
+  if (Status charged = ChargeAccountant("dis", eps_dis, unit_ / cells_);
+      !charged.ok()) {
+    return charged;
+  }
   double mad = 0.0;
   for (int c = 0; c < cells_; ++c) mad += std::fabs(slice[c] - last_published_[c]);
   mad /= static_cast<double>(cells_);
   const double noisy_mad = mad + rng.Laplace(unit_ / cells_ / eps_dis);
-  ledger_.push_back({time_, eps_dis, /*is_publication=*/false});
+  window_.push_back({time_, eps_dis, /*is_publication=*/false});
 
   // Budget-exhaustion guard: once the window's publication budget has been
   // halved a few times, a fresh release would be noisier than any realistic
@@ -105,9 +131,9 @@ StatusOr<std::vector<double>> StreamingPublisher::ProcessSlice(
     ++time_;
     return last_published_;
   }
-  auto& out = publish();
+  if (Status published = publish(); !published.ok()) return published;
   ++time_;
-  return out;
+  return last_published_;
 }
 
 }  // namespace stpt::core

@@ -2,10 +2,12 @@
 #define STPT_CORE_STREAMING_H_
 
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "dp/budget_accountant.h"
 
 namespace stpt::core {
 
@@ -42,6 +44,18 @@ class StreamingPublisher {
   StatusOr<std::vector<double>> ProcessSlice(const std::vector<double>& slice,
                                              Rng& rng);
 
+  /// Attaches a budget accountant: every subsequent dissimilarity-test and
+  /// publication charge is recorded against it (and, through it, any
+  /// attached dp::AuditLedger) under the stage name
+  /// "<prefix>/t<slice>/dis" or "<prefix>/t<slice>/pub". Stage names are
+  /// unique per timestep, so streaming charges compose sequentially and a
+  /// ledger replay reproduces the raw sum bitwise. If the accountant
+  /// rejects a charge, ProcessSlice returns its error and the slice is not
+  /// released. Pass nullptr to detach; the accountant is not owned and must
+  /// outlive the publisher.
+  void AttachAccountant(dp::BudgetAccountant* accountant,
+                        std::string stage_prefix = "stream");
+
   /// Budget spent inside the trailing window (must stay <= epsilon).
   double WindowSpend() const;
 
@@ -55,8 +69,12 @@ class StreamingPublisher {
   StreamingPublisher(int cells, double unit_sensitivity, const Options& options)
       : cells_(cells), unit_(unit_sensitivity), options_(options) {}
 
-  /// Drops ledger entries that fell out of the window.
+  /// Drops window charges that fell out of the window.
   void EvictExpired();
+
+  /// Records one charge against the attached accountant (no-op when
+  /// detached). `kind` is "dis" or "pub".
+  Status ChargeAccountant(const char* kind, double epsilon, double sensitivity);
 
   int cells_;
   double unit_;
@@ -65,13 +83,17 @@ class StreamingPublisher {
   int64_t republish_count_ = 0;
   std::vector<double> last_published_;
   bool has_published_ = false;
-  struct LedgerEntry {
+  struct WindowCharge {
     int64_t time;
     double epsilon;
     bool is_publication;
   };
   /// Charges inside the sliding window (dissimilarity tests + publications).
-  std::deque<LedgerEntry> ledger_;
+  /// This is eviction bookkeeping for the w-event arithmetic only — the
+  /// auditable record lives in the attached accountant/ledger.
+  std::deque<WindowCharge> window_;
+  dp::BudgetAccountant* accountant_ = nullptr;  // not owned
+  std::string stage_prefix_ = "stream";
 };
 
 }  // namespace stpt::core

@@ -1,0 +1,113 @@
+#include "ingest/incremental_prefix.h"
+
+#include <utility>
+
+#include "exec/parallel.h"
+
+namespace stpt::ingest {
+
+IncrementalPrefix::IncrementalPrefix(grid::Dims dims)
+    : dims_(dims),
+      matrix_(*grid::ConsumptionMatrix::Create(dims)),
+      scan_t_(dims.NumCells(), 0.0),
+      scan_ty_(dims.NumCells(), 0.0),
+      prefix_(dims.NumCells(), 0.0),
+      dirty_lo_(dims.ct) {}
+
+StatusOr<IncrementalPrefix> IncrementalPrefix::Create(grid::Dims dims) {
+  if (dims.cx <= 0 || dims.cy <= 0 || dims.ct <= 0) {
+    return Status::InvalidArgument(
+        "IncrementalPrefix: dimensions must be positive");
+  }
+  return IncrementalPrefix(dims);
+}
+
+Status IncrementalPrefix::Add(int x, int y, int t, double v) {
+  if (x < 0 || x >= dims_.cx || y < 0 || y >= dims_.cy || t < 0 ||
+      t >= dims_.ct) {
+    return Status::InvalidArgument("IncrementalPrefix::Add: out of bounds");
+  }
+  matrix_.add(x, y, t, v);
+  if (t < dirty_lo_) dirty_lo_ = t;
+  return Status::OK();
+}
+
+Status IncrementalPrefix::SetSlice(int t, const std::vector<double>& values) {
+  if (t < 0 || t >= dims_.ct) {
+    return Status::InvalidArgument("IncrementalPrefix::SetSlice: bad timestep");
+  }
+  if (values.size() != static_cast<size_t>(dims_.cx) * dims_.cy) {
+    return Status::InvalidArgument(
+        "IncrementalPrefix::SetSlice: values size must be cx*cy");
+  }
+  size_t i = 0;
+  for (int x = 0; x < dims_.cx; ++x) {
+    for (int y = 0; y < dims_.cy; ++y) matrix_.set(x, y, t, values[i++]);
+  }
+  if (t < dirty_lo_) dirty_lo_ = t;
+  return Status::OK();
+}
+
+int64_t IncrementalPrefix::Flush() {
+  if (dirty_lo_ >= dims_.ct) return 0;
+  const int cx = dims_.cx;
+  const int cy = dims_.cy;
+  const int ct = dims_.ct;
+  const int lo = dirty_lo_;
+  const int nt = ct - lo;
+  const size_t plane = static_cast<size_t>(cy) * ct;
+  const std::vector<double>& base = matrix_.data();
+
+  // The three passes mirror grid::PrefixSum3D element for element; only the
+  // t range shrinks. Each recurrence reads the clean value at t = lo - 1
+  // that the previous Flush left behind, so the value chain — and therefore
+  // every rounding step — is the one a from-scratch build performs.
+
+  // Pass 1, scan along t: one task per (x, y) pillar.
+  exec::ParallelForRange(
+      static_cast<int64_t>(cx) * cy, [&](int64_t begin, int64_t end) {
+        for (int64_t p = begin; p < end; ++p) {
+          const double* src = base.data() + static_cast<size_t>(p) * ct;
+          double* dst = scan_t_.data() + static_cast<size_t>(p) * ct;
+          for (int t = lo; t < ct; ++t) {
+            dst[t] = t == 0 ? src[t] : src[t] + dst[t - 1];
+          }
+        }
+      });
+
+  // Pass 2, scan along y: one task per x-slab; elementwise in t, so only
+  // the dirty suffix of each row needs touching.
+  exec::ParallelForRange(cx, [&](int64_t begin, int64_t end) {
+    for (int64_t x = begin; x < end; ++x) {
+      const double* src_slab = scan_t_.data() + static_cast<size_t>(x) * plane;
+      double* dst_slab = scan_ty_.data() + static_cast<size_t>(x) * plane;
+      for (int t = lo; t < ct; ++t) dst_slab[t] = src_slab[t];
+      for (int y = 1; y < cy; ++y) {
+        const double* src = src_slab + static_cast<size_t>(y) * ct;
+        double* dst = dst_slab + static_cast<size_t>(y) * ct;
+        const double* prev = dst - ct;
+        for (int t = lo; t < ct; ++t) dst[t] = src[t] + prev[t];
+      }
+    }
+  });
+
+  // Pass 3, scan along x: tasks partition the dirty (y, t) sub-plane;
+  // sequential in x per element, exactly like the full build.
+  exec::ParallelForRange(
+      static_cast<int64_t>(cy) * nt, [&](int64_t begin, int64_t end) {
+        for (int64_t q = begin; q < end; ++q) {
+          const size_t off =
+              static_cast<size_t>(q / nt) * ct + lo + static_cast<size_t>(q % nt);
+          prefix_[off] = scan_ty_[off];
+          for (int x = 1; x < cx; ++x) {
+            const size_t cur = static_cast<size_t>(x) * plane + off;
+            prefix_[cur] = scan_ty_[cur] + prefix_[cur - plane];
+          }
+        }
+      });
+
+  dirty_lo_ = ct;
+  return nt;
+}
+
+}  // namespace stpt::ingest

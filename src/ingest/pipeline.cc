@@ -1,0 +1,427 @@
+#include "ingest/pipeline.h"
+
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "obs/trace.h"
+#include "serve/snapshot.h"
+
+namespace stpt::ingest {
+namespace {
+
+// FNV-1a, the repo's conventional cheap stable hash (see fuzz/fuzz_util.h).
+// Keyed per shard so noise streams never collide across tenants.
+uint64_t Fnv1a64(const std::string& text) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t ShardStream(const std::string& tenant, const std::string& tile) {
+  // Length-prefixed concatenation, so ("ab", "c") and ("a", "bc") hash to
+  // different streams even though names are arbitrary bytes.
+  std::string key = std::to_string(tenant.size());
+  key.push_back(':');
+  key += tenant;
+  key += tile;
+  return Fnv1a64(key);
+}
+
+/// File-system-safe rendering of a wire name: tenant/tile come off the wire
+/// as arbitrary bytes, and they become snapshot/ledger path components.
+/// Anything outside [A-Za-z0-9_-] is replaced, and a replaced or empty name
+/// gets an FNV suffix so distinct hostile names cannot collide onto one
+/// path.
+std::string SafeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  bool replaced = name.empty();
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (ok && out.size() < 64) {
+      out.push_back(c);
+    } else {
+      replaced = true;
+      if (out.size() < 64) out.push_back('_');
+    }
+  }
+  if (replaced) {
+    char suffix[20];
+    std::snprintf(suffix, sizeof(suffix), "-%08llx",
+                  static_cast<unsigned long long>(Fnv1a64(name) & 0xFFFFFFFFull));
+    out += suffix;
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u00";
+      constexpr const char* kHex = "0123456789abcdef";
+      out.push_back(kHex[(c >> 4) & 0xF]);
+      out.push_back(kHex[c & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip double rendering (%.17g survives a bitwise
+/// parse-back, which the CI ledger check relies on).
+std::string JsonDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+/// All mutable per-shard state, guarded by `mu`. Shards are heap-pinned
+/// (unique_ptr in the map), so the accountant→ledger and
+/// publisher→accountant back-pointers below stay valid for the shard's
+/// lifetime.
+struct IngestPipeline::Shard {
+  std::mutex mu;
+  std::string tenant;
+  std::string tile;
+
+  grid::ConsumptionMatrix raw;               ///< readings as they arrived
+  std::optional<IncrementalPrefix> sanitized;  ///< DP-released matrix + prefix
+  std::optional<core::StreamingPublisher> publisher;
+  std::optional<dp::BudgetAccountant> accountant;
+  dp::AuditLedger ledger;
+  Rng rng{0};
+
+  int next_slice = 0;    ///< first unpublished timestep
+  int high_water = -1;   ///< max timestep that received a reading
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  int64_t readings_since_publish = 0;
+  int64_t last_publish_ns = 0;
+  uint64_t epoch = 0;      ///< registry epoch currently published (0 = none)
+  uint64_t publish_seq = 0;
+};
+
+IngestPipeline::IngestPipeline(serve::SnapshotRegistry* registry, Clock* clock,
+                               IngestOptions options)
+    : registry_(registry), clock_(clock), options_(std::move(options)) {
+  batches_ctr_ = metrics_.GetCounter("stpt_ingest_batches_total",
+                                     "Reading batches applied");
+  readings_ctr_ = metrics_.GetCounter("stpt_ingest_readings_total",
+                                      "Meter readings accepted");
+  rejected_ctr_ = metrics_.GetCounter(
+      "stpt_ingest_rejected_total",
+      "Readings rejected (out of bounds, late, or shard limit)");
+  epochs_ctr_ = metrics_.GetCounter("stpt_ingest_epochs_total",
+                                    "Epochs published into the registry");
+  flush_timesteps_ctr_ = metrics_.GetCounter(
+      "stpt_ingest_flush_timesteps_total",
+      "Timesteps rescanned by incremental prefix flushes");
+  publish_errors_ctr_ = metrics_.GetCounter("stpt_ingest_publish_errors_total",
+                                            "Failed publication attempts");
+  shards_gauge_ =
+      metrics_.GetGauge("stpt_ingest_shards", "Shards with ingest state");
+  republish_latency_ = metrics_.GetHistogram(
+      "stpt_ingest_republish_latency_ns",
+      "End-to-end publication latency: DP release to registry swap",
+      obs::LatencyBucketsNs());
+}
+
+IngestPipeline::~IngestPipeline() = default;
+
+StatusOr<std::unique_ptr<IngestPipeline>> IngestPipeline::Create(
+    serve::SnapshotRegistry* registry, Clock* clock, IngestOptions options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("ingest: registry must not be null");
+  }
+  if (clock == nullptr) {
+    return Status::InvalidArgument("ingest: clock must not be null");
+  }
+  if (options.dims.cx <= 0 || options.dims.cy <= 0 || options.dims.ct <= 0) {
+    return Status::InvalidArgument("ingest: dims must be positive");
+  }
+  if (options.epoch_readings < 0 || options.epoch_ticks_ns < 0) {
+    return Status::InvalidArgument("ingest: epoch thresholds must be >= 0");
+  }
+  if (options.max_shards < 1) {
+    return Status::InvalidArgument("ingest: max_shards must be >= 1");
+  }
+  if (options.accountant_epsilon < 0.0) {
+    return Status::InvalidArgument("ingest: accountant_epsilon must be >= 0");
+  }
+  // Publisher knobs are validated once here by a dry run, so FindShard can
+  // treat per-shard construction as infallible-by-options.
+  core::StreamingPublisher::Options pub;
+  pub.window = options.window;
+  pub.epsilon = options.epsilon;
+  pub.dissimilarity_fraction = options.dissimilarity_fraction;
+  auto probe = core::StreamingPublisher::Create(
+      options.dims.cx * options.dims.cy, options.unit_sensitivity, pub);
+  if (!probe.ok()) return probe.status();
+  return std::unique_ptr<IngestPipeline>(
+      new IngestPipeline(registry, clock, std::move(options)));
+}
+
+IngestPipeline::Shard* IngestPipeline::FindShard(const std::string& tenant,
+                                                 const std::string& tile,
+                                                 bool create) {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (const auto& shard : shards_) {
+    if (shard->tenant == tenant && shard->tile == tile) return shard.get();
+  }
+  if (!create) return nullptr;
+  if (shards_.size() >= static_cast<size_t>(options_.max_shards)) return nullptr;
+  if (tenant.size() > serve::kMaxShardNameBytes ||
+      tile.size() > serve::kMaxShardNameBytes) {
+    return nullptr;
+  }
+
+  auto shard = std::make_unique<Shard>();
+  shard->tenant = tenant;
+  shard->tile = tile;
+  shard->raw = *grid::ConsumptionMatrix::Create(options_.dims);
+  shard->sanitized = *IncrementalPrefix::Create(options_.dims);
+
+  const double accountant_epsilon =
+      options_.accountant_epsilon > 0.0
+          ? options_.accountant_epsilon
+          : options_.epsilon * (static_cast<double>(options_.dims.ct) /
+                                    options_.window +
+                                2.0);
+  shard->accountant = *dp::BudgetAccountant::Create(accountant_epsilon);
+  if (!options_.ledger_path.empty()) {
+    std::string path = options_.ledger_path;
+    if (tenant != serve::kDefaultTenant || tile != serve::kDefaultTile) {
+      path += "." + SafeName(tenant) + "." + SafeName(tile);
+    }
+    if (!shard->ledger.OpenFile(path).ok()) return nullptr;
+  }
+  shard->accountant->AttachLedger(&shard->ledger);
+
+  core::StreamingPublisher::Options pub;
+  pub.window = options_.window;
+  pub.epsilon = options_.epsilon;
+  pub.dissimilarity_fraction = options_.dissimilarity_fraction;
+  shard->publisher = *core::StreamingPublisher::Create(
+      options_.dims.cx * options_.dims.cy, options_.unit_sensitivity, pub);
+  shard->publisher->AttachAccountant(&*shard->accountant, "stream");
+
+  shard->rng = Rng(options_.seed).Fork(ShardStream(tenant, tile));
+  shard->last_publish_ns = clock_->NowNanos();
+
+  shards_.push_back(std::move(shard));
+  shards_gauge_->Set(static_cast<double>(shards_.size()));
+  return shards_.back().get();
+}
+
+serve::ReadingAck IngestPipeline::Apply(const serve::ReadingBatch& batch) {
+  batches_ctr_->Increment();
+  const std::string tenant =
+      batch.tenant.empty() ? serve::kDefaultTenant : batch.tenant;
+  const std::string tile = batch.tile.empty() ? serve::kDefaultTile : batch.tile;
+  serve::ReadingAck ack;
+  const bool flush = batch.readings.empty();
+  Shard* shard = FindShard(tenant, tile, /*create=*/!flush);
+  if (shard == nullptr) {
+    ack.rejected = batch.readings.size();
+    rejected_ctr_->Increment(ack.rejected);
+    return ack;
+  }
+
+  std::lock_guard<std::mutex> lock(shard->mu);
+  const grid::Dims& dims = options_.dims;
+  for (const serve::MeterReading& r : batch.readings) {
+    const bool in_bounds = r.x >= 0 && r.x < dims.cx && r.y >= 0 &&
+                           r.y < dims.cy && r.t >= 0 && r.t < dims.ct;
+    // Late readings (t already published) are rejected, not silently
+    // absorbed: the DP release for that slice is immutable once spent.
+    if (!in_bounds || r.t < shard->next_slice || !std::isfinite(r.kwh)) {
+      ++ack.rejected;
+      continue;
+    }
+    shard->raw.add(r.x, r.y, r.t, r.kwh);
+    if (r.t > shard->high_water) shard->high_water = r.t;
+    ++ack.accepted;
+  }
+  shard->accepted += ack.accepted;
+  shard->rejected += ack.rejected;
+  shard->readings_since_publish += static_cast<int64_t>(ack.accepted);
+  if (ack.accepted > 0) readings_ctr_->Increment(ack.accepted);
+  if (ack.rejected > 0) rejected_ctr_->Increment(ack.rejected);
+
+  // Epoch boundary: count- or tick-based, checked at batch granularity so
+  // a replayed batch sequence republishes at identical points; an empty
+  // batch is an explicit flush.
+  bool due = flush;
+  if (options_.epoch_readings > 0 &&
+      shard->readings_since_publish >= options_.epoch_readings) {
+    due = true;
+  }
+  if (options_.epoch_ticks_ns > 0 &&
+      clock_->NowNanos() - shard->last_publish_ns >= options_.epoch_ticks_ns) {
+    due = true;
+  }
+  // A count/tick epoch releases only *completed* timesteps — the newest
+  // slice stays open for more readings (its w-event release is immutable
+  // once spent, so publishing it early would reject the slice's tail as
+  // late). A flush is the explicit "no more data is coming" signal and
+  // publishes through the newest slice.
+  const int through = flush ? shard->high_water : shard->high_water - 1;
+  if (due && through >= shard->next_slice) {
+    if (!PublishLocked(*shard, through).ok()) publish_errors_ctr_->Increment();
+  }
+  ack.epoch = shard->epoch;
+  return ack;
+}
+
+Status IngestPipeline::PublishLocked(Shard& shard, int through) {
+  obs::Span span("ingest/publish", republish_latency_);
+  const grid::Dims& dims = options_.dims;
+  const int cells = dims.cx * dims.cy;
+
+  // w-event release slice by slice, in time order. The publisher draws its
+  // noise serially from the shard's forked stream under the shard lock, so
+  // the release depends only on the reading sequence — never on thread
+  // count or concurrent tenants.
+  std::vector<double> slice(static_cast<size_t>(cells));
+  for (int t = shard.next_slice; t <= through; ++t) {
+    size_t i = 0;
+    for (int x = 0; x < dims.cx; ++x) {
+      for (int y = 0; y < dims.cy; ++y) slice[i++] = shard.raw.at(x, y, t);
+    }
+    auto released = shard.publisher->ProcessSlice(slice, shard.rng);
+    if (!released.ok()) return released.status();
+    STPT_RETURN_IF_ERROR(shard.sanitized->SetSlice(t, *released));
+  }
+  shard.next_slice = through + 1;
+
+  // Incremental prefix maintenance on the exec pool: only the republished
+  // t-suffix is rescanned (bit-identical to a from-scratch build).
+  flush_timesteps_ctr_->Increment(
+      static_cast<uint64_t>(shard.sanitized->Flush()));
+
+  serve::Snapshot snapshot;
+  snapshot.meta.algorithm = "stream-w-event";
+  snapshot.meta.eps_total = shard.accountant->ConsumedEpsilon();
+  snapshot.meta.eps_sanitize = snapshot.meta.eps_total;
+  snapshot.sanitized = shard.sanitized->matrix();
+  snapshot.prefix = shard.sanitized->prefix();
+  snapshot.meta.norm_min = snapshot.sanitized.MinValue();
+  snapshot.meta.norm_max = snapshot.sanitized.MaxValue();
+
+  ++shard.publish_seq;
+  if (!options_.snapshot_dir.empty()) {
+    const std::string path = options_.snapshot_dir + "/" +
+                             SafeName(shard.tenant) + "." + SafeName(shard.tile) +
+                             ".p" + std::to_string(shard.publish_seq) +
+                             serve::kSnapshotExtension;
+    STPT_RETURN_IF_ERROR(serve::WriteSnapshot(snapshot, path));
+  }
+
+  // Zero-downtime flip: Load on the first publication of a shard the
+  // registry has never seen, Swap (RCU hot swap) afterwards — including
+  // over a generation someone else loaded (e.g. the server's startup
+  // snapshot for the default shard).
+  const serve::ShardKey key{shard.tenant, shard.tile};
+  StatusOr<uint64_t> epoch = registry_->Route(shard.tenant, shard.tile).ok()
+                                 ? registry_->Swap(key, std::move(snapshot))
+                                 : registry_->Load(key, std::move(snapshot));
+  if (!epoch.ok()) return epoch.status();
+  shard.epoch = *epoch;
+  epochs_ctr_->Increment();
+  shard.readings_since_publish = 0;
+  shard.last_publish_ns = clock_->NowNanos();
+  return Status::OK();
+}
+
+int IngestPipeline::PublishAll() {
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& shard : shards_) shards.push_back(shard.get());
+  }
+  int published = 0;
+  for (Shard* shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->high_water < shard->next_slice) continue;
+    if (PublishLocked(*shard, shard->high_water).ok()) {
+      ++published;
+    } else {
+      publish_errors_ctr_->Increment();
+    }
+  }
+  return published;
+}
+
+StatusOr<IngestPipeline::ShardAudit> IngestPipeline::Audit(
+    const std::string& tenant, const std::string& tile) const {
+  Shard* shard =
+      const_cast<IngestPipeline*>(this)->FindShard(tenant, tile, false);
+  if (shard == nullptr) {
+    return Status::NotFound("ingest: no such shard: " + tenant + "/" + tile);
+  }
+  std::lock_guard<std::mutex> lock(shard->mu);
+  ShardAudit audit;
+  audit.epoch = shard->epoch;
+  audit.consumed_epsilon = shard->accountant->ConsumedEpsilon();
+  audit.ledger_composed_epsilon = shard->ledger.ComposedEpsilon();
+  audit.ledger_records = shard->ledger.size();
+  audit.republish_count = shard->publisher->republish_count();
+  return audit;
+}
+
+std::string IngestPipeline::StatsJson() const {
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& shard : shards_) shards.push_back(shard.get());
+  }
+  std::ostringstream os;
+  os << "{\"shards\": [";
+  bool first = true;
+  for (Shard* shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"tenant\": \"" << JsonEscape(shard->tenant) << "\", \"tile\": \""
+       << JsonEscape(shard->tile) << "\", \"epoch\": " << shard->epoch
+       << ", \"accepted\": " << shard->accepted
+       << ", \"rejected\": " << shard->rejected
+       << ", \"next_slice\": " << shard->next_slice
+       << ", \"pending_timesteps\": "
+       << (shard->high_water >= shard->next_slice
+               ? shard->high_water - shard->next_slice + 1
+               : 0)
+       << ", \"republish_count\": " << shard->publisher->republish_count()
+       << ", \"consumed_epsilon\": "
+       << JsonDouble(shard->accountant->ConsumedEpsilon())
+       << ", \"ledger_composed_epsilon\": "
+       << JsonDouble(shard->ledger.ComposedEpsilon())
+       << ", \"ledger_records\": " << shard->ledger.size() << "}";
+  }
+  os << "], \"batches\": " << batches_ctr_->Value()
+     << ", \"epochs\": " << epochs_ctr_->Value() << "}";
+  return os.str();
+}
+
+std::string IngestPipeline::MetricsText() const {
+  return metrics_.ToPrometheusText();
+}
+
+}  // namespace stpt::ingest

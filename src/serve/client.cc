@@ -136,6 +136,19 @@ Status Client::Unload(const std::string& tenant, const std::string& tile) {
   return epoch.ok() ? Status::OK() : epoch.status();
 }
 
+StatusOr<ReadingAck> Client::Ingest(const std::string& tenant,
+                                    const std::string& tile,
+                                    const std::vector<MeterReading>& readings) {
+  ReadingBatch batch;
+  batch.tenant = tenant;
+  batch.tile = tile;
+  batch.readings = readings;
+  auto frame =
+      Call(MsgType::kReadingBatch, EncodeReadingBatch(batch), MsgType::kReadingAck);
+  if (!frame.ok()) return frame.status();
+  return DecodeReadingAck(frame->payload);
+}
+
 StatusOr<std::string> Client::ShardStats(const std::string& tenant,
                                          const std::string& tile) {
   ShardStatsRequest request;

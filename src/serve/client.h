@@ -40,6 +40,15 @@ class Client {
                                             const query::Workload& batch,
                                             uint64_t epoch = 0);
 
+  /// Streams one batch of meter readings into the server's ingest pipeline
+  /// (kReadingBatch frame). Empty tenant/tile address the default shard. An
+  /// empty `readings` vector forces an epoch boundary (flush) for the
+  /// addressed shard. Returns the ack: admission counts plus the epoch now
+  /// published. Fails with the server's FailedPrecondition when the server
+  /// runs without an ingest pipeline.
+  StatusOr<ReadingAck> Ingest(const std::string& tenant, const std::string& tile,
+                              const std::vector<MeterReading>& readings);
+
   /// Loads a snapshot container (server-side path) as a new shard.
   /// Returns the published epoch (1). FailedPrecondition-style server
   /// error if the shard already exists — use Swap.

@@ -382,6 +382,23 @@ bool EventLoopServer::HandleFrame(Conn& conn, Frame frame) {
     case MsgType::kMetricsRequest:
       EnqueueFrame(conn, MsgType::kMetricsResponse, EncodeString(MetricsText()));
       return true;
+    case MsgType::kReadingBatch: {
+      auto batch = DecodeReadingBatch(frame.payload);
+      if (!batch.ok()) {
+        protocol_errors_ctr_->Increment();
+        EnqueueError(conn, batch.status(), /*close_after=*/true);
+        return false;
+      }
+      if (ingest_ == nullptr) {
+        EnqueueError(conn,
+                     Status::FailedPrecondition(
+                         "ingest: server started without an ingest pipeline"),
+                     /*close_after=*/false);
+        return true;
+      }
+      DispatchIngest(conn, std::move(*batch));
+      return false;
+    }
     case MsgType::kAdminRequest:
       HandleAdmin(conn, frame.payload);
       return true;
@@ -431,6 +448,28 @@ void EventLoopServer::DispatchQuery(Conn& conn,
   } else {
     // Serial runtime: no pool exists; answer inline. The completion is
     // picked up in the same loop iteration.
+    task();
+  }
+}
+
+void EventLoopServer::DispatchIngest(Conn& conn, ReadingBatch batch) {
+  // Same one-in-flight-per-connection discipline as queries: acks stay in
+  // request order and a firehose feeder is paced by its own acks while the
+  // global inflight cap keeps ingest and queries jointly bounded.
+  conn.busy = true;
+  dispatches_ctr_->Increment();
+  inflight_gauge_->Set(static_cast<double>(
+      inflight_.fetch_add(1, std::memory_order_acq_rel) + 1));
+  auto task = [this, id = conn.id, batch = std::move(batch)] {
+    Completion comp;
+    comp.conn_id = id;
+    comp.type = MsgType::kReadingAck;
+    comp.payload = EncodeReadingAck(ingest_->Apply(batch));
+    PushCompletion(std::move(comp));
+  };
+  if (exec::Threads() > 1) {
+    exec::GlobalPool().Submit(std::move(task));
+  } else {
     task();
   }
 }
@@ -486,6 +525,7 @@ std::string EventLoopServer::MetricsText() const {
   auto def = registry_->RouteDefault();
   if (def.ok()) text += (*def)->engine->metrics().ToPrometheusText();
   text += registry_metrics_.ToPrometheusText();
+  if (ingest_ != nullptr) text += ingest_->MetricsText();
   text += registry_->ToPrometheusText();
   text += obs::Registry::Global().ToPrometheusText();
   return text;
@@ -497,9 +537,10 @@ std::string EventLoopServer::StatsText() const {
   // v1 shape (engine counters) with the trace-region profile and the
   // registry topology spliced in.
   std::string stats_json = (*def)->engine->stats().ToJson();
-  stats_json.insert(stats_json.size() - 1,
-                    ", \"top_regions\": " + obs::TraceProfileJson(10) +
-                        ", \"registry\": " + registry_->StatsJson());
+  std::string splice = ", \"top_regions\": " + obs::TraceProfileJson(10) +
+                       ", \"registry\": " + registry_->StatsJson();
+  if (ingest_ != nullptr) splice += ", \"ingest\": " + ingest_->StatsJson();
+  stats_json.insert(stats_json.size() - 1, splice);
   return stats_json;
 }
 

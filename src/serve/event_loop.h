@@ -44,6 +44,27 @@ struct EventLoopOptions {
   int drain_timeout_ms = 5000;
 };
 
+/// Where kReadingBatch frames go. The serving tier stays ignorant of how
+/// ingestion works (stpt::ingest depends on stpt::serve, not the reverse);
+/// it only routes decoded batches to the sink on the exec pool and frames
+/// the ack back. Implementations must be thread-safe: batches from
+/// different connections can run concurrently on pool workers.
+class IngestSink {
+ public:
+  virtual ~IngestSink() = default;
+
+  /// Applies one decoded reading batch and returns admission counts plus
+  /// the currently published epoch of the addressed shard.
+  virtual ReadingAck Apply(const ReadingBatch& batch) = 0;
+
+  /// JSON object describing live ingest state (spliced into stats).
+  virtual std::string StatsJson() const = 0;
+
+  /// Prometheus text for the stpt_ingest_* families (appended to the
+  /// metrics frame).
+  virtual std::string MetricsText() const = 0;
+};
+
 /// Non-blocking epoll front end over a SnapshotRegistry.
 ///
 /// One event-loop thread owns every connection: it accepts, reads
@@ -109,6 +130,11 @@ class EventLoopServer {
   /// kMetricsRequest wire command next to the registry and shard metrics.
   obs::Registry& metrics() const { return registry_metrics_; }
 
+  /// Attaches the ingest sink that kReadingBatch frames dispatch to (not
+  /// owned; must outlive the server). Call before Start(); without a sink
+  /// the server answers reading batches with a FailedPrecondition error.
+  void set_ingest_sink(IngestSink* sink) { ingest_ = sink; }
+
  private:
   struct Conn;
   struct Completion {
@@ -130,6 +156,7 @@ class EventLoopServer {
   bool HandleFrame(Conn& conn, Frame frame);
   void DispatchQuery(Conn& conn, std::shared_ptr<const ShardGeneration> gen,
                      query::Workload batch, bool v2);
+  void DispatchIngest(Conn& conn, ReadingBatch batch);
   void HandleAdmin(Conn& conn, const std::vector<uint8_t>& payload);
   std::string MetricsText() const;
   std::string StatsText() const;
@@ -150,6 +177,7 @@ class EventLoopServer {
 
   SnapshotRegistry* registry_;
   EventLoopOptions options_;
+  IngestSink* ingest_ = nullptr;  // not owned, may be null
 
   mutable obs::Registry registry_metrics_;
   obs::Counter* connections_ctr_ = nullptr;

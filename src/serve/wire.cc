@@ -5,6 +5,7 @@
 
 #include <bit>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 
 namespace stpt::serve {
@@ -424,6 +425,70 @@ StatusOr<ShardStatsRequest> DecodeShardStatsRequest(
   return request;
 }
 
+std::vector<uint8_t> EncodeReadingBatch(const ReadingBatch& batch) {
+  std::vector<uint8_t> out;
+  out.reserve(12 + batch.tenant.size() + batch.tile.size() +
+              batch.readings.size() * 28);
+  PutString(out, batch.tenant);
+  PutString(out, batch.tile);
+  PutU32(out, static_cast<uint32_t>(batch.readings.size()));
+  for (const MeterReading& r : batch.readings) {
+    PutU64(out, r.meter_id);
+    PutI32(out, r.x);
+    PutI32(out, r.y);
+    PutI32(out, r.t);
+    PutF64(out, r.kwh);
+  }
+  return out;
+}
+
+StatusOr<ReadingBatch> DecodeReadingBatch(const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  ReadingBatch batch;
+  if (!ReadCappedString(cur, kMaxWireNameBytes, &batch.tenant)) {
+    return Malformed("reading batch tenant");
+  }
+  if (!ReadCappedString(cur, kMaxWireNameBytes, &batch.tile)) {
+    return Malformed("reading batch tile");
+  }
+  uint32_t count = 0;
+  if (!cur.ReadU32(&count)) return Malformed("reading batch header");
+  if (static_cast<size_t>(count) * 28 != cur.remaining()) {
+    return Malformed("reading batch length");
+  }
+  batch.readings.resize(count);
+  for (MeterReading& r : batch.readings) {
+    if (!ReadU64(cur, &r.meter_id) || !cur.ReadI32(&r.x) ||
+        !cur.ReadI32(&r.y) || !cur.ReadI32(&r.t) || !cur.ReadF64(&r.kwh)) {
+      return Malformed("reading batch body");
+    }
+    // Non-finite consumption would poison every prefix sum it touches;
+    // reject it at the codec so hostile feeders cannot corrupt a shard.
+    if (!std::isfinite(r.kwh)) return Malformed("reading batch kwh (non-finite)");
+  }
+  return batch;
+}
+
+std::vector<uint8_t> EncodeReadingAck(const ReadingAck& ack) {
+  std::vector<uint8_t> out;
+  out.reserve(24);
+  PutU64(out, ack.accepted);
+  PutU64(out, ack.rejected);
+  PutU64(out, ack.epoch);
+  return out;
+}
+
+StatusOr<ReadingAck> DecodeReadingAck(const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  ReadingAck ack;
+  if (!ReadU64(cur, &ack.accepted) || !ReadU64(cur, &ack.rejected) ||
+      !ReadU64(cur, &ack.epoch)) {
+    return Malformed("reading ack body");
+  }
+  if (cur.remaining() != 0) return Malformed("reading ack trailing bytes");
+  return ack;
+}
+
 void FrameDecoder::Append(const uint8_t* data, size_t n) {
   // Compact lazily: only when the dead prefix dominates, so steady-state
   // appends are amortized O(n).
@@ -449,7 +514,7 @@ StatusOr<bool> FrameDecoder::Next(Frame* out) {
   if (buffered() < 4 + static_cast<size_t>(length)) return false;
   const uint8_t type = p[4];
   if (type < static_cast<uint8_t>(MsgType::kQueryRequest) ||
-      type > static_cast<uint8_t>(MsgType::kShardStatsResponse)) {
+      type > static_cast<uint8_t>(MsgType::kReadingAck)) {
     poisoned_ = true;
     return Malformed("frame type value");
   }
@@ -485,7 +550,7 @@ StatusOr<Frame> ReadFrame(int fd) {
   uint8_t type = 0;
   if (ReadFully(fd, &type, 1) != 1) return Malformed("frame type");
   if (type < static_cast<uint8_t>(MsgType::kQueryRequest) ||
-      type > static_cast<uint8_t>(MsgType::kShardStatsResponse)) {
+      type > static_cast<uint8_t>(MsgType::kReadingAck)) {
     return Malformed("frame type value");
   }
   Frame frame;

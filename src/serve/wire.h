@@ -48,6 +48,11 @@ namespace stpt::serve {
 ///                     unload), str message
 ///   kShardStatsRequest  str tenant, str tile (both empty = all shards)
 ///   kShardStatsResponse str JSON (SnapshotRegistry::StatsJson)
+///   kReadingBatch     str tenant, str tile, u32 count, then count x
+///                     { u64 meter_id, i32 x, i32 y, i32 t, f64 kwh } — one
+///                     live meter reading per tuple. kWh must be finite.
+///   kReadingAck       u64 accepted, u64 rejected, u64 epoch currently
+///                     published for the addressed shard (0 = none yet)
 ///
 /// A reader that sees a malformed frame (bad length, unknown type, short
 /// payload) gets a non-OK Status and the connection is dropped; the peer's
@@ -70,6 +75,8 @@ enum class MsgType : uint8_t {
   kAdminResponse = 14,
   kShardStatsRequest = 15,
   kShardStatsResponse = 16,
+  kReadingBatch = 17,
+  kReadingAck = 18,
 };
 
 /// Registry admin verbs carried by kAdminRequest.
@@ -154,6 +161,38 @@ struct ShardStatsRequest {
   bool operator==(const ShardStatsRequest&) const = default;
 };
 
+/// One live smart-meter reading: kwh consumed by `meter_id` at grid cell
+/// (x, y) during timestep t. Fixed 28-byte wire layout inside kReadingBatch.
+struct MeterReading {
+  uint64_t meter_id = 0;
+  int32_t x = 0;
+  int32_t y = 0;
+  int32_t t = 0;
+  double kwh = 0.0;
+
+  bool operator==(const MeterReading&) const = default;
+};
+
+/// kReadingBatch: readings addressed to one shard's ingest accumulator.
+/// Empty tenant/tile address the default shard, like kQueryRequestV2.
+struct ReadingBatch {
+  std::string tenant;
+  std::string tile;
+  std::vector<MeterReading> readings;
+
+  bool operator==(const ReadingBatch&) const = default;
+};
+
+/// kReadingAck: per-batch admission counts plus the epoch currently
+/// published for the addressed shard so feeders can watch republishes land.
+struct ReadingAck {
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t epoch = 0;
+
+  bool operator==(const ReadingAck&) const = default;
+};
+
 /// --- Payload codecs (pure, no I/O) ---------------------------------------
 
 std::vector<uint8_t> EncodeQueryRequest(const query::Workload& batch);
@@ -185,6 +224,12 @@ StatusOr<AdminResponse> DecodeAdminResponse(const std::vector<uint8_t>& payload)
 std::vector<uint8_t> EncodeShardStatsRequest(const ShardStatsRequest& request);
 StatusOr<ShardStatsRequest> DecodeShardStatsRequest(
     const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeReadingBatch(const ReadingBatch& batch);
+StatusOr<ReadingBatch> DecodeReadingBatch(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeReadingAck(const ReadingAck& ack);
+StatusOr<ReadingAck> DecodeReadingAck(const std::vector<uint8_t>& payload);
 
 /// --- Incremental frame decoding (event-loop read path) ---------------------
 

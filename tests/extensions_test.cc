@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "core/accuracy_model.h"
 #include "core/streaming.h"
+#include "dp/audit_ledger.h"
+#include "dp/budget_accountant.h"
 #include "gtest/gtest.h"
 #include "nn/layers.h"
 #include "nn/predictor.h"
@@ -81,6 +83,48 @@ TEST(StreamingTest, LargeShiftsTriggerPublication) {
   ASSERT_TRUE(second.ok());
   EXPECT_GT((*second)[0], (*first)[0] + 100.0);
   EXPECT_EQ(pub->republish_count(), 0);
+}
+
+TEST(StreamingTest, AttachedAccountantChargesEveryDrawBitwise) {
+  // Every dissimilarity probe and publication must land in the accountant
+  // (and its ledger) as a uniquely named per-timestep stage, so streaming
+  // charges compose sequentially and the ledger replay is exact.
+  core::StreamingPublisher::Options opts;
+  opts.window = 4;
+  opts.epsilon = 1.0;
+  auto pub = core::StreamingPublisher::Create(8, 1.0, opts);
+  ASSERT_TRUE(pub.ok());
+  auto accountant = dp::BudgetAccountant::Create(100.0);
+  ASSERT_TRUE(accountant.ok());
+  dp::AuditLedger ledger;
+  accountant->AttachLedger(&ledger);
+  pub->AttachAccountant(&*accountant, "stream");
+
+  Rng rng(6);
+  for (int t = 0; t < 40; ++t) {
+    std::vector<double> slice(8, (t % 4) * 25.0);
+    ASSERT_TRUE(pub->ProcessSlice(slice, rng).ok()) << "t=" << t;
+  }
+  EXPECT_GT(accountant->ConsumedEpsilon(), 0.0);
+  // Bitwise: the ledger records the exact charge sequence.
+  EXPECT_EQ(ledger.ComposedEpsilon(), accountant->ConsumedEpsilon());
+  EXPECT_GT(ledger.size(), 0u);
+}
+
+TEST(StreamingTest, ExhaustedAccountantFailsProcessSliceCleanly) {
+  core::StreamingPublisher::Options opts;
+  opts.window = 4;
+  opts.epsilon = 1.0;
+  auto pub = core::StreamingPublisher::Create(8, 1.0, opts);
+  ASSERT_TRUE(pub.ok());
+  // Far below the first publication's charge: the accountant rejects it
+  // before any noise is drawn, and the error surfaces from ProcessSlice.
+  auto accountant = dp::BudgetAccountant::Create(1e-6);
+  ASSERT_TRUE(accountant.ok());
+  pub->AttachAccountant(&*accountant, "stream");
+  Rng rng(7);
+  EXPECT_FALSE(pub->ProcessSlice(std::vector<double>(8, 50.0), rng).ok());
+  EXPECT_EQ(pub->slices_processed(), 0);
 }
 
 TEST(StreamingTest, ReleasedValuesTrackInput) {

@@ -3,6 +3,11 @@
 //   stpt_serve serve    [--snapshot=g.stpt] [--tenant=default] [--tile=0]
 //                       [--port=7261] [--bind=127.0.0.1] [--port-file=path]
 //                       [--max-inflight=64] [--threads=N]
+//                       [--ingest [--ingest-dims=8,8,64]
+//                        [--ingest-epoch-readings=4096] [--ingest-epoch-ms=0]
+//                        [--ingest-window=10] [--ingest-epsilon=1.0]
+//                        [--ingest-unit=1.0] [--ingest-seed=24301]
+//                        [--ingest-snapshot-dir=] [--ingest-ledger=]]
 //   stpt_serve query    --port=P [--host=127.0.0.1] [--tenant=] [--tile=]
 //                       [--count=1000] [--kind=random|small|large] [--seed=7]
 //                       [--batch=256]
@@ -20,7 +25,11 @@
 // that container (written by `stpt_cli publish --snapshot=...`) as the
 // --tenant/--tile shard (default tenant "default", tile "0" — where v1
 // clients are routed); without it the server starts empty and shards are
-// loaded at runtime. `load`/`swap`/`unload` administer shards over the
+// loaded at runtime. With --ingest the server additionally accepts
+// kReadingBatch frames (see stpt_ingest): readings accumulate per shard and
+// every epoch boundary republishes that shard's grid under w-event DP,
+// hot-swapping it into the registry with zero dropped queries.
+// `load`/`swap`/`unload` administer shards over the
 // wire: load publishes a new (tenant, tile) shard, swap hot-swaps an
 // existing shard to a new snapshot with zero dropped queries, unload
 // removes one. The path is resolved on the *server's* filesystem.
@@ -49,6 +58,8 @@
 #include "common/rng.h"
 #include "exec/thread_pool.h"
 #include "exec/timing.h"
+#include "ingest/clock.h"
+#include "ingest/pipeline.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "query/range_query.h"
@@ -107,7 +118,30 @@ FlagSet ServeFlags() {
   flags.DefineString("port-file", "", "write the bound port to this file");
   flags.DefineInt("max-inflight", 64,
                   "dispatched-batch backlog before reads are deferred");
+  flags.DefineBool("ingest", false,
+                   "accept kReadingBatch frames into a live ingest pipeline");
+  flags.DefineString("ingest-dims", "8,8,64",
+                     "CX,CY,CT accumulator dims for ingest shards");
+  flags.DefineInt("ingest-epoch-readings", 4096,
+                  "publish after this many accepted readings (0 = off)");
+  flags.DefineInt("ingest-epoch-ms", 0,
+                  "publish after this many wall-clock ms (0 = off)");
+  flags.DefineInt("ingest-window", 10, "w-event window in time slices");
+  flags.DefineDouble("ingest-epsilon", 1.0, "privacy budget per w-event window");
+  flags.DefineDouble("ingest-unit", 1.0,
+                     "per-user per-slice contribution bound (sensitivity)");
+  flags.DefineInt("ingest-seed", 0x5EED, "noise seed for ingest shards");
+  flags.DefineString("ingest-snapshot-dir", "",
+                     "write each published epoch as a .stpt container here");
+  flags.DefineString("ingest-ledger", "",
+                     "JSONL audit-ledger path (per-shard suffixes for "
+                     "non-default shards)");
   return flags;
+}
+
+bool ParseDims(const std::string& text, grid::Dims* dims) {
+  return std::sscanf(text.c_str(), "%d,%d,%d", &dims->cx, &dims->cy,
+                     &dims->ct) == 3;
 }
 
 FlagSet QueryFlags() {
@@ -171,12 +205,35 @@ int RunServe(const FlagSet& flags) {
     if (!epoch.ok()) return Fail(epoch.status());
   }
 
+  // Declared before `server` so the sink outlives the event loop.
+  ingest::SystemClock ingest_clock;
+  std::unique_ptr<ingest::IngestPipeline> pipeline;
+  if (flags.GetBool("ingest")) {
+    ingest::IngestOptions ingest_options;
+    if (!ParseDims(flags.GetString("ingest-dims"), &ingest_options.dims)) {
+      return Fail(Status::InvalidArgument("--ingest-dims wants CX,CY,CT"));
+    }
+    ingest_options.epoch_readings = flags.GetInt("ingest-epoch-readings");
+    ingest_options.epoch_ticks_ns = flags.GetInt("ingest-epoch-ms") * 1000000;
+    ingest_options.window = static_cast<int>(flags.GetInt("ingest-window"));
+    ingest_options.epsilon = flags.GetDouble("ingest-epsilon");
+    ingest_options.unit_sensitivity = flags.GetDouble("ingest-unit");
+    ingest_options.seed = static_cast<uint64_t>(flags.GetInt("ingest-seed"));
+    ingest_options.snapshot_dir = flags.GetString("ingest-snapshot-dir");
+    ingest_options.ledger_path = flags.GetString("ingest-ledger");
+    auto built = ingest::IngestPipeline::Create(registry->get(), &ingest_clock,
+                                                ingest_options);
+    if (!built.ok()) return Fail(built.status());
+    pipeline = std::move(*built);
+  }
+
   serve::EventLoopOptions options;
   options.bind_address = flags.GetString("bind");
   options.port = static_cast<int>(flags.GetInt("port"));
   options.max_inflight_batches = static_cast<int>(flags.GetInt("max-inflight"));
   auto server = serve::EventLoopServer::Create(registry->get(), options);
   if (!server.ok()) return Fail(server.status());
+  if (pipeline != nullptr) (*server)->set_ingest_sink(pipeline.get());
   if (const Status st = (*server)->Start(); !st.ok()) return Fail(st);
 
   if (flags.Provided("port-file")) {
@@ -195,6 +252,15 @@ int RunServe(const FlagSet& flags) {
                   shard.dims.ct, shard.meta.eps_total,
                   options.bind_address.c_str(), (*server)->port());
     }
+  }
+  if (pipeline != nullptr) {
+    std::printf("ingest enabled: dims %s, epoch at %lld readings / %lld ms, "
+                "window %lld, eps %.3f\n",
+                flags.GetString("ingest-dims").c_str(),
+                static_cast<long long>(flags.GetInt("ingest-epoch-readings")),
+                static_cast<long long>(flags.GetInt("ingest-epoch-ms")),
+                static_cast<long long>(flags.GetInt("ingest-window")),
+                flags.GetDouble("ingest-epsilon"));
   }
   std::fflush(stdout);
   (*server)->Wait();
