@@ -2,9 +2,16 @@
 // prefix sums, quadtree construction, tensor ops, model steps, and the
 // end-to-end STPT pipeline at 1 vs N exec threads.
 //
+// The hot kernel families (MatMul, radix-2 FFT, Haar DWT, prefix-sum
+// scans, Laplace batch sampling) are registered once per available kernel
+// backend, keyed "/backend:<name>", so a single run emits naive and avx2
+// rows side by side and the perf gate (tools/perf_gate.py) can diff
+// like-for-like entries across PRs.
+//
 // Results are written to BENCH_micro.json (google-benchmark JSON format,
-// with the exec thread count in the context) unless --benchmark_out= is
-// given, so the perf trajectory is machine-readable across PRs.
+// with the exec thread count and kernel backend in the context) unless
+// --benchmark_out= is given, so the perf trajectory is machine-readable
+// across PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -20,10 +27,10 @@
 #include "exec/thread_pool.h"
 #include "grid/consumption_matrix.h"
 #include "grid/quadtree.h"
+#include "kernels/backend.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
 #include "signal/fft.h"
-#include "signal/wavelet.h"
 
 namespace {
 
@@ -38,19 +45,6 @@ void BM_LaplaceSample(benchmark::State& state) {
 }
 BENCHMARK(BM_LaplaceSample);
 
-void BM_FftPow2(benchmark::State& state) {
-  Rng rng(2);
-  std::vector<std::complex<double>> data(state.range(0));
-  for (auto& v : data) v = {rng.NextDouble(), 0.0};
-  for (auto _ : state) {
-    auto copy = data;
-    auto status = signal::Fft(&copy, false);
-    benchmark::DoNotOptimize(status);
-    benchmark::DoNotOptimize(copy);
-  }
-}
-BENCHMARK(BM_FftPow2)->Arg(128)->Arg(1024)->Arg(8192);
-
 void BM_BluesteinDft(benchmark::State& state) {
   Rng rng(3);
   std::vector<std::complex<double>> data(220);  // the paper's series length
@@ -61,17 +55,6 @@ void BM_BluesteinDft(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BluesteinDft);
-
-void BM_HaarTransform(benchmark::State& state) {
-  Rng rng(4);
-  std::vector<double> data(state.range(0));
-  for (auto& v : data) v = rng.NextDouble();
-  for (auto _ : state) {
-    auto out = signal::HaarForward(data);
-    benchmark::DoNotOptimize(out);
-  }
-}
-BENCHMARK(BM_HaarTransform)->Arg(256)->Arg(4096);
 
 grid::ConsumptionMatrix RandomMatrix(grid::Dims dims, uint64_t seed) {
   Rng rng(seed);
@@ -165,6 +148,98 @@ BENCHMARK(BM_StptPublish)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// ---- Per-backend kernel rows ---------------------------------------------
+// Each hot kernel family runs against an explicit backend instance so one
+// bench invocation produces a naive row and (on capable CPUs) an avx2 row
+// under distinct names — the perf gate needs both for speedup checks.
+
+void KernelMatMul(benchmark::State& state, const kernels::Backend* backend) {
+  Rng rng(9);
+  const int n = static_cast<int>(state.range(0));
+  kernels::MatMulShape shape;
+  shape.m = shape.n = shape.k = n;
+  std::vector<double> a(static_cast<size_t>(n) * n);
+  std::vector<double> b(a.size());
+  std::vector<double> c(a.size());
+  for (auto& v : a) v = rng.NextDouble();
+  for (auto& v : b) v = rng.NextDouble();
+  for (auto _ : state) {
+    backend->MatMulFwd(a.data(), b.data(), c.data(), shape);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * shape.flops());
+}
+
+void KernelFftPow2(benchmark::State& state, const kernels::Backend* backend) {
+  Rng rng(2);
+  std::vector<std::complex<double>> data(state.range(0));
+  for (auto& v : data) v = {rng.NextDouble(), 0.0};
+  for (auto _ : state) {
+    auto copy = data;
+    auto status = backend->FftPow2(copy.data(), copy.size(), false);
+    benchmark::DoNotOptimize(status);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+
+void KernelHaar(benchmark::State& state, const kernels::Backend* backend) {
+  Rng rng(4);
+  std::vector<double> data(state.range(0));
+  for (auto& v : data) v = rng.NextDouble();
+  for (auto _ : state) {
+    auto out = backend->HaarForward(data);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void KernelPrefixSum(benchmark::State& state, const kernels::Backend* backend) {
+  const auto m = RandomMatrix({32, 32, 120}, 5);
+  for (auto _ : state) {
+    grid::PrefixSum3D ps(m, backend);
+    benchmark::DoNotOptimize(ps);
+  }
+}
+
+void KernelLaplaceBatch(benchmark::State& state, const kernels::Backend* backend) {
+  Rng rng(12);
+  std::vector<double> in(state.range(0));
+  std::vector<double> out(in.size());
+  for (auto& v : in) v = rng.NextDouble();
+  const Rng base = rng.Fork(0);
+  for (auto _ : state) {
+    backend->LaplaceBatch(in.data(), out.data(), in.size(), 1.0, base);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void RegisterKernelBenchmarks() {
+  for (const std::string& name : kernels::Registry::Names()) {
+    auto created = kernels::Registry::Create(name);
+    if (!created.ok()) continue;
+    const kernels::Backend* backend = *created;
+    const std::string key = "/backend:" + name;
+    benchmark::RegisterBenchmark(("BM_KernelMatMul" + key).c_str(),
+                                 KernelMatMul, backend)
+        ->Arg(128)
+        ->Arg(256)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("BM_KernelFftPow2" + key).c_str(),
+                                 KernelFftPow2, backend)
+        ->Arg(1024)
+        ->Arg(8192);
+    benchmark::RegisterBenchmark(("BM_KernelHaar" + key).c_str(), KernelHaar,
+                                 backend)
+        ->Arg(4096);
+    benchmark::RegisterBenchmark(("BM_KernelPrefixSum" + key).c_str(),
+                                 KernelPrefixSum, backend)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(("BM_KernelLaplaceBatch" + key).c_str(),
+                                 KernelLaplaceBatch, backend)
+        ->Arg(1 << 14);
+  }
+}
+
 void BM_GruCellForwardBackward(benchmark::State& state) {
   Rng rng(10);
   nn::GruCell cell(16, 16, rng);
@@ -224,9 +299,12 @@ int main(int argc, char** argv) {
     bench_args.push_back(out_flag);
     bench_args.push_back(fmt_flag);
   }
+  RegisterKernelBenchmarks();
   int n = static_cast<int>(bench_args.size());
   benchmark::Initialize(&n, bench_args.data());
   benchmark::AddCustomContext("stpt_threads", std::to_string(exec::Threads()));
+  benchmark::AddCustomContext("stpt_kernel_backend", kernels::Default()->name());
+  benchmark::AddCustomContext("stpt_avx2", kernels::CpuHasAvx2() ? "1" : "0");
   if (benchmark::ReportUnrecognizedArguments(n, bench_args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

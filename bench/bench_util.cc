@@ -9,6 +9,7 @@
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
 #include "exec/timing.h"
+#include "kernels/backend.h"
 #include "nn/predictor.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -162,6 +163,9 @@ Status InitBenchRuntime(int argc, const char* const* argv, FlagSet& flags) {
                      "structured-log threshold (debug, info, warn, error, off)");
   flags.DefineString("train-log", "",
                      "route every training run's JSONL loss curve to this path");
+  flags.DefineString("kernel-backend", "auto",
+                     "kernel backend (naive, avx2, auto); strict — avx2 on an "
+                     "unsupported CPU is an error");
   flags.IgnorePrefix("benchmark_");  // google-benchmark owns these
   STPT_RETURN_IF_ERROR(flags.Parse(argc, argv));
   if (flags.Provided("threads")) {
@@ -197,6 +201,9 @@ Status InitBenchRuntime(int argc, const char* const* argv, FlagSet& flags) {
   }
   if (flags.Provided("train-log")) {
     nn::SetDefaultTrainLogPath(flags.GetString("train-log"));
+  }
+  if (flags.Provided("kernel-backend")) {
+    STPT_RETURN_IF_ERROR(kernels::SetDefault(flags.GetString("kernel-backend")));
   }
   return Status::OK();
 }

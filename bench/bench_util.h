@@ -67,8 +67,9 @@ const std::vector<query::WorkloadKind>& AllWorkloadKinds();
 /// metric-registry + trace-profile snapshot at exit, --trace=<path> writing
 /// a Chrome trace-event JSON at exit, --log-level=<name> setting the
 /// structured-log threshold, --train-log=<path> routing training loss curves
-/// to one JSONL sink) into `flags` alongside any flags the caller already
-/// defined, parses argv strictly, and applies them. Options
+/// to one JSONL sink, --kernel-backend=<naive|avx2|auto> strictly selecting
+/// the process-default kernel backend) into `flags` alongside any flags the
+/// caller already defined, parses argv strictly, and applies them. Options
 /// prefixed `benchmark_` are ignored so google-benchmark binaries can share
 /// argv. Call at the top of main before any work.
 Status InitBenchRuntime(int argc, const char* const* argv, FlagSet& flags);

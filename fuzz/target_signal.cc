@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/math_util.h"
+#include "kernels/backend.h"
 #include "signal/fft.h"
 #include "signal/wavelet.h"
 #include "targets.h"
@@ -91,9 +92,9 @@ int FuzzSignalDiff(const uint8_t* data, size_t size) {
 
   // Haar round-trip on the padded (power-of-two) signal.
   const std::vector<double> padded = signal::PadToPowerOfTwo(samples);
-  auto fwd = signal::HaarForward(padded);
+  auto fwd = kernels::Default()->HaarForward(padded);
   if (!fwd.ok()) Fail("HaarForward rejected a power-of-two length", n, 0.0, 0.0);
-  auto inv = signal::HaarInverse(*fwd);
+  auto inv = kernels::Default()->HaarInverse(*fwd);
   if (!inv.ok()) Fail("HaarInverse rejected HaarForward output", n, 0.0, 0.0);
   double haar_err = 0.0;
   for (size_t i = 0; i < padded.size(); ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/backend.h"
 #include "signal/wavelet.h"
 
 namespace stpt::baselines {
@@ -29,13 +30,13 @@ StatusOr<grid::ConsumptionMatrix> WaveletPublisher::Publish(
       const double delta2 = std::sqrt(static_cast<double>(n)) * unit_sensitivity;
       const double lambda = std::sqrt(static_cast<double>(k)) * delta2 / epsilon;
 
-      auto coeffs_or = signal::HaarForward(padded);
+      auto coeffs_or = kernels::Default()->HaarForward(padded);
       STPT_RETURN_IF_ERROR(coeffs_or.status());
       std::vector<double> coeffs = std::move(coeffs_or).value();
       for (int j = 0; j < padded_n; ++j) {
         coeffs[j] = j < k ? coeffs[j] + rng.Laplace(lambda) : 0.0;
       }
-      auto inv_or = signal::HaarInverse(coeffs);
+      auto inv_or = kernels::Default()->HaarInverse(coeffs);
       STPT_RETURN_IF_ERROR(inv_or.status());
       std::vector<double> series = std::move(inv_or).value();
       series.resize(n);

@@ -91,7 +91,7 @@ Rng Rng::Fork() {
   return Rng(child_seed);
 }
 
-Rng Rng::Fork(uint64_t stream) const {
+uint64_t Rng::ForkSeed(uint64_t stream) const {
   // Hash the full 256-bit state down to 64 bits, then mix the stream index
   // through a second splitmix round so adjacent indices decorrelate. The
   // Rng constructor expands the combined seed through splitmix again.
@@ -99,7 +99,9 @@ Rng Rng::Fork(uint64_t stream) const {
   const uint64_t state_hash = SplitMix64(&h);
   uint64_t t = stream ^ 0xD1B54A32D192ED03ULL;
   const uint64_t stream_hash = SplitMix64(&t);
-  return Rng(state_hash ^ stream_hash);
+  return state_hash ^ stream_hash;
 }
+
+Rng Rng::Fork(uint64_t stream) const { return Rng(ForkSeed(stream)); }
 
 }  // namespace stpt

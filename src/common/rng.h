@@ -63,6 +63,12 @@ class Rng {
   /// number of threads (see exec/parallel.h and DESIGN.md).
   Rng Fork(uint64_t stream) const;
 
+  /// The 64-bit seed `Fork(stream)` expands its child from. Exposed so that
+  /// batched samplers (src/kernels) can derive many substream seeds without
+  /// materialising intermediate Rng objects; `Rng(ForkSeed(s))` is exactly
+  /// `Fork(s)`.
+  uint64_t ForkSeed(uint64_t stream) const;
+
  private:
   uint64_t s_[4];
 };

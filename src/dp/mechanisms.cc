@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "kernels/backend.h"
 #include "obs/metrics.h"
 
 namespace stpt::dp {
@@ -43,9 +44,15 @@ double LaplaceMechanism::AddNoise(double value, Rng& rng) const {
 
 std::vector<double> LaplaceMechanism::AddNoise(const std::vector<double>& values,
                                                Rng& rng) const {
-  std::vector<double> out;
-  out.reserve(values.size());
-  for (double v : values) out.push_back(AddNoise(v, rng));
+  std::vector<double> out(values.size());
+  if (values.empty()) return out;
+  // Consume one draw from the caller's stream so successive vector calls see
+  // independent noise, then fan out order-independent substreams from it.
+  const Rng base = rng.Fork(rng.NextUint64());
+  kernels::Default()->LaplaceBatch(values.data(), out.data(),
+                                   static_cast<int64_t>(values.size()), scale_,
+                                   base);
+  LaplaceDraws().Increment(values.size());
   return out;
 }
 
@@ -74,6 +81,18 @@ int64_t GeometricMechanism::AddNoise(int64_t value, Rng& rng) const {
     return static_cast<int64_t>(std::floor(std::log(u) / std::log(alpha_)));
   };
   return value + sample_geometric() - sample_geometric();
+}
+
+std::vector<int64_t> GeometricMechanism::AddNoise(const std::vector<int64_t>& values,
+                                                  Rng& rng) const {
+  std::vector<int64_t> out(values.size());
+  if (values.empty()) return out;
+  const Rng base = rng.Fork(rng.NextUint64());
+  kernels::Default()->GeometricBatch(values.data(), out.data(),
+                                     static_cast<int64_t>(values.size()), alpha_,
+                                     base);
+  GeometricDraws().Increment(values.size());
+  return out;
 }
 
 double ClipReading(double value, double bound) {

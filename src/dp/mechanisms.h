@@ -24,7 +24,11 @@ class LaplaceMechanism {
 
   /// Sanitizes a vector element-wise, treating each element as an
   /// independent query of the configured sensitivity under the *same*
-  /// epsilon (caller is responsible for composition accounting).
+  /// epsilon (caller is responsible for composition accounting). Draws are
+  /// batched through the kernel backend on order-independent Rng substreams,
+  /// so the result is identical at any thread count and on any backend (but
+  /// differs from looping the scalar overload, which consumes the caller's
+  /// stream sequentially).
   std::vector<double> AddNoise(const std::vector<double>& values, Rng& rng) const;
 
   /// The Laplace scale b = sensitivity / epsilon.
@@ -55,6 +59,11 @@ class GeometricMechanism {
 
   /// Returns value + two-sided-geometric noise.
   int64_t AddNoise(int64_t value, Rng& rng) const;
+
+  /// Sanitizes a vector of counts element-wise (same composition caveat as
+  /// the Laplace vector overload). Batched through the kernel backend on
+  /// order-independent Rng substreams.
+  std::vector<int64_t> AddNoise(const std::vector<int64_t>& values, Rng& rng) const;
 
   double epsilon() const { return epsilon_; }
   double sensitivity() const { return sensitivity_; }

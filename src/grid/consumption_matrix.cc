@@ -8,6 +8,7 @@
 #include <string>
 
 #include "exec/parallel.h"
+#include "kernels/backend.h"
 
 namespace stpt::grid {
 
@@ -89,47 +90,22 @@ double ConsumptionMatrix::TotalSum() const {
   return s;
 }
 
-PrefixSum3D::PrefixSum3D(const ConsumptionMatrix& m)
+PrefixSum3D::PrefixSum3D(const ConsumptionMatrix& m,
+                         const kernels::Backend* backend)
     : dims_(m.dims()), pre_(m.data()) {
-  // Three separable scans, one per axis. Each pass is embarrassingly
-  // parallel across the other two axes, and every output element sees a
-  // fixed accumulation order, so the build is bit-identical at any thread
-  // count (the association differs from the classic inclusion–exclusion
-  // recurrence, but is deterministic in itself).
+  // Three separable in-place scans, one per axis, via the kernel backend.
+  // Every output element sees a fixed accumulation order regardless of
+  // backend or thread count, so the build is bit-identical everywhere (the
+  // association differs from the classic inclusion–exclusion recurrence,
+  // but is deterministic in itself).
+  if (backend == nullptr) backend = kernels::Default();
   const int cx = dims_.cx;
   const int cy = dims_.cy;
   const int ct = dims_.ct;
-  const size_t plane = static_cast<size_t>(cy) * ct;
-  // Scan along t: one task per (x, y) pillar.
-  exec::ParallelForRange(
-      static_cast<int64_t>(cx) * cy, [&](int64_t begin, int64_t end) {
-        for (int64_t p = begin; p < end; ++p) {
-          double* base = pre_.data() + static_cast<size_t>(p) * ct;
-          for (int t = 1; t < ct; ++t) base[t] += base[t - 1];
-        }
-      });
-  // Scan along y: one task per x-slab.
-  exec::ParallelForRange(cx, [&](int64_t begin, int64_t end) {
-    for (int64_t x = begin; x < end; ++x) {
-      double* slab = pre_.data() + static_cast<size_t>(x) * plane;
-      for (int y = 1; y < cy; ++y) {
-        double* row = slab + static_cast<size_t>(y) * ct;
-        const double* prev = row - ct;
-        for (int t = 0; t < ct; ++t) row[t] += prev[t];
-      }
-    }
-  });
-  // Scan along x: tasks partition the (y, t) plane.
-  exec::ParallelForRange(static_cast<int64_t>(plane),
-                         [&](int64_t begin, int64_t end) {
-                           for (int x = 1; x < cx; ++x) {
-                             double* cur = pre_.data() + x * plane;
-                             const double* prev = cur - plane;
-                             for (int64_t q = begin; q < end; ++q) {
-                               cur[q] += prev[q];
-                             }
-                           }
-                         });
+  double* p = pre_.data();
+  backend->ScanT(p, p, static_cast<int64_t>(cx) * cy, ct, /*t_lo=*/0);
+  backend->ScanY(p, p, cx, cy, ct, /*t_lo=*/0);
+  backend->ScanX(p, p, cx, cy, ct, /*t_lo=*/0);
 }
 
 StatusOr<PrefixSum3D> PrefixSum3D::FromRaw(Dims dims, std::vector<double> prefix) {

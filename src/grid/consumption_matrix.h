@@ -6,6 +6,10 @@
 
 #include "common/status.h"
 
+namespace stpt::kernels {
+class Backend;
+}  // namespace stpt::kernels
+
 namespace stpt::grid {
 
 /// Dimensions of a consumption matrix: Cx × Cy spatial cells × Ct time slices.
@@ -84,8 +88,12 @@ class ConsumptionMatrix {
 /// where hundreds of range queries are issued per experiment.
 class PrefixSum3D {
  public:
-  /// Builds prefix sums over the given matrix.
-  explicit PrefixSum3D(const ConsumptionMatrix& m);
+  /// Builds prefix sums over the given matrix via the three separable scan
+  /// passes of the kernel backend (`backend`, or the process default when
+  /// null). All backends produce bit-identical scans, so the choice affects
+  /// build speed only.
+  explicit PrefixSum3D(const ConsumptionMatrix& m,
+                       const kernels::Backend* backend = nullptr);
 
   /// Adopts precomputed inclusive prefix sums in the canonical (x, y, t)
   /// row-major layout — the exact vector a prior build's raw() returned.

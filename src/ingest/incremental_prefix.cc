@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "exec/parallel.h"
+#include "kernels/backend.h"
 
 namespace stpt::ingest {
 
@@ -54,60 +54,20 @@ int64_t IncrementalPrefix::Flush() {
   const int cy = dims_.cy;
   const int ct = dims_.ct;
   const int lo = dirty_lo_;
-  const int nt = ct - lo;
-  const size_t plane = static_cast<size_t>(cy) * ct;
-  const std::vector<double>& base = matrix_.data();
 
-  // The three passes mirror grid::PrefixSum3D element for element; only the
-  // t range shrinks. Each recurrence reads the clean value at t = lo - 1
-  // that the previous Flush left behind, so the value chain — and therefore
-  // every rounding step — is the one a from-scratch build performs.
-
-  // Pass 1, scan along t: one task per (x, y) pillar.
-  exec::ParallelForRange(
-      static_cast<int64_t>(cx) * cy, [&](int64_t begin, int64_t end) {
-        for (int64_t p = begin; p < end; ++p) {
-          const double* src = base.data() + static_cast<size_t>(p) * ct;
-          double* dst = scan_t_.data() + static_cast<size_t>(p) * ct;
-          for (int t = lo; t < ct; ++t) {
-            dst[t] = t == 0 ? src[t] : src[t] + dst[t - 1];
-          }
-        }
-      });
-
-  // Pass 2, scan along y: one task per x-slab; elementwise in t, so only
-  // the dirty suffix of each row needs touching.
-  exec::ParallelForRange(cx, [&](int64_t begin, int64_t end) {
-    for (int64_t x = begin; x < end; ++x) {
-      const double* src_slab = scan_t_.data() + static_cast<size_t>(x) * plane;
-      double* dst_slab = scan_ty_.data() + static_cast<size_t>(x) * plane;
-      for (int t = lo; t < ct; ++t) dst_slab[t] = src_slab[t];
-      for (int y = 1; y < cy; ++y) {
-        const double* src = src_slab + static_cast<size_t>(y) * ct;
-        double* dst = dst_slab + static_cast<size_t>(y) * ct;
-        const double* prev = dst - ct;
-        for (int t = lo; t < ct; ++t) dst[t] = src[t] + prev[t];
-      }
-    }
-  });
-
-  // Pass 3, scan along x: tasks partition the dirty (y, t) sub-plane;
-  // sequential in x per element, exactly like the full build.
-  exec::ParallelForRange(
-      static_cast<int64_t>(cy) * nt, [&](int64_t begin, int64_t end) {
-        for (int64_t q = begin; q < end; ++q) {
-          const size_t off =
-              static_cast<size_t>(q / nt) * ct + lo + static_cast<size_t>(q % nt);
-          prefix_[off] = scan_ty_[off];
-          for (int x = 1; x < cx; ++x) {
-            const size_t cur = static_cast<size_t>(x) * plane + off;
-            prefix_[cur] = scan_ty_[cur] + prefix_[cur - plane];
-          }
-        }
-      });
+  // The three backend passes mirror grid::PrefixSum3D element for element;
+  // only the t range shrinks. Each recurrence reads the clean value at
+  // t = lo - 1 that the previous Flush left behind, so the value chain —
+  // and therefore every rounding step — is the one a from-scratch build
+  // performs, on every backend.
+  const kernels::Backend* backend = kernels::Default();
+  backend->ScanT(matrix_.data().data(), scan_t_.data(),
+                 static_cast<int64_t>(cx) * cy, ct, lo);
+  backend->ScanY(scan_t_.data(), scan_ty_.data(), cx, cy, ct, lo);
+  backend->ScanX(scan_ty_.data(), prefix_.data(), cx, cy, ct, lo);
 
   dirty_lo_ = ct;
-  return nt;
+  return ct - lo;
 }
 
 }  // namespace stpt::ingest

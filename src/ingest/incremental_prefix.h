@@ -19,15 +19,18 @@ namespace stpt::ingest {
 /// passes are elementwise in t, so a slice at time t only ever influences
 /// prefix entries with the same or a later t. IncrementalPrefix keeps the
 /// two intermediate scan stages alongside the final table and, on Flush,
-/// re-runs just the dirty t-suffix of each pass using the *identical*
-/// per-element recurrences on the exec pool.
+/// re-runs just the dirty t-suffix of each pass through the kernel
+/// backend's ScanT/ScanY/ScanX — the same kernels the full build uses,
+/// restricted to [dirty_lo, ct).
 ///
 /// Bit-identity contract: after Flush, prefix() equals what
 /// `grid::PrefixSum3D(matrix()).raw()` would produce, bitwise, at any
 /// thread count — IEEE-754 addition is commutative and the accumulation
 /// order per element is the same, so incrementality is unobservable in the
-/// output. A property test enforces this against randomized mutation
-/// sequences at 1 and 8 threads.
+/// output — and every kernel backend honors the same contract, so the
+/// table is also identical across backends. Property tests enforce this
+/// against randomized mutation sequences at 1 and 8 threads and across
+/// naive/AVX2.
 ///
 /// Cost: O(cx * cy * (ct - dirty_lo)) per Flush instead of O(cx * cy * ct),
 /// for 3 extra arrays of matrix size. Not thread-safe; callers (the ingest

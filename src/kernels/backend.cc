@@ -1,0 +1,136 @@
+#include "kernels/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/math_util.h"
+#include "kernels/internal.h"
+#include "obs/log.h"
+
+namespace stpt::kernels {
+
+// ---- Shared Haar driver (validation + pyramid loop; levels are virtual) ----
+
+StatusOr<std::vector<double>> Backend::HaarForward(
+    const std::vector<double>& input) const {
+  const size_t n = input.size();
+  if (n == 0 || !IsPowerOfTwo(n)) {
+    return Status::InvalidArgument(
+        "HaarForward: size must be a nonzero power of two");
+  }
+  std::vector<double> out = input;
+  std::vector<double> tmp(n);
+  for (size_t len = n; len > 1; len /= 2) {
+    HaarLevelFwd(out.data(), tmp.data(), len / 2);
+    for (size_t i = 0; i < len; ++i) out[i] = tmp[i];
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> Backend::HaarInverse(
+    const std::vector<double>& coeffs) const {
+  const size_t n = coeffs.size();
+  if (n == 0 || !IsPowerOfTwo(n)) {
+    return Status::InvalidArgument(
+        "HaarInverse: size must be a nonzero power of two");
+  }
+  std::vector<double> out = coeffs;
+  std::vector<double> tmp(n);
+  for (size_t len = 2; len <= n; len *= 2) {
+    HaarLevelInv(out.data(), tmp.data(), len / 2);
+    for (size_t i = 0; i < len; ++i) out[i] = tmp[i];
+  }
+  return out;
+}
+
+// ---- CPUID dispatch ----
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const Backend* GetBackend(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kNaive:
+      return NaiveBackendInstance();
+    case BackendKind::kAvx2:
+      return Avx2BackendInstance();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Registry::Names() {
+  std::vector<std::string> names = {NaiveBackendInstance()->name()};
+  if (const Backend* avx2 = Avx2BackendInstance()) names.push_back(avx2->name());
+  return names;
+}
+
+StatusOr<const Backend*> Registry::Create(const std::string& spec) {
+  if (spec == "naive") return NaiveBackendInstance();
+  if (spec == "avx2") {
+    const Backend* avx2 = Avx2BackendInstance();
+    if (avx2 == nullptr) {
+      return Status::FailedPrecondition(
+          "kernel backend 'avx2' is unavailable: CPU lacks AVX2/FMA "
+          "(or non-x86-64 build)");
+    }
+    return avx2;
+  }
+  if (spec == "auto") {
+    const Backend* avx2 = Avx2BackendInstance();
+    return avx2 != nullptr ? avx2 : NaiveBackendInstance();
+  }
+  return Status::InvalidArgument("unknown kernel backend '" + spec +
+                                 "' (expected naive, avx2, or auto)");
+}
+
+namespace {
+
+std::atomic<const Backend*>& DefaultSlot() {
+  static std::atomic<const Backend*> slot{nullptr};
+  return slot;
+}
+
+/// Resolves the initial default from STPT_KERNEL_BACKEND. Unlike the flag
+/// path this degrades gracefully: a bad or unusable value logs a warning
+/// and falls back to auto dispatch, so a blanket env setting (e.g. a CI
+/// matrix) works on machines without AVX2 too.
+const Backend* InitialDefault() {
+  const char* env = std::getenv("STPT_KERNEL_BACKEND");
+  if (env != nullptr && env[0] != '\0') {
+    auto resolved = Registry::Create(env);
+    if (resolved.ok()) return *resolved;
+    obs::Log(obs::LogLevel::kWarn, "kernels",
+             "ignoring STPT_KERNEL_BACKEND: " + resolved.status().ToString() +
+                 "; using auto dispatch");
+  }
+  return *Registry::Create("auto");
+}
+
+}  // namespace
+
+const Backend* Default() {
+  const Backend* cur = DefaultSlot().load(std::memory_order_acquire);
+  if (cur != nullptr) return cur;
+  // Two threads may both resolve; they resolve to the same singleton.
+  const Backend* resolved = InitialDefault();
+  DefaultSlot().store(resolved, std::memory_order_release);
+  return resolved;
+}
+
+Status SetDefault(const std::string& spec) {
+  auto resolved = Registry::Create(spec);
+  STPT_RETURN_IF_ERROR(resolved.status());
+  DefaultSlot().store(*resolved, std::memory_order_release);
+  return Status::OK();
+}
+
+void SetDefault(const Backend* backend) {
+  DefaultSlot().store(backend, std::memory_order_release);
+}
+
+}  // namespace stpt::kernels

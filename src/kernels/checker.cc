@@ -1,0 +1,241 @@
+#include "kernels/checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace stpt::kernels {
+namespace {
+
+std::vector<double> RandomVector(size_t n, Rng& rng, double lo = -1.0,
+                                 double hi = 1.0) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(lo, hi);
+  return v;
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+Status CompareBits(const std::vector<double>& ref,
+                   const std::vector<double>& test, const std::string& what) {
+  if (ref.size() != test.size()) {
+    return Status::Internal(what + ": size mismatch");
+  }
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (!BitEqual(ref[i], test[i])) {
+      return Status::Internal(what + ": bit mismatch at [" +
+                              std::to_string(i) + "] ref=" +
+                              std::to_string(ref[i]) + " test=" +
+                              std::to_string(test[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Status CompareEps(const double* ref, const double* test, size_t n,
+                  double epsilon, const std::string& what) {
+  for (size_t i = 0; i < n; ++i) {
+    const double denom =
+        std::max({1.0, std::fabs(ref[i]), std::fabs(test[i])});
+    const double err = std::fabs(ref[i] - test[i]) / denom;
+    if (!(err <= epsilon)) {
+      return Status::Internal(what + ": error " + std::to_string(err) +
+                              " > eps at [" + std::to_string(i) + "] ref=" +
+                              std::to_string(ref[i]) + " test=" +
+                              std::to_string(test[i]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Checker::CheckMatMul(const MatMulShape& s, uint64_t seed,
+                            double epsilon) const {
+  if (!s.Valid()) return Status::InvalidArgument("CheckMatMul: bad shape");
+  Rng rng(seed);
+  const size_t an = static_cast<size_t>(s.batch) * s.m * s.k;
+  const size_t bn = (s.b_batched ? s.batch : 1) * static_cast<size_t>(s.k) * s.n;
+  const size_t cn = static_cast<size_t>(s.batch) * s.m * s.n;
+  const std::vector<double> a = RandomVector(an, rng);
+  const std::vector<double> b = RandomVector(bn, rng);
+  const std::vector<double> g = RandomVector(cn, rng);
+
+  std::vector<double> c_ref(cn, 0.0), c_test(cn, 0.0);
+  ref_->MatMulFwd(a.data(), b.data(), c_ref.data(), s);
+  test_->MatMulFwd(a.data(), b.data(), c_test.data(), s);
+  STPT_RETURN_IF_ERROR(
+      CompareEps(c_ref.data(), c_test.data(), cn, epsilon, "MatMulFwd"));
+
+  // Prefilled accumulators exercise the += contract of the backward pair.
+  const std::vector<double> ga0 = RandomVector(an, rng);
+  std::vector<double> ga_ref = ga0, ga_test = ga0;
+  ref_->MatMulBwdA(g.data(), b.data(), ga_ref.data(), s);
+  test_->MatMulBwdA(g.data(), b.data(), ga_test.data(), s);
+  STPT_RETURN_IF_ERROR(
+      CompareEps(ga_ref.data(), ga_test.data(), an, epsilon, "MatMulBwdA"));
+
+  const std::vector<double> gb0 = RandomVector(bn, rng);
+  std::vector<double> gb_ref = gb0, gb_test = gb0;
+  ref_->MatMulBwdB(g.data(), a.data(), gb_ref.data(), s);
+  test_->MatMulBwdB(g.data(), a.data(), gb_test.data(), s);
+  return CompareEps(gb_ref.data(), gb_test.data(), bn, epsilon, "MatMulBwdB");
+}
+
+Status Checker::CheckFft(size_t n, uint64_t seed, double epsilon) const {
+  Rng rng(seed);
+  std::vector<std::complex<double>> fwd_ref(n), fwd_test(n);
+  for (size_t i = 0; i < n; ++i) {
+    fwd_ref[i] = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    fwd_test[i] = fwd_ref[i];
+  }
+  STPT_RETURN_IF_ERROR(ref_->FftPow2(fwd_ref.data(), n, /*inverse=*/false));
+  STPT_RETURN_IF_ERROR(test_->FftPow2(fwd_test.data(), n, /*inverse=*/false));
+  STPT_RETURN_IF_ERROR(
+      CompareEps(reinterpret_cast<const double*>(fwd_ref.data()),
+                 reinterpret_cast<const double*>(fwd_test.data()), 2 * n,
+                 epsilon, "FftPow2(fwd)"));
+  STPT_RETURN_IF_ERROR(ref_->FftPow2(fwd_ref.data(), n, /*inverse=*/true));
+  STPT_RETURN_IF_ERROR(test_->FftPow2(fwd_test.data(), n, /*inverse=*/true));
+  STPT_RETURN_IF_ERROR(
+      CompareEps(reinterpret_cast<const double*>(fwd_ref.data()),
+                 reinterpret_cast<const double*>(fwd_test.data()), 2 * n,
+                 epsilon, "FftPow2(inv)"));
+  // Both backends must reject invalid sizes the same way.
+  std::complex<double> junk[3] = {};
+  for (const Backend* backend : {ref_, test_}) {
+    if (backend->FftPow2(junk, 3, false).ok() ||
+        backend->FftPow2(junk, 0, false).ok()) {
+      return Status::Internal("FftPow2 accepted a non-power-of-two size");
+    }
+  }
+  return Status::OK();
+}
+
+Status Checker::CheckHaar(size_t n, uint64_t seed) const {
+  Rng rng(seed);
+  const std::vector<double> input = RandomVector(n, rng);
+  auto fwd_ref = ref_->HaarForward(input);
+  auto fwd_test = test_->HaarForward(input);
+  STPT_RETURN_IF_ERROR(fwd_ref.status());
+  STPT_RETURN_IF_ERROR(fwd_test.status());
+  STPT_RETURN_IF_ERROR(CompareBits(*fwd_ref, *fwd_test, "HaarForward"));
+  auto inv_ref = ref_->HaarInverse(*fwd_ref);
+  auto inv_test = test_->HaarInverse(*fwd_ref);
+  STPT_RETURN_IF_ERROR(inv_ref.status());
+  STPT_RETURN_IF_ERROR(inv_test.status());
+  return CompareBits(*inv_ref, *inv_test, "HaarInverse");
+}
+
+Status Checker::CheckScan(int cx, int cy, int ct, int t_lo,
+                          uint64_t seed) const {
+  if (cx < 1 || cy < 1 || ct < 1 || t_lo < 0 || t_lo >= ct) {
+    return Status::InvalidArgument("CheckScan: bad dims");
+  }
+  Rng rng(seed);
+  const size_t cells = static_cast<size_t>(cx) * cy * ct;
+  const int64_t pillars = static_cast<int64_t>(cx) * cy;
+  const std::vector<double> src0 = RandomVector(cells, rng);
+
+  // ScanT takes (pillars, ct) rather than (cx, cy, ct), so dispatch per
+  // pass index instead of via member pointers.
+  const auto run_pass = [&](const Backend* backend, int pass,
+                            const double* src, double* dst, int lo) {
+    switch (pass) {
+      case 0:
+        backend->ScanT(src, dst, pillars, ct, lo);
+        break;
+      case 1:
+        backend->ScanY(src, dst, cx, cy, ct, lo);
+        break;
+      default:
+        backend->ScanX(src, dst, cx, cy, ct, lo);
+        break;
+    }
+  };
+  static const char* kPassNames[3] = {"ScanT", "ScanY", "ScanX"};
+
+  for (int pass = 0; pass < 3; ++pass) {
+    const std::string what = kPassNames[pass];
+    // Staged full build (src -> dst, t_lo = 0).
+    std::vector<double> full_ref(cells, -7.0), full_test(cells, -7.0);
+    run_pass(ref_, pass, src0.data(), full_ref.data(), 0);
+    run_pass(test_, pass, src0.data(), full_test.data(), 0);
+    STPT_RETURN_IF_ERROR(CompareBits(full_ref, full_test, what + "(full)"));
+
+    // Aliased in-place build must match the staged result bitwise.
+    std::vector<double> inplace_ref = src0, inplace_test = src0;
+    run_pass(ref_, pass, inplace_ref.data(), inplace_ref.data(), 0);
+    run_pass(test_, pass, inplace_test.data(), inplace_test.data(), 0);
+    STPT_RETURN_IF_ERROR(
+        CompareBits(inplace_ref, inplace_test, what + "(in-place)"));
+    STPT_RETURN_IF_ERROR(
+        CompareBits(full_ref, inplace_ref, what + "(in-place vs staged)"));
+
+    if (t_lo == 0) continue;
+    // Dirty-suffix rescan: perturb src on [t_lo, ct), keep the clean full
+    // result below t_lo in dst, and require the incremental rescan to equal
+    // a from-scratch pass over the perturbed volume — on both backends.
+    std::vector<double> src1 = src0;
+    for (size_t p = 0; p < static_cast<size_t>(pillars); ++p) {
+      for (int t = t_lo; t < ct; ++t) {
+        src1[p * ct + t] += rng.Uniform(-1.0, 1.0);
+      }
+    }
+    std::vector<double> scratch_ref(cells, -7.0);
+    run_pass(ref_, pass, src1.data(), scratch_ref.data(), 0);
+    std::vector<double> incr_ref = full_ref, incr_test = full_test;
+    run_pass(ref_, pass, src1.data(), incr_ref.data(), t_lo);
+    run_pass(test_, pass, src1.data(), incr_test.data(), t_lo);
+    STPT_RETURN_IF_ERROR(
+        CompareBits(scratch_ref, incr_ref, what + "(incremental vs scratch)"));
+    STPT_RETURN_IF_ERROR(
+        CompareBits(incr_ref, incr_test, what + "(incremental)"));
+  }
+  return Status::OK();
+}
+
+Status Checker::CheckLaplace(size_t n, double scale, uint64_t seed) const {
+  Rng rng(seed);
+  const std::vector<double> in = RandomVector(n, rng, -10.0, 10.0);
+  const Rng base = rng.Fork();
+  std::vector<double> out_ref(n, 0.0), out_test(n, 0.0);
+  ref_->LaplaceBatch(in.data(), out_ref.data(), n, scale, base);
+  test_->LaplaceBatch(in.data(), out_test.data(), n, scale, base);
+  STPT_RETURN_IF_ERROR(CompareBits(out_ref, out_test, "LaplaceBatch"));
+  // In-place aliasing must not change the draws.
+  std::vector<double> inplace = in;
+  test_->LaplaceBatch(inplace.data(), inplace.data(), n, scale, base);
+  return CompareBits(out_test, inplace, "LaplaceBatch(in-place)");
+}
+
+Status Checker::CheckGeometric(size_t n, double alpha, uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<int64_t> in(n);
+  for (int64_t& v : in) v = rng.UniformInt(-1000, 1000);
+  const Rng base = rng.Fork();
+  std::vector<int64_t> out_ref(n, 0), out_test(n, 0);
+  ref_->GeometricBatch(in.data(), out_ref.data(), n, alpha, base);
+  test_->GeometricBatch(in.data(), out_test.data(), n, alpha, base);
+  for (size_t i = 0; i < n; ++i) {
+    if (out_ref[i] != out_test[i]) {
+      return Status::Internal("GeometricBatch: mismatch at [" +
+                              std::to_string(i) + "] ref=" +
+                              std::to_string(out_ref[i]) + " test=" +
+                              std::to_string(out_test[i]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace stpt::kernels

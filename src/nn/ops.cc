@@ -4,7 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
-#include "exec/parallel.h"
+#include "kernels/backend.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
@@ -22,9 +22,6 @@ void OpRequire(bool cond, const char* msg) {
     std::abort();
   }
 }
-
-/// Elementwise loops below this size are not worth dispatching to the pool.
-constexpr int64_t kMatMulParallelFlops = 32 * 1024;
 
 Impl MakeNode(const std::vector<int>& shape, std::vector<Impl> parents) {
   auto impl = std::make_shared<TensorImpl>();
@@ -175,138 +172,28 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_b) {
       a.rank() == 3 ? std::vector<int>{batch, m, n} : std::vector<int>{m, n};
   auto node = MakeNode(out_shape, {a.impl(), b.impl()});
 
-  const auto& ad = a.data();
-  const auto& bd = b.data();
-  auto& cd = node->data;
-  const size_t a_stride = static_cast<size_t>(m) * k;
-  const size_t b_stride = b_batched ? static_cast<size_t>(k) * n : 0;
-  const size_t c_stride = static_cast<size_t>(m) * n;
-
-  // Row-blocked parallel forward: output row (bt, i) is a pure function of
-  // A's row and B, so any thread count produces bit-identical results. Tiny
-  // products run inline to avoid dispatch overhead.
-  const int64_t rows = static_cast<int64_t>(batch) * m;
-  const int64_t flops = rows * n * k;
-  const auto forward_rows = [&](int64_t begin, int64_t end) {
-    for (int64_t r = begin; r < end; ++r) {
-      const int bt = static_cast<int>(r / m);
-      const int i = static_cast<int>(r % m);
-      const double* A = ad.data() + bt * a_stride + static_cast<size_t>(i) * k;
-      const double* B = bd.data() + bt * b_stride;
-      double* C = cd.data() + bt * c_stride + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        double s = 0.0;
-        if (!transpose_b) {
-          for (int kk = 0; kk < k; ++kk) s += A[kk] * B[kk * n + j];
-        } else {
-          for (int kk = 0; kk < k; ++kk) s += A[kk] * B[j * k + kk];
-        }
-        C[j] = s;
-      }
-    }
-  };
-  if (flops >= kMatMulParallelFlops) {
-    exec::ParallelForRange(rows, forward_rows);
-  } else {
-    forward_rows(0, rows);
-  }
+  // The fwd/bwd loop nests live behind the kernel backend (naive oracle or
+  // AVX2); this op is now a shape-resolving graph builder. The backend is
+  // resolved per call so --kernel-backend applies to graphs built later.
+  kernels::MatMulShape shape;
+  shape.batch = batch;
+  shape.m = m;
+  shape.n = n;
+  shape.k = k;
+  shape.transpose_b = transpose_b;
+  shape.b_batched = b_batched;
+  kernels::Default()->MatMulFwd(a.data().data(), b.data().data(),
+                                node->data.data(), shape);
 
   if (node->requires_grad) {
     Impl ai = a.impl(), bi = b.impl();
-    node->backward_fn = [ai, bi, batch, m, n, k, b_batched, transpose_b, a_stride,
-                         b_stride, c_stride, rows, flops](TensorImpl& node_ref) {
+    node->backward_fn = [ai, bi, shape](TensorImpl& node_ref) {
       obs::Span bwd_span("nn/MatMul.bwd");
-      const auto& gd = node_ref.grad;
-      const bool parallel = flops >= kMatMulParallelFlops;
-
-      // dA[i,kk] += sum_j G[i,j] * B(kk,j). Each task owns whole rows of
-      // GA, and every GA element receives exactly one add, so the result
-      // is bit-identical at any thread count.
-      const auto backward_a = [&](int64_t begin, int64_t end) {
-        for (int64_t r = begin; r < end; ++r) {
-          const int bt = static_cast<int>(r / m);
-          const int i = static_cast<int>(r % m);
-          const double* G = gd.data() + bt * c_stride + static_cast<size_t>(i) * n;
-          const double* B = bi->data.data() + bt * b_stride;
-          double* GA = ai->grad.data() + bt * a_stride + static_cast<size_t>(i) * k;
-          for (int kk = 0; kk < k; ++kk) {
-            double s = 0.0;
-            if (!transpose_b) {
-              for (int j = 0; j < n; ++j) s += G[j] * B[kk * n + j];
-            } else {
-              for (int j = 0; j < n; ++j) s += G[j] * B[j * k + kk];
-            }
-            GA[kk] += s;
-          }
-        }
-      };
-      if (parallel) {
-        exec::ParallelForRange(rows, backward_a);
-      } else {
-        backward_a(0, rows);
-      }
-
-      // dB. Batched: each bt owns a disjoint GB block. Shared: GB
-      // accumulates across the batch, so parallelise over GB *rows* (kk,
-      // or j when transposed) and keep the bt accumulation loop inside —
-      // per-element add order stays (bt ascending), bit-identical to the
-      // serial schedule.
-      if (b_batched) {
-        const auto backward_b_batched = [&](int64_t begin, int64_t end) {
-          for (int64_t bt = begin; bt < end; ++bt) {
-            const double* G = gd.data() + bt * c_stride;
-            const double* A = ai->data.data() + bt * a_stride;
-            double* GB = bi->grad.data() + bt * b_stride;
-            for (int kk = 0; kk < k; ++kk) {
-              for (int j = 0; j < n; ++j) {
-                double s = 0.0;
-                for (int i = 0; i < m; ++i) s += A[i * k + kk] * G[i * n + j];
-                if (!transpose_b) {
-                  GB[kk * n + j] += s;
-                } else {
-                  GB[j * k + kk] += s;
-                }
-              }
-            }
-          }
-        };
-        if (parallel) {
-          exec::ParallelForRange(batch, backward_b_batched);
-        } else {
-          backward_b_batched(0, batch);
-        }
-      } else {
-        const int gb_rows = transpose_b ? n : k;
-        const auto backward_b_shared = [&](int64_t begin, int64_t end) {
-          for (int64_t row = begin; row < end; ++row) {
-            for (int bt = 0; bt < batch; ++bt) {
-              const double* G = gd.data() + bt * c_stride;
-              const double* A = ai->data.data() + bt * a_stride;
-              double* GB = bi->grad.data();
-              if (!transpose_b) {
-                const int kk = static_cast<int>(row);
-                for (int j = 0; j < n; ++j) {
-                  double s = 0.0;
-                  for (int i = 0; i < m; ++i) s += A[i * k + kk] * G[i * n + j];
-                  GB[kk * n + j] += s;
-                }
-              } else {
-                const int j = static_cast<int>(row);
-                for (int kk = 0; kk < k; ++kk) {
-                  double s = 0.0;
-                  for (int i = 0; i < m; ++i) s += A[i * k + kk] * G[i * n + j];
-                  GB[j * k + kk] += s;
-                }
-              }
-            }
-          }
-        };
-        if (parallel) {
-          exec::ParallelForRange(gb_rows, backward_b_shared);
-        } else {
-          backward_b_shared(0, gb_rows);
-        }
-      }
+      const kernels::Backend* backend = kernels::Default();
+      backend->MatMulBwdA(node_ref.grad.data(), bi->data.data(),
+                          ai->grad.data(), shape);
+      backend->MatMulBwdB(node_ref.grad.data(), ai->data.data(),
+                          bi->grad.data(), shape);
     };
   }
   return Tensor(std::move(node));

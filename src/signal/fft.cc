@@ -3,49 +3,21 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "kernels/backend.h"
 
 namespace stpt::signal {
 namespace {
 
 using Complex = std::complex<double>;
 
+/// Radix-2 core via the process-default kernel backend. Sizes are
+/// power-of-two by construction here, so the Status is always OK.
 void FftPow2(std::vector<Complex>& a, bool inverse) {
-  const size_t n = a.size();
-  // Bit-reversal permutation.
-  for (size_t i = 1, j = 0; i < n; ++i) {
-    size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
-  for (size_t len = 2; len <= n; len <<= 1) {
-    const double ang = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
-    const Complex wlen(std::cos(ang), std::sin(ang));
-    for (size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (size_t k = 0; k < len / 2; ++k) {
-        const Complex u = a[i + k];
-        const Complex v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-  if (inverse) {
-    for (Complex& x : a) x /= static_cast<double>(n);
-  }
+  const Status s = kernels::Default()->FftPow2(a.data(), a.size(), inverse);
+  (void)s;
 }
 
 }  // namespace
-
-Status Fft(std::vector<Complex>* data, bool inverse) {
-  if (data->empty() || !IsPowerOfTwo(data->size())) {
-    return Status::InvalidArgument("Fft: size must be a nonzero power of two");
-  }
-  FftPow2(*data, inverse);
-  return Status::OK();
-}
 
 std::vector<Complex> Dft(const std::vector<Complex>& input, bool inverse) {
   const size_t n = input.size();

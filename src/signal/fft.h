@@ -8,12 +8,13 @@
 
 namespace stpt::signal {
 
-/// In-place iterative radix-2 Cooley–Tukey FFT. Size must be a power of two.
-/// `inverse` applies the conjugate transform and divides by N.
-Status Fft(std::vector<std::complex<double>>* data, bool inverse);
+// The raw radix-2 transform lives behind kernels::Backend::FftPow2 (select
+// an implementation via kernels::Registry / --kernel-backend); this header
+// keeps only the Bluestein orchestration for arbitrary lengths.
 
 /// DFT of arbitrary length via Bluestein's chirp-z algorithm (internally uses
-/// the radix-2 FFT on padded buffers). Returns the transformed sequence.
+/// the radix-2 FFT kernel on padded buffers). Returns the transformed
+/// sequence.
 std::vector<std::complex<double>> Dft(const std::vector<std::complex<double>>& input,
                                       bool inverse);
 

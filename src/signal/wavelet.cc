@@ -1,47 +1,8 @@
 #include "signal/wavelet.h"
 
-#include <cmath>
-
 #include "common/math_util.h"
 
 namespace stpt::signal {
-namespace {
-const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
-}  // namespace
-
-StatusOr<std::vector<double>> HaarForward(const std::vector<double>& input) {
-  const size_t n = input.size();
-  if (n == 0 || !IsPowerOfTwo(n)) {
-    return Status::InvalidArgument("HaarForward: size must be a nonzero power of two");
-  }
-  std::vector<double> out = input;
-  std::vector<double> tmp(n);
-  for (size_t len = n; len > 1; len /= 2) {
-    for (size_t i = 0; i < len / 2; ++i) {
-      tmp[i] = (out[2 * i] + out[2 * i + 1]) * kInvSqrt2;            // approximation
-      tmp[len / 2 + i] = (out[2 * i] - out[2 * i + 1]) * kInvSqrt2;  // detail
-    }
-    for (size_t i = 0; i < len; ++i) out[i] = tmp[i];
-  }
-  return out;
-}
-
-StatusOr<std::vector<double>> HaarInverse(const std::vector<double>& coeffs) {
-  const size_t n = coeffs.size();
-  if (n == 0 || !IsPowerOfTwo(n)) {
-    return Status::InvalidArgument("HaarInverse: size must be a nonzero power of two");
-  }
-  std::vector<double> out = coeffs;
-  std::vector<double> tmp(n);
-  for (size_t len = 2; len <= n; len *= 2) {
-    for (size_t i = 0; i < len / 2; ++i) {
-      tmp[2 * i] = (out[i] + out[len / 2 + i]) * kInvSqrt2;
-      tmp[2 * i + 1] = (out[i] - out[len / 2 + i]) * kInvSqrt2;
-    }
-    for (size_t i = 0; i < len; ++i) out[i] = tmp[i];
-  }
-  return out;
-}
 
 std::vector<double> PadToPowerOfTwo(const std::vector<double>& input) {
   if (input.empty()) return {0.0};

@@ -7,14 +7,11 @@
 
 namespace stpt::signal {
 
-/// Forward discrete Haar wavelet transform (orthonormal convention:
-/// avg = (a+b)/√2, diff = (a−b)/√2, applied recursively to the averages).
-/// Input length must be a power of two. Output layout: [approximation,
-/// detail level 1, detail level 2, ...] — standard pyramidal ordering.
-StatusOr<std::vector<double>> HaarForward(const std::vector<double>& input);
-
-/// Inverse of HaarForward. Input length must be a power of two.
-StatusOr<std::vector<double>> HaarInverse(const std::vector<double>& coeffs);
+// The Haar transform pair lives behind kernels::Backend::HaarForward /
+// HaarInverse (orthonormal convention: avg = (a+b)/√2, diff = (a−b)/√2,
+// applied recursively to the averages; pyramidal output ordering). Select
+// an implementation via kernels::Registry / --kernel-backend. This header
+// keeps only the padding helper.
 
 /// Zero-pads a series to the next power of two (no-op if already one).
 std::vector<double> PadToPowerOfTwo(const std::vector<double>& input);

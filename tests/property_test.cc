@@ -12,6 +12,7 @@
 #include "dp/budget_accountant.h"
 #include "grid/consumption_matrix.h"
 #include "grid/quadtree.h"
+#include "kernels/backend.h"
 #include "gtest/gtest.h"
 #include "nn/ops.h"
 #include "query/metrics.h"
@@ -106,7 +107,7 @@ TEST_P(SeededTest, HaarOfImpulseHasUnitEnergy) {
   Rng rng(GetParam());
   std::vector<double> impulse(16, 0.0);
   impulse[rng.UniformInt(0, 15)] = 1.0;
-  auto coeffs = signal::HaarForward(impulse);
+  auto coeffs = kernels::Default()->HaarForward(impulse);
   ASSERT_TRUE(coeffs.ok());
   double energy = 0.0;
   for (double c : *coeffs) energy += c * c;

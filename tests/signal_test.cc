@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "gtest/gtest.h"
+#include "kernels/backend.h"
 #include "signal/fft.h"
 #include "signal/wavelet.h"
 
@@ -11,6 +12,18 @@ namespace stpt::signal {
 namespace {
 
 using Complex = std::complex<double>;
+
+// The Haar pair moved behind the kernel backend API; these shims keep the
+// assertions below reading as before while exercising the default backend.
+StatusOr<std::vector<double>> HaarForward(const std::vector<double>& v) {
+  return kernels::Default()->HaarForward(v);
+}
+StatusOr<std::vector<double>> HaarInverse(const std::vector<double>& v) {
+  return kernels::Default()->HaarInverse(v);
+}
+Status Fft(std::vector<Complex>* data, bool inverse) {
+  return kernels::Default()->FftPow2(data->data(), data->size(), inverse);
+}
 
 std::vector<Complex> NaiveDft(const std::vector<Complex>& x, bool inverse) {
   const size_t n = x.size();

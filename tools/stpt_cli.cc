@@ -14,7 +14,9 @@
 // --trace=<path> (record per-thread span events and write a Chrome
 // trace-event JSON at exit; load in chrome://tracing or Perfetto), and
 // --log-level=<debug|info|warn|error|off> (structured-log threshold,
-// default warn). `publish` additionally accepts --train-log=<path> (JSONL
+// default warn), and --kernel-backend=<naive|avx2|auto> (kernel backend for
+// the hot numeric paths; strict — requesting avx2 on an unsupported CPU is
+// an error). `publish` additionally accepts --train-log=<path> (JSONL
 // loss curve, one row per epoch) and --audit-ledger=<path> (JSONL record of
 // every privacy-budget charge). Unknown or malformed flags are rejected
 // with the subcommand's flag listing.
@@ -45,6 +47,7 @@
 #include "exec/thread_pool.h"
 #include "exec/timing.h"
 #include "io/csv.h"
+#include "kernels/backend.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -79,6 +82,8 @@ void DefineCommonFlags(FlagSet& flags) {
                      "write a Chrome trace-event JSON to this path at exit");
   flags.DefineString("log-level", "warn",
                      "structured-log threshold (debug, info, warn, error, off)");
+  flags.DefineString("kernel-backend", "auto",
+                     "kernel backend (naive, avx2, auto)");
 }
 
 FlagSet GenerateFlags() {
@@ -328,6 +333,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs::SetLogLevel(log_level);
+  if (flags.Provided("kernel-backend")) {
+    if (const Status st = kernels::SetDefault(flags.GetString("kernel-backend"));
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
   if (flags.Provided("trace")) {
     obs::RegisterCurrentThreadName("main");
     obs::StartTraceEvents();

@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "exec/thread_pool.h"
 #include "exec/timing.h"
+#include "kernels/backend.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "serve/client.h"
@@ -61,6 +62,7 @@ FlagSet MakeFlags() {
   flags.DefineInt("threads", 0, "exec pool size (0 = hardware)");
   flags.DefineString("trace", "", "write Chrome trace-event JSON here");
   flags.DefineString("log-level", "warn", "debug|info|warn|error|off");
+  flags.DefineString("kernel-backend", "auto", "kernel backend (naive, avx2, auto)");
   return flags;
 }
 
@@ -168,6 +170,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs::SetLogLevel(log_level);
+  if (flags.Provided("kernel-backend")) {
+    if (const Status st = kernels::SetDefault(flags.GetString("kernel-backend"));
+        !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
   if (flags.Provided("trace")) {
     obs::RegisterCurrentThreadName("main");
     obs::StartTraceEvents();

@@ -44,8 +44,10 @@
 // registry in Prometheus text exposition format.
 //
 // Every subcommand also accepts --trace=<path> (Chrome trace-event JSON
-// written at exit) and --log-level=<debug|info|warn|error|off> (structured
-// log threshold, default warn).
+// written at exit), --log-level=<debug|info|warn|error|off> (structured
+// log threshold, default warn), and --kernel-backend=<naive|avx2|auto>
+// (kernel backend for prefix builds and ingest scans; strict — requesting
+// avx2 on an unsupported CPU is an error).
 
 #include <algorithm>
 #include <cstdio>
@@ -60,6 +62,7 @@
 #include "exec/timing.h"
 #include "ingest/clock.h"
 #include "ingest/pipeline.h"
+#include "kernels/backend.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "query/range_query.h"
@@ -92,6 +95,8 @@ void DefineCommonFlags(FlagSet& flags) {
                      "write a Chrome trace-event JSON to this path at exit");
   flags.DefineString("log-level", "warn",
                      "structured-log threshold (debug, info, warn, error, off)");
+  flags.DefineString("kernel-backend", "auto",
+                     "kernel backend (naive, avx2, auto)");
 }
 
 void DefineClientFlags(FlagSet& flags) {
@@ -471,6 +476,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs::SetLogLevel(log_level);
+  if (flags.Provided("kernel-backend")) {
+    if (const Status st = kernels::SetDefault(flags.GetString("kernel-backend"));
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
   if (flags.Provided("trace")) {
     obs::RegisterCurrentThreadName("main");
     obs::StartTraceEvents();
