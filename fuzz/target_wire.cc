@@ -121,6 +121,14 @@ int FuzzWire(const uint8_t* data, size_t size) {
       }
       break;
     }
+    case 10: {
+      auto fetch = serve::DecodeTraceFetchRequest(payload);
+      if (fetch.ok()) {
+        RequireCanonical("trace fetch request",
+                         serve::EncodeTraceFetchRequest(*fetch), payload);
+      }
+      break;
+    }
     default:
       // Socket traffic is slower than pure codec calls, so cap the stream
       // the frame reader sees. 64 KiB is plenty to cover every header and

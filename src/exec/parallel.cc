@@ -3,10 +3,12 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <optional>
 
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace stpt::exec {
 namespace {
@@ -77,6 +79,13 @@ void ParallelForRange(int64_t n,
     trace_label = obs::CurrentSpanName();
     if (trace_label == nullptr) trace_label = "exec/chunk";
   }
+  // Same capture-at-dispatch discipline for the request trace context: the
+  // dispatching thread's active context (if any) is re-established on every
+  // worker lane, so code inside the chunks can still name its trace. A
+  // 32-byte copy when a traced request is running, nothing otherwise.
+  const obs::TraceContext* active_ctx = obs::CurrentTraceContext();
+  const obs::TraceContext trace_ctx =
+      active_ctx != nullptr ? *active_ctx : obs::TraceContext{};
   const int64_t num_chunks = n < threads ? n : threads;
   const int64_t base = n / num_chunks;
   const int64_t rem = n % num_chunks;
@@ -88,13 +97,15 @@ void ParallelForRange(int64_t n,
   for (int64_t c = 0; c < num_chunks; ++c) {
     const int64_t len = base + (c < rem ? 1 : 0);
     const int64_t end = begin + len;
-    pool.Submit([&fn, &region, begin, end, trace_label] {
+    pool.Submit([&fn, &region, begin, end, trace_label, trace_ctx] {
       // Raw B/E events (not a Span): chunks are already aggregated into
       // stpt_exec_region_ns by the dispatcher, so a Span here would
       // double-count the region in the profile.
       if (trace_label != nullptr) {
         obs::EmitTraceEvent('B', trace_label, obs::NowNanos());
       }
+      std::optional<obs::ScopedTraceContext> scoped_ctx;
+      if (trace_ctx.valid()) scoped_ctx.emplace(trace_ctx);
       std::exception_ptr err;
       try {
         fn(begin, end);

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "serve/snapshot.h"
 
 namespace stpt::ingest {
@@ -86,6 +87,34 @@ std::string JsonDouble(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+// Child-span stages of a traced ingest request under the serve tier's exec
+// span: apply covers the whole batch, publish the w-event republish it
+// triggered (the registry records its own swap span under publish).
+constexpr uint64_t kStageApply = 1;
+constexpr uint64_t kStagePublish = 2;
+
+obs::TraceContext ChildContext(const obs::TraceContext& parent, uint64_t seq) {
+  obs::TraceContext child = parent;
+  child.span_id = obs::ChildSpanId(parent.span_id, seq);
+  return child;
+}
+
+void RecordIngestSpan(const obs::TraceContext& ctx, uint64_t parent_span_id,
+                      uint64_t start_ns, const char* name,
+                      std::vector<std::pair<std::string, std::string>> attrs) {
+  obs::TraceSpan span;
+  span.trace_hi = ctx.trace_hi;
+  span.trace_lo = ctx.trace_lo;
+  span.span_id = ctx.span_id;
+  span.parent_span_id = parent_span_id;
+  span.start_ns = start_ns;
+  span.end_ns = obs::NowNanos();
+  span.name = name;
+  span.lane = "ingest";
+  span.attrs = std::move(attrs);
+  obs::TraceStore::Global().Add(std::move(span));
 }
 
 }  // namespace
@@ -230,6 +259,20 @@ IngestPipeline::Shard* IngestPipeline::FindShard(const std::string& tenant,
 
 serve::ReadingAck IngestPipeline::Apply(const serve::ReadingBatch& batch) {
   batches_ctr_->Increment();
+  // A sampled batch gets an ingest/apply span chained under the caller's
+  // active span; it is installed as the active context so the publish it
+  // triggers (and the registry swap under that) link to the same trace.
+  const obs::TraceContext* req_ctx = obs::CurrentTraceContext();
+  const bool traced = req_ctx != nullptr && req_ctx->sampled;
+  const uint64_t apply_start_ns = obs::NowNanos();
+  obs::TraceContext apply_ctx;
+  uint64_t apply_parent = 0;
+  std::optional<obs::ScopedTraceContext> scoped;
+  if (traced) {
+    apply_parent = req_ctx->span_id;
+    apply_ctx = ChildContext(*req_ctx, kStageApply);
+    scoped.emplace(apply_ctx);
+  }
   const std::string tenant =
       batch.tenant.empty() ? serve::kDefaultTenant : batch.tenant;
   const std::string tile = batch.tile.empty() ? serve::kDefaultTile : batch.tile;
@@ -285,11 +328,29 @@ serve::ReadingAck IngestPipeline::Apply(const serve::ReadingBatch& batch) {
     if (!PublishLocked(*shard, through).ok()) publish_errors_ctr_->Increment();
   }
   ack.epoch = shard->epoch;
+  if (traced) {
+    RecordIngestSpan(apply_ctx, apply_parent, apply_start_ns, "ingest/apply",
+                     {{"tenant", tenant},
+                      {"tile", tile},
+                      {"accepted", std::to_string(ack.accepted)},
+                      {"epoch", std::to_string(ack.epoch)}});
+  }
   return ack;
 }
 
 Status IngestPipeline::PublishLocked(Shard& shard, int through) {
   obs::Span span("ingest/publish", republish_latency_);
+  const obs::TraceContext* parent_ctx = obs::CurrentTraceContext();
+  const bool traced = parent_ctx != nullptr && parent_ctx->sampled;
+  const uint64_t publish_start_ns = obs::NowNanos();
+  obs::TraceContext publish_ctx;
+  uint64_t publish_parent = 0;
+  std::optional<obs::ScopedTraceContext> scoped;
+  if (traced) {
+    publish_parent = parent_ctx->span_id;
+    publish_ctx = ChildContext(*parent_ctx, kStagePublish);
+    scoped.emplace(publish_ctx);  // the registry's swap span chains here
+  }
   const grid::Dims& dims = options_.dims;
   const int cells = dims.cx * dims.cy;
 
@@ -345,6 +406,13 @@ Status IngestPipeline::PublishLocked(Shard& shard, int through) {
   epochs_ctr_->Increment();
   shard.readings_since_publish = 0;
   shard.last_publish_ns = clock_->NowNanos();
+  if (traced) {
+    RecordIngestSpan(publish_ctx, publish_parent, publish_start_ns,
+                     "ingest/publish",
+                     {{"tenant", shard.tenant},
+                      {"tile", shard.tile},
+                      {"epoch", std::to_string(shard.epoch)}});
+  }
   return Status::OK();
 }
 

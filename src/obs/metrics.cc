@@ -35,7 +35,47 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+std::string ExemplarTraceIdHex(uint64_t hi, uint64_t lo) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[hi & 0xF];
+    hi >>= 4;
+  }
+  for (int i = 31; i >= 16; --i) {
+    out[static_cast<size_t>(i)] = kHex[lo & 0xF];
+    lo >>= 4;
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string PromEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatMetricValue(double v) { return FormatDouble(v); }
+
+/// The OpenMetrics exemplar suffix appended to a `_bucket` line (without the
+/// leading space): `# {trace_id="..."} value ts_seconds`.
+std::string ExemplarSuffix(const HistogramExemplar& ex) {
+  std::ostringstream os;
+  os << "# {trace_id=\"" << ExemplarTraceIdHex(ex.trace_hi, ex.trace_lo)
+     << "\"} " << FormatDouble(ex.value) << " "
+     << FormatDouble(static_cast<double>(ex.ts_ns) * 1e-9);
+  return os.str();
+}
 
 void Gauge::Add(double delta) {
   uint64_t old = bits_.load(std::memory_order_relaxed);
@@ -51,9 +91,13 @@ Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
       buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]{}) {}
 
-void Histogram::Observe(double value) {
+size_t Histogram::BucketIndex(double value) const {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  const size_t idx = static_cast<size_t>(it - bounds_.begin());  // == size: overflow
+  return static_cast<size_t>(it - bounds_.begin());  // == size: overflow
+}
+
+void Histogram::Observe(double value) {
+  const size_t idx = BucketIndex(value);
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   uint64_t old = sum_bits_.load(std::memory_order_relaxed);
@@ -61,6 +105,25 @@ void Histogram::Observe(double value) {
       old, std::bit_cast<uint64_t>(std::bit_cast<double>(old) + value),
       std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::ObserveWithExemplar(double value, uint64_t trace_hi,
+                                    uint64_t trace_lo, uint64_t ts_ns) {
+  Observe(value);
+  if ((trace_hi | trace_lo) == 0) return;
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_.empty()) exemplars_.resize(bounds_.size() + 1);
+  HistogramExemplar& ex = exemplars_[BucketIndex(value)];
+  ex.trace_hi = trace_hi;
+  ex.trace_lo = trace_lo;
+  ex.value = value;
+  ex.ts_ns = ts_ns;
+  ex.set = true;
+}
+
+std::vector<HistogramExemplar> Histogram::Exemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplars_;
 }
 
 double Histogram::Sum() const {
@@ -98,6 +161,8 @@ void Histogram::Reset() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_bits_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  exemplars_.clear();
 }
 
 std::vector<double> ExponentialBuckets(double start, double factor, int count) {
@@ -203,14 +268,22 @@ std::string Registry::ToPrometheusText() const {
         os << "# TYPE " << name << " histogram\n";
         const Histogram& h = *m.histogram;
         const std::vector<uint64_t> counts = h.BucketCounts();
+        const std::vector<HistogramExemplar> exemplars = h.Exemplars();
         uint64_t cumulative = 0;
-        for (size_t i = 0; i < h.bounds().size(); ++i) {
+        for (size_t i = 0; i <= h.bounds().size(); ++i) {
           cumulative += counts[i];
-          os << name << "_bucket{le=\"" << FormatDouble(h.bounds()[i]) << "\"} "
-             << cumulative << "\n";
+          os << name << "_bucket{le=\"";
+          if (i < h.bounds().size()) {
+            os << FormatDouble(h.bounds()[i]);
+          } else {
+            os << "+Inf";
+          }
+          os << "\"} " << cumulative;
+          if (i < exemplars.size() && exemplars[i].set) {
+            os << " " << ExemplarSuffix(exemplars[i]);
+          }
+          os << "\n";
         }
-        cumulative += counts.back();
-        os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
         os << name << "_sum " << FormatDouble(h.Sum()) << "\n";
         os << name << "_count " << h.Count() << "\n";
         break;
@@ -257,7 +330,27 @@ std::string Registry::ToJson() const {
           }
           histograms << ", \"count\": " << counts[i] << "}";
         }
-        histograms << "]}";
+        histograms << "]";
+        const std::vector<HistogramExemplar> exemplars = h.Exemplars();
+        bool first_ex = true;
+        for (size_t i = 0; i < exemplars.size(); ++i) {
+          if (!exemplars[i].set) continue;
+          histograms << (first_ex ? ", \"exemplars\": [" : ", ");
+          first_ex = false;
+          histograms << "{\"le\": ";
+          if (i < h.bounds().size()) {
+            histograms << FormatDouble(h.bounds()[i]);
+          } else {
+            histograms << "\"+Inf\"";
+          }
+          histograms << ", \"trace_id\": \""
+                     << ExemplarTraceIdHex(exemplars[i].trace_hi,
+                                           exemplars[i].trace_lo)
+                     << "\", \"value\": " << FormatDouble(exemplars[i].value)
+                     << ", \"ts_ns\": " << exemplars[i].ts_ns << "}";
+        }
+        if (!first_ex) histograms << "]";
+        histograms << "}";
         break;
       }
     }

@@ -34,6 +34,7 @@ class Counter {
 
  private:
   friend class Registry;
+  friend class RedFamily;
   Counter() = default;
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -62,6 +63,18 @@ class Gauge {
   std::atomic<uint64_t> bits_{0};
 };
 
+/// The most recent sampled-trace observation a histogram bucket has seen,
+/// attached OpenMetrics-style to the bucket's exposition line:
+///   `name_bucket{le="..."} N # {trace_id="<32 hex>"} value ts_seconds`
+/// so a latency outlier in a scrape links straight to a fetchable trace.
+struct HistogramExemplar {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  double value = 0.0;
+  uint64_t ts_ns = 0;
+  bool set = false;
+};
+
 /// Fixed-bucket histogram: `bounds` are strictly increasing finite upper
 /// bounds (inclusive, Prometheus `le` semantics); one implicit overflow
 /// bucket catches everything above the last bound. Recording is a binary
@@ -70,6 +83,17 @@ class Gauge {
 class Histogram {
  public:
   void Observe(double value);
+
+  /// Observe() plus exemplar capture: the chosen bucket remembers this
+  /// trace id / value / timestamp, replacing any earlier exemplar. Takes a
+  /// mutex — callers only use it on sampled requests, so the hot path stays
+  /// the lock-free Observe().
+  void ObserveWithExemplar(double value, uint64_t trace_hi, uint64_t trace_lo,
+                           uint64_t ts_ns);
+
+  /// Per-bucket exemplars (index bounds().size() is overflow). Empty vector
+  /// until the first ObserveWithExemplar.
+  std::vector<HistogramExemplar> Exemplars() const;
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const;
@@ -89,17 +113,36 @@ class Histogram {
 
  private:
   friend class Registry;
+  friend class RedFamily;
   explicit Histogram(std::vector<double> bounds);
   void Reset();
+  size_t BucketIndex(double value) const;
 
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  ///< bounds_.size() + 1
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_bits_{0};  ///< bit-cast double, CAS-accumulated
+
+  mutable std::mutex exemplar_mu_;  ///< sampled-path only; see above
+  std::vector<HistogramExemplar> exemplars_;  ///< lazily bounds_.size() + 1
 };
 
 /// Power-of-`factor` bucket bounds: start, start*factor, ... (count bounds).
 std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+/// Escapes a Prometheus label value per the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`. Every exporter that emits `{label="value"}`
+/// with a runtime string must route it through here — tenant names are
+/// client-controlled.
+std::string PromEscapeLabel(const std::string& value);
+
+/// Shortest-clean metric value rendering shared by the exporters: integral
+/// values print without an exponent, everything else round-trips.
+std::string FormatMetricValue(double v);
+
+/// The OpenMetrics exemplar suffix of a `_bucket` exposition line (without
+/// the leading space): `# {trace_id="..."} value ts_seconds`.
+std::string ExemplarSuffix(const HistogramExemplar& ex);
 
 /// Default latency buckets in nanoseconds: powers of two from 1 ns to ~4 s.
 const std::vector<double>& LatencyBucketsNs();

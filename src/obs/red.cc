@@ -1,0 +1,88 @@
+#include "obs/red.h"
+
+#include <sstream>
+
+namespace stpt::obs {
+
+RedFamily::RedFamily(std::string prefix, size_t max_cells)
+    : prefix_(std::move(prefix)), max_cells_(max_cells == 0 ? 1 : max_cells) {}
+
+RedFamily::Cell RedFamily::Get(const std::string& tenant,
+                               const std::string& tile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::pair<std::string, std::string> key(tenant, tile);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    if (cells_.size() >= max_cells_) {
+      key = {"_overflow", ""};
+      it = cells_.find(key);
+    }
+    if (it == cells_.end()) {
+      CellStorage storage;
+      storage.requests.reset(new Counter());
+      storage.errors.reset(new Counter());
+      storage.latency_ns.reset(new Histogram(LatencyBucketsNs()));
+      it = cells_.emplace(std::move(key), std::move(storage)).first;
+    }
+  }
+  return Cell{it->second.requests.get(), it->second.errors.get(),
+              it->second.latency_ns.get()};
+}
+
+size_t RedFamily::cell_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+std::string RedFamily::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cells_.empty()) return "";
+  std::ostringstream os;
+  const auto labels = [](const std::pair<std::string, std::string>& key) {
+    return "tenant=\"" + PromEscapeLabel(key.first) + "\",tile=\"" +
+           PromEscapeLabel(key.second) + "\"";
+  };
+  os << "# HELP " << prefix_ << "_requests_total requests served per shard\n";
+  os << "# TYPE " << prefix_ << "_requests_total counter\n";
+  for (const auto& [key, cell] : cells_) {
+    os << prefix_ << "_requests_total{" << labels(key) << "} "
+       << cell.requests->Value() << "\n";
+  }
+  os << "# HELP " << prefix_
+     << "_errors_total requests answered with an error per shard\n";
+  os << "# TYPE " << prefix_ << "_errors_total counter\n";
+  for (const auto& [key, cell] : cells_) {
+    os << prefix_ << "_errors_total{" << labels(key) << "} "
+       << cell.errors->Value() << "\n";
+  }
+  os << "# HELP " << prefix_
+     << "_latency_ns request wall time per shard, receive to completion\n";
+  os << "# TYPE " << prefix_ << "_latency_ns histogram\n";
+  for (const auto& [key, cell] : cells_) {
+    const Histogram& h = *cell.latency_ns;
+    const std::vector<uint64_t> counts = h.BucketCounts();
+    const std::vector<HistogramExemplar> exemplars = h.Exemplars();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= h.bounds().size(); ++i) {
+      cumulative += counts[i];
+      os << prefix_ << "_latency_ns_bucket{" << labels(key) << ",le=\"";
+      if (i < h.bounds().size()) {
+        os << FormatMetricValue(h.bounds()[i]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative;
+      if (i < exemplars.size() && exemplars[i].set) {
+        os << " " << ExemplarSuffix(exemplars[i]);
+      }
+      os << "\n";
+    }
+    os << prefix_ << "_latency_ns_sum{" << labels(key) << "} "
+       << FormatMetricValue(h.Sum()) << "\n";
+    os << prefix_ << "_latency_ns_count{" << labels(key) << "} " << h.Count()
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace stpt::obs

@@ -1,0 +1,72 @@
+#ifndef STPT_OBS_RED_H_
+#define STPT_OBS_RED_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace stpt::obs {
+
+/// Per-tenant RED (Rate, Errors, Duration) metric families, labeled by
+/// (tenant, tile). The name-keyed Registry cannot carry labels, and encoding
+/// tenant names into metric names would both collide and leak; this family
+/// keeps one lock-free cell of handles per label pair and renders them as
+/// labeled Prometheus series:
+///
+///   <prefix>_requests_total{tenant="...",tile="..."}
+///   <prefix>_errors_total{tenant="...",tile="..."}
+///   <prefix>_latency_ns_bucket{tenant="...",tile="...",le="..."} (+_sum/_count)
+///
+/// Label values are escaped with PromEscapeLabel, and latency buckets carry
+/// exemplars when observed via ObserveWithExemplar. Cell creation takes a
+/// mutex; the returned handles are stable for the family's lifetime, so the
+/// per-request path is a map lookup under a lock only on first use per key
+/// (callers cache the Cell next to their connection/shard state when they
+/// can). The cell count is capped so hostile tenant names cannot grow the
+/// map without bound — past the cap, all overflow keys share one
+/// tenant="_overflow" cell.
+class RedFamily {
+ public:
+  struct Cell {
+    Counter* requests = nullptr;
+    Counter* errors = nullptr;
+    Histogram* latency_ns = nullptr;
+  };
+
+  explicit RedFamily(std::string prefix = "stpt_tenant",
+                     size_t max_cells = 1024);
+
+  RedFamily(const RedFamily&) = delete;
+  RedFamily& operator=(const RedFamily&) = delete;
+
+  /// The cell for (tenant, tile), created on first use.
+  Cell Get(const std::string& tenant, const std::string& tile);
+
+  size_t cell_count() const;
+
+  /// All three families in exposition format (HELP/TYPE once per family,
+  /// one labeled series per cell, bucket exemplars when present).
+  std::string ToPrometheusText() const;
+
+ private:
+  struct CellStorage {
+    std::unique_ptr<Counter> requests;
+    std::unique_ptr<Counter> errors;
+    std::unique_ptr<Histogram> latency_ns;
+  };
+
+  std::string prefix_;
+  size_t max_cells_;
+  mutable std::mutex mu_;
+  // std::map keeps the exposition output stable and diffable.
+  std::map<std::pair<std::string, std::string>, CellStorage> cells_;
+};
+
+}  // namespace stpt::obs
+
+#endif  // STPT_OBS_RED_H_

@@ -10,6 +10,10 @@
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_context.h"
 
 namespace stpt::obs {
 namespace {
@@ -392,6 +396,67 @@ std::string ExportChromeTrace() {
       os << ", \"args\": {\"value\": " << value_buf << "}";
     }
     os << "}";
+  }
+
+  // Splice the completed-span store (sampled request traces) in as its own
+  // process: one synthetic lane per span origin ("client", "loop", "worker",
+  // "ingest", ...) with 'X' complete events, plus flow events binding each
+  // trace's spans together so Perfetto draws cross-lane/cross-process arrows.
+  const std::vector<TraceSpan> stored = TraceStore::Global().Snapshot();
+  if (!stored.empty()) {
+    constexpr int kStorePid = 2;
+    std::map<std::string, int> lane_tids;
+    for (const TraceSpan& s : stored) {
+      lane_tids.emplace(s.lane, static_cast<int>(lane_tids.size()) + 1);
+    }
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\": \"M\", \"pid\": " << kStorePid
+       << ", \"tid\": 0, \"name\": \"process_name\", \"args\": {\"name\": "
+          "\"sampled requests\"}}";
+    for (const auto& [lane, tid] : lane_tids) {
+      os << ",\n{\"ph\": \"M\", \"pid\": " << kStorePid << ", \"tid\": " << tid
+         << ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+      AppendJsonEscaped(os, lane.c_str());
+      os << "\"}}";
+    }
+    std::map<std::pair<uint64_t, uint64_t>, size_t> spans_seen;
+    for (const TraceSpan& s : stored) {
+      const int tid = lane_tids[s.lane];
+      const uint64_t start_rel = s.start_ns >= epoch_ns ? s.start_ns - epoch_ns : 0;
+      const uint64_t end_rel = s.end_ns >= epoch_ns ? s.end_ns - epoch_ns : 0;
+      const uint64_t dur_ns = end_rel >= start_rel ? end_rel - start_rel : 0;
+      char start_buf[32], dur_buf[32];
+      std::snprintf(start_buf, sizeof(start_buf), "%.3f",
+                    static_cast<double>(start_rel) * 1e-3);
+      std::snprintf(dur_buf, sizeof(dur_buf), "%.3f",
+                    static_cast<double>(dur_ns) * 1e-3);
+      TraceContext id{s.trace_hi, s.trace_lo, 0, 0, false};
+      os << ",\n{\"ph\": \"X\", \"pid\": " << kStorePid << ", \"tid\": " << tid
+         << ", \"ts\": " << start_buf << ", \"dur\": " << dur_buf
+         << ", \"name\": \"";
+      AppendJsonEscaped(os, s.name.c_str());
+      os << "\", \"cat\": \"stpt.trace\", \"args\": {\"trace_id\": \""
+         << TraceIdHex(id) << "\", \"span_id\": \"" << SpanIdHex(s.span_id)
+         << "\", \"parent_span_id\": \"" << SpanIdHex(s.parent_span_id) << "\"";
+      for (const auto& [k, v] : s.attrs) {
+        os << ", \"";
+        AppendJsonEscaped(os, k.c_str());
+        os << "\": \"";
+        AppendJsonEscaped(os, v.c_str());
+        os << "\"";
+      }
+      os << "}}";
+      // Flow: start on the trace's first stored span, step on every later
+      // one; matching ids stitch the arrows.
+      const size_t seen = spans_seen[{s.trace_hi, s.trace_lo}]++;
+      os << ",\n{\"ph\": \"" << (seen == 0 ? 's' : 'f') << "\", \"pid\": "
+         << kStorePid << ", \"tid\": " << tid << ", \"ts\": " << start_buf
+         << ", \"name\": \"request\", \"cat\": \"stpt.flow\", \"id\": \""
+         << TraceIdHex(id) << "\"";
+      if (seen != 0) os << ", \"bp\": \"e\"";
+      os << "}";
+    }
   }
   os << "\n], \"displayTimeUnit\": \"ms\"}\n";
   return os.str();

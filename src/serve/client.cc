@@ -9,6 +9,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace stpt::serve {
 
 StatusOr<Client> Client::Connect(const std::string& host, int port) {
@@ -83,12 +85,15 @@ StatusOr<QueryResponse> Client::Query(const query::Workload& batch) {
 StatusOr<TenantQueryResponse> Client::QueryTenant(const std::string& tenant,
                                                   const std::string& tile,
                                                   const query::Workload& batch,
-                                                  uint64_t epoch) {
+                                                  uint64_t epoch,
+                                                  obs::TraceContext trace) {
   TenantQueryRequest request;
   request.tenant = tenant;
   request.tile = tile;
   request.epoch = epoch;
   request.batch = batch;
+  if (trace.valid() && trace.start_ns == 0) trace.start_ns = obs::NowNanos();
+  request.trace = trace;
   auto frame = Call(MsgType::kQueryRequestV2, EncodeTenantQueryRequest(request),
                     MsgType::kQueryResponseV2);
   if (!frame.ok()) return frame.status();
@@ -138,11 +143,14 @@ Status Client::Unload(const std::string& tenant, const std::string& tile) {
 
 StatusOr<ReadingAck> Client::Ingest(const std::string& tenant,
                                     const std::string& tile,
-                                    const std::vector<MeterReading>& readings) {
+                                    const std::vector<MeterReading>& readings,
+                                    obs::TraceContext trace) {
   ReadingBatch batch;
   batch.tenant = tenant;
   batch.tile = tile;
   batch.readings = readings;
+  if (trace.valid() && trace.start_ns == 0) trace.start_ns = obs::NowNanos();
+  batch.trace = trace;
   auto frame =
       Call(MsgType::kReadingBatch, EncodeReadingBatch(batch), MsgType::kReadingAck);
   if (!frame.ok()) return frame.status();
@@ -175,6 +183,17 @@ StatusOr<std::string> Client::Stats() {
 
 StatusOr<std::string> Client::Metrics() {
   auto frame = Call(MsgType::kMetricsRequest, {}, MsgType::kMetricsResponse);
+  if (!frame.ok()) return frame.status();
+  return DecodeString(frame->payload);
+}
+
+StatusOr<std::string> Client::FetchTraces(uint32_t limit,
+                                          const std::string& trace_id) {
+  TraceFetchRequest request;
+  request.limit = limit;
+  request.trace_id = trace_id;
+  auto frame = Call(MsgType::kTraceRequest, EncodeTraceFetchRequest(request),
+                    MsgType::kTraceResponse);
   if (!frame.ok()) return frame.status();
   return DecodeString(frame->payload);
 }

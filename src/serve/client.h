@@ -34,11 +34,15 @@ class Client {
   /// Tenant-addressed query (v2 frame). Empty tenant/tile address the
   /// default shard; epoch 0 accepts the current generation, a nonzero
   /// epoch fails with the server's NotFound if that generation was swapped
-  /// out. The response carries the epoch that answered.
+  /// out. The response carries the epoch that answered. A valid `trace`
+  /// context rides the frame (start_ns stamped at send if unset) and is
+  /// echoed in the response; a default-constructed one leaves the frame
+  /// byte-identical to the pre-trace protocol.
   StatusOr<TenantQueryResponse> QueryTenant(const std::string& tenant,
                                             const std::string& tile,
                                             const query::Workload& batch,
-                                            uint64_t epoch = 0);
+                                            uint64_t epoch = 0,
+                                            obs::TraceContext trace = {});
 
   /// Streams one batch of meter readings into the server's ingest pipeline
   /// (kReadingBatch frame). Empty tenant/tile address the default shard. An
@@ -46,8 +50,11 @@ class Client {
   /// addressed shard. Returns the ack: admission counts plus the epoch now
   /// published. Fails with the server's FailedPrecondition when the server
   /// runs without an ingest pipeline.
+  /// `trace` behaves as in QueryTenant: valid contexts ride the frame and
+  /// come back in the ack, default ones leave the bytes unchanged.
   StatusOr<ReadingAck> Ingest(const std::string& tenant, const std::string& tile,
-                              const std::vector<MeterReading>& readings);
+                              const std::vector<MeterReading>& readings,
+                              obs::TraceContext trace = {});
 
   /// Loads a snapshot container (server-side path) as a new shard.
   /// Returns the published epoch (1). FailedPrecondition-style server
@@ -77,6 +84,13 @@ class Client {
   /// Full metric snapshot in Prometheus text exposition format: the
   /// engine's registry followed by the server process's global registry.
   StatusOr<std::string> Metrics();
+
+  /// Fetches recently completed sampled traces from the server's span
+  /// store as JSON (obs::TraceStore::ToJson shape). `limit` keeps the most
+  /// recent N traces (0 = all stored); a non-empty `trace_id` (32 hex
+  /// chars) selects one trace.
+  StatusOr<std::string> FetchTraces(uint32_t limit = 0,
+                                    const std::string& trace_id = "");
 
   /// Asks the server to stop; returns OK once the ack arrives.
   Status Shutdown();

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "exec/parallel.h"
@@ -32,6 +33,32 @@ void CloseQuietly(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+// Stage indices for ChildSpanId: every lifecycle span of one request derives
+// its id from the client's span id and the stage number, so two hops never
+// collide and a reader can recompute the chain.
+constexpr uint64_t kStageQueue = 1;
+constexpr uint64_t kStageParse = 2;
+constexpr uint64_t kStageDispatchWait = 3;
+constexpr uint64_t kStageExec = 4;
+constexpr uint64_t kStageWrite = 5;
+
+void RecordSpan(const obs::TraceContext& ctx, uint64_t span_id,
+                uint64_t parent_span_id, uint64_t start_ns, uint64_t end_ns,
+                const char* name, const char* lane,
+                std::vector<std::pair<std::string, std::string>> attrs = {}) {
+  obs::TraceSpan span;
+  span.trace_hi = ctx.trace_hi;
+  span.trace_lo = ctx.trace_lo;
+  span.span_id = span_id;
+  span.parent_span_id = parent_span_id;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.name = name;
+  span.lane = lane;
+  span.attrs = std::move(attrs);
+  obs::TraceStore::Global().Add(std::move(span));
+}
+
 }  // namespace
 
 /// All connection state is owned by the loop thread; nothing here is
@@ -49,6 +76,7 @@ struct EventLoopServer::Conn {
   bool closing = false;       ///< flush wqueue, then close
   bool dead = false;          ///< reaped at the next safe point
   bool pause_counted = false; ///< contributes to the backpressure gauge
+  uint64_t last_read_ns = 0;  ///< when the socket last yielded bytes
 };
 
 EventLoopServer::EventLoopServer(SnapshotRegistry* registry,
@@ -270,6 +298,7 @@ void EventLoopServer::ReadReady(Conn& conn) {
     const ssize_t r = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (r > 0) {
       conn.decoder.Append(buf, static_cast<size_t>(r));
+      conn.last_read_ns = obs::NowNanos();
       total += static_cast<size_t>(r);
       if (static_cast<size_t>(r) < sizeof(buf)) break;
       continue;
@@ -332,16 +361,19 @@ bool EventLoopServer::HandleFrame(Conn& conn, Frame frame) {
         EnqueueError(conn, gen.status(), /*close_after=*/false);
         return true;
       }
-      DispatchQuery(conn, std::move(*gen), std::move(*batch), /*v2=*/false);
+      DispatchQuery(conn, std::move(*gen), std::move(*batch), /*v2=*/false,
+                    obs::TraceContext{});
       return false;
     }
     case MsgType::kQueryRequestV2: {
+      const uint64_t parse_start_ns = obs::NowNanos();
       auto request = DecodeTenantQueryRequest(frame.payload);
       if (!request.ok()) {
         protocol_errors_ctr_->Increment();
         EnqueueError(conn, request.status(), /*close_after=*/true);
         return false;
       }
+      RecordRequestSpans(conn, request->trace, parse_start_ns, obs::NowNanos());
       const std::string tenant =
           request->tenant.empty() ? kDefaultTenant : request->tenant;
       const std::string tile = request->tile.empty() ? kDefaultTile : request->tile;
@@ -350,7 +382,8 @@ bool EventLoopServer::HandleFrame(Conn& conn, Frame frame) {
         EnqueueError(conn, gen.status(), /*close_after=*/false);
         return true;
       }
-      DispatchQuery(conn, std::move(*gen), std::move(request->batch), /*v2=*/true);
+      DispatchQuery(conn, std::move(*gen), std::move(request->batch), /*v2=*/true,
+                    request->trace);
       return false;
     }
     case MsgType::kStatsRequest:
@@ -383,12 +416,14 @@ bool EventLoopServer::HandleFrame(Conn& conn, Frame frame) {
       EnqueueFrame(conn, MsgType::kMetricsResponse, EncodeString(MetricsText()));
       return true;
     case MsgType::kReadingBatch: {
+      const uint64_t parse_start_ns = obs::NowNanos();
       auto batch = DecodeReadingBatch(frame.payload);
       if (!batch.ok()) {
         protocol_errors_ctr_->Increment();
         EnqueueError(conn, batch.status(), /*close_after=*/true);
         return false;
       }
+      RecordRequestSpans(conn, batch->trace, parse_start_ns, obs::NowNanos());
       if (ingest_ == nullptr) {
         EnqueueError(conn,
                      Status::FailedPrecondition(
@@ -402,6 +437,18 @@ bool EventLoopServer::HandleFrame(Conn& conn, Frame frame) {
     case MsgType::kAdminRequest:
       HandleAdmin(conn, frame.payload);
       return true;
+    case MsgType::kTraceRequest: {
+      auto request = DecodeTraceFetchRequest(frame.payload);
+      if (!request.ok()) {
+        protocol_errors_ctr_->Increment();
+        EnqueueError(conn, request.status(), /*close_after=*/true);
+        return false;
+      }
+      EnqueueFrame(conn, MsgType::kTraceResponse,
+                   EncodeString(obs::TraceStore::Global().ToJson(
+                       request->limit, request->trace_id)));
+      return true;
+    }
     case MsgType::kShutdown:
       EnqueueFrame(conn, MsgType::kShutdown, {});
       RequestStop();
@@ -416,30 +463,59 @@ bool EventLoopServer::HandleFrame(Conn& conn, Frame frame) {
 
 void EventLoopServer::DispatchQuery(Conn& conn,
                                     std::shared_ptr<const ShardGeneration> gen,
-                                    query::Workload batch, bool v2) {
+                                    query::Workload batch, bool v2,
+                                    const obs::TraceContext& trace) {
   conn.busy = true;
   dispatches_ctr_->Increment();
   inflight_gauge_->Set(static_cast<double>(
       inflight_.fetch_add(1, std::memory_order_acq_rel) + 1));
+  const uint64_t dispatch_ns = obs::NowNanos();
   auto task = [this, id = conn.id, gen = std::move(gen),
-               batch = std::move(batch), v2] {
+               batch = std::move(batch), v2, trace, dispatch_ns,
+               recv_ns = conn.last_read_ns] {
+    const uint64_t exec_start_ns = obs::NowNanos();
     Completion comp;
     comp.conn_id = id;
-    auto answers = gen->engine->AnswerBatch(batch);
+    comp.tenant = gen->key.tenant;
+    comp.tile = gen->key.tile;
+    comp.req_recv_ns = recv_ns;
+    comp.trace = trace;
+    StatusOr<QueryResponse> answers = [&]() -> StatusOr<QueryResponse> {
+      if (!trace.sampled) return gen->engine->AnswerBatch(batch);
+      // The exec span is the active context while the engine runs, so
+      // exemplars, slow-batch logs and ParallelFor lanes chain to it.
+      obs::TraceContext exec_ctx = trace;
+      exec_ctx.span_id = obs::ChildSpanId(trace.span_id, kStageExec);
+      obs::ScopedTraceContext scoped(exec_ctx);
+      return gen->engine->AnswerBatch(batch);
+    }();
     if (!answers.ok()) {
       // Per-query validation failure: report it but keep the connection —
       // the client's next batch may be fine (v1 semantics preserved).
       comp.type = MsgType::kError;
+      comp.error = true;
       comp.payload = EncodeString(answers.status().ToString());
     } else if (v2) {
       TenantQueryResponse response;
       response.epoch = gen->epoch;
       response.answers = std::move(*answers);
+      response.trace = trace;  // echo so the client can match its context
       comp.type = MsgType::kQueryResponseV2;
       comp.payload = EncodeTenantQueryResponse(response);
     } else {
       comp.type = MsgType::kQueryResponse;
       comp.payload = EncodeQueryResponse(*answers);
+    }
+    if (trace.sampled) {
+      RecordSpan(trace, obs::ChildSpanId(trace.span_id, kStageDispatchWait),
+                 trace.span_id, dispatch_ns, exec_start_ns,
+                 "serve/dispatch_wait", "worker");
+      RecordSpan(trace, obs::ChildSpanId(trace.span_id, kStageExec),
+                 trace.span_id, exec_start_ns, obs::NowNanos(), "serve/exec",
+                 "worker",
+                 {{"tenant", gen->key.tenant},
+                  {"tile", gen->key.tile},
+                  {"epoch", std::to_string(gen->epoch)}});
     }
     PushCompletion(std::move(comp));
   };
@@ -460,11 +536,42 @@ void EventLoopServer::DispatchIngest(Conn& conn, ReadingBatch batch) {
   dispatches_ctr_->Increment();
   inflight_gauge_->Set(static_cast<double>(
       inflight_.fetch_add(1, std::memory_order_acq_rel) + 1));
-  auto task = [this, id = conn.id, batch = std::move(batch)] {
+  const uint64_t dispatch_ns = obs::NowNanos();
+  auto task = [this, id = conn.id, batch = std::move(batch), dispatch_ns,
+               recv_ns = conn.last_read_ns] {
+    const uint64_t exec_start_ns = obs::NowNanos();
     Completion comp;
     comp.conn_id = id;
+    comp.tenant = batch.tenant.empty() ? kDefaultTenant : batch.tenant;
+    comp.tile = batch.tile.empty() ? kDefaultTile : batch.tile;
+    comp.req_recv_ns = recv_ns;
+    comp.trace = batch.trace;
+    ReadingAck ack = [&] {
+      if (!batch.trace.sampled) return ingest_->Apply(batch);
+      // The pipeline records ingest/apply + ingest/publish spans (and the
+      // registry its swap span) against the active context, chaining the
+      // batch to the epoch it publishes.
+      obs::TraceContext exec_ctx = batch.trace;
+      exec_ctx.span_id = obs::ChildSpanId(batch.trace.span_id, kStageExec);
+      obs::ScopedTraceContext scoped(exec_ctx);
+      return ingest_->Apply(batch);
+    }();
+    comp.error = ack.rejected > 0 && ack.accepted == 0;
+    ack.trace = batch.trace;  // echo
     comp.type = MsgType::kReadingAck;
-    comp.payload = EncodeReadingAck(ingest_->Apply(batch));
+    comp.payload = EncodeReadingAck(ack);
+    if (batch.trace.sampled) {
+      RecordSpan(batch.trace,
+                 obs::ChildSpanId(batch.trace.span_id, kStageDispatchWait),
+                 batch.trace.span_id, dispatch_ns, exec_start_ns,
+                 "serve/dispatch_wait", "worker");
+      RecordSpan(batch.trace, obs::ChildSpanId(batch.trace.span_id, kStageExec),
+                 batch.trace.span_id, exec_start_ns, obs::NowNanos(),
+                 "serve/exec", "worker",
+                 {{"tenant", comp.tenant},
+                  {"tile", comp.tile},
+                  {"epoch", std::to_string(ack.epoch)}});
+    }
     PushCompletion(std::move(comp));
   };
   if (exec::Threads() > 1) {
@@ -476,15 +583,22 @@ void EventLoopServer::DispatchIngest(Conn& conn, ReadingBatch batch) {
 
 void EventLoopServer::HandleAdmin(Conn& conn,
                                   const std::vector<uint8_t>& payload) {
+  const uint64_t parse_start_ns = obs::NowNanos();
   auto request = DecodeAdminRequest(payload);
   if (!request.ok()) {
     protocol_errors_ctr_->Increment();
     EnqueueError(conn, request.status(), /*close_after=*/true);
     return;
   }
+  RecordRequestSpans(conn, request->trace, parse_start_ns, obs::NowNanos());
+  // The registry records its load/swap span against the active context, so
+  // a traced admin verb chains verb → build → published epoch.
+  std::optional<obs::ScopedTraceContext> scoped;
+  if (request->trace.sampled) scoped.emplace(request->trace);
   const ShardKey key{request->tenant, request->tile};
   AdminResponse response;
   response.verb = request->verb;
+  response.trace = request->trace;  // echo
   Status failed = Status::OK();
   switch (request->verb) {
     case AdminVerb::kLoad: {
@@ -517,6 +631,28 @@ void EventLoopServer::HandleAdmin(Conn& conn,
   EnqueueFrame(conn, MsgType::kAdminResponse, EncodeAdminResponse(response));
 }
 
+void EventLoopServer::RecordRequestSpans(const Conn& conn,
+                                         const obs::TraceContext& ctx,
+                                         uint64_t parse_start_ns,
+                                         uint64_t parse_end_ns) {
+  if (!ctx.sampled) return;
+  // The client's send span: its id travels on the wire, its start is the
+  // stamped send time, and it closes when the bytes landed in our socket
+  // read. Meaningful when client and server share a steady clock (same
+  // machine, as in tests and the CI smoke); omitted if the stamp is absent
+  // or the clocks disagree enough to invert the interval.
+  if (ctx.start_ns != 0 && conn.last_read_ns >= ctx.start_ns) {
+    RecordSpan(ctx, ctx.span_id, 0, ctx.start_ns, conn.last_read_ns,
+               "client/send", "client");
+  }
+  if (conn.last_read_ns != 0 && parse_start_ns >= conn.last_read_ns) {
+    RecordSpan(ctx, obs::ChildSpanId(ctx.span_id, kStageQueue), ctx.span_id,
+               conn.last_read_ns, parse_start_ns, "serve/queue", "loop");
+  }
+  RecordSpan(ctx, obs::ChildSpanId(ctx.span_id, kStageParse), ctx.span_id,
+             parse_start_ns, parse_end_ns, "serve/parse", "loop");
+}
+
 std::string EventLoopServer::MetricsText() const {
   // Default shard first (v1-compatible unlabeled stpt_serve_* families),
   // then this server's loop metrics, the registry's admin + labeled
@@ -525,6 +661,7 @@ std::string EventLoopServer::MetricsText() const {
   auto def = registry_->RouteDefault();
   if (def.ok()) text += (*def)->engine->metrics().ToPrometheusText();
   text += registry_metrics_.ToPrometheusText();
+  text += red_.ToPrometheusText();
   if (ingest_ != nullptr) text += ingest_->MetricsText();
   text += registry_->ToPrometheusText();
   text += obs::Registry::Global().ToPrometheusText();
@@ -664,11 +801,36 @@ void EventLoopServer::ProcessCompletions() {
   for (Completion& comp : batch) {
     inflight_gauge_->Set(static_cast<double>(
         inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1));
+    const uint64_t write_start_ns = obs::NowNanos();
     auto it = conns_.find(comp.conn_id);
     if (it == conns_.end() || it->second->dead) continue;
     Conn& conn = *it->second;
     conn.busy = false;
     EnqueueFrame(conn, comp.type, comp.payload);
+    if (!comp.tenant.empty()) {
+      // RED update: one request per dispatched completion, latency from the
+      // request's socket read to its response hitting the write path.
+      obs::RedFamily::Cell cell = red_.Get(comp.tenant, comp.tile);
+      cell.requests->Increment();
+      if (comp.error) cell.errors->Increment();
+      const uint64_t now_ns = obs::NowNanos();
+      const double latency =
+          comp.req_recv_ns != 0 && now_ns >= comp.req_recv_ns
+              ? static_cast<double>(now_ns - comp.req_recv_ns)
+              : 0.0;
+      if (comp.trace.sampled) {
+        cell.latency_ns->ObserveWithExemplar(latency, comp.trace.trace_hi,
+                                             comp.trace.trace_lo, now_ns);
+      } else {
+        cell.latency_ns->Observe(latency);
+      }
+    }
+    if (comp.trace.sampled) {
+      RecordSpan(comp.trace,
+                 obs::ChildSpanId(comp.trace.span_id, kStageWrite),
+                 comp.trace.span_id, write_start_ns, obs::NowNanos(),
+                 "serve/write", "loop");
+    }
     if (comp.close_after) conn.closing = true;
     if (!conn.dead) ParseFrames(conn);  // more frames may be buffered
   }

@@ -14,6 +14,8 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/red.h"
+#include "obs/trace_context.h"
 #include "serve/registry.h"
 #include "serve/wire.h"
 
@@ -142,6 +144,13 @@ class EventLoopServer {
     MsgType type = MsgType::kError;
     std::vector<uint8_t> payload;
     bool close_after = false;
+    // RED + tracing bookkeeping, filled for dispatched work (queries,
+    // ingest). Empty tenant = inline response, no RED update.
+    std::string tenant;
+    std::string tile;
+    bool error = false;
+    uint64_t req_recv_ns = 0;  ///< socket-read time of the request frame
+    obs::TraceContext trace;   ///< request context; sampled ⇒ write span
   };
 
   EventLoopServer(SnapshotRegistry* registry, EventLoopOptions options);
@@ -155,8 +164,14 @@ class EventLoopServer {
   /// dispatched or the connection is winding down).
   bool HandleFrame(Conn& conn, Frame frame);
   void DispatchQuery(Conn& conn, std::shared_ptr<const ShardGeneration> gen,
-                     query::Workload batch, bool v2);
+                     query::Workload batch, bool v2,
+                     const obs::TraceContext& trace);
   void DispatchIngest(Conn& conn, ReadingBatch batch);
+  /// Records the loop-side lifecycle spans of a sampled request: the
+  /// client's send span (carried start_ns → socket read), the queue wait
+  /// (read → parse start) and the parse itself.
+  void RecordRequestSpans(const Conn& conn, const obs::TraceContext& ctx,
+                          uint64_t parse_start_ns, uint64_t parse_end_ns);
   void HandleAdmin(Conn& conn, const std::vector<uint8_t>& payload);
   std::string MetricsText() const;
   std::string StatsText() const;
@@ -180,6 +195,9 @@ class EventLoopServer {
   IngestSink* ingest_ = nullptr;  // not owned, may be null
 
   mutable obs::Registry registry_metrics_;
+  /// Per-(tenant,tile) RED families, updated when a dispatched completion
+  /// is written back; exported by MetricsText next to the loop metrics.
+  obs::RedFamily red_;
   obs::Counter* connections_ctr_ = nullptr;
   obs::Counter* protocol_errors_ctr_ = nullptr;
   obs::Counter* frames_ctr_ = nullptr;

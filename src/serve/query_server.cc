@@ -13,6 +13,7 @@
 #include "exec/parallel.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace stpt::serve {
 namespace {
@@ -153,7 +154,16 @@ class QueryServer::Impl {
       }
     }
     queries_->Increment();
-    latency_->Observe(static_cast<double>(obs::NowNanos() - start_ns));
+    const uint64_t end_ns = obs::NowNanos();
+    // Sampled requests pin their trace id to the latency bucket they land
+    // in (an OpenMetrics exemplar), so a scrape outlier links to its trace.
+    const obs::TraceContext* ctx = obs::CurrentTraceContext();
+    if (ctx != nullptr && ctx->sampled) {
+      latency_->ObserveWithExemplar(static_cast<double>(end_ns - start_ns),
+                                    ctx->trace_hi, ctx->trace_lo, end_ns);
+    } else {
+      latency_->Observe(static_cast<double>(end_ns - start_ns));
+    }
     return value;
   }
 
@@ -180,12 +190,27 @@ class QueryServer::Impl {
     const uint64_t batch_ns = obs::NowNanos() - batch_start_ns;
     if (slow_batch_ns_ > 0 && batch_ns > slow_batch_ns_) {
       slow_batches_->Increment();
+      // Shard identity + trace id make the warn line joinable against the
+      // per-tenant RED series and a `stpt_serve trace` fetch.
+      const obs::TraceContext* ctx = obs::CurrentTraceContext();
       obs::Log(obs::LogLevel::kWarn, "serve", "slow batch",
                {{"queries", std::to_string(batch.size())},
                 {"wall_ns", std::to_string(batch_ns)},
-                {"threshold_ns", std::to_string(slow_batch_ns_)}});
+                {"threshold_ns", std::to_string(slow_batch_ns_)},
+                {"tenant", tenant_},
+                {"tile", tile_},
+                {"epoch", std::to_string(epoch_)},
+                {"trace_id",
+                 ctx != nullptr && ctx->sampled ? obs::TraceIdHex(*ctx) : ""}});
     }
     return answers;
+  }
+
+  void SetShardIdentity(const std::string& tenant, const std::string& tile,
+                        uint64_t epoch) {
+    tenant_ = tenant;
+    tile_ = tile;
+    epoch_ = epoch;
   }
 
   ServerStats stats() const {
@@ -215,6 +240,11 @@ class QueryServer::Impl {
   obs::Counter* slow_batches_ = nullptr;
   obs::Histogram* latency_ = nullptr;
   uint64_t slow_batch_ns_ = 0;
+  // Shard identity, written once by the registry before the generation is
+  // published (never mutated while queries run).
+  std::string tenant_;
+  std::string tile_;
+  uint64_t epoch_ = 0;
   // Shards are heap-allocated because a mutex is neither movable nor
   // copyable; the vector is empty when the cache is disabled.
   std::vector<std::unique_ptr<LruShard>> shards_;
@@ -255,6 +285,11 @@ StatusOr<double> QueryServer::Answer(const query::RangeQuery& q) {
 
 StatusOr<QueryResponse> QueryServer::AnswerBatch(const query::Workload& batch) {
   return impl_->AnswerBatch(batch);
+}
+
+void QueryServer::SetShardIdentity(const std::string& tenant,
+                                   const std::string& tile, uint64_t epoch) {
+  impl_->SetShardIdentity(tenant, tile, epoch);
 }
 
 ServerStats QueryServer::stats() const { return impl_->stats(); }

@@ -91,6 +91,13 @@ class QueryServer {
   /// InvalidArgument naming the offending index.
   StatusOr<QueryResponse> AnswerBatch(const query::Workload& batch);
 
+  /// Names the shard this engine serves (tenant/tile/epoch). Set by the
+  /// SnapshotRegistry right after construction, before the generation is
+  /// published, so slow-batch logs and traces can identify the shard. An
+  /// engine used standalone keeps empty identity and logs as before.
+  void SetShardIdentity(const std::string& tenant, const std::string& tile,
+                        uint64_t epoch);
+
   /// Snapshot of the serving counters.
   ServerStats stats() const;
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace stpt::serve {
 
@@ -70,6 +71,28 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
+/// Records the registry half of a traced admin chain (load or swap) when the
+/// caller holds a sampled context: the span chains the published epoch to the
+/// ingest/publish (or admin-frame) span driving it.
+void RecordAdminSpan(const char* name, const ShardKey& key, uint64_t epoch,
+                     uint64_t start_ns) {
+  const obs::TraceContext* ctx = obs::CurrentTraceContext();
+  if (ctx == nullptr || !ctx->sampled) return;
+  obs::TraceSpan span;
+  span.trace_hi = ctx->trace_hi;
+  span.trace_lo = ctx->trace_lo;
+  span.span_id = obs::ChildSpanId(ctx->span_id, 1);
+  span.parent_span_id = ctx->span_id;
+  span.start_ns = start_ns;
+  span.end_ns = obs::NowNanos();
+  span.name = name;
+  span.lane = "registry";
+  span.attrs = {{"tenant", key.tenant},
+                {"tile", key.tile},
+                {"epoch", std::to_string(epoch)}};
+  obs::TraceStore::Global().Add(std::move(span));
+}
+
 }  // namespace
 
 SnapshotRegistry::SnapshotRegistry(SnapshotRegistryOptions options)
@@ -126,12 +149,14 @@ StatusOr<uint64_t> SnapshotRegistry::Load(const ShardKey& key, Snapshot snapshot
           ") reached");
     }
   }
+  const uint64_t start_ns = obs::NowNanos();
   auto engine = BuildEngine(std::move(snapshot));
   if (!engine.ok()) return engine.status();
   auto gen = std::make_shared<ShardGeneration>();
   gen->key = key;
   gen->epoch = 1;
   gen->engine = std::move(*engine);
+  gen->engine->SetShardIdentity(key.tenant, key.tile, gen->epoch);
   auto shard = std::make_shared<Shard>();
   shard->generation.store(std::move(gen), std::memory_order_release);
   {
@@ -140,6 +165,7 @@ StatusOr<uint64_t> SnapshotRegistry::Load(const ShardKey& key, Snapshot snapshot
     shards_gauge_->Set(static_cast<double>(shards_.size()));
   }
   loads_->Increment();
+  RecordAdminSpan("registry/load", key, uint64_t{1}, start_ns);
   return uint64_t{1};
 }
 
@@ -173,6 +199,7 @@ StatusOr<uint64_t> SnapshotRegistry::Swap(const ShardKey& key, Snapshot snapshot
   gen->key = key;
   gen->epoch = current->epoch + 1;
   gen->engine = std::move(*engine);
+  gen->engine->SetShardIdentity(key.tenant, key.tile, gen->epoch);
   const uint64_t epoch = gen->epoch;
   // The RCU flip: one atomic store publishes the new generation. Batches
   // that already captured `current` finish on it; its engine is destroyed
@@ -180,6 +207,7 @@ StatusOr<uint64_t> SnapshotRegistry::Swap(const ShardKey& key, Snapshot snapshot
   shard->generation.store(std::move(gen), std::memory_order_release);
   swaps_->Increment();
   swap_latency_->Observe(static_cast<double>(obs::NowNanos() - start_ns));
+  RecordAdminSpan("registry/swap", key, epoch, start_ns);
   return epoch;
 }
 
@@ -286,8 +314,11 @@ std::string SnapshotRegistry::ToPrometheusText() const {
     os << "# HELP " << name << " " << help << "\n# TYPE " << name
        << " counter\n";
     for (const ShardInfo& info : shards) {
-      os << name << "{tenant=\"" << info.key.tenant << "\",tile=\""
-         << info.key.tile << "\"} " << value_of(info) << "\n";
+      // Tenant/tile names are client-controlled; escape them so a hostile
+      // name cannot break out of the label quoting in the exposition text.
+      os << name << "{tenant=\"" << obs::PromEscapeLabel(info.key.tenant)
+         << "\",tile=\"" << obs::PromEscapeLabel(info.key.tile) << "\"} "
+         << value_of(info) << "\n";
     }
   };
   emit("stpt_shard_epoch", "Currently published epoch per shard",

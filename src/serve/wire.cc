@@ -260,7 +260,9 @@ bool ReadCappedString(Cursor& cur, uint32_t cap, std::string* out) {
 bool ReadQueryBody(Cursor& cur, query::Workload* batch) {
   uint32_t count = 0;
   if (!cur.ReadU32(&count)) return false;
-  if (static_cast<size_t>(count) * 24 != cur.remaining()) return false;
+  // The body may be followed only by an optional trace-context field, so the
+  // count still cannot lie: anything else trailing fails ReadTrailingTrace.
+  if (static_cast<size_t>(count) * 24 > cur.remaining()) return false;
   batch->resize(count);
   for (query::RangeQuery& q : *batch) {
     if (!cur.ReadI32(&q.x0) || !cur.ReadI32(&q.x1) || !cur.ReadI32(&q.y0) ||
@@ -269,6 +271,19 @@ bool ReadQueryBody(Cursor& cur, query::Workload* batch) {
     }
   }
   return true;
+}
+
+/// Consumes the rest of the payload as the optional trace-context field:
+/// zero remaining bytes = untraced, exactly one well-formed field = traced,
+/// anything else = malformed. Strictness keeps the codecs canonical — every
+/// accepted payload re-encodes byte-identically.
+bool ReadTrailingTrace(Cursor& cur, obs::TraceContext* out) {
+  *out = obs::TraceContext{};
+  if (cur.remaining() == 0) return true;
+  if (cur.remaining() != obs::kTraceFieldBytes) return false;
+  uint8_t buf[obs::kTraceFieldBytes];
+  if (!cur.ReadBytes(buf, sizeof buf)) return false;
+  return obs::DecodeTraceField(buf, sizeof buf, out);
 }
 
 }  // namespace
@@ -289,6 +304,7 @@ std::vector<uint8_t> EncodeTenantQueryRequest(const TenantQueryRequest& request)
     PutI32(out, q.t0);
     PutI32(out, q.t1);
   }
+  obs::AppendTraceField(out, request.trace);
   return out;
 }
 
@@ -304,6 +320,9 @@ StatusOr<TenantQueryRequest> DecodeTenantQueryRequest(
   }
   if (!ReadU64(cur, &request.epoch)) return Malformed("v2 query epoch");
   if (!ReadQueryBody(cur, &request.batch)) return Malformed("v2 query body");
+  if (!ReadTrailingTrace(cur, &request.trace)) {
+    return Malformed("v2 query trace field");
+  }
   return request;
 }
 
@@ -313,6 +332,7 @@ std::vector<uint8_t> EncodeTenantQueryResponse(const TenantQueryResponse& respon
   PutU64(out, response.epoch);
   PutU32(out, static_cast<uint32_t>(response.answers.size()));
   for (double a : response.answers) PutF64(out, a);
+  obs::AppendTraceField(out, response.trace);
   return out;
 }
 
@@ -323,12 +343,15 @@ StatusOr<TenantQueryResponse> DecodeTenantQueryResponse(
   if (!ReadU64(cur, &response.epoch)) return Malformed("v2 response epoch");
   uint32_t count = 0;
   if (!cur.ReadU32(&count)) return Malformed("v2 response header");
-  if (static_cast<size_t>(count) * 8 != cur.remaining()) {
+  if (static_cast<size_t>(count) * 8 > cur.remaining()) {
     return Malformed("v2 response length");
   }
   response.answers.resize(count);
   for (double& a : response.answers) {
     if (!cur.ReadF64(&a)) return Malformed("v2 response body");
+  }
+  if (!ReadTrailingTrace(cur, &response.trace)) {
+    return Malformed("v2 response trace field");
   }
   return response;
 }
@@ -341,6 +364,7 @@ std::vector<uint8_t> EncodeAdminRequest(const AdminRequest& request) {
   PutString(out, request.tenant);
   PutString(out, request.tile);
   PutString(out, request.path);
+  obs::AppendTraceField(out, request.trace);
   return out;
 }
 
@@ -363,7 +387,9 @@ StatusOr<AdminRequest> DecodeAdminRequest(const std::vector<uint8_t>& payload) {
   if (!ReadCappedString(cur, kMaxWirePathBytes, &request.path)) {
     return Malformed("admin path");
   }
-  if (cur.remaining() != 0) return Malformed("admin trailing bytes");
+  if (!ReadTrailingTrace(cur, &request.trace)) {
+    return Malformed("admin trace field");
+  }
   if (request.verb == AdminVerb::kUnload && !request.path.empty()) {
     return Malformed("admin unload path (must be empty)");
   }
@@ -379,6 +405,7 @@ std::vector<uint8_t> EncodeAdminResponse(const AdminResponse& response) {
   out.push_back(static_cast<uint8_t>(response.verb));
   PutU64(out, response.epoch);
   PutString(out, response.message);
+  obs::AppendTraceField(out, response.trace);
   return out;
 }
 
@@ -395,10 +422,13 @@ StatusOr<AdminResponse> DecodeAdminResponse(const std::vector<uint8_t>& payload)
   if (!ReadU64(cur, &response.epoch)) return Malformed("admin response epoch");
   uint32_t len = 0;
   if (!cur.ReadU32(&len)) return Malformed("admin response header");
-  if (len != cur.remaining()) return Malformed("admin response length");
+  if (len > cur.remaining()) return Malformed("admin response length");
   response.message.resize(len);
   if (len > 0 && !cur.ReadBytes(response.message.data(), len)) {
     return Malformed("admin response body");
+  }
+  if (!ReadTrailingTrace(cur, &response.trace)) {
+    return Malformed("admin response trace field");
   }
   return response;
 }
@@ -439,6 +469,7 @@ std::vector<uint8_t> EncodeReadingBatch(const ReadingBatch& batch) {
     PutI32(out, r.t);
     PutF64(out, r.kwh);
   }
+  obs::AppendTraceField(out, batch.trace);
   return out;
 }
 
@@ -453,7 +484,7 @@ StatusOr<ReadingBatch> DecodeReadingBatch(const std::vector<uint8_t>& payload) {
   }
   uint32_t count = 0;
   if (!cur.ReadU32(&count)) return Malformed("reading batch header");
-  if (static_cast<size_t>(count) * 28 != cur.remaining()) {
+  if (static_cast<size_t>(count) * 28 > cur.remaining()) {
     return Malformed("reading batch length");
   }
   batch.readings.resize(count);
@@ -466,6 +497,9 @@ StatusOr<ReadingBatch> DecodeReadingBatch(const std::vector<uint8_t>& payload) {
     // reject it at the codec so hostile feeders cannot corrupt a shard.
     if (!std::isfinite(r.kwh)) return Malformed("reading batch kwh (non-finite)");
   }
+  if (!ReadTrailingTrace(cur, &batch.trace)) {
+    return Malformed("reading batch trace field");
+  }
   return batch;
 }
 
@@ -475,6 +509,7 @@ std::vector<uint8_t> EncodeReadingAck(const ReadingAck& ack) {
   PutU64(out, ack.accepted);
   PutU64(out, ack.rejected);
   PutU64(out, ack.epoch);
+  obs::AppendTraceField(out, ack.trace);
   return out;
 }
 
@@ -485,8 +520,30 @@ StatusOr<ReadingAck> DecodeReadingAck(const std::vector<uint8_t>& payload) {
       !ReadU64(cur, &ack.epoch)) {
     return Malformed("reading ack body");
   }
-  if (cur.remaining() != 0) return Malformed("reading ack trailing bytes");
+  if (!ReadTrailingTrace(cur, &ack.trace)) {
+    return Malformed("reading ack trace field");
+  }
   return ack;
+}
+
+std::vector<uint8_t> EncodeTraceFetchRequest(const TraceFetchRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + request.trace_id.size());
+  PutU32(out, request.limit);
+  PutString(out, request.trace_id);
+  return out;
+}
+
+StatusOr<TraceFetchRequest> DecodeTraceFetchRequest(
+    const std::vector<uint8_t>& payload) {
+  Cursor cur(payload);
+  TraceFetchRequest request;
+  if (!cur.ReadU32(&request.limit)) return Malformed("trace request limit");
+  if (!ReadCappedString(cur, kMaxWireTraceIdBytes, &request.trace_id)) {
+    return Malformed("trace request id");
+  }
+  if (cur.remaining() != 0) return Malformed("trace request trailing bytes");
+  return request;
 }
 
 void FrameDecoder::Append(const uint8_t* data, size_t n) {
@@ -514,7 +571,7 @@ StatusOr<bool> FrameDecoder::Next(Frame* out) {
   if (buffered() < 4 + static_cast<size_t>(length)) return false;
   const uint8_t type = p[4];
   if (type < static_cast<uint8_t>(MsgType::kQueryRequest) ||
-      type > static_cast<uint8_t>(MsgType::kReadingAck)) {
+      type > static_cast<uint8_t>(MsgType::kTraceResponse)) {
     poisoned_ = true;
     return Malformed("frame type value");
   }
@@ -550,7 +607,7 @@ StatusOr<Frame> ReadFrame(int fd) {
   uint8_t type = 0;
   if (ReadFully(fd, &type, 1) != 1) return Malformed("frame type");
   if (type < static_cast<uint8_t>(MsgType::kQueryRequest) ||
-      type > static_cast<uint8_t>(MsgType::kReadingAck)) {
+      type > static_cast<uint8_t>(MsgType::kTraceResponse)) {
     return Malformed("frame type value");
   }
   Frame frame;

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "grid/consumption_matrix.h"
+#include "obs/trace_context.h"
 #include "query/range_query.h"
 #include "serve/snapshot.h"
 
@@ -53,6 +54,18 @@ namespace stpt::serve {
 ///                     live meter reading per tuple. kWh must be finite.
 ///   kReadingAck       u64 accepted, u64 rejected, u64 epoch currently
 ///                     published for the addressed shard (0 = none yet)
+///   kTraceRequest     u32 limit (0 = all stored), str trace-id filter
+///                     (32 hex chars, empty = all traces)
+///   kTraceResponse    str JSON (obs::TraceStore::ToJson)
+///
+/// Trace context (`trace` below): every v2 request frame (kQueryRequestV2,
+/// kAdminRequest, kReadingBatch) and its response (kQueryResponseV2,
+/// kAdminResponse, kReadingAck) may end with ONE optional trailing
+/// length-delimited trace-context field (see obs/trace_context.h for the
+/// exact layout: u8 len, u8 flags, u64 trace_hi/trace_lo/span_id/start_ns).
+/// Absent = untraced — an untraced frame's bytes are identical to the
+/// pre-trace protocol, so old peers and untraced traffic interoperate
+/// unchanged. Servers echo the request's context in the response.
 ///
 /// A reader that sees a malformed frame (bad length, unknown type, short
 /// payload) gets a non-OK Status and the connection is dropped; the peer's
@@ -77,6 +90,8 @@ enum class MsgType : uint8_t {
   kShardStatsResponse = 16,
   kReadingBatch = 17,
   kReadingAck = 18,
+  kTraceRequest = 19,
+  kTraceResponse = 20,
 };
 
 /// Registry admin verbs carried by kAdminRequest.
@@ -118,6 +133,7 @@ struct TenantQueryRequest {
   std::string tile;
   uint64_t epoch = 0;
   query::Workload batch;
+  obs::TraceContext trace;  ///< optional; encoded only when trace.valid()
 
   bool operator==(const TenantQueryRequest&) const = default;
 };
@@ -127,6 +143,7 @@ struct TenantQueryRequest {
 struct TenantQueryResponse {
   uint64_t epoch = 0;
   QueryResponse answers;
+  obs::TraceContext trace;  ///< request context echoed back
 
   bool operator==(const TenantQueryResponse&) const = default;
 };
@@ -139,6 +156,7 @@ struct AdminRequest {
   std::string tenant;
   std::string tile;
   std::string path;
+  obs::TraceContext trace;  ///< optional; encoded only when trace.valid()
 
   bool operator==(const AdminRequest&) const = default;
 };
@@ -148,6 +166,7 @@ struct AdminResponse {
   AdminVerb verb = AdminVerb::kLoad;
   uint64_t epoch = 0;
   std::string message;
+  obs::TraceContext trace;  ///< request context echoed back
 
   bool operator==(const AdminResponse&) const = default;
 };
@@ -179,6 +198,7 @@ struct ReadingBatch {
   std::string tenant;
   std::string tile;
   std::vector<MeterReading> readings;
+  obs::TraceContext trace;  ///< optional; encoded only when trace.valid()
 
   bool operator==(const ReadingBatch&) const = default;
 };
@@ -189,9 +209,24 @@ struct ReadingAck {
   uint64_t accepted = 0;
   uint64_t rejected = 0;
   uint64_t epoch = 0;
+  obs::TraceContext trace;  ///< request context echoed back
 
   bool operator==(const ReadingAck&) const = default;
 };
+
+/// kTraceRequest: fetch recently completed sampled request traces from the
+/// server's obs::TraceStore. `limit` keeps only the most recent N traces
+/// (0 = all stored); a non-empty `trace_id` (32 lowercase hex chars) selects
+/// one trace.
+struct TraceFetchRequest {
+  uint32_t limit = 0;
+  std::string trace_id;
+
+  bool operator==(const TraceFetchRequest&) const = default;
+};
+
+/// Upper bound on the kTraceRequest filter (a 128-bit id is 32 hex chars).
+inline constexpr uint32_t kMaxWireTraceIdBytes = 64;
 
 /// --- Payload codecs (pure, no I/O) ---------------------------------------
 
@@ -230,6 +265,10 @@ StatusOr<ReadingBatch> DecodeReadingBatch(const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeReadingAck(const ReadingAck& ack);
 StatusOr<ReadingAck> DecodeReadingAck(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeTraceFetchRequest(const TraceFetchRequest& request);
+StatusOr<TraceFetchRequest> DecodeTraceFetchRequest(
+    const std::vector<uint8_t>& payload);
 
 /// --- Incremental frame decoding (event-loop read path) ---------------------
 

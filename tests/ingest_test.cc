@@ -62,7 +62,7 @@ TEST(ReadingCodecTest, EmptyBatchRoundTrip) {
 }
 
 TEST(ReadingCodecTest, AckRoundTrip) {
-  const serve::ReadingAck ack{3, 1, 7};
+  const serve::ReadingAck ack{3, 1, 7, {}};
   auto decoded = serve::DecodeReadingAck(serve::EncodeReadingAck(ack));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(*decoded, ack);

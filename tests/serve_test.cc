@@ -575,9 +575,9 @@ TEST(WireV2Test, TruncationSweepRejectsEveryPrefix) {
   request.batch = MakeQueries({6, 6, 8}, 4, 83);
   const std::vector<std::vector<uint8_t>> payloads = {
       EncodeTenantQueryRequest(request),
-      EncodeTenantQueryResponse({5, {1.0, -2.0, 0.5}}),
-      EncodeAdminRequest({AdminVerb::kSwap, "acme", "0", "/tmp/a.stpt"}),
-      EncodeAdminResponse({AdminVerb::kLoad, 1, "ok"}),
+      EncodeTenantQueryResponse({5, {1.0, -2.0, 0.5}, {}}),
+      EncodeAdminRequest({AdminVerb::kSwap, "acme", "0", "/tmp/a.stpt", {}}),
+      EncodeAdminResponse({AdminVerb::kLoad, 1, "ok", {}}),
       EncodeShardStatsRequest({"acme", "0"}),
   };
   const std::vector<std::function<bool(const uint8_t*, size_t)>> decoders = {

@@ -4,6 +4,7 @@
 //               [--dims=8,8,64] [--slices=16] [--t-offset=0]
 //               [--readings=4096] [--batch=256] [--seed=7] [--kwh-max=5.0]
 //               [--no-flush] [--threads=N] [--trace=path] [--log-level=warn]
+//               [--trace-sample=N]
 //
 // Generates --readings synthetic readings spread in time order over
 // --slices timesteps starting at --t-offset of a --dims grid (cells and
@@ -18,6 +19,12 @@
 //
 // Exits nonzero if the server rejects any reading or the final epoch
 // never advanced past zero (nothing was published).
+//
+// `--trace-sample=N` attaches a deterministic per-batch trace context,
+// head-sampled 1/N. Sampled batches chain accept → republish → registry
+// swap spans in the server's trace store (`stpt_serve trace`). The trace
+// ids fork off their own Rng stream, so the reading stream — and the DP
+// release it produces — is bit-identical with tracing on or off.
 
 #include <algorithm>
 #include <cstdio>
@@ -32,6 +39,7 @@
 #include "kernels/backend.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "serve/client.h"
 #include "serve/wire.h"
 
@@ -63,6 +71,8 @@ FlagSet MakeFlags() {
   flags.DefineString("trace", "", "write Chrome trace-event JSON here");
   flags.DefineString("log-level", "warn", "debug|info|warn|error|off");
   flags.DefineString("kernel-backend", "auto", "kernel backend (naive, avx2, auto)");
+  flags.DefineInt("trace-sample", 0,
+                  "attach trace contexts, head-sampled 1/N (0 = untraced)");
   return flags;
 }
 
@@ -97,6 +107,18 @@ int Run(const FlagSet& flags) {
   const std::string tile = flags.GetString("tile");
   const double kwh_max = flags.GetDouble("kwh-max");
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  // Trace ids come from their own base Rng (MakeTraceContext forks it
+  // without advancing), so the reading stream above replays identically
+  // whether or not tracing is on.
+  const uint32_t trace_sample =
+      static_cast<uint32_t>(flags.GetInt("trace-sample"));
+  const Rng trace_base(static_cast<uint64_t>(flags.GetInt("seed")));
+  uint64_t batch_index = 0;
+  auto next_trace = [&]() {
+    return trace_sample > 0
+               ? obs::MakeTraceContext(trace_base, batch_index++, trace_sample)
+               : obs::TraceContext{};
+  };
 
   // Readings per timestep, in time order so the server never sees a "late"
   // slice: reading i lands on t = i / per_slice.
@@ -115,7 +137,7 @@ int Run(const FlagSet& flags) {
     r.kwh = rng.Uniform(0.0, kwh_max);
     pending.push_back(r);
     if (static_cast<int64_t>(pending.size()) == batch_size || i + 1 == total) {
-      auto ack = client->Ingest(tenant, tile, pending);
+      auto ack = client->Ingest(tenant, tile, pending, next_trace());
       if (!ack.ok()) return Fail(ack.status());
       accepted += ack->accepted;
       rejected += ack->rejected;
@@ -124,7 +146,7 @@ int Run(const FlagSet& flags) {
     }
   }
   if (!flags.GetBool("no-flush")) {
-    auto ack = client->Ingest(tenant, tile, {});
+    auto ack = client->Ingest(tenant, tile, {}, next_trace());
     if (!ack.ok()) return Fail(ack.status());
     epoch = ack->epoch;
   }

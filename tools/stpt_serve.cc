@@ -10,15 +10,16 @@
 //                        [--ingest-snapshot-dir=] [--ingest-ledger=]]
 //   stpt_serve query    --port=P [--host=127.0.0.1] [--tenant=] [--tile=]
 //                       [--count=1000] [--kind=random|small|large] [--seed=7]
-//                       [--batch=256]
+//                       [--batch=256] [--trace-sample=N]
 //   stpt_serve verify   --snapshot=g.stpt --port=P [--tenant=] [--tile=]
 //                       [--host=...] [--count=10000] [--kind=random]
-//                       [--seed=7] [--batch=256]
+//                       [--seed=7] [--batch=256] [--trace-sample=N]
 //   stpt_serve load     --port=P --tenant=T [--tile=0] --snapshot=path
 //   stpt_serve swap     --port=P --tenant=T [--tile=0] --snapshot=path
 //   stpt_serve unload   --port=P --tenant=T [--tile=0]
 //   stpt_serve stats    --port=P [--host=...] [--tenant=T [--tile=0]]
 //   stpt_serve metrics  --port=P [--host=...]
+//   stpt_serve trace    --port=P [--host=...] [--limit=N] [--trace-id=HEX]
 //   stpt_serve shutdown --port=P [--host=...]
 //
 // `serve` starts the sharded event-loop server. With --snapshot it loads
@@ -43,6 +44,13 @@
 // (per-shard when --tenant is given); `metrics` prints every metric
 // registry in Prometheus text exposition format.
 //
+// `--trace-sample=N` on query/verify attaches a deterministic trace
+// context to every request batch (v2 frames) and head-samples traces at
+// 1/N (N=1 samples every batch; 0, the default, sends untraced frames
+// that are byte-identical to the pre-trace protocol). Sampled requests
+// leave lifecycle spans in the server's trace store; fetch them as JSON
+// with `stpt_serve trace` (most recent --limit traces, or one --trace-id).
+//
 // Every subcommand also accepts --trace=<path> (Chrome trace-event JSON
 // written at exit), --log-level=<debug|info|warn|error|off> (structured
 // log threshold, default warn), and --kernel-backend=<naive|avx2|auto>
@@ -65,6 +73,7 @@
 #include "kernels/backend.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "query/range_query.h"
 #include "serve/client.h"
 #include "serve/event_loop.h"
@@ -84,7 +93,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: stpt_serve <serve|query|verify|load|swap|unload|stats|"
-               "metrics|shutdown> [--options]\n"
+               "metrics|trace|shutdown> [--options]\n"
                "see the header of tools/stpt_serve.cc for details\n");
   return 2;
 }
@@ -159,6 +168,17 @@ FlagSet QueryFlags() {
   flags.DefineInt("count", -1, "queries to run (-1 = 1000, or 10000 for verify)");
   flags.DefineInt("batch", 256, "queries per request frame");
   flags.DefineInt("seed", 7, "workload seed");
+  flags.DefineInt("trace-sample", 0,
+                  "attach trace contexts, head-sampled 1/N (0 = untraced)");
+  return flags;
+}
+
+FlagSet TraceFlags() {
+  FlagSet flags;
+  DefineCommonFlags(flags);
+  DefineClientFlags(flags);
+  flags.DefineInt("limit", 0, "most recent traces to fetch (0 = all stored)");
+  flags.DefineString("trace-id", "", "fetch one trace by 32-hex-char id");
   return flags;
 }
 
@@ -323,9 +343,19 @@ int RunQueryOrVerify(const FlagSet& flags, bool verify) {
     direct = &direct_storage;
   }
 
-  const bool v2 = flags.Provided("tenant") || flags.Provided("tile");
+  const uint32_t trace_sample =
+      static_cast<uint32_t>(flags.GetInt("trace-sample"));
+  // Tracing needs the v2 frame (the v1 layout is frozen); untenanted traced
+  // runs address the default shard explicitly.
+  const bool v2 = flags.Provided("tenant") || flags.Provided("tile") ||
+                  trace_sample > 0;
   const std::string tenant = flags.GetString("tenant");
   const std::string tile = flags.GetString("tile");
+  // Trace ids fork off their own base so the workload stream is untouched:
+  // answers are bit-identical with tracing on or off.
+  const Rng trace_base(static_cast<uint64_t>(flags.GetInt("seed")));
+  std::string first_sampled_id;
+  int sampled_batches = 0;
 
   const uint64_t start_ns = exec::NowNanos();
   double checksum = 0.0;
@@ -337,7 +367,16 @@ int RunQueryOrVerify(const FlagSet& flags, bool verify) {
     query::Workload batch(workload->begin() + base, workload->begin() + base + n);
     serve::QueryResponse answers;
     if (v2) {
-      auto response = client->QueryTenant(tenant, tile, batch);
+      obs::TraceContext trace;
+      if (trace_sample > 0) {
+        trace = obs::MakeTraceContext(
+            trace_base, static_cast<uint64_t>(base / batch_size), trace_sample);
+        if (trace.sampled) {
+          ++sampled_batches;
+          if (first_sampled_id.empty()) first_sampled_id = obs::TraceIdHex(trace);
+        }
+      }
+      auto response = client->QueryTenant(tenant, tile, batch, /*epoch=*/0, trace);
       if (!response.ok()) return Fail(response.status());
       if (first_epoch == 0) first_epoch = response->epoch;
       last_epoch = response->epoch;
@@ -361,6 +400,11 @@ int RunQueryOrVerify(const FlagSet& flags, bool verify) {
   const double secs = static_cast<double>(exec::NowNanos() - start_ns) * 1e-9;
   std::printf("%d queries in %.3f s (%.0f q/s), checksum %.6g\n", count, secs,
               secs > 0 ? count / secs : 0.0, checksum);
+  if (trace_sample > 0) {
+    std::printf("trace sampling 1/%u: %d batches sampled%s%s\n", trace_sample,
+                sampled_batches, first_sampled_id.empty() ? "" : ", first id ",
+                first_sampled_id.c_str());
+  }
   if (v2 && first_epoch != last_epoch) {
     std::printf("epoch advanced %llu -> %llu during the run (hot swap)\n",
                 static_cast<unsigned long long>(first_epoch),
@@ -433,6 +477,17 @@ int RunMetrics(const FlagSet& flags) {
   return 0;
 }
 
+int RunTrace(const FlagSet& flags) {
+  auto client = ConnectFromFlags(flags);
+  if (!client.ok()) return Fail(client.status());
+  auto traces =
+      client->FetchTraces(static_cast<uint32_t>(flags.GetInt("limit")),
+                          flags.GetString("trace-id"));
+  if (!traces.ok()) return Fail(traces.status());
+  std::printf("%s\n", traces->c_str());
+  return 0;
+}
+
 int RunShutdown(const FlagSet& flags) {
   auto client = ConnectFromFlags(flags);
   if (!client.ok()) return Fail(client.status());
@@ -456,6 +511,8 @@ int main(int argc, char** argv) {
     flags = AdminFlags();
   } else if (command == "stats") {
     flags = StatsFlags();
+  } else if (command == "trace") {
+    flags = TraceFlags();
   } else if (command == "metrics" || command == "shutdown") {
     flags = ClientOnlyFlags();
   } else {
@@ -503,6 +560,8 @@ int main(int argc, char** argv) {
     rc = RunStats(flags);
   } else if (command == "metrics") {
     rc = RunMetrics(flags);
+  } else if (command == "trace") {
+    rc = RunTrace(flags);
   } else {
     rc = RunShutdown(flags);
   }
