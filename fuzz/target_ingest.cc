@@ -27,8 +27,8 @@ void RequireCanonical(const char* what, const std::vector<uint8_t>& reencoded,
 /// Structure-aware pipeline driver: the payload is cut into (header, batch)
 /// records and applied to an in-memory IngestPipeline. Whatever arbitrary
 /// tenants, cells, timestamps, and loads arrive, every ack must account for
-/// every reading and the shard ledgers must replay to the accountants'
-/// consumed epsilon bitwise. Bounded work: dims 4x4x8, <= 64 batches of
+/// every reading (accepted + clamped + rejected) and the shard ledgers must
+/// replay to the accountants' consumed epsilon bitwise. Bounded work: dims 4x4x8, <= 64 batches of
 /// <= 16 readings, <= 4 shards.
 void FuzzPipeline(const uint8_t* data, size_t size) {
   auto registry = serve::SnapshotRegistry::Create();
@@ -38,6 +38,7 @@ void FuzzPipeline(const uint8_t* data, size_t size) {
   options.dims = grid::Dims{4, 4, 8};
   options.epoch_readings = 24;
   options.epoch_ticks_ns = 1000;
+  options.backfill_grace = 1;  // keep the late-but-in-grace path reachable
   options.max_shards = 4;
   auto pipeline =
       ingest::IngestPipeline::Create(registry->get(), &clock, options);
@@ -67,9 +68,10 @@ void FuzzPipeline(const uint8_t* data, size_t size) {
       batch.readings.push_back(r);
     }
     const serve::ReadingAck ack = pipeline->get()->Apply(batch);
-    if (ack.accepted + ack.rejected != batch.readings.size()) {
-      std::fprintf(stderr, "FuzzIngest: ack %llu+%llu != %zu readings\n",
+    if (ack.accepted + ack.clamped + ack.rejected != batch.readings.size()) {
+      std::fprintf(stderr, "FuzzIngest: ack %llu+%llu+%llu != %zu readings\n",
                    static_cast<unsigned long long>(ack.accepted),
+                   static_cast<unsigned long long>(ack.clamped),
                    static_cast<unsigned long long>(ack.rejected),
                    batch.readings.size());
       std::abort();

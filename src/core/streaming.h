@@ -26,6 +26,13 @@ namespace stpt::core {
 ///  * otherwise the slice is published with half of the publication budget
 ///    still unspent inside the current window (exponential back-off, so the
 ///    window budget is never exceeded no matter how many changes occur).
+///
+/// Each call to ProcessSlice seals one slice: its release (or republish
+/// decision) is spent budget and can never be revised, which is why the
+/// ingest pipeline holds a slice open — optionally with a backfill grace
+/// behind it — until no more readings are expected, and enforces the
+/// unit_sensitivity bound by clamping at admission rather than trusting
+/// feeders (see ingest::IngestPipeline).
 class StreamingPublisher {
  public:
   struct Options {

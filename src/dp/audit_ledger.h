@@ -70,6 +70,18 @@ class AuditLedger {
   /// sink's contents.
   std::string ToJsonl() const;
 
+  /// Parses JSONL produced by this ledger (the file sink or ToJsonl) back
+  /// into records — the replay entry point for crash recovery, which must
+  /// read a dead pipeline's ledger before reopening (and truncating) the
+  /// sink. Tolerant of a torn final line; strict about the field layout
+  /// WriteRecordLocked emits, so doubles round-trip bitwise.
+  static std::vector<AuditRecord> ParseJsonl(const std::string& text);
+
+  /// ComposedEpsilon over an arbitrary record sequence: per-stage running
+  /// max, stages summed in first-charge order. Applying it to ParseJsonl's
+  /// output reproduces the dead accountant's ConsumedEpsilon bitwise.
+  static double ComposeRecords(const std::vector<AuditRecord>& records);
+
  private:
   void WriteRecordLocked(const AuditRecord& record);
 

@@ -1,0 +1,131 @@
+#ifndef STPT_INGEST_CONTRIBUTION_MAP_H_
+#define STPT_INGEST_CONTRIBUTION_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stpt::ingest {
+
+/// Admitted contribution per (meter, cell) within ONE open time slice — the
+/// state behind the ingest pipeline's ±unit_sensitivity clamp, and the only
+/// per-reading lookup on the admission hot path. The pipeline keeps a ring
+/// of these, one per open ring slot, so "evict everything the seal just
+/// retired" is Clear() on the sealed slice's map instead of a rebuild of
+/// one big (meter, cell, t) table. That rebuild — two full-table passes per
+/// seal — once cost more than every probe the table ever served.
+///
+/// Open-addressed linear probing over a power-of-two slot array at <= 50%
+/// load, so the common case is one cache-line probe and inserts never
+/// allocate (std::unordered_map's per-node allocation roughly doubled
+/// sustained ingest cost at 100k-reading scale). Clear() is O(1): slots
+/// carry the generation that wrote them and a bumped generation makes every
+/// slot stale at once. Capacity is retained across Clear(), so a slice that
+/// refills to its predecessor's population (the steady state) never grows
+/// again.
+class ContributionMap {
+ public:
+  /// Returns the contribution slot for (meter, cell), inserting a zero
+  /// entry if the key is new. When `may_insert` is false a new key returns
+  /// nullptr and nothing is inserted (existing keys are always found) —
+  /// the pipeline's contribution_cap check. The pointer is valid only
+  /// until the next FindOrInsert.
+  double* FindOrInsert(uint64_t meter, int32_t cell, bool may_insert) {
+    if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) Grow();
+    const uint64_t tag = (gen_ << 32) | static_cast<uint32_t>(cell);
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(meter, cell) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if ((s.tag >> 32) != gen_) {  // stale or never written: insertable
+        if (!may_insert) return nullptr;
+        s.meter = meter;
+        s.tag = tag;
+        s.value = 0.0;
+        ++size_;
+        return &s.value;
+      }
+      if (s.tag == tag && s.meter == meter) return &s.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Hints the cache that (meter, cell)'s home slot is about to be probed.
+  /// The admission loop calls this a few readings ahead of FindOrInsert so
+  /// the slot line — usually evicted by the batch's wire traffic between
+  /// Apply calls — is already in flight when the probe issues. Purely a
+  /// hint; a Grow between the two calls costs nothing but a wasted fetch.
+  void Prefetch(uint64_t meter, int32_t cell) const {
+    if (!slots_.empty()) {
+      __builtin_prefetch(&slots_[Hash(meter, cell) & (slots_.size() - 1)]);
+    }
+  }
+
+  /// Drops every entry in O(1) by advancing the generation; stale slots are
+  /// overwritten lazily by later inserts. Capacity is retained.
+  void Clear() {
+    size_ = 0;
+    if (++gen_ == kGenLimit) {
+      // Tag aliasing horizon: entries written exactly 2^32 generations ago
+      // would read as live again. Scrub once and restart — this is one
+      // memset per four billion seals.
+      std::fill(slots_.begin(), slots_.end(), Slot{});
+      gen_ = 1;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  /// Slot-array capacity; 0 until the first insert. The pipeline uses this
+  /// to hand a virgin ring slot a recycled buffer from a sealed slice
+  /// instead of letting it re-ramp through every power of two.
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  /// tag packs (generation << 32 | cell): one compare checks both "live in
+  /// the current generation" and "same cell". Generation 0 is never
+  /// current, so zero-initialised slots read as empty.
+  struct alignas(32) Slot {
+    uint64_t meter = 0;
+    uint64_t tag = 0;
+    double value = 0.0;
+  };
+
+  static uint64_t Hash(uint64_t meter, int32_t cell) {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a over the two key words
+    for (const uint64_t v :
+         {meter, static_cast<uint64_t>(static_cast<uint32_t>(cell))}) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  /// Doubles capacity and rehashes the live entries. Amortised O(1) per
+  /// insert, and quiescent once capacity reaches the slice's steady-state
+  /// population.
+  void Grow() {
+    const size_t capacity = slots_.empty() ? kMinSlots : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    const size_t mask = capacity - 1;
+    for (const Slot& s : old) {
+      if ((s.tag >> 32) != gen_) continue;
+      size_t i = Hash(s.meter, static_cast<int32_t>(s.tag)) & mask;
+      while ((slots_[i].tag >> 32) == gen_) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  static constexpr size_t kMinSlots = 256;
+  static constexpr uint64_t kGenLimit = 1ull << 32;
+
+  std::vector<Slot> slots_;
+  uint64_t gen_ = 1;
+  size_t size_ = 0;
+};
+
+}  // namespace stpt::ingest
+
+#endif  // STPT_INGEST_CONTRIBUTION_MAP_H_

@@ -48,6 +48,15 @@ Status IncrementalPrefix::SetSlice(int t, const std::vector<double>& values) {
   return Status::OK();
 }
 
+Status IncrementalPrefix::SetSliceLogical(int64_t t,
+                                          const std::vector<double>& values) {
+  if (t < 0) {
+    return Status::InvalidArgument(
+        "IncrementalPrefix::SetSliceLogical: negative timestep");
+  }
+  return SetSlice(SlotFor(t), values);
+}
+
 int64_t IncrementalPrefix::Flush() {
   if (dirty_lo_ >= dims_.ct) return 0;
   const int cx = dims_.cx;

@@ -49,6 +49,17 @@ class IncrementalPrefix {
   /// (x, y) row-major order. Returns InvalidArgument on a bad t or size.
   Status SetSlice(int t, const std::vector<double>& values);
 
+  /// Ring write: overwrites the slice at physical slot `t % ct` for a
+  /// logical timestep t >= 0 that may exceed the horizon. The streaming
+  /// pipeline's accumulator is a ring over ct timesteps — once the stream
+  /// outlives the grid, each publication of logical slice t replaces the
+  /// release of t - ct, and the prefix table keeps covering the most recent
+  /// lap. Returns InvalidArgument for negative t or a bad size.
+  Status SetSliceLogical(int64_t t, const std::vector<double>& values);
+
+  /// The physical slot a logical timestep lands in (t % ct; t >= 0).
+  int SlotFor(int64_t t) const { return static_cast<int>(t % dims_.ct); }
+
   /// Recomputes the dirty t-suffix of the prefix table (no-op when clean).
   /// Returns the number of timesteps rescanned.
   int64_t Flush();

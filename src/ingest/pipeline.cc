@@ -1,11 +1,13 @@
 #include "ingest/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <optional>
 #include <sstream>
 #include <utility>
 
+#include "ingest/contribution_map.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
 #include "serve/snapshot.h"
@@ -89,6 +91,43 @@ std::string JsonDouble(double v) {
   return buf;
 }
 
+/// The default shard appends to ledger_path itself; every other shard gets
+/// a per-shard suffix. Recovery recomputes the same path to read the dead
+/// process's ledger before the new shard truncates it.
+std::string ShardLedgerPath(const std::string& ledger_path,
+                            const std::string& tenant,
+                            const std::string& tile) {
+  std::string path = ledger_path;
+  if (tenant != serve::kDefaultTenant || tile != serve::kDefaultTile) {
+    path += "." + SafeName(tenant) + "." + SafeName(tile);
+  }
+  return path;
+}
+
+std::string ShardWalPath(const std::string& wal_dir, const std::string& tenant,
+                         const std::string& tile) {
+  return wal_dir + "/" + SafeName(tenant) + "." + SafeName(tile) + ".wal";
+}
+
+std::string ShardSnapshotPath(const std::string& snapshot_dir,
+                              const std::string& tenant,
+                              const std::string& tile, uint64_t publish_seq) {
+  return snapshot_dir + "/" + SafeName(tenant) + "." + SafeName(tile) + ".p" +
+         std::to_string(publish_seq) + serve::kSnapshotExtension;
+}
+
+/// Whole-file read for recovery verification; nullopt when unreadable.
+std::optional<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) bytes.append(buf, n);
+  std::fclose(file);
+  return bytes;
+}
+
 // Child-span stages of a traced ingest request under the serve tier's exec
 // span: apply covers the whole batch, publish the w-event republish it
 // triggered (the registry records its own swap span under publish).
@@ -128,16 +167,34 @@ struct IngestPipeline::Shard {
   std::string tenant;
   std::string tile;
 
-  grid::ConsumptionMatrix raw;               ///< readings as they arrived
+  grid::ConsumptionMatrix raw;  ///< ring accumulator: slice at slot t % ct
   std::optional<IncrementalPrefix> sanitized;  ///< DP-released matrix + prefix
   std::optional<core::StreamingPublisher> publisher;
   std::optional<dp::BudgetAccountant> accountant;
   dp::AuditLedger ledger;
   Rng rng{0};
 
-  int next_slice = 0;    ///< first unpublished timestep
-  int high_water = -1;   ///< max timestep that received a reading
+  /// Admitted contribution per (meter, cell), one map per ring slot — the
+  /// state that enforces the ±unit_sensitivity clamp. A slice's keys die
+  /// wholesale with its publication (an O(1) Clear of its map), so the
+  /// ring holds at most the open window's meters.
+  std::vector<ContributionMap> contribution;
+  /// Cleared maps from sealed slices, buffers intact. A virgin ring slot
+  /// adopts one instead of growing from scratch: map capacity ramps once
+  /// per shard (to the open window's depth), not once per slice — the
+  /// fresh-allocation page faults of per-slice ramps dominated admission
+  /// cost on the live path.
+  std::vector<ContributionMap> contribution_pool;
+  /// Live keys across the ring — the contribution_cap denominator.
+  int64_t contribution_keys = 0;
+
+  /// Reading WAL, attached when options.wal_dir is set (and not replaying).
+  std::optional<Wal> wal;
+
+  int64_t next_slice = 0;   ///< first unpublished logical timestep
+  int64_t high_water = -1;  ///< max logical timestep that received a reading
   uint64_t accepted = 0;
+  uint64_t clamped = 0;
   uint64_t rejected = 0;
   int64_t readings_since_publish = 0;
   int64_t last_publish_ns = 0;
@@ -152,6 +209,9 @@ IngestPipeline::IngestPipeline(serve::SnapshotRegistry* registry, Clock* clock,
                                      "Reading batches applied");
   readings_ctr_ = metrics_.GetCounter("stpt_ingest_readings_total",
                                       "Meter readings accepted");
+  clamped_ctr_ = metrics_.GetCounter(
+      "stpt_ingest_clamped_total",
+      "Readings whose contribution was clamped to the sensitivity bound");
   rejected_ctr_ = metrics_.GetCounter(
       "stpt_ingest_rejected_total",
       "Readings rejected (out of bounds, late, or shard limit)");
@@ -162,6 +222,9 @@ IngestPipeline::IngestPipeline(serve::SnapshotRegistry* registry, Clock* clock,
       "Timesteps rescanned by incremental prefix flushes");
   publish_errors_ctr_ = metrics_.GetCounter("stpt_ingest_publish_errors_total",
                                             "Failed publication attempts");
+  wal_errors_ctr_ = metrics_.GetCounter(
+      "stpt_ingest_wal_errors_total",
+      "WAL append failures (ingest continues, recovery coverage degrades)");
   shards_gauge_ =
       metrics_.GetGauge("stpt_ingest_shards", "Shards with ingest state");
   republish_latency_ = metrics_.GetHistogram(
@@ -191,6 +254,13 @@ StatusOr<std::unique_ptr<IngestPipeline>> IngestPipeline::Create(
   }
   if (options.accountant_epsilon < 0.0) {
     return Status::InvalidArgument("ingest: accountant_epsilon must be >= 0");
+  }
+  if (options.backfill_grace < 0 || options.backfill_grace >= options.dims.ct) {
+    return Status::InvalidArgument(
+        "ingest: backfill_grace must be in [0, ct)");
+  }
+  if (options.contribution_cap < 0) {
+    return Status::InvalidArgument("ingest: contribution_cap must be >= 0");
   }
   // Publisher knobs are validated once here by a dry run, so FindShard can
   // treat per-shard construction as infallible-by-options.
@@ -223,6 +293,7 @@ IngestPipeline::Shard* IngestPipeline::FindShard(const std::string& tenant,
   shard->tenant = tenant;
   shard->tile = tile;
   shard->raw = *grid::ConsumptionMatrix::Create(options_.dims);
+  shard->contribution.resize(static_cast<size_t>(options_.dims.ct));
   shard->sanitized = *IncrementalPrefix::Create(options_.dims);
 
   const double accountant_epsilon =
@@ -233,10 +304,8 @@ IngestPipeline::Shard* IngestPipeline::FindShard(const std::string& tenant,
                                 2.0);
   shard->accountant = *dp::BudgetAccountant::Create(accountant_epsilon);
   if (!options_.ledger_path.empty()) {
-    std::string path = options_.ledger_path;
-    if (tenant != serve::kDefaultTenant || tile != serve::kDefaultTile) {
-      path += "." + SafeName(tenant) + "." + SafeName(tile);
-    }
+    const std::string path =
+        ShardLedgerPath(options_.ledger_path, tenant, tile);
     if (!shard->ledger.OpenFile(path).ok()) return nullptr;
   }
   shard->accountant->AttachLedger(&shard->ledger);
@@ -251,6 +320,19 @@ IngestPipeline::Shard* IngestPipeline::FindShard(const std::string& tenant,
 
   shard->rng = Rng(options_.seed).Fork(ShardStream(tenant, tile));
   shard->last_publish_ns = clock_->NowNanos();
+
+  // WAL genesis: open append-mode and stamp the header carrying the exact
+  // wire names (SafeName is lossy; recovery needs the originals to rebuild
+  // the same noise stream). Suppressed during replay — Recover re-attaches
+  // the log itself, without a second header.
+  if (!options_.wal_dir.empty() && !recovering_) {
+    auto wal = Wal::Open(ShardWalPath(options_.wal_dir, tenant, tile));
+    if (wal.ok() && wal->AppendHeader(tenant, tile).ok()) {
+      shard->wal.emplace(std::move(*wal));
+    } else {
+      wal_errors_ctr_->Increment();
+    }
+  }
 
   shards_.push_back(std::move(shard));
   shards_gauge_->Set(static_cast<double>(shards_.size()));
@@ -286,25 +368,15 @@ serve::ReadingAck IngestPipeline::Apply(const serve::ReadingBatch& batch) {
   }
 
   std::lock_guard<std::mutex> lock(shard->mu);
-  const grid::Dims& dims = options_.dims;
-  for (const serve::MeterReading& r : batch.readings) {
-    const bool in_bounds = r.x >= 0 && r.x < dims.cx && r.y >= 0 &&
-                           r.y < dims.cy && r.t >= 0 && r.t < dims.ct;
-    // Late readings (t already published) are rejected, not silently
-    // absorbed: the DP release for that slice is immutable once spent.
-    if (!in_bounds || r.t < shard->next_slice || !std::isfinite(r.kwh)) {
-      ++ack.rejected;
-      continue;
+  // Log first, admit second: the WAL records the batch as received, so
+  // replay re-runs the same admission decisions instead of trusting them.
+  // An append failure degrades recovery coverage but never drops readings.
+  if (!batch.readings.empty() && shard->wal.has_value()) {
+    if (!shard->wal->AppendBatch(batch.readings).ok()) {
+      wal_errors_ctr_->Increment();
     }
-    shard->raw.add(r.x, r.y, r.t, r.kwh);
-    if (r.t > shard->high_water) shard->high_water = r.t;
-    ++ack.accepted;
   }
-  shard->accepted += ack.accepted;
-  shard->rejected += ack.rejected;
-  shard->readings_since_publish += static_cast<int64_t>(ack.accepted);
-  if (ack.accepted > 0) readings_ctr_->Increment(ack.accepted);
-  if (ack.rejected > 0) rejected_ctr_->Increment(ack.rejected);
+  AdmitLocked(*shard, batch.readings, ack);
 
   // Epoch boundary: count- or tick-based, checked at batch granularity so
   // a replayed batch sequence republishes at identical points; an empty
@@ -318,12 +390,14 @@ serve::ReadingAck IngestPipeline::Apply(const serve::ReadingBatch& batch) {
       clock_->NowNanos() - shard->last_publish_ns >= options_.epoch_ticks_ns) {
     due = true;
   }
-  // A count/tick epoch releases only *completed* timesteps — the newest
-  // slice stays open for more readings (its w-event release is immutable
-  // once spent, so publishing it early would reject the slice's tail as
-  // late). A flush is the explicit "no more data is coming" signal and
-  // publishes through the newest slice.
-  const int through = flush ? shard->high_water : shard->high_water - 1;
+  // A count/tick epoch releases only *completed* timesteps, minus the
+  // backfill grace — the newest slice plus `backfill_grace` behind it stay
+  // open for late readings (each slice's w-event release is immutable once
+  // spent, so sealing early would reject its tail). A flush is the explicit
+  // "no more data is coming" signal and publishes through the newest slice.
+  const int64_t through =
+      flush ? shard->high_water
+            : shard->high_water - 1 - options_.backfill_grace;
   if (due && through >= shard->next_slice) {
     if (!PublishLocked(*shard, through).ok()) publish_errors_ctr_->Increment();
   }
@@ -338,7 +412,105 @@ serve::ReadingAck IngestPipeline::Apply(const serve::ReadingBatch& batch) {
   return ack;
 }
 
-Status IngestPipeline::PublishLocked(Shard& shard, int through) {
+void IngestPipeline::AdmitLocked(
+    Shard& shard, const std::vector<serve::MeterReading>& readings,
+    serve::ReadingAck& ack) {
+  const grid::Dims& dims = options_.dims;
+  const double unit = options_.unit_sensitivity;
+  uint64_t accepted = 0;
+  uint64_t clamped = 0;
+  uint64_t rejected = 0;
+  // Ring slot of logical timestep t is t % ct, but t is confined to
+  // [next_slice, next_slice + ct) here, so one add and a conditional
+  // subtract replace the hardware divide — several per reading, and the
+  // divider is the slowest ALU op on the whole admission path.
+  const int64_t ct = dims.ct;
+  const int64_t ring_base = shard.next_slice % ct;
+  const auto ring_slot = [&](int64_t t) {
+    const int64_t slot = ring_base + (t - shard.next_slice);
+    return slot < ct ? slot : slot - ct;
+  };
+  constexpr size_t kPrefetchAhead = 16;
+  for (size_t ri = 0; ri < readings.size(); ++ri) {
+    const serve::MeterReading& r = readings[ri];
+    // The contribution probe and the raw-cell bump are dependent loads into
+    // tables the batch's own wire traffic usually evicted; issue reading
+    // ri+16's lines now so they are in flight while this one is processed.
+    if (ri + kPrefetchAhead < readings.size()) {
+      const serve::MeterReading& q = readings[ri + kPrefetchAhead];
+      const int64_t qt = q.t;
+      if (q.x >= 0 && q.x < dims.cx && q.y >= 0 && q.y < dims.cy &&
+          qt >= shard.next_slice && qt < shard.next_slice + ct) {
+        const int64_t qslot = ring_slot(qt);
+        shard.contribution[static_cast<size_t>(qslot)].Prefetch(
+            q.meter_id, q.x * dims.cy + q.y);
+        __builtin_prefetch(&shard.raw.data()[static_cast<size_t>(
+            (q.x * dims.cy + q.y) * ct + qslot)]);
+      }
+    }
+    const int64_t t = r.t;
+    // Ring admission: exactly the open window [next_slice, next_slice + ct)
+    // is writable. Earlier slices are sealed (their DP release is immutable
+    // once spent) and later ones have no ring slot yet. next_slice >= 0, so
+    // negative t is rejected here too.
+    const bool in_bounds =
+        r.x >= 0 && r.x < dims.cx && r.y >= 0 && r.y < dims.cy;
+    if (!in_bounds || t < shard.next_slice || t >= shard.next_slice + ct ||
+        !std::isfinite(r.kwh)) {
+      ++rejected;
+      continue;
+    }
+    // Sensitivity clamp: this meter's *total* admitted contribution to the
+    // cell stays in [-unit, +unit], so replaying one reading forever — or
+    // duplicating it within a batch — moves the pre-noise cell by at most
+    // the sensitivity the noise is calibrated for.
+    const int64_t tslot = ring_slot(t);
+    ContributionMap& cmap = shard.contribution[static_cast<size_t>(tslot)];
+    if (cmap.capacity() == 0 && !shard.contribution_pool.empty()) {
+      cmap = std::move(shard.contribution_pool.back());
+      shard.contribution_pool.pop_back();
+    }
+    const bool may_insert =
+        options_.contribution_cap <= 0 ||
+        shard.contribution_keys < options_.contribution_cap;
+    const size_t keys_before = cmap.size();
+    double* slot =
+        cmap.FindOrInsert(r.meter_id, r.x * dims.cy + r.y, may_insert);
+    if (slot == nullptr) {
+      // Admitting an untracked contribution could breach the contract.
+      ++rejected;
+      continue;
+    }
+    shard.contribution_keys +=
+        static_cast<int64_t>(cmap.size() != keys_before);
+    const double prev = *slot;
+    const double total = std::clamp(prev + r.kwh, -unit, unit);
+    const double delta = total - prev;
+    *slot = total;
+    // Unconditional: a zero delta (meter already saturated) is rare, and
+    // the cell line is already here — a branch would just mispredict.
+    shard.raw.add(r.x, r.y, static_cast<int>(tslot), delta);
+    shard.high_water = std::max(shard.high_water, t);
+    const bool in_full = delta == r.kwh;
+    accepted += static_cast<uint64_t>(in_full);
+    clamped += static_cast<uint64_t>(!in_full);
+  }
+  shard.accepted += accepted;
+  shard.clamped += clamped;
+  shard.rejected += rejected;
+  // Clamped readings still count toward the epoch boundary: they carry
+  // fresh (if truncated) signal, and boundary placement must be a pure
+  // function of the reading sequence for replay to be deterministic.
+  shard.readings_since_publish += static_cast<int64_t>(accepted + clamped);
+  if (accepted > 0) readings_ctr_->Increment(accepted);
+  if (clamped > 0) clamped_ctr_->Increment(clamped);
+  if (rejected > 0) rejected_ctr_->Increment(rejected);
+  ack.accepted += accepted;
+  ack.clamped += clamped;
+  ack.rejected += rejected;
+}
+
+Status IngestPipeline::PublishLocked(Shard& shard, int64_t through) {
   obs::Span span("ingest/publish", republish_latency_);
   const obs::TraceContext* parent_ctx = obs::CurrentTraceContext();
   const bool traced = parent_ctx != nullptr && parent_ctx->sampled;
@@ -359,14 +531,28 @@ Status IngestPipeline::PublishLocked(Shard& shard, int through) {
   // the release depends only on the reading sequence — never on thread
   // count or concurrent tenants.
   std::vector<double> slice(static_cast<size_t>(cells));
-  for (int t = shard.next_slice; t <= through; ++t) {
+  for (int64_t t = shard.next_slice; t <= through; ++t) {
+    const int slot = static_cast<int>(t % dims.ct);
     size_t i = 0;
     for (int x = 0; x < dims.cx; ++x) {
-      for (int y = 0; y < dims.cy; ++y) slice[i++] = shard.raw.at(x, y, t);
+      for (int y = 0; y < dims.cy; ++y) slice[i++] = shard.raw.at(x, y, slot);
     }
     auto released = shard.publisher->ProcessSlice(slice, shard.rng);
     if (!released.ok()) return released.status();
-    STPT_RETURN_IF_ERROR(shard.sanitized->SetSlice(t, *released));
+    STPT_RETURN_IF_ERROR(shard.sanitized->SetSliceLogical(t, *released));
+    // Sealing logical slice t recycles its ring slot for t + ct.
+    for (int x = 0; x < dims.cx; ++x) {
+      for (int y = 0; y < dims.cy; ++y) shard.raw.set(x, y, slot, 0.0);
+    }
+    // Sealed slices can no longer admit, so their clamp keys are dead
+    // weight; clearing per seal is what bounds the ring to the open window.
+    ContributionMap& cmap = shard.contribution[static_cast<size_t>(slot)];
+    shard.contribution_keys -= static_cast<int64_t>(cmap.size());
+    cmap.Clear();
+    if (cmap.capacity() != 0) {
+      shard.contribution_pool.push_back(std::move(cmap));
+      cmap = ContributionMap();
+    }
   }
   shard.next_slice = through + 1;
 
@@ -386,11 +572,9 @@ Status IngestPipeline::PublishLocked(Shard& shard, int through) {
 
   ++shard.publish_seq;
   if (!options_.snapshot_dir.empty()) {
-    const std::string path = options_.snapshot_dir + "/" +
-                             SafeName(shard.tenant) + "." + SafeName(shard.tile) +
-                             ".p" + std::to_string(shard.publish_seq) +
-                             serve::kSnapshotExtension;
-    STPT_RETURN_IF_ERROR(serve::WriteSnapshot(snapshot, path));
+    STPT_RETURN_IF_ERROR(serve::WriteSnapshot(
+        snapshot, ShardSnapshotPath(options_.snapshot_dir, shard.tenant,
+                                    shard.tile, shard.publish_seq)));
   }
 
   // Zero-downtime flip: Load on the first publication of a shard the
@@ -406,6 +590,14 @@ Status IngestPipeline::PublishLocked(Shard& shard, int through) {
   epochs_ctr_->Increment();
   shard.readings_since_publish = 0;
   shard.last_publish_ns = clock_->NowNanos();
+  // Durable commit point: the fsynced marker tells recovery this epoch's
+  // budget charges, snapshot and ledger lines all reached their sinks. A
+  // crash after the charge but before the marker leaves a torn publish,
+  // which replay repeats deterministically.
+  if (shard.wal.has_value() &&
+      !shard.wal->AppendEpochMark(through, shard.publish_seq).ok()) {
+    wal_errors_ctr_->Increment();
+  }
   if (traced) {
     RecordIngestSpan(publish_ctx, publish_parent, publish_start_ns,
                      "ingest/publish",
@@ -426,6 +618,34 @@ int IngestPipeline::PublishAll() {
   int published = 0;
   for (Shard* shard : shards) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    // Same seal rule as a count/tick epoch: completed slices minus grace.
+    const int64_t through =
+        shard->high_water - 1 - options_.backfill_grace;
+    if (through < shard->next_slice) continue;
+    if (options_.epoch_ticks_ns > 0 &&
+        clock_->NowNanos() - shard->last_publish_ns <
+            options_.epoch_ticks_ns) {
+      continue;  // deadline not yet due; the next timer fire will catch it
+    }
+    if (PublishLocked(*shard, through).ok()) {
+      ++published;
+    } else {
+      publish_errors_ctr_->Increment();
+    }
+  }
+  return published;
+}
+
+int IngestPipeline::FlushAll() {
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& shard : shards_) shards.push_back(shard.get());
+  }
+  int published = 0;
+  for (Shard* shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
     if (shard->high_water < shard->next_slice) continue;
     if (PublishLocked(*shard, shard->high_water).ok()) {
       ++published;
@@ -434,6 +654,137 @@ int IngestPipeline::PublishAll() {
     }
   }
   return published;
+}
+
+Status IngestPipeline::Recover(const std::string& snapshot_dir,
+                               const std::string& ledger_path) {
+  if (options_.wal_dir.empty()) return Status::OK();
+  recovering_ = true;
+  Status status = Status::OK();
+  for (const std::string& wal_path : Wal::ListLogs(options_.wal_dir)) {
+    status = RecoverShardLog(wal_path, snapshot_dir, ledger_path);
+    if (!status.ok()) break;
+  }
+  recovering_ = false;
+  return status;
+}
+
+Status IngestPipeline::RecoverShardLog(const std::string& wal_path,
+                                       const std::string& snapshot_dir,
+                                       const std::string& ledger_path) {
+  auto records = Wal::ReadAll(wal_path);
+  if (!records.ok()) return records.status();
+  if (records->empty()) return Status::OK();
+  const Wal::Record& header = records->front();
+  if (header.type != Wal::RecordType::kHeader) {
+    return Status::InvalidArgument("ingest recover: '" + wal_path +
+                                   "' does not start with a header record");
+  }
+  const std::string tenant = header.tenant;
+  const std::string tile = header.tile;
+
+  // Capture what the dead process left behind BEFORE the new shard opens
+  // (and truncates) its ledger sink: the old ledger lines for the
+  // prefix-match check, and the last marked container for byte identity.
+  std::vector<dp::AuditRecord> old_ledger;
+  bool have_old_ledger = false;
+  if (!ledger_path.empty()) {
+    if (auto bytes =
+            ReadFileBytes(ShardLedgerPath(ledger_path, tenant, tile))) {
+      old_ledger = dp::AuditLedger::ParseJsonl(*bytes);
+      have_old_ledger = true;
+    }
+  }
+  uint64_t last_marked_seq = 0;
+  for (const Wal::Record& r : *records) {
+    if (r.type == Wal::RecordType::kEpochMark) last_marked_seq = r.publish_seq;
+  }
+  std::optional<std::string> old_snapshot;
+  if (!snapshot_dir.empty() && last_marked_seq > 0) {
+    old_snapshot = ReadFileBytes(
+        ShardSnapshotPath(snapshot_dir, tenant, tile, last_marked_seq));
+  }
+
+  Shard* shard = FindShard(tenant, tile, /*create=*/true);
+  if (shard == nullptr) {
+    return Status::ResourceExhausted("ingest recover: cannot create shard '" +
+                                     tenant + "/" + tile + "'");
+  }
+
+  std::lock_guard<std::mutex> lock(shard->mu);
+  // Replay from genesis through the normal admission/publication path. All
+  // of it — clamp decisions, noise draws, budget charges — is a pure
+  // function of the logged sequence, so the rebuilt shard lands bitwise on
+  // the pre-crash state at its last marker. Readings logged after the last
+  // marker re-enter the open window, exactly as if the crash never
+  // happened.
+  for (size_t i = 1; i < records->size(); ++i) {
+    const Wal::Record& r = (*records)[i];
+    if (r.type == Wal::RecordType::kBatch) {
+      serve::ReadingAck ack;
+      AdmitLocked(*shard, r.readings, ack);
+    } else if (r.type == Wal::RecordType::kEpochMark) {
+      if (r.through < shard->next_slice) {
+        return Status::Internal("ingest recover: non-monotone epoch mark in '" +
+                                wal_path + "'");
+      }
+      STPT_RETURN_IF_ERROR(PublishLocked(*shard, r.through));
+      if (shard->publish_seq != r.publish_seq) {
+        return Status::Internal(
+            "ingest recover: publish_seq diverged replaying '" + wal_path +
+            "' (replayed " + std::to_string(shard->publish_seq) +
+            ", logged " + std::to_string(r.publish_seq) + ")");
+      }
+    }
+  }
+
+  // Bit-identity verification against the dead process's artifacts. The
+  // old ledger may run LONGER than the replay (a torn publish charges the
+  // accountant before reaching its marker); it must never disagree on the
+  // shared prefix.
+  if (have_old_ledger) {
+    const std::vector<dp::AuditRecord> replayed = shard->ledger.records();
+    if (replayed.size() > old_ledger.size()) {
+      return Status::Internal(
+          "ingest recover: replayed ledger for '" + tenant + "/" + tile +
+          "' outran the on-disk ledger (" + std::to_string(replayed.size()) +
+          " > " + std::to_string(old_ledger.size()) + " records)");
+    }
+    for (size_t i = 0; i < replayed.size(); ++i) {
+      const dp::AuditRecord& a = replayed[i];
+      const dp::AuditRecord& b = old_ledger[i];
+      if (a.seq != b.seq || a.stage != b.stage || a.mechanism != b.mechanism ||
+          a.epsilon != b.epsilon || a.sensitivity != b.sensitivity ||
+          a.composition != b.composition ||
+          a.consumed_after != b.consumed_after) {
+        return Status::Internal(
+            "ingest recover: ledger record " + std::to_string(i) +
+            " diverged from the on-disk ledger for '" + tenant + "/" + tile +
+            "'");
+      }
+    }
+  }
+  if (old_snapshot.has_value()) {
+    const auto rewritten = ReadFileBytes(
+        ShardSnapshotPath(snapshot_dir, tenant, tile, last_marked_seq));
+    if (!rewritten.has_value() || *rewritten != *old_snapshot) {
+      return Status::Internal(
+          "ingest recover: rewritten container diverged from the pre-crash "
+          "bytes for '" +
+          tenant + "/" + tile + "'");
+    }
+  }
+
+  // Resume logging in place: append-mode, no second header — the genesis
+  // header is still the first record, so repeated kill/recover cycles keep
+  // replaying one coherent log.
+  auto wal = Wal::Open(wal_path);
+  if (wal.ok()) {
+    shard->wal.emplace(std::move(*wal));
+  } else {
+    wal_errors_ctr_->Increment();
+  }
+  return Status::OK();
 }
 
 StatusOr<IngestPipeline::ShardAudit> IngestPipeline::Audit(
@@ -450,6 +801,10 @@ StatusOr<IngestPipeline::ShardAudit> IngestPipeline::Audit(
   audit.ledger_composed_epsilon = shard->ledger.ComposedEpsilon();
   audit.ledger_records = shard->ledger.size();
   audit.republish_count = shard->publisher->republish_count();
+  audit.accepted = shard->accepted;
+  audit.clamped = shard->clamped;
+  audit.rejected = shard->rejected;
+  audit.contribution_keys = static_cast<size_t>(shard->contribution_keys);
   return audit;
 }
 
@@ -470,7 +825,9 @@ std::string IngestPipeline::StatsJson() const {
     os << "{\"tenant\": \"" << JsonEscape(shard->tenant) << "\", \"tile\": \""
        << JsonEscape(shard->tile) << "\", \"epoch\": " << shard->epoch
        << ", \"accepted\": " << shard->accepted
+       << ", \"clamped\": " << shard->clamped
        << ", \"rejected\": " << shard->rejected
+       << ", \"contribution_keys\": " << shard->contribution_keys
        << ", \"next_slice\": " << shard->next_slice
        << ", \"pending_timesteps\": "
        << (shard->high_water >= shard->next_slice

@@ -1,0 +1,267 @@
+#include "ingest/wal.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "serve/snapshot.h"
+
+namespace stpt::ingest {
+namespace {
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutF64(std::vector<uint8_t>& out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader over one record payload.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - off_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data_[off_++];
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = static_cast<uint32_t>(data_[off_]) |
+         static_cast<uint32_t>(data_[off_ + 1]) << 8 |
+         static_cast<uint32_t>(data_[off_ + 2]) << 16 |
+         static_cast<uint32_t>(data_[off_ + 3]) << 24;
+    off_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    uint32_t lo = 0, hi = 0;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = static_cast<uint64_t>(hi) << 32 | lo;
+    return true;
+  }
+
+  bool ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+
+  bool ReadI64(int64_t* v) {
+    uint64_t u = 0;
+    if (!ReadU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool ReadF64(double* v) {
+    uint64_t u = 0;
+    if (!ReadU64(&u)) return false;
+    *v = std::bit_cast<double>(u);
+    return true;
+  }
+
+  bool ReadString(std::string* out) {
+    uint32_t len = 0;
+    if (!ReadU32(&len) || len > remaining()) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + off_), len);
+    off_ += len;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
+
+/// Decodes one CRC-verified payload. False = structurally invalid (the
+/// reader then treats the rest of the file as unusable tail).
+bool DecodeRecord(const std::vector<uint8_t>& payload, Wal::Record* out) {
+  Cursor cur(payload.data(), payload.size());
+  uint8_t type = 0;
+  if (!cur.ReadU8(&type)) return false;
+  switch (static_cast<Wal::RecordType>(type)) {
+    case Wal::RecordType::kHeader: {
+      out->type = Wal::RecordType::kHeader;
+      return cur.ReadString(&out->tenant) && cur.ReadString(&out->tile) &&
+             cur.remaining() == 0;
+    }
+    case Wal::RecordType::kBatch: {
+      out->type = Wal::RecordType::kBatch;
+      uint32_t count = 0;
+      if (!cur.ReadU32(&count)) return false;
+      if (static_cast<size_t>(count) * 28 != cur.remaining()) return false;
+      out->readings.resize(count);
+      for (serve::MeterReading& r : out->readings) {
+        if (!cur.ReadU64(&r.meter_id) || !cur.ReadI32(&r.x) ||
+            !cur.ReadI32(&r.y) || !cur.ReadI32(&r.t) || !cur.ReadF64(&r.kwh)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Wal::RecordType::kEpochMark: {
+      out->type = Wal::RecordType::kEpochMark;
+      return cur.ReadI64(&out->through) && cur.ReadU64(&out->publish_seq) &&
+             cur.remaining() == 0;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Wal::Wal(Wal&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)) {}
+
+Wal& Wal::operator=(Wal&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+Wal::~Wal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<Wal> Wal::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::InvalidArgument("wal: cannot open '" + path + "'");
+  }
+  Wal wal;
+  wal.file_ = file;
+  wal.path_ = path;
+  return wal;
+}
+
+Status Wal::AppendRecord(const std::vector<uint8_t>& payload, bool sync) {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal: not open");
+  if (payload.empty() || payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("wal: record payload size out of range");
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(8 + payload.size());
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  PutU32(frame, serve::Crc32(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::Internal("wal: short write to '" + path_ + "'");
+  }
+  // fflush hands the bytes to the OS: they survive a SIGKILL. fsync at
+  // epoch markers additionally survives power loss — the durability point.
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("wal: flush failed for '" + path_ + "'");
+  }
+  if (sync && ::fsync(::fileno(file_)) != 0) {
+    return Status::Internal("wal: fsync failed for '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+Status Wal::AppendHeader(const std::string& tenant, const std::string& tile) {
+  std::vector<uint8_t> payload;
+  payload.reserve(9 + tenant.size() + tile.size());
+  payload.push_back(static_cast<uint8_t>(RecordType::kHeader));
+  PutU32(payload, static_cast<uint32_t>(tenant.size()));
+  payload.insert(payload.end(), tenant.begin(), tenant.end());
+  PutU32(payload, static_cast<uint32_t>(tile.size()));
+  payload.insert(payload.end(), tile.begin(), tile.end());
+  return AppendRecord(payload, /*sync=*/true);
+}
+
+Status Wal::AppendBatch(const std::vector<serve::MeterReading>& readings) {
+  std::vector<uint8_t> payload;
+  payload.reserve(5 + readings.size() * 28);
+  payload.push_back(static_cast<uint8_t>(RecordType::kBatch));
+  PutU32(payload, static_cast<uint32_t>(readings.size()));
+  for (const serve::MeterReading& r : readings) {
+    PutU64(payload, r.meter_id);
+    PutU32(payload, static_cast<uint32_t>(r.x));
+    PutU32(payload, static_cast<uint32_t>(r.y));
+    PutU32(payload, static_cast<uint32_t>(r.t));
+    PutF64(payload, r.kwh);
+  }
+  return AppendRecord(payload, /*sync=*/false);
+}
+
+Status Wal::AppendEpochMark(int64_t through, uint64_t publish_seq) {
+  std::vector<uint8_t> payload;
+  payload.reserve(17);
+  payload.push_back(static_cast<uint8_t>(RecordType::kEpochMark));
+  PutU64(payload, static_cast<uint64_t>(through));
+  PutU64(payload, publish_seq);
+  return AppendRecord(payload, /*sync=*/true);
+}
+
+StatusOr<std::vector<Wal::Record>> Wal::ReadAll(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("wal: no log at '" + path + "'");
+  }
+  std::vector<Record> records;
+  std::vector<uint8_t> payload;
+  while (true) {
+    uint8_t header[8];
+    if (std::fread(header, 1, sizeof(header), file) != sizeof(header)) break;
+    const uint32_t length = static_cast<uint32_t>(header[0]) |
+                            static_cast<uint32_t>(header[1]) << 8 |
+                            static_cast<uint32_t>(header[2]) << 16 |
+                            static_cast<uint32_t>(header[3]) << 24;
+    const uint32_t crc = static_cast<uint32_t>(header[4]) |
+                         static_cast<uint32_t>(header[5]) << 8 |
+                         static_cast<uint32_t>(header[6]) << 16 |
+                         static_cast<uint32_t>(header[7]) << 24;
+    if (length == 0 || length > kMaxRecordBytes) break;  // corrupt tail
+    payload.resize(length);
+    if (std::fread(payload.data(), 1, length, file) != length) break;  // torn
+    if (serve::Crc32(payload.data(), payload.size()) != crc) break;
+    Record record;
+    if (!DecodeRecord(payload, &record)) break;
+    records.push_back(std::move(record));
+  }
+  std::fclose(file);
+  return records;
+}
+
+std::vector<std::string> Wal::ListLogs(const std::string& dir) {
+  std::vector<std::string> logs;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return logs;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    constexpr const char* kExt = ".wal";
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, kExt) == 0) {
+      logs.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(logs.begin(), logs.end());
+  return logs;
+}
+
+}  // namespace stpt::ingest

@@ -1,0 +1,111 @@
+#ifndef STPT_INGEST_WAL_H_
+#define STPT_INGEST_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/wire.h"
+
+namespace stpt::ingest {
+
+/// Per-shard append-only write-ahead log of reading batches, the durability
+/// half of crash-safe ingest recovery (IngestPipeline::Recover).
+///
+/// The pipeline's noise stream (common/rng.h) has no serializable state, so
+/// the only way to rebuild a shard bit-for-bit is to replay the exact
+/// reading sequence through the same admission path from genesis. The WAL
+/// records that sequence: every batch as received (pre-admission, so replay
+/// re-runs the same clamp/reject decisions), plus an epoch marker after
+/// every successful publication carrying the logical `through` timestep —
+/// replay publishes at markers instead of re-evaluating count/tick
+/// boundaries, which keeps recovery independent of wall time.
+///
+/// File format — a sequence of CRC-framed records:
+///
+///   u32 LE  payload length L (1 <= L <= kMaxWalRecordBytes)
+///   u32 LE  CRC-32 (IEEE 802.3, serve::Crc32) of the L payload bytes
+///   u8      record type (WalRecordType)
+///   ...     body, little-endian fixed width:
+///     kHeader    u32 tenant length + bytes, u32 tile length + bytes
+///                (exact wire names — the snapshot/ledger SafeName rendering
+///                is lossy, so the header is what maps a .wal file back to
+///                its shard)
+///     kBatch     u32 count, count x { u64 meter_id, i32 x, i32 y, i32 t,
+///                f64 kwh } — the kReadingBatch body as received
+///     kEpochMark i64 through (last logical timestep published),
+///                u64 publish_seq after the publication
+///
+/// Durability contract: batches are flushed to the OS (fflush) at append
+/// time — they survive a SIGKILL of the process — and every epoch marker is
+/// additionally fsync()ed, so a power loss rolls a shard back to at most
+/// its last published epoch plus whatever batch tail the disk retained.
+/// The reader stops cleanly at the first torn or CRC-corrupt record, which
+/// is exactly the crash-truncated tail.
+class Wal {
+ public:
+  enum class RecordType : uint8_t {
+    kHeader = 1,
+    kBatch = 2,
+    kEpochMark = 3,
+  };
+
+  /// One decoded record; fields beyond `type` are valid per the table above.
+  struct Record {
+    RecordType type = RecordType::kHeader;
+    std::string tenant;  ///< kHeader
+    std::string tile;    ///< kHeader
+    std::vector<serve::MeterReading> readings;  ///< kBatch
+    int64_t through = 0;                        ///< kEpochMark
+    uint64_t publish_seq = 0;                   ///< kEpochMark
+  };
+
+  /// Hard cap on one record's payload, matching the wire frame cap so a
+  /// corrupt length field cannot trigger a giant allocation.
+  static constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+  /// Opens `path` for appending (created if absent). Existing records are
+  /// preserved — reopening after a crash continues the same log.
+  static StatusOr<Wal> Open(const std::string& path);
+
+  Wal() = default;
+  Wal(Wal&& other) noexcept;
+  Wal& operator=(Wal&& other) noexcept;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+  ~Wal();
+
+  bool open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends the shard-identity header. Written once, first, by the shard
+  /// that creates the log.
+  Status AppendHeader(const std::string& tenant, const std::string& tile);
+
+  /// Appends one reading batch as received (flushed, not fsynced).
+  Status AppendBatch(const std::vector<serve::MeterReading>& readings);
+
+  /// Appends an epoch marker and fsync()s the log — the durability point.
+  Status AppendEpochMark(int64_t through, uint64_t publish_seq);
+
+  /// Reads every intact record of `path` in order, stopping cleanly at the
+  /// first torn or CRC-corrupt record (the crash-truncated tail). NotFound
+  /// when the file does not exist.
+  static StatusOr<std::vector<Record>> ReadAll(const std::string& path);
+
+  /// The ".wal" files directly inside `dir` (full paths, sorted by name);
+  /// empty when the directory is missing or holds none.
+  static std::vector<std::string> ListLogs(const std::string& dir);
+
+ private:
+  Status AppendRecord(const std::vector<uint8_t>& payload, bool sync);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace stpt::ingest
+
+#endif  // STPT_INGEST_WAL_H_

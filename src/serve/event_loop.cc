@@ -6,6 +6,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -20,10 +21,11 @@
 namespace stpt::serve {
 namespace {
 
-// epoll user-data tags for the two non-connection fds; connection ids
+// epoll user-data tags for the three non-connection fds; connection ids
 // start above them.
 constexpr uint64_t kListenTag = 0;
 constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kTimerTag = 2;
 
 // Per-event read cap: level-triggered epoll re-notifies, so bounding one
 // visit keeps a firehose connection from starving the others.
@@ -129,6 +131,10 @@ StatusOr<std::unique_ptr<EventLoopServer>> EventLoopServer::Create(
   if (options.drain_timeout_ms < 0) {
     return Status::InvalidArgument("event_loop: drain_timeout_ms must be >= 0");
   }
+  if (options.ingest_publish_interval_ms < 0) {
+    return Status::InvalidArgument(
+        "event_loop: ingest_publish_interval_ms must be >= 0");
+  }
   in_addr parsed{};
   if (::inet_pton(AF_INET, options.bind_address.c_str(), &parsed) != 1) {
     return Status::InvalidArgument("event_loop: bad bind address '" +
@@ -183,10 +189,32 @@ Status EventLoopServer::Start() {
   ev.data.u64 = kWakeTag;
   ::epoll_ctl(epfd, EPOLL_CTL_ADD, wfd, &ev);
 
+  // Periodic ingest publish timer: an idle shard has no batch arrival to
+  // carry its tick-epoch deadline, so the loop drives the sweep itself.
+  int tfd = -1;
+  if (options_.ingest_publish_interval_ms > 0 && ingest_ != nullptr) {
+    tfd = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+    if (tfd < 0) {
+      CloseQuietly(fd);
+      CloseQuietly(epfd);
+      CloseQuietly(wfd);
+      return Status::Internal("event_loop: timerfd_create failed");
+    }
+    itimerspec spec{};
+    spec.it_interval.tv_sec = options_.ingest_publish_interval_ms / 1000;
+    spec.it_interval.tv_nsec =
+        (options_.ingest_publish_interval_ms % 1000) * 1'000'000L;
+    spec.it_value = spec.it_interval;
+    ::timerfd_settime(tfd, 0, &spec, nullptr);
+    ev.data.u64 = kTimerTag;
+    ::epoll_ctl(epfd, EPOLL_CTL_ADD, tfd, &ev);
+  }
+
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
   epoll_fd_ = epfd;
   wake_fd_ = wfd;
+  timer_fd_ = tfd;
   stop_requested_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -229,6 +257,15 @@ void EventLoopServer::LoopThread() {
         uint64_t drainv = 0;
         while (::read(wake_fd_, &drainv, sizeof(drainv)) > 0) {
         }
+        continue;
+      }
+      if (ev.data.u64 == kTimerTag) {
+        uint64_t expirations = 0;
+        (void)!::read(timer_fd_, &expirations, sizeof(expirations));
+        // Runs on the loop thread: the sweep only takes per-shard locks
+        // (never loop state), ticks missed while it runs coalesce into the
+        // drained expiration count, and nothing can outlive Stop().
+        if (ingest_ != nullptr && !draining_) ingest_->PublishAll();
         continue;
       }
       auto it = conns_.find(ev.data.u64);
@@ -556,7 +593,7 @@ void EventLoopServer::DispatchIngest(Conn& conn, ReadingBatch batch) {
       obs::ScopedTraceContext scoped(exec_ctx);
       return ingest_->Apply(batch);
     }();
-    comp.error = ack.rejected > 0 && ack.accepted == 0;
+    comp.error = ack.rejected > 0 && ack.accepted == 0 && ack.clamped == 0;
     ack.trace = batch.trace;  // echo
     comp.type = MsgType::kReadingAck;
     comp.payload = EncodeReadingAck(ack);
@@ -927,9 +964,11 @@ void EventLoopServer::Stop() {
   CloseQuietly(listen_fd_);
   CloseQuietly(epoll_fd_);
   CloseQuietly(wake_fd_);
+  CloseQuietly(timer_fd_);
   listen_fd_ = -1;
   epoll_fd_ = -1;
   wake_fd_ = -1;
+  timer_fd_ = -1;
   std::lock_guard<std::mutex> lock(mu_);
   started_ = false;
 }

@@ -44,6 +44,11 @@ struct EventLoopOptions {
   /// flush within this window; connections still pending afterwards are
   /// force-closed so Stop() always terminates.
   int drain_timeout_ms = 5000;
+  /// Period of the ingest publish timer (0 = no timer). When set and an
+  /// ingest sink is attached, a timerfd fires every interval and drives
+  /// IngestSink::PublishAll(), so idle shards meet their tick-epoch
+  /// deadlines without waiting for another batch to arrive.
+  int64_t ingest_publish_interval_ms = 0;
 };
 
 /// Where kReadingBatch frames go. The serving tier stays ignorant of how
@@ -65,6 +70,13 @@ class IngestSink {
   /// Prometheus text for the stpt_ingest_* families (appended to the
   /// metrics frame).
   virtual std::string MetricsText() const = 0;
+
+  /// Timer-driven epoch sweep: publish every shard whose epoch deadline
+  /// has passed. Called periodically by the server's publish timer (see
+  /// EventLoopOptions::ingest_publish_interval_ms); the default is a
+  /// no-op so sinks without epoch state need not care. Returns the number
+  /// of shards published.
+  virtual int PublishAll() { return 0; }
 };
 
 /// Non-blocking epoll front end over a SnapshotRegistry.
@@ -209,6 +221,7 @@ class EventLoopServer {
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
+  int timer_fd_ = -1;  ///< ingest publish timer, -1 when disabled
   int port_ = 0;
 
   std::atomic<bool> stop_requested_{false};
@@ -228,7 +241,7 @@ class EventLoopServer {
   // Loop-thread-only state below (no locking needed).
   std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
   std::deque<uint64_t> deferred_;
-  uint64_t next_conn_id_ = 2;  // 0 and 1 tag the listener and the eventfd
+  uint64_t next_conn_id_ = 3;  // 0-2 tag the listener, eventfd and timerfd
   bool draining_ = false;
   uint64_t drain_deadline_ns_ = 0;
   int paused_count_ = 0;

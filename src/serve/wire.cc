@@ -503,12 +503,27 @@ StatusOr<ReadingBatch> DecodeReadingBatch(const std::vector<uint8_t>& payload) {
   return batch;
 }
 
+namespace {
+
+/// Length byte of the optional trailing clamped-count field on kReadingAck.
+/// Distinct from obs::kTraceFieldBytes - 1 (= 33), so a decoder can tell the
+/// two optional fields apart by their first byte.
+constexpr uint8_t kClampedFieldLen = 8;
+
+}  // namespace
+
 std::vector<uint8_t> EncodeReadingAck(const ReadingAck& ack) {
   std::vector<uint8_t> out;
-  out.reserve(24);
+  out.reserve(33);
   PutU64(out, ack.accepted);
   PutU64(out, ack.rejected);
   PutU64(out, ack.epoch);
+  // Optional field, emitted only when nonzero so a clamp-free ack keeps the
+  // pre-change byte layout and old peers interoperate unchanged.
+  if (ack.clamped != 0) {
+    out.push_back(kClampedFieldLen);
+    PutU64(out, ack.clamped);
+  }
   obs::AppendTraceField(out, ack.trace);
   return out;
 }
@@ -519,6 +534,21 @@ StatusOr<ReadingAck> DecodeReadingAck(const std::vector<uint8_t>& payload) {
   if (!ReadU64(cur, &ack.accepted) || !ReadU64(cur, &ack.rejected) ||
       !ReadU64(cur, &ack.epoch)) {
     return Malformed("reading ack body");
+  }
+  // The optional clamped field precedes the optional trace field, so the
+  // only valid remainders are 0 (neither), 9 (clamped), 34 (trace), and 43
+  // (both) — the sizes alone say whether a clamped field is present.
+  const size_t clamped_bytes = 1 + sizeof(uint64_t);
+  if (cur.remaining() == clamped_bytes ||
+      cur.remaining() == clamped_bytes + obs::kTraceFieldBytes) {
+    uint8_t len = 0;
+    if (!cur.ReadBytes(&len, 1) || len != kClampedFieldLen ||
+        !ReadU64(cur, &ack.clamped)) {
+      return Malformed("reading ack clamped field");
+    }
+    // A present-but-zero field would re-encode without the field; reject it
+    // so every accepted payload stays canonical.
+    if (ack.clamped == 0) return Malformed("reading ack clamped field (zero)");
   }
   if (!ReadTrailingTrace(cur, &ack.trace)) {
     return Malformed("reading ack trace field");

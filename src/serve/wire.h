@@ -53,7 +53,12 @@ namespace stpt::serve {
 ///                     { u64 meter_id, i32 x, i32 y, i32 t, f64 kwh } — one
 ///                     live meter reading per tuple. kWh must be finite.
 ///   kReadingAck       u64 accepted, u64 rejected, u64 epoch currently
-///                     published for the addressed shard (0 = none yet)
+///                     published for the addressed shard (0 = none yet),
+///                     then an OPTIONAL clamped-count field (u8 len = 8,
+///                     u64 clamped) encoded only when clamped != 0 — absent
+///                     reproduces the pre-clamping byte layout, the same
+///                     interop pattern as the trace field below (the u8
+///                     length disambiguates the two: 8 vs 33)
 ///   kTraceRequest     u32 limit (0 = all stored), str trace-id filter
 ///                     (32 hex chars, empty = all traces)
 ///   kTraceResponse    str JSON (obs::TraceStore::ToJson)
@@ -205,10 +210,15 @@ struct ReadingBatch {
 
 /// kReadingAck: per-batch admission counts plus the epoch currently
 /// published for the addressed shard so feeders can watch republishes land.
+/// `accepted + clamped + rejected` always equals the batch's reading count:
+/// accepted entered the accumulator in full, clamped were admitted but had
+/// excess kWh cut by the per-meter sensitivity cap (or duplicated a
+/// (meter, cell, t) key already at its cap), rejected never touched it.
 struct ReadingAck {
   uint64_t accepted = 0;
   uint64_t rejected = 0;
   uint64_t epoch = 0;
+  uint64_t clamped = 0;     ///< optional on the wire; 0 = pre-change layout
   obs::TraceContext trace;  ///< request context echoed back
 
   bool operator==(const ReadingAck&) const = default;

@@ -199,7 +199,7 @@ TEST(TraceWireTest, AllSixV2CodecsCarryTheContext) {
   ASSERT_TRUE(batch2.ok());
   EXPECT_EQ(*batch2, batch);
 
-  ReadingAck racked{5, 0, 2, ctx};
+  ReadingAck racked{5, 0, 2, 3, ctx};
   auto racked2 = DecodeReadingAck(EncodeReadingAck(racked));
   ASSERT_TRUE(racked2.ok());
   EXPECT_EQ(*racked2, racked);
@@ -226,7 +226,7 @@ TEST(TraceWireTest, UntracedFramesKeepThePreTraceByteLayout) {
   EXPECT_FALSE(decoded->trace.valid());
 
   // Same for the fixed-width kReadingAck: exactly three little-endian u64s.
-  ReadingAck ack{1, 0, 7, {}};
+  ReadingAck ack{1, 0, 7, 0, {}};
   std::vector<uint8_t> ack_bytes = {1, 0, 0, 0, 0, 0, 0, 0,
                                     0, 0, 0, 0, 0, 0, 0, 0,
                                     7, 0, 0, 0, 0, 0, 0, 0};
@@ -251,7 +251,7 @@ TEST(TraceWireTest, TruncationAndBitflipSweepOverTracedPayloads) {
   const TenantQueryRequest request{"t", "0", 1, {{0, 1, 0, 1, 0, 1}}, ctx};
   const ReadingBatch batch{"t", "0", {{1, 0, 0, 0, 1.0}, {2, 1, 1, 1, 2.0}},
                            ctx};
-  const ReadingAck ack{2, 1, 3, ctx};
+  const ReadingAck ack{2, 1, 3, 4, ctx};
   const AdminResponse admin{AdminVerb::kLoad, 1, "ok", ctx};
 
   // Every prefix and single-bit corruption must yield a clean accept/reject

@@ -3,8 +3,8 @@
 //   stpt_ingest --port=P [--host=127.0.0.1] [--tenant=] [--tile=]
 //               [--dims=8,8,64] [--slices=16] [--t-offset=0]
 //               [--readings=4096] [--batch=256] [--seed=7] [--kwh-max=5.0]
-//               [--no-flush] [--threads=N] [--trace=path] [--log-level=warn]
-//               [--trace-sample=N]
+//               [--no-flush] [--fail-on=reject] [--threads=N] [--trace=path]
+//               [--log-level=warn] [--trace-sample=N]
 //
 // Generates --readings synthetic readings spread in time order over
 // --slices timesteps starting at --t-offset of a --dims grid (cells and
@@ -14,11 +14,14 @@
 // trailing partial epoch (suppress with --no-flush). A nonzero --t-offset
 // continues a shard a previous invocation left open — the w-event release
 // is immutable once published, so re-streaming timesteps an earlier run
-// already covered would be rejected as late. Prints accepted/rejected
-// counts, the shard's final epoch, and sustained readings/s.
+// already covered would be rejected as late. Prints accepted/clamped/
+// rejected counts, the shard's final epoch, and sustained readings/s.
 //
-// Exits nonzero if the server rejects any reading or the final epoch
-// never advanced past zero (nothing was published).
+// `--fail-on` picks the admission outcomes that fail the run: `reject`
+// (the default) exits nonzero if any reading is rejected, `clamp` also
+// fails on sensitivity-clamped readings, and `none` only reports. All
+// modes still fail when the final epoch never advanced past zero
+// (nothing was published).
 //
 // `--trace-sample=N` attaches a deterministic per-batch trace context,
 // head-sampled 1/N. Sampled batches chain accept → republish → registry
@@ -67,6 +70,9 @@ FlagSet MakeFlags() {
   flags.DefineInt("seed", 7, "generator seed");
   flags.DefineDouble("kwh-max", 5.0, "loads drawn uniformly from [0, max)");
   flags.DefineBool("no-flush", false, "skip the final forced-publish batch");
+  flags.DefineString("fail-on", "reject",
+                     "admission outcomes that fail the run "
+                     "(reject, clamp, none)");
   flags.DefineInt("threads", 0, "exec pool size (0 = hardware)");
   flags.DefineString("trace", "", "write Chrome trace-event JSON here");
   flags.DefineString("log-level", "warn", "debug|info|warn|error|off");
@@ -98,6 +104,11 @@ int Run(const FlagSet& flags) {
   if (t_offset < 0 || t_offset >= ct) {
     return Fail(Status::InvalidArgument("--t-offset must lie inside the grid"));
   }
+  const std::string fail_on = flags.GetString("fail-on");
+  if (fail_on != "reject" && fail_on != "clamp" && fail_on != "none") {
+    return Fail(Status::InvalidArgument(
+        "--fail-on wants reject, clamp or none"));
+  }
 
   auto client = serve::Client::Connect(
       flags.GetString("host"), static_cast<int>(flags.GetInt("port")));
@@ -124,7 +135,7 @@ int Run(const FlagSet& flags) {
   // slice: reading i lands on t = i / per_slice.
   const int64_t per_slice = (total + slices - 1) / slices;
 
-  uint64_t accepted = 0, rejected = 0, epoch = 0;
+  uint64_t accepted = 0, clamped = 0, rejected = 0, epoch = 0;
   std::vector<serve::MeterReading> pending;
   pending.reserve(static_cast<size_t>(batch_size));
   const int64_t start_ns = exec::NowNanos();
@@ -140,6 +151,7 @@ int Run(const FlagSet& flags) {
       auto ack = client->Ingest(tenant, tile, pending, next_trace());
       if (!ack.ok()) return Fail(ack.status());
       accepted += ack->accepted;
+      clamped += ack->clamped;
       rejected += ack->rejected;
       epoch = ack->epoch;
       pending.clear();
@@ -154,15 +166,21 @@ int Run(const FlagSet& flags) {
       static_cast<double>(exec::NowNanos() - start_ns) * 1e-9;
 
   std::printf(
-      "streamed %lld readings (%llu accepted, %llu rejected) over %lld "
-      "slices: epoch %llu, %.0f readings/s\n",
+      "streamed %lld readings (%llu accepted, %llu clamped, %llu rejected) "
+      "over %lld slices: epoch %llu, %.0f readings/s\n",
       static_cast<long long>(total), static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(clamped),
       static_cast<unsigned long long>(rejected),
       static_cast<long long>(slices), static_cast<unsigned long long>(epoch),
       static_cast<double>(total) / (elapsed_s > 0 ? elapsed_s : 1e-9));
-  if (rejected != 0) {
+  if (fail_on != "none" && rejected != 0) {
     std::fprintf(stderr, "stpt_ingest: server rejected %llu readings\n",
                  static_cast<unsigned long long>(rejected));
+    return 1;
+  }
+  if (fail_on == "clamp" && clamped != 0) {
+    std::fprintf(stderr, "stpt_ingest: server clamped %llu readings\n",
+                 static_cast<unsigned long long>(clamped));
     return 1;
   }
   if (epoch == 0) {

@@ -5,9 +5,11 @@
 //                       [--max-inflight=64] [--threads=N]
 //                       [--ingest [--ingest-dims=8,8,64]
 //                        [--ingest-epoch-readings=4096] [--ingest-epoch-ms=0]
-//                        [--ingest-window=10] [--ingest-epsilon=1.0]
-//                        [--ingest-unit=1.0] [--ingest-seed=24301]
-//                        [--ingest-snapshot-dir=] [--ingest-ledger=]]
+//                        [--ingest-publish-ms=0] [--ingest-window=10]
+//                        [--ingest-epsilon=1.0] [--ingest-unit=1.0]
+//                        [--ingest-grace=0] [--ingest-cap=1048576]
+//                        [--ingest-seed=24301] [--ingest-snapshot-dir=]
+//                        [--ingest-ledger=] [--ingest-wal-dir=]]
 //   stpt_serve query    --port=P [--host=127.0.0.1] [--tenant=] [--tile=]
 //                       [--count=1000] [--kind=random|small|large] [--seed=7]
 //                       [--batch=256] [--trace-sample=N]
@@ -29,7 +31,17 @@
 // loaded at runtime. With --ingest the server additionally accepts
 // kReadingBatch frames (see stpt_ingest): readings accumulate per shard and
 // every epoch boundary republishes that shard's grid under w-event DP,
-// hot-swapping it into the registry with zero dropped queries.
+// hot-swapping it into the registry with zero dropped queries. Admission
+// clamps each meter's per-cell-per-timestep contribution to
+// ±--ingest-unit (the sensitivity the noise is calibrated for);
+// --ingest-grace keeps that many completed slices open for late
+// backfill, and --ingest-cap bounds the per-shard clamp-tracking map.
+// With --ingest-wal-dir every batch is write-ahead-logged and a
+// restarted server replays the WALs at startup, resuming each shard —
+// accumulator, noise stream, budget accountant and audit ledger —
+// bit-for-bit where the dead process stopped. --ingest-publish-ms runs a
+// periodic publish sweep so idle shards still meet --ingest-epoch-ms
+// deadlines (it defaults to --ingest-epoch-ms when that is set).
 // `load`/`swap`/`unload` administer shards over the
 // wire: load publishes a new (tenant, tile) shard, swap hot-swaps an
 // existing shard to a new snapshot with zero dropped queries, unload
@@ -140,16 +152,27 @@ FlagSet ServeFlags() {
                   "publish after this many accepted readings (0 = off)");
   flags.DefineInt("ingest-epoch-ms", 0,
                   "publish after this many wall-clock ms (0 = off)");
+  flags.DefineInt("ingest-publish-ms", 0,
+                  "periodic publish-sweep timer in ms (0 = follow "
+                  "--ingest-epoch-ms)");
   flags.DefineInt("ingest-window", 10, "w-event window in time slices");
   flags.DefineDouble("ingest-epsilon", 1.0, "privacy budget per w-event window");
   flags.DefineDouble("ingest-unit", 1.0,
-                     "per-user per-slice contribution bound (sensitivity)");
+                     "per-user per-slice contribution bound (sensitivity), "
+                     "enforced by clamping at admission");
+  flags.DefineInt("ingest-grace", 0,
+                  "completed slices kept open for late backfill");
+  flags.DefineInt("ingest-cap", 1 << 20,
+                  "per-shard cap on tracked contribution keys (0 = unlimited)");
   flags.DefineInt("ingest-seed", 0x5EED, "noise seed for ingest shards");
   flags.DefineString("ingest-snapshot-dir", "",
                      "write each published epoch as a .stpt container here");
   flags.DefineString("ingest-ledger", "",
                      "JSONL audit-ledger path (per-shard suffixes for "
                      "non-default shards)");
+  flags.DefineString("ingest-wal-dir", "",
+                     "per-shard reading WAL directory; enables crash "
+                     "recovery on restart");
   return flags;
 }
 
@@ -243,19 +266,35 @@ int RunServe(const FlagSet& flags) {
     ingest_options.window = static_cast<int>(flags.GetInt("ingest-window"));
     ingest_options.epsilon = flags.GetDouble("ingest-epsilon");
     ingest_options.unit_sensitivity = flags.GetDouble("ingest-unit");
+    ingest_options.backfill_grace = static_cast<int>(flags.GetInt("ingest-grace"));
+    ingest_options.contribution_cap = flags.GetInt("ingest-cap");
     ingest_options.seed = static_cast<uint64_t>(flags.GetInt("ingest-seed"));
     ingest_options.snapshot_dir = flags.GetString("ingest-snapshot-dir");
     ingest_options.ledger_path = flags.GetString("ingest-ledger");
+    ingest_options.wal_dir = flags.GetString("ingest-wal-dir");
     auto built = ingest::IngestPipeline::Create(registry->get(), &ingest_clock,
                                                 ingest_options);
     if (!built.ok()) return Fail(built.status());
     pipeline = std::move(*built);
+    // Crash recovery before the listener opens: any shard a dead process
+    // logged is replayed and re-published, so the first query after a
+    // restart already sees the pre-crash epochs.
+    if (const Status st = pipeline->Recover(ingest_options.snapshot_dir,
+                                            ingest_options.ledger_path);
+        !st.ok()) {
+      return Fail(st);
+    }
   }
 
   serve::EventLoopOptions options;
   options.bind_address = flags.GetString("bind");
   options.port = static_cast<int>(flags.GetInt("port"));
   options.max_inflight_batches = static_cast<int>(flags.GetInt("max-inflight"));
+  // The publish timer rides the tick-epoch deadline unless overridden, so
+  // an idle shard still publishes when --ingest-epoch-ms elapses.
+  options.ingest_publish_interval_ms = flags.Provided("ingest-publish-ms")
+                                           ? flags.GetInt("ingest-publish-ms")
+                                           : flags.GetInt("ingest-epoch-ms");
   auto server = serve::EventLoopServer::Create(registry->get(), options);
   if (!server.ok()) return Fail(server.status());
   if (pipeline != nullptr) (*server)->set_ingest_sink(pipeline.get());
